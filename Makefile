@@ -1,0 +1,34 @@
+# Convenience targets.  The environment is offline: editable installs go
+# through setup.cfg (legacy path), never an isolated PEP-517 build.
+
+.PHONY: install test bench experiments examples coverage clean
+
+install:
+	pip install -e .
+
+test:
+	pytest tests/
+
+test-slow:
+	pytest tests/ --run-slow
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+experiments:
+	python -m repro experiments
+
+examples:
+	python examples/quickstart.py
+	python examples/road_network.py
+	python examples/sumindex_protocol.py
+	python examples/hardness_explorer.py
+	python examples/build_dependencies.py
+
+artifacts:
+	pytest tests/ 2>&1 | tee test_output.txt
+	pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	rm -rf build dist src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

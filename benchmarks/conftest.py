@@ -1,0 +1,21 @@
+"""Benchmark harness support.
+
+Every benchmark regenerates one experiment row from DESIGN.md's index.
+Tables are printed (visible under ``pytest -s``) *and* written to
+``benchmarks/results/<name>.txt``, which is what EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_table(name: str, table) -> None:
+    """Print a table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = table.render()
+    print()
+    print(text)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,21 @@
+"""E13: the Section 1.1 approximate-labels + correction-tables recipe."""
+
+from repro.experiments import approximation_table, run_approximation
+
+from conftest import record_table
+
+
+def test_approximation_recipe(benchmark):
+    def run():
+        return run_approximation([40, 80, 120], seed=1)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("E13_approximation", approximation_table(rows))
+    for row in rows:
+        assert row.errors_bounded      # errors confined to {0, 1, 2}
+        assert row.corrected_exact     # corrections restore exactness
+        assert row.coarse_total <= row.exact_total  # coarsening shrinks
+    # Bits/vertex stay within a small factor of the general-graph curve
+    # (the corrections' log2(3) * n term dominates, as in [AGHP16a]).
+    for row in rows:
+        assert row.bits_per_vertex < 4 * row.reference_bits

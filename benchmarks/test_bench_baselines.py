@@ -1,0 +1,45 @@
+"""E9/E12: the hub-labeling landscape and monotone inflation."""
+
+from repro.experiments import (
+    baseline_table,
+    monotone_table,
+    run_baselines,
+    run_monotone,
+)
+
+from conftest import record_table
+
+
+def test_baseline_landscape(benchmark):
+    def run():
+        return run_baselines()
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("E9_baselines", baseline_table(rows))
+    by_family = {r.family: r for r in rows}
+    for row in rows:
+        assert row.all_valid
+    # Shape checks from Section 1.1:
+    # trees are polylog -- far below the sparse/hard instances...
+    tree = by_family["tree"]
+    assert tree.centroid_avg is not None
+    assert tree.centroid_avg <= 12
+    # ...and the hard instance is the worst per-vertex among families
+    # of comparable scale (the Theorem 1.1 effect at small b, l).
+    hard = by_family["hard-G(1,1)"]
+    assert hard.pll_avg >= tree.pll_avg
+    # Scale-free networks are the easy extreme: high-degree hubs keep
+    # PLL labels small (the practical §1.1 story).
+    scale_free = by_family["scale-free"]
+    assert scale_free.pll_avg <= hard.pll_avg
+
+
+def test_monotone_inflation(benchmark):
+    def run():
+        return run_monotone()
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("E12_monotone", monotone_table(rows))
+    for row in rows:
+        assert row.within_bound
+        assert row.inflation >= 1.0

@@ -1,0 +1,27 @@
+"""E14: average bits per label across distance-labeling schemes."""
+
+from repro.experiments import bit_size_table, run_bit_sizes
+
+from conftest import record_table
+
+
+def test_bit_size_landscape(benchmark):
+    def run():
+        return run_bit_sizes([60, 120, 240], seed=1)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("E14_bit_sizes", bit_size_table(rows))
+    by_key = {(r.family, r.n): r for r in rows}
+    for row in rows:
+        # Every scheme clears the sqrt(n) counting floor [GPPR04]...
+        assert row.hub_bits > row.sqrt_floor
+        # ...and hub encodings beat raw rows by a wide margin.
+        assert row.hub_bits < row.row_bits / 2
+        if row.incremental_bits is not None:
+            assert row.incremental_bits < row.row_bits
+    # Tree centroid labels are polylog: far below sparse PLL labels at
+    # the same n, and within a small factor of log^2 n.
+    for n in (60, 120, 240):
+        tree = by_key[("tree", n)]
+        assert tree.centroid_bits is not None
+        assert tree.centroid_bits <= 2.5 * tree.log2_sq

@@ -1,0 +1,44 @@
+"""E2/E3/E10: the hard-instance construction and degree reduction."""
+
+from repro.experiments import (
+    audit_construction,
+    audit_degree_reduction,
+    construction_table,
+    degree_reduction_table,
+)
+
+from conftest import record_table
+
+
+def test_construction_claims(benchmark):
+    """Theorem 2.1 (i)-(ii) + Lemma 2.2, exhaustively on G_{b,l}."""
+
+    def run():
+        return [
+            audit_construction(1, 1),
+            audit_construction(2, 1),
+            audit_construction(1, 2, use_degree3=False),
+            audit_construction(2, 2, use_degree3=False),
+        ]
+
+    audits = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("E2_E3_construction", construction_table(audits))
+    for audit in audits:
+        assert audit.claims_hold
+
+
+def test_degree_reduction(benchmark):
+    """Section 4's reduction: metric preserved, degree <= ceil(m/n)+2."""
+
+    def run():
+        return [
+            audit_degree_reduction(40, seed=0, avg_degree=4.0),
+            audit_degree_reduction(80, seed=1, avg_degree=6.0),
+            audit_degree_reduction(120, seed=2, avg_degree=8.0),
+        ]
+
+    audits = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("E10_degree_reduction", degree_reduction_table(audits))
+    for audit in audits:
+        assert audit.distances_preserved
+        assert audit.reduced_max_degree <= audit.degree_bound

@@ -1,0 +1,15 @@
+"""E1: regenerate Figure 1 (H_{2,2}; blue 4A+4 unique via midpoint,
+red 4A+8)."""
+
+from repro.experiments import figure1_table, run_figure1
+
+from conftest import record_table
+
+
+def test_figure1(benchmark):
+    result = benchmark(run_figure1)
+    record_table("E1_figure1", figure1_table(result))
+    assert result.blue_length == result.blue_expected
+    assert result.blue_is_unique
+    assert result.blue_passes_midpoint
+    assert result.red_length == result.red_expected

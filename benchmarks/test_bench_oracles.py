@@ -1,0 +1,29 @@
+"""E11: the S*T trade-off for exact oracles on sparse graphs."""
+
+from repro.experiments import oracle_table, run_oracles
+
+from conftest import record_table
+
+
+def test_oracle_tradeoff(benchmark):
+    def run():
+        return run_oracles(n=120, num_pairs=60, seed=3)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("E11_oracles", oracle_table(rows))
+    by_name = {r.oracle: r for r in rows}
+    for row in rows:
+        assert row.exact
+    matrix = by_name["matrix"]
+    hub = by_name["hub-label"]
+    n = matrix.n
+    # Matrix: maximal space, unit time.
+    assert matrix.space_words == n * n
+    assert matrix.avg_query_ops == 1
+    # Hub labels trade space for per-query label scans...
+    assert hub.space_words < matrix.space_words
+    assert hub.avg_query_ops > matrix.avg_query_ops
+    # ...but stay on the S*T >= ~n^2/polylog curve -- no oracle in the
+    # suite beats the curve by an order of magnitude (Section 1's point).
+    for row in rows:
+        assert row.space_time_product >= n * n / 50

@@ -1,0 +1,74 @@
+"""Query-latency microbenchmarks: labels vs search vs matrix.
+
+The systems argument for hub labeling: once built, a distance query is
+a label merge -- orders of magnitude cheaper than running Dijkstra, at
+a fraction of the matrix oracle's space.  These are genuine
+pytest-benchmark timing runs (many rounds), not one-shot experiment
+tables.
+"""
+
+import random
+
+import pytest
+
+from repro.core import SortedHubIndex, pruned_landmark_labeling
+from repro.graphs import bidirectional_distance, random_sparse_graph
+from repro.oracles import MatrixOracle
+
+
+N = 300
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def setup():
+    graph = random_sparse_graph(N, seed=SEED)
+    labeling = pruned_landmark_labeling(graph)
+    rng = random.Random(SEED)
+    pairs = [(rng.randrange(N), rng.randrange(N)) for _ in range(64)]
+    return graph, labeling, pairs
+
+
+def test_query_hub_labels(benchmark, setup):
+    graph, labeling, pairs = setup
+
+    def run():
+        return [labeling.query(u, v) for u, v in pairs]
+
+    results = benchmark(run)
+    assert all(r >= 0 for r in results)
+
+
+def test_query_sorted_index(benchmark, setup):
+    graph, labeling, pairs = setup
+    index = SortedHubIndex(labeling)
+
+    def run():
+        return [index.query(u, v).distance for u, v in pairs]
+
+    results = benchmark(run)
+    expected = [labeling.query(u, v) for u, v in pairs]
+    assert results == expected
+
+
+def test_query_bidirectional_search(benchmark, setup):
+    graph, labeling, pairs = setup
+
+    def run():
+        return [bidirectional_distance(graph, u, v) for u, v in pairs]
+
+    results = benchmark(run)
+    expected = [labeling.query(u, v) for u, v in pairs]
+    assert results == expected
+
+
+def test_query_matrix_oracle(benchmark, setup):
+    graph, labeling, pairs = setup
+    oracle = MatrixOracle(graph)
+
+    def run():
+        return [oracle.query(u, v).distance for u, v in pairs]
+
+    results = benchmark(run)
+    expected = [labeling.query(u, v) for u, v in pairs]
+    assert results == expected

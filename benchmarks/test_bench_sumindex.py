@@ -1,0 +1,57 @@
+"""E5: Theorem 1.6 -- the Sum-Index protocol over G'_{b,l} labels."""
+
+from repro.experiments import (
+    exact_complexity_table,
+    run_exact_complexity,
+    run_sum_index,
+    sum_index_table,
+)
+
+from conftest import record_table
+
+
+def test_sum_index_protocol(benchmark):
+    def run():
+        return run_sum_index([(2, 1)], num_strings=2, with_hub_backend=True)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("E5_sum_index", sum_index_table(rows))
+    for row in rows:
+        assert row.all_correct
+        # The graph route pays the graph blow-up: messages exceed the
+        # sqrt(m) lower bound, as the reduction predicts for small m.
+        assert row.row_message_bits >= row.sqrt_lower_bound
+        # Hub labels beat raw rows -- the encoding direction of §1.1.
+        if row.hub_message_bits is not None:
+            assert row.hub_message_bits < row.row_message_bits
+
+
+def test_exact_sm_complexity(benchmark):
+    """E5b: brute-force the left edge of the SUMINDEX envelope."""
+
+    def run():
+        return run_exact_complexity([1, 2, 3])
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("E5b_exact_complexity", exact_complexity_table(rows))
+    by_m = {r.m: r for r in rows}
+    assert by_m[1].exact_bits == 1
+    assert by_m[2].exact_bits == 2
+    for row in rows:
+        if row.exact_bits is not None:
+            # Exact values sit inside the known envelope.
+            assert row.sqrt_bound <= row.exact_bits <= row.trivial_bits
+
+
+def test_sum_index_larger_instance(benchmark):
+    """m = 4 (b = 2, l = 2): the 2^l-to-1 repr() folding in action."""
+
+    def run():
+        return run_sum_index(
+            [(2, 2)], num_strings=1, with_hub_backend=False
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("E5_sum_index_l2", sum_index_table(rows))
+    assert rows[0].all_correct
+    assert rows[0].m == 4

@@ -1,0 +1,42 @@
+"""E6/E7: Theorem 4.1's construction components and property (*)."""
+
+from repro.experiments import (
+    hitting_table,
+    run_hitting,
+    run_upper_bound,
+    upper_bound_table,
+)
+
+from conftest import record_table
+
+
+def test_upper_bound_components(benchmark):
+    def run():
+        return run_upper_bound([60, 120, 200, 400], threshold=3, seed=1)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("E6_upper_bound", upper_bound_table(rows))
+    for row in rows:
+        assert row.valid
+        # Randomized components within (4x slack) expectation bounds.
+        assert row.corrections <= 4 * row.corrections_bound + 4
+        assert row.conflicts <= 4 * row.conflicts_bound + 4
+        # The labeling is sub-quadratic: below storing all pairs (the
+        # constant-factor overheads only amortize as n grows).
+        assert row.total < row.n * row.n
+        if row.n >= 100:
+            assert row.total < row.n * row.n / 2
+    # Average hub size grows sublinearly in n (shape of Theorem 1.4).
+    small, large = rows[0], rows[-1]
+    assert large.average / small.average < large.n / small.n
+
+
+def test_hitting_property(benchmark):
+    def run():
+        return run_hitting([60, 120, 200, 400], threshold=5, seed=2)
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    record_table("E7_hitting", hitting_table(rows))
+    for row in rows:
+        assert row.sample_size <= row.sample_formula
+        assert row.within_bound

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Quickstart: build a hub labeling, answer distance queries, verify.
+
+This walks the library's core loop in under a minute:
+
+1. generate a sparse graph (the paper's setting: m = O(n));
+2. build hub labelings with two constructions (PLL and the paper's
+   Theorem 4.1 RS-based scheme);
+3. answer distance queries from labels alone and check them against
+   Dijkstra;
+4. verify the shortest-path-cover property and compare label sizes
+   with the paper's bound curves.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import (
+    is_valid_cover,
+    pruned_landmark_labeling,
+    rs_hub_labeling,
+    theorem_11_average_hub_lower_bound,
+    theorem_14_average_hub_upper_bound,
+)
+from repro.graphs import distance_between, random_sparse_graph
+
+
+def main() -> None:
+    n = 200
+    graph = random_sparse_graph(n, seed=42, avg_degree=3.0)
+    print(f"graph: {graph}")
+
+    # -- construction ---------------------------------------------------
+    pll = pruned_landmark_labeling(graph)
+    rs = rs_hub_labeling(graph, threshold=3, seed=7)
+    print(f"PLL labeling:        {pll}")
+    print(f"RS-scheme labeling:  {rs.labeling}")
+    print(f"RS component sizes:  {rs.component_sizes()}")
+
+    # -- queries ---------------------------------------------------------
+    pairs = [(0, n - 1), (3, 77), (12, 150), (5, 5)]
+    print("\nqueries (label-only vs Dijkstra):")
+    for u, v in pairs:
+        from_labels = pll.query(u, v)
+        hub = pll.meet(u, v)
+        truth = distance_between(graph, u, v)
+        status = "ok" if from_labels == truth else "MISMATCH"
+        print(
+            f"  dist({u:>3}, {v:>3}) = {from_labels}  via hub {hub}"
+            f"  [dijkstra: {truth}] {status}"
+        )
+
+    # -- verification ----------------------------------------------------
+    print(f"\nPLL is a valid 2-hop cover: {is_valid_cover(graph, pll)}")
+    print(
+        "RS scheme is a valid 2-hop cover: "
+        f"{is_valid_cover(graph, rs.labeling)}"
+    )
+
+    # -- the paper's bounds ----------------------------------------------
+    print("\naverage hub-set size vs the paper's curves:")
+    print(f"  measured (PLL):        {pll.average_size():.2f}")
+    print(f"  measured (RS scheme):  {rs.labeling.average_size():.2f}")
+    print(
+        "  Theorem 1.1 lower-bound curve n/2^(3 sqrt(log n)): "
+        f"{theorem_11_average_hub_lower_bound(n):.2f}"
+    )
+    print(
+        "  Theorem 1.4 upper-bound curve n/RS(n)^(1/7):       "
+        f"{theorem_14_average_hub_upper_bound(n):.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

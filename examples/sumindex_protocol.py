@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""The Theorem 1.6 reduction as a working three-party protocol.
+
+Alice and Bob share a bit string S; Alice holds index a, Bob index b;
+each sends ONE simultaneous message to a referee who must output
+S[(a+b) mod m] -- the Sum-Index problem (Definition 1.5).
+
+The paper's protocol: both parties deterministically build the graph
+G'_{b,l} (the degree-3 hard instance with part of the middle layer
+deleted according to S), label it with any exact distance labeling,
+and send the label of their endpoint vertex.  The referee decodes the
+distance between the endpoints from the two labels alone and compares
+it to the Lemma 2.2 closed form: equality means the midpoint vertex
+survived, i.e. the wanted bit is 1 (Observation 3.1).
+
+Run:  python examples/sumindex_protocol.py
+"""
+
+from repro.sumindex import (
+    GraphLabelingProtocol,
+    SumIndexInstance,
+    TrivialProtocol,
+    random_bitstring,
+    run_protocol,
+)
+
+
+def main() -> None:
+    b, ell = 2, 1
+    m = (2 ** (b - 1)) ** ell
+    bits = random_bitstring(m, seed=9)
+    print(f"parameters: b={b}, l={ell}  ->  m = (s/2)^l = {m}")
+    print(f"shared string S = {''.join(map(str, bits))}\n")
+
+    protocol = GraphLabelingProtocol(b, ell)
+    trivial = TrivialProtocol(m)
+
+    print("graph-labeling protocol (Theorem 1.6):")
+    all_ok = True
+    for a in range(m):
+        for bb in range(m):
+            inst = SumIndexInstance(bits=bits, alice_index=a, bob_index=bb)
+            out, alice_bits, bob_bits = run_protocol(protocol, inst)
+            ok = out == inst.answer
+            all_ok &= ok
+            print(
+                f"  a={a} b={bb}: referee says {out}, "
+                f"truth S[{(a + bb) % m}]={inst.answer} "
+                f"({'ok' if ok else 'WRONG'}); "
+                f"messages {alice_bits}+{bob_bits} bits"
+            )
+    print(f"  all instances correct: {all_ok}")
+
+    # The pruned graph both parties build:
+    pruned, _ = protocol._build(tuple(bits))
+    print(
+        f"\n  G'_{{b,l}} has {pruned.graph.num_vertices} vertices, "
+        f"max degree {pruned.graph.max_degree()}, "
+        f"{pruned.num_removed} middle-layer vertices deleted by W"
+    )
+
+    inst = SumIndexInstance(bits=bits, alice_index=0, bob_index=m - 1)
+    _, triv_bits, _ = run_protocol(trivial, inst)
+    print(f"\ntrivial protocol message: {triv_bits} bits (ships all of S)")
+    print(
+        "the reduction's price is the graph blow-up "
+        "(n = m * 2^Theta(sqrt(log m')) vertices); its value is the "
+        "direction: any o(SUMINDEX(m)) distance labeling of sparse "
+        "graphs would beat 25 years of communication complexity."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The environment has no network access and no ``wheel`` package, so
+``pip install -e .`` must take the legacy ``setup.py develop`` path;
+keeping this shim (with the metadata in pyproject.toml) enables that.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,264 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``experiments`` -- run every experiment runner and print its table
+  (``--only E1,E4`` to filter; ``--fast`` to skip the heavy ones);
+* ``label``       -- build a hub labeling for a graph given as an
+  edge-list file (or a named generator) and report sizes / save it;
+* ``query``       -- load a saved labeling and answer distance queries;
+* ``instance``    -- build a hard instance ``G_{b,l}`` and print its
+  anatomy and certificate.
+
+Examples::
+
+    python -m repro.cli experiments --only E1,E8
+    python -m repro.cli label --generator sparse:200 --method pll --save labels.bin
+    python -m repro.cli query labels.bin 0 42 7 199
+    python -m repro.cli instance --b 2 --l 1
+"""
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core import (
+    greedy_hub_labeling,
+    is_valid_cover,
+    labeling_from_bytes,
+    labeling_to_bytes,
+    pruned_landmark_labeling,
+    rs_hub_labeling,
+    sparse_hub_labeling,
+    graph_from_edgelist,
+)
+from .graphs import (
+    Graph,
+    grid_2d,
+    random_bounded_degree_graph,
+    random_sparse_graph,
+    random_tree,
+)
+
+__all__ = ["main"]
+
+
+def _load_graph(args) -> Graph:
+    if args.generator:
+        kind, _, size = args.generator.partition(":")
+        n = int(size or 100)
+        if kind == "sparse":
+            return random_sparse_graph(n, seed=args.seed)
+        if kind == "tree":
+            return random_tree(n, seed=args.seed)
+        if kind == "grid":
+            side = max(2, int(round(n ** 0.5)))
+            return grid_2d(side, side)
+        if kind == "degree3":
+            return random_bounded_degree_graph(n, 3, seed=args.seed)
+        raise SystemExit(f"unknown generator {kind!r}")
+    if args.graph:
+        with open(args.graph) as handle:
+            return graph_from_edgelist(handle.read())
+    raise SystemExit("provide --graph FILE or --generator KIND:N")
+
+
+def _build_labeling(graph: Graph, method: str, seed: int):
+    if method == "pll":
+        return pruned_landmark_labeling(graph)
+    if method == "greedy":
+        return greedy_hub_labeling(graph)
+    if method == "sparse":
+        return sparse_hub_labeling(graph, seed=seed).labeling
+    if method == "rs":
+        return rs_hub_labeling(graph, seed=seed).labeling
+    raise SystemExit(f"unknown method {method!r}")
+
+
+def _cmd_label(args) -> int:
+    graph = _load_graph(args)
+    labeling = _build_labeling(graph, args.method, args.seed)
+    print(f"graph:    {graph}")
+    print(f"labeling: {labeling}")
+    if args.verify:
+        ok = is_valid_cover(graph, labeling)
+        print(f"valid 2-hop cover: {ok}")
+        if not ok:
+            return 1
+    if args.save:
+        blob = labeling_to_bytes(labeling)
+        with open(args.save, "wb") as handle:
+            handle.write(blob)
+        print(f"saved {len(blob)} bytes to {args.save}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    with open(args.labeling, "rb") as handle:
+        labeling = labeling_from_bytes(handle.read())
+    if len(args.vertices) % 2:
+        raise SystemExit("provide an even number of vertices (pairs)")
+    for u, v in zip(args.vertices[::2], args.vertices[1::2]):
+        print(f"dist({u}, {v}) = {labeling.query(u, v)}")
+    return 0
+
+
+def _cmd_instance(args) -> int:
+    from .lowerbound import build_degree3_instance, certificate_for
+
+    inst = build_degree3_instance(args.b, args.ell)
+    cert = certificate_for(inst)
+    print(inst)
+    print(
+        f"anatomy: {inst.num_core_vertices} cores, "
+        f"{inst.num_tree_vertices} tree nodes, "
+        f"{inst.num_path_vertices} path nodes"
+    )
+    print(
+        f"certificate: sum|S_v| >= {cert.hub_sum_lower_bound:.6f} "
+        f"(avg >= {cert.average_lower_bound:.3e})"
+    )
+    return 0
+
+
+_EXPERIMENTS = {
+    "E1": ("figure 1", "fast"),
+    "E2": ("construction claims", "fast"),
+    "E4": ("lower bound", "slow"),
+    "E5": ("sum-index", "slow"),
+    "E6": ("upper bound", "fast"),
+    "E7": ("hitting sets", "fast"),
+    "E8": ("RS landscape", "fast"),
+    "E9": ("baselines", "fast"),
+    "E10": ("degree reduction", "fast"),
+    "E11": ("oracles", "fast"),
+    "E12": ("monotone", "fast"),
+    "E13": ("approximation recipe", "fast"),
+    "E14": ("bit sizes", "fast"),
+    "AB": ("ablations", "fast"),
+}
+
+
+def _cmd_experiments(args) -> int:
+    from . import experiments as exp
+
+    wanted = set(args.only.split(",")) if args.only else set(_EXPERIMENTS)
+    tables = []
+    if "E1" in wanted:
+        tables.append(exp.figure1_table(exp.run_figure1()))
+    if "E2" in wanted:
+        audits = [exp.audit_construction(1, 1)]
+        if not args.fast:
+            audits.append(exp.audit_construction(2, 1))
+        tables.append(exp.construction_table(audits))
+    if "E4" in wanted and not args.fast:
+        tables.append(
+            exp.lower_bound_table(exp.run_lower_bound([(1, 1), (2, 1)]))
+        )
+    if "E5" in wanted and not args.fast:
+        tables.append(exp.sum_index_table(exp.run_sum_index([(2, 1)])))
+    if "E6" in wanted:
+        tables.append(
+            exp.upper_bound_table(exp.run_upper_bound([60, 120]))
+        )
+    if "E7" in wanted:
+        tables.append(exp.hitting_table(exp.run_hitting([60, 120])))
+    if "E8" in wanted:
+        tables.append(exp.ap_free_table(exp.run_ap_free([100, 1000])))
+        tables.append(exp.rs_graph_table(exp.run_rs_graphs([51, 101])))
+    if "E9" in wanted:
+        tables.append(exp.baseline_table(exp.run_baselines()))
+    if "E10" in wanted:
+        tables.append(
+            exp.degree_reduction_table([exp.audit_degree_reduction()])
+        )
+    if "E11" in wanted:
+        tables.append(exp.oracle_table(exp.run_oracles()))
+    if "E12" in wanted:
+        tables.append(exp.monotone_table(exp.run_monotone()))
+    if "E13" in wanted:
+        tables.append(
+            exp.approximation_table(exp.run_approximation([40, 80]))
+        )
+    if "E14" in wanted:
+        tables.append(exp.bit_size_table(exp.run_bit_sizes([60, 120])))
+    if "AB" in wanted:
+        tables.append(exp.threshold_table(exp.run_threshold_sweep(n=60)))
+        tables.append(exp.cover_rule_table(exp.run_cover_rule(n=60)))
+        tables.append(exp.order_table(exp.run_order_ablation(scale=36)))
+        tables.append(
+            exp.sample_factor_table(exp.run_sample_factor(n=80))
+        )
+        tables.append(exp.pruning_table(exp.run_pruning_slack(n=50)))
+    rendered = "\n\n".join(table.render() for table in tables)
+    print(rendered)
+    if args.write:
+        pathlib_path = args.write
+        with open(pathlib_path, "w") as handle:
+            handle.write("# Experiment tables (generated by "
+                         "`python -m repro experiments`)\n\n```\n")
+            handle.write(rendered)
+            handle.write("\n```\n")
+        print(f"\nwrote {pathlib_path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for Kosowski-Uznanski-Viennot "
+        "(PODC 2019): hub labeling hardness in sparse graphs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_exp = sub.add_parser("experiments", help="run experiment tables")
+    p_exp.add_argument(
+        "--only", help="comma-separated ids, e.g. E1,E8,E14,AB"
+    )
+    p_exp.add_argument(
+        "--fast", action="store_true", help="skip the slow experiments"
+    )
+    p_exp.add_argument(
+        "--write", metavar="FILE", help="also write the tables to FILE"
+    )
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    p_label = sub.add_parser("label", help="build a hub labeling")
+    p_label.add_argument("--graph", help="edge-list file (n m, then u v w)")
+    p_label.add_argument(
+        "--generator", help="KIND:N with KIND in sparse|tree|grid|degree3"
+    )
+    p_label.add_argument(
+        "--method",
+        default="pll",
+        choices=["pll", "greedy", "sparse", "rs"],
+    )
+    p_label.add_argument("--seed", type=int, default=0)
+    p_label.add_argument("--save", help="write the labeling (binary)")
+    p_label.add_argument(
+        "--verify", action="store_true", help="check the cover property"
+    )
+    p_label.set_defaults(func=_cmd_label)
+
+    p_query = sub.add_parser("query", help="query a saved labeling")
+    p_query.add_argument("labeling", help="binary labeling file")
+    p_query.add_argument(
+        "vertices", nargs="+", type=int, help="pairs: u1 v1 u2 v2 ..."
+    )
+    p_query.set_defaults(func=_cmd_query)
+
+    p_inst = sub.add_parser("instance", help="build a hard instance")
+    p_inst.add_argument("--b", type=int, default=1)
+    p_inst.add_argument("--l", dest="ell", type=int, default=1)
+    p_inst.set_defaults(func=_cmd_instance)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,179 @@
+"""Additive-approximate hub labelings (the Section 1.1 recipe).
+
+The paper sketches how state-of-the-art distance labelings for general
+graphs are built: first an *approximate* hub labeling where for every
+pair some common hub ``w`` has ``w`` or a neighbor of ``w`` on a
+shortest path (absolute error 0, 1, or 2), then explicit correction
+tables that restore exactness at ``log2(3)`` bits per pair.
+
+:func:`additive_approximation` performs the hub-coarsening step: every
+hub ``h`` is replaced by a *representative* ``r(h)`` drawn from its
+closed neighborhood by a shared hash, so distinct hubs collapse onto
+shared representatives and labels shrink; for any pair covered by ``h``
+the representative satisfies::
+
+    d(u, r) + d(r, v)  <=  d(u, h) + d(h, v) + 2  =  d(u, v) + 2
+
+and is never below ``d(u, v)``, so the error lies in {0, 1, 2}.
+
+:class:`CorrectedScheme` stores, per vertex, the ternary error row and
+decodes exact distances from (approximate labels + corrections), with
+honest bit accounting -- the shape of [AGHP16a]'s
+``log2(3)/2 * n + o(n)`` construction.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..graphs.graph import Graph
+from ..graphs.traversal import INF, shortest_path_distances
+from .hublabel import HubLabeling
+
+__all__ = [
+    "additive_approximation",
+    "approximation_errors",
+    "CorrectedScheme",
+]
+
+
+def additive_approximation(
+    graph: Graph, labeling: HubLabeling, *, seed: int = 0
+) -> HubLabeling:
+    """Coarsen ``labeling`` by mapping each hub into its closed
+    neighborhood with a shared random choice.
+
+    The representative map ``r`` is a single global function (the same
+    for every vertex), so common hubs stay common.  Distances stored are
+    exact distances to the representative.  Errors are bounded by 2 and
+    the result never underestimates.
+    """
+    rng = random.Random(seed)
+    n = graph.num_vertices
+    representative: List[int] = []
+    for h in range(n):
+        neighbors = graph.neighbor_ids(h)
+        candidates = [h] + neighbors
+        representative.append(candidates[rng.randrange(len(candidates))])
+
+    # Distances to representatives: computed per *used* representative.
+    used = sorted(
+        {
+            representative[h]
+            for v in range(n)
+            for h in labeling.hubs(v)
+        }
+    )
+    rows: Dict[int, List[float]] = {
+        r: shortest_path_distances(graph, r)[0] for r in used
+    }
+    coarse = HubLabeling(n)
+    for v in range(n):
+        for h in labeling.hubs(v):
+            r = representative[h]
+            if rows[r][v] != INF:
+                coarse.add_hub(v, r, rows[r][v])
+    return coarse
+
+
+def approximation_errors(
+    graph: Graph, approximate: HubLabeling
+) -> List[int]:
+    """Histogram (index = error) of query errors over connected pairs.
+
+    Returns a list ``counts`` where ``counts[e]`` is the number of pairs
+    with ``query - distance == e``.  Raises if any pair underestimates
+    (which would falsify the construction).
+    """
+    counts: List[int] = []
+    n = graph.num_vertices
+    for u in range(n):
+        dist, _ = shortest_path_distances(graph, u)
+        for v in range(u + 1, n):
+            if dist[v] == INF:
+                continue
+            estimate = approximate.query(u, v)
+            if estimate == INF:
+                raise ValueError(f"pair ({u}, {v}) lost coverage entirely")
+            error = int(estimate - dist[v])
+            if error < 0:
+                raise ValueError(
+                    f"pair ({u}, {v}) underestimated by {-error}"
+                )
+            while len(counts) <= error:
+                counts.append(0)
+            counts[error] += 1
+    return counts
+
+
+@dataclass
+class CorrectedScheme:
+    """Approximate hub labels + per-vertex ternary correction rows.
+
+    ``corrections[u][v]`` is the error of the approximate query for the
+    pair (a value in {0, 1, 2}); exact distance = approximate query
+    minus correction.  Bits per vertex =
+    approximate-label bits + ``log2(3) * n`` for the row (the paper's
+    accounting; rows are stored ternary-packed).
+    """
+
+    graph: Graph
+    approximate: HubLabeling
+    corrections: List[List[int]]
+
+    @classmethod
+    def build(
+        cls, graph: Graph, labeling: HubLabeling, *, seed: int = 0
+    ) -> "CorrectedScheme":
+        approximate = additive_approximation(graph, labeling, seed=seed)
+        n = graph.num_vertices
+        corrections: List[List[int]] = []
+        for u in range(n):
+            dist, _ = shortest_path_distances(graph, u)
+            row = []
+            for v in range(n):
+                if dist[v] == INF:
+                    row.append(0)
+                    continue
+                estimate = approximate.query(u, v)
+                row.append(int(estimate - dist[v]))
+            corrections.append(row)
+        return cls(
+            graph=graph, approximate=approximate, corrections=corrections
+        )
+
+    def query(self, u: int, v: int) -> float:
+        estimate = self.approximate.query(u, v)
+        if estimate == INF:
+            return INF
+        return estimate - self.corrections[u][v]
+
+    def correction_bits_per_vertex(self) -> float:
+        """``log2(3) * n`` -- the ternary row, information-theoretically."""
+        import math
+
+        return math.log2(3) * self.graph.num_vertices
+
+    def total_bits_per_vertex(self) -> float:
+        """Correction row + the coarse hub labels (naive encoding)."""
+        n = max(self.graph.num_vertices, 2)
+        import math
+
+        id_bits = math.ceil(math.log2(n))
+        max_dist = max(
+            (
+                d
+                for v in range(self.approximate.num_vertices)
+                for d in self.approximate.hubs(v).values()
+            ),
+            default=1,
+        )
+        dist_bits = max(1, math.ceil(math.log2(max_dist + 2)))
+        label_bits = (
+            self.approximate.total_size()
+            * (id_bits + dist_bits)
+            / self.graph.num_vertices
+        )
+        return label_bits + self.correction_bits_per_vertex()

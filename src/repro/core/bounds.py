@@ -1,0 +1,96 @@
+"""Closed-form bound values quoted by the paper's theorems.
+
+These are the reference curves the benchmark harness prints next to the
+measured quantities, with the explicit constants taken from the proofs
+rather than the Theta-statements, so finite instances can be checked
+*exactly* (DESIGN.md, "Substitutions").
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..rs.function import rs_upper_bound
+
+__all__ = [
+    "theorem_11_average_hub_lower_bound",
+    "theorem_14_average_hub_upper_bound",
+    "theorem_21_node_count_bounds",
+    "theorem_21_hub_sum_lower_bound",
+    "gppr_general_label_bits",
+    "gppr_sparse_label_lower_bound_bits",
+    "sqrt_n_lower_bound_bits",
+    "ambainis_sumindex_upper_bound_bits",
+]
+
+
+def theorem_11_average_hub_lower_bound(n: int, constant: float = 3.0) -> float:
+    """The asymptotic shape ``n / 2^{c sqrt(log n)}`` of Theorem 1.1.
+
+    ``constant`` absorbs the Theta; the default 3 matches the b = l =
+    sqrt(log N) parameter balance of Section 2 to within lower-order
+    terms.
+    """
+    if n < 2:
+        return 0.0
+    return n / 2.0 ** (constant * math.sqrt(math.log2(n)))
+
+
+def theorem_14_average_hub_upper_bound(n: int, c: float = 7.0) -> float:
+    """Theorem 1.4's ``O(n / RS(n)^{1/c})`` on the Behrend curve."""
+    if n < 2:
+        return float(n)
+    return n / rs_upper_bound(n) ** (1.0 / c)
+
+
+def theorem_21_node_count_bounds(b: int, ell: int) -> tuple:
+    """Explicit node-count bounds for ``G_{b, l}`` from the proof.
+
+    Returns ``(lower, upper)``: the grid population ``s^l (2l+1)`` below
+    and the proof's counting
+    ``4 s * s^l * (2l+1) + (3l+1) s^2 * s^l * 2l * s`` above.
+    """
+    s = 2 ** b
+    grid = s ** ell * (2 * ell + 1)
+    upper = 4 * s * grid + (3 * ell + 1) * s ** 2 * s ** ell * 2 * ell * s
+    return grid, upper
+
+
+def theorem_21_hub_sum_lower_bound(b: int, ell: int) -> float:
+    """Claim (iii) made explicit: ``sum_v |S_v| >= s^{2l} 2^{-l} / K``
+    with the distortion factor ``K = (3l+1) s^2 * 4l`` from Eq. (1)."""
+    s = 2 ** b
+    triplets = (s ** ell) * ((s / 2.0) ** ell)
+    distortion = (3 * ell + 1) * s ** 2 * 4 * ell
+    return triplets / distortion
+
+
+def gppr_general_label_bits(n: int) -> float:
+    """The tight general-graph label size ``(1/2) log2(3) * n`` bits
+    [AGHP16a], with the ``n/2`` counting lower bound [GPPR04]."""
+    return 0.5 * math.log2(3) * n
+
+
+def gppr_sparse_label_lower_bound_bits(n: int) -> float:
+    """[GPPR04]'s ``Omega(sqrt(n))`` counting lower bound for sparse
+    graphs (constant 1)."""
+    return math.sqrt(n)
+
+
+def sqrt_n_lower_bound_bits(n: int) -> float:
+    """Known ``Omega(sqrt n)`` lower bound for SUMINDEX(n) (constant 1)."""
+    return math.sqrt(n)
+
+
+def ambainis_sumindex_upper_bound_bits(n: int) -> float:
+    """Ambainis's "unexpected" upper bound shape for SUMINDEX(n):
+    ``n log^{1/4}(n) / 2^{sqrt(log n)}`` (constant 1, base-2 logs).
+
+    A reference curve only -- the protocol itself is out of scope (see
+    DESIGN.md, Substitutions); the paper quotes it to calibrate how far
+    below ``n`` the true complexity already provably sits.
+    """
+    if n < 2:
+        return float(n)
+    log_n = math.log2(n)
+    return n * log_n ** 0.25 / 2 ** math.sqrt(log_n)

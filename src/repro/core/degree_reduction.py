@@ -1,0 +1,113 @@
+"""Degree reduction by vertex splitting (end of Section 4).
+
+A sparse graph has constant *average* degree but may contain vertices of
+arbitrarily large degree.  The paper reduces to the bounded-max-degree
+case by splitting every vertex ``v`` into ``ceil(deg(v) / k)`` copies
+joined by a path of weight-0 auxiliary edges (``k = ceil(m / n)`` in the
+paper); each copy inherits at most ``k`` of the original edges, so the
+new max degree is at most ``k + 2``, while every original distance is
+preserved exactly (the weight-0 spine is free to traverse).
+
+:func:`reduce_degree` performs the split; :func:`project_labeling` maps a
+hub labeling of the reduced graph back to the original graph, as in the
+proof of Theorem 1.4: each original vertex adopts the hubs of its
+*representative* copy and every hub is projected to its original vertex.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from ..graphs.graph import Graph
+from .hublabel import HubLabeling
+
+__all__ = ["DegreeReduction", "reduce_degree", "project_labeling"]
+
+
+@dataclass
+class DegreeReduction:
+    """The split graph together with both direction maps."""
+
+    reduced: Graph
+    #: original vertex -> its representative copy in the reduced graph.
+    representative: List[int]
+    #: reduced vertex -> the original vertex it came from.
+    origin: List[int]
+    #: the per-copy edge budget ``k`` used for the split.
+    chunk: int
+
+    @property
+    def max_degree_bound(self) -> int:
+        return self.chunk + 2
+
+
+def reduce_degree(graph: Graph, chunk: int = None) -> DegreeReduction:
+    """Split high-degree vertices into weight-0 paths of bounded copies.
+
+    ``chunk`` is the number of original edges each copy may carry; it
+    defaults to ``max(1, ceil(m / n))`` as in the paper.  The reduced
+    graph has ``O(m)`` vertices and edges, max degree ``<= chunk + 2``,
+    and the same metric on original vertices (weight-0 edges inside each
+    spine, weight of every original edge preserved).
+    """
+    n = graph.num_vertices
+    if chunk is None:
+        if n == 0:
+            chunk = 1
+        else:
+            chunk = max(1, math.ceil(graph.num_edges / n))
+    if chunk < 1:
+        raise ValueError("chunk must be >= 1")
+    reduced = Graph()
+    representative: List[int] = []
+    origin: List[int] = []
+    copies: List[List[int]] = []
+    for v in range(n):
+        num_copies = max(1, math.ceil(graph.degree(v) / chunk))
+        ids = []
+        for _ in range(num_copies):
+            new = reduced.add_vertex()
+            origin.append(v)
+            ids.append(new)
+        for a, b in zip(ids, ids[1:]):
+            reduced.add_edge(a, b, 0)
+        representative.append(ids[0])
+        copies.append(ids)
+    # Distribute each original edge to the next free slot of each side.
+    slots_used = [0] * n
+    for u, v, w in graph.edges():
+        cu = copies[u][slots_used[u] // chunk]
+        cv = copies[v][slots_used[v] // chunk]
+        slots_used[u] += 1
+        slots_used[v] += 1
+        reduced.add_edge(cu, cv, w)
+    return DegreeReduction(
+        reduced=reduced,
+        representative=representative,
+        origin=origin,
+        chunk=chunk,
+    )
+
+
+def project_labeling(
+    reduction: DegreeReduction, labeling: HubLabeling
+) -> HubLabeling:
+    """Project a labeling of the reduced graph back to the original.
+
+    Original vertex ``v`` takes the hub set of its representative copy,
+    with every hub replaced by its original vertex.  Distances transfer
+    verbatim because the weight-0 spine makes all copies of a vertex
+    mutually at distance 0.  If the reduced labeling is a correct cover,
+    so is the projection (the proof of Theorem 1.4).
+    """
+    if labeling.num_vertices != reduction.reduced.num_vertices:
+        raise ValueError("labeling does not match the reduced graph")
+    n = len(reduction.representative)
+    projected = HubLabeling(n)
+    for v in range(n):
+        rep = reduction.representative[v]
+        for hub, distance in labeling.hubs(rep).items():
+            projected.add_hub(v, reduction.origin[hub], distance)
+    return projected

@@ -1,0 +1,72 @@
+"""Hierarchical hub labelings (the class PLL produces).
+
+A labeling is *hierarchical* for an order ``pi`` when every hub stored
+at ``v`` has rank at most ``v``'s rank (hubs are "more important" than
+their owners).  PLL produces the *canonical* hierarchical labeling of
+its order: hub ``h ∈ S(v)`` exactly when ``h`` is the highest-ranked
+vertex on some shortest ``hv`` path.  Canonical labelings are minimal
+among hierarchical labelings for the same order, which the tests verify
+against :func:`repro.core.optimal.best_hierarchical_labeling`.
+
+These predicates quantify the hierarchical-vs-unrestricted gap -- a
+structural dimension the paper's lower bound is oblivious to (Theorem
+1.1 binds *all* hub labelings, hierarchical or not).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..graphs.graph import Graph
+from ..graphs.traversal import INF, shortest_path_distances
+from .hublabel import HubLabeling
+
+__all__ = ["is_hierarchical", "canonical_hub_count", "order_rank"]
+
+
+def order_rank(order: Sequence[int]) -> List[int]:
+    """rank[v] = position of v in the order (0 = most important)."""
+    rank = [0] * len(order)
+    for position, v in enumerate(order):
+        rank[v] = position
+    return rank
+
+
+def is_hierarchical(
+    labeling: HubLabeling, order: Sequence[int]
+) -> bool:
+    """True iff every stored hub outranks (or is) its owner."""
+    rank = order_rank(order)
+    for v in range(labeling.num_vertices):
+        for h in labeling.hub_set(v):
+            if rank[h] > rank[v]:
+                return False
+    return True
+
+
+def canonical_hub_count(
+    graph: Graph, order: Sequence[int], vertex: int
+) -> int:
+    """|S(vertex)| in the canonical hierarchical labeling for ``order``.
+
+    Definition: ``h ∈ S(v)`` iff ``h`` is the highest-ranked vertex on
+    some shortest ``hv`` path.  Computed directly from distances (one
+    traversal per candidate hub) -- an independent oracle the PLL tests
+    compare against.
+    """
+    rank = order_rank(order)
+    dist_v, _ = shortest_path_distances(graph, vertex)
+    count = 0
+    for h in range(graph.num_vertices):
+        if dist_v[h] == INF:
+            continue
+        dist_h, _ = shortest_path_distances(graph, h)
+        dvh = dist_v[h]
+        on_path_ranks = [
+            rank[x]
+            for x in range(graph.num_vertices)
+            if dist_v[x] != INF and dist_v[x] + dist_h[x] == dvh
+        ]
+        if rank[h] == min(on_path_ranks):
+            count += 1
+    return count

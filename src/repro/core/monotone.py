@@ -1,0 +1,90 @@
+"""Monotone hubsets (Section 1.2 of the paper).
+
+A hubset family is *monotone* when for every vertex ``u`` and every hub
+``x ∈ S(u)``, all vertices of some chosen shortest ``ux`` path also
+belong to ``S(u)``.  The paper observes:
+
+* the monotone closure of a hubset covering distances up to ``D`` is at
+  most a factor ``D + 1`` larger (each hub at distance ``<= D`` drags in
+  at most ``D`` path vertices, and the closure of a deeper hub is charged
+  along the tree);
+* on pairs connected by a *unique* shortest path, monotonicity forces
+  every path vertex ``x`` into ``S(u)`` or ``S(v)`` -- the accounting
+  device behind the lower bound.
+
+The closure here follows one fixed shortest-path tree per vertex, so the
+"chosen" path of each hub is the tree path, making the family
+well-defined and idempotent.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graphs.graph import Graph
+from ..graphs.traversal import INF, shortest_path_distances
+from .hublabel import HubLabeling
+
+__all__ = ["monotone_closure", "is_monotone", "tree_path_to_root"]
+
+
+def tree_path_to_root(parent: List[int], v: int) -> List[int]:
+    """The vertices on the tree path from ``v`` up to the root."""
+    path = [v]
+    while parent[v] != -1:
+        v = parent[v]
+        path.append(v)
+    return path
+
+
+def monotone_closure(graph: Graph, labeling: HubLabeling) -> HubLabeling:
+    """The monotone closure of ``labeling`` along per-vertex SP trees.
+
+    For each vertex ``u`` a shortest-path tree rooted at ``u`` is fixed;
+    every hub ``x ∈ S(u)`` contributes all vertices of the tree path
+    ``u -> x`` to the closed label.  Unreachable hubs (never produced by
+    correct constructions) are dropped.
+    """
+    closed = HubLabeling(labeling.num_vertices)
+    for u in range(labeling.num_vertices):
+        hubs = labeling.hubs(u)
+        if not hubs:
+            continue
+        dist, parent = shortest_path_distances(graph, u, with_parents=True)
+        assert parent is not None
+        for x in hubs:
+            if dist[x] == INF:
+                continue
+            for w in tree_path_to_root(parent, x):
+                closed.add_hub(u, w, dist[w])
+    return closed
+
+
+def is_monotone(graph: Graph, labeling: HubLabeling) -> bool:
+    """Check monotonicity: every hub's *distance-consistent* predecessor
+    chain stays inside the label.
+
+    A labeling is accepted when for every ``u`` and ``x ∈ S(u)`` with
+    ``x != u`` there exists a neighbor ``y`` of ``x`` with
+    ``dist(u, y) + w(y, x) = dist(u, x)`` and ``y ∈ S(u)``.  This is the
+    path-by-path definition quantified over *some* shortest path, so any
+    closure produced by :func:`monotone_closure` passes.
+    """
+    for u in range(labeling.num_vertices):
+        hubs = labeling.hubs(u)
+        if not hubs:
+            continue
+        dist, _ = shortest_path_distances(graph, u)
+        for x, dx in hubs.items():
+            if x == u:
+                continue
+            if dist[x] != dx:
+                return False
+            has_predecessor = False
+            for y, w in graph.neighbors(x):
+                if dist[y] + w == dist[x] and y in hubs:
+                    has_predecessor = True
+                    break
+            if not has_predecessor:
+                return False
+    return True

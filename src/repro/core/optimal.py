@@ -1,0 +1,148 @@
+"""Exact minimum hub labelings by exhaustive search (tiny graphs).
+
+The greedy 2-hop cover is an ``O(log n)`` approximation; to *measure*
+its gap the tests need ground truth.  This module computes the true
+minimum total label size on very small graphs:
+
+* :func:`minimum_hub_labeling` -- branch-and-bound over per-vertex hub
+  sets, pruning with the best solution found so far and a simple
+  uncovered-pairs lower bound;
+* :func:`minimum_total_size` -- just the optimum value.
+
+Complexity is exponential; the guard rejects graphs beyond
+``max_vertices`` (default 8).  Hierarchical labelings (PLL over all
+``n!`` orders) are also searchable via
+:func:`best_hierarchical_labeling` for slightly larger graphs.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import List, Optional, Tuple
+
+from ..graphs.graph import Graph
+from ..graphs.shortest_paths import all_pairs_distances
+from ..graphs.traversal import INF
+from .hublabel import HubLabeling
+from .pll import pruned_landmark_labeling
+
+__all__ = [
+    "minimum_hub_labeling",
+    "minimum_total_size",
+    "best_hierarchical_labeling",
+]
+
+
+def minimum_hub_labeling(
+    graph: Graph, *, max_vertices: int = 8
+) -> HubLabeling:
+    """The minimum-total-size hub labeling, by branch and bound.
+
+    Search space: for each connected pair we must choose a common hub on
+    a shortest path.  We branch over uncovered pairs (most-constrained
+    first) and the hub choices for them, sharing hub assignments across
+    pairs via the incremental labeling.
+    """
+    n = graph.num_vertices
+    if n > max_vertices:
+        raise ValueError(
+            f"exhaustive search capped at {max_vertices} vertices"
+        )
+    matrix = all_pairs_distances(graph)
+    pairs: List[Tuple[int, int, List[int]]] = []
+    for u in range(n):
+        for v in range(u + 1, n):
+            if matrix[u][v] == INF:
+                continue
+            candidates = [
+                x
+                for x in range(n)
+                if matrix[u][x] != INF
+                and matrix[u][x] + matrix[x][v] == matrix[u][v]
+            ]
+            pairs.append((u, v, candidates))
+    # Most-constrained pairs first gives better pruning.
+    pairs.sort(key=lambda p: len(p[2]))
+
+    # Start from the PLL solution as the incumbent upper bound.
+    incumbent = pruned_landmark_labeling(graph)
+    best_size = incumbent.total_size()
+    best_labels: List[set] = [set(incumbent.hub_set(v)) for v in range(n)]
+
+    labels: List[set] = [set() for _ in range(n)]
+
+    def covered(u: int, v: int) -> bool:
+        common = labels[u] & labels[v]
+        duv = matrix[u][v]
+        return any(matrix[u][x] + matrix[x][v] == duv for x in common)
+
+    def search(index: int, size: int) -> None:
+        nonlocal best_size, best_labels
+        if size >= best_size:
+            return
+        while index < len(pairs) and covered(
+            pairs[index][0], pairs[index][1]
+        ):
+            index += 1
+        if index == len(pairs):
+            best_size = size
+            best_labels = [set(label) for label in labels]
+            return
+        u, v, candidates = pairs[index]
+        for x in candidates:
+            added = 0
+            if x not in labels[u]:
+                labels[u].add(x)
+                added += 1
+                added_u = True
+            else:
+                added_u = False
+            if x not in labels[v]:
+                labels[v].add(x)
+                added += 1
+                added_v = True
+            else:
+                added_v = False
+            search(index + 1, size + added)
+            if added_u:
+                labels[u].discard(x)
+            if added_v:
+                labels[v].discard(x)
+
+    search(0, 0)
+    result = HubLabeling(n)
+    for v in range(n):
+        for x in best_labels[v]:
+            if matrix[v][x] != INF:
+                result.add_hub(v, x, matrix[v][x])
+    return result
+
+
+def minimum_total_size(graph: Graph, *, max_vertices: int = 8) -> int:
+    return minimum_hub_labeling(
+        graph, max_vertices=max_vertices
+    ).total_size()
+
+
+def best_hierarchical_labeling(
+    graph: Graph, *, max_vertices: int = 7
+) -> Tuple[HubLabeling, Tuple[int, ...]]:
+    """The best PLL labeling over all vertex orders (n! search).
+
+    Returns ``(labeling, order)``.  Useful to quantify the hierarchical
+    vs unrestricted gap on small instances.
+    """
+    n = graph.num_vertices
+    if n > max_vertices:
+        raise ValueError(
+            f"order enumeration capped at {max_vertices} vertices"
+        )
+    best: Optional[HubLabeling] = None
+    best_order: Tuple[int, ...] = tuple(range(n))
+    for order in permutations(range(n)):
+        labeling = pruned_landmark_labeling(graph, list(order))
+        if best is None or labeling.total_size() < best.total_size():
+            best = labeling
+            best_order = order
+    assert best is not None
+    return best, best_order

@@ -1,0 +1,102 @@
+"""Recursive separator hub labeling (the [GPPR04] planar recipe, §1.1).
+
+Every vertex of a component stores the whole separator (with exact
+*full-graph* distances), then the parts recurse.  Correctness: consider
+a pair ``(u, v)``.  They start in the same component; at the first
+recursion step that puts them in different parts (or consumes one of
+them into the separator), any shortest ``uv`` path must cross a
+separator vertex -- either of this step or of an earlier step if the
+path leaves the current component -- and both endpoints stored every
+such vertex while they were still together.
+
+On an ``r x c`` grid with the middle row/column separator this gives
+``O(sqrt n)`` hubs per vertex: the planar bound of [GPPR04], reproduced
+on the planar subclass the library can generate.  With the generic BFS
+level separator it is a heuristic that remains *correct* on every
+graph, just not always small.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Set
+
+from ..graphs.graph import Graph
+from ..graphs.properties import connected_components
+from ..graphs.separators import bfs_level_separator
+from ..graphs.traversal import INF, shortest_path_distances
+from .hublabel import HubLabeling
+
+__all__ = ["separator_hub_labeling", "grid_recursive_separator_fn"]
+
+SeparatorFn = Callable[[Graph, Sequence[int]], List[int]]
+
+
+def grid_recursive_separator_fn(cols: int) -> SeparatorFn:
+    """A separator function for grids laid out as ``r * cols + c``.
+
+    Reconstructs each component's bounding box and cuts its longer side
+    in the middle -- the textbook planar recursion on grids.
+    """
+
+    def separator(graph: Graph, component: Sequence[int]) -> List[int]:
+        rows_present = sorted({v // cols for v in component})
+        cols_present = sorted({v % cols for v in component})
+        members = set(component)
+        if len(rows_present) >= len(cols_present):
+            r = rows_present[len(rows_present) // 2]
+            return [v for v in component if v // cols == r]
+        c = cols_present[len(cols_present) // 2]
+        return [v for v in members if v % cols == c]
+
+    return separator
+
+
+def separator_hub_labeling(
+    graph: Graph, *, separator_fn: Optional[SeparatorFn] = None
+) -> HubLabeling:
+    """Build the recursive separator labeling (always a valid cover).
+
+    ``separator_fn(graph, component) -> separator`` defaults to
+    :func:`repro.graphs.bfs_level_separator`.  The function must return
+    a non-empty subset of the component; each returned vertex costs one
+    full-graph traversal.
+    """
+    if separator_fn is None:
+        separator_fn = bfs_level_separator
+    n = graph.num_vertices
+    labeling = HubLabeling(n)
+    for v in range(n):
+        labeling.add_hub(v, v, 0)
+    stack: List[List[int]] = list(connected_components(graph))
+    while stack:
+        component = stack.pop()
+        if len(component) <= 1:
+            continue
+        separator = separator_fn(graph, component)
+        if not separator:
+            raise ValueError("separator_fn returned an empty separator")
+        sep_set = set(separator)
+        if not sep_set <= set(component):
+            raise ValueError("separator must be a subset of the component")
+        for s in sep_set:
+            dist, _ = shortest_path_distances(graph, s)
+            for v in component:
+                if dist[v] != INF:
+                    labeling.add_hub(v, s, dist[v])
+        remaining = set(component) - sep_set
+        seen: Set[int] = set()
+        for start in remaining:
+            if start in seen:
+                continue
+            part = []
+            frontier = [start]
+            seen.add(start)
+            while frontier:
+                u = frontier.pop()
+                part.append(u)
+                for w, _ in graph.neighbors(u):
+                    if w in remaining and w not in seen:
+                        seen.add(w)
+                        frontier.append(w)
+            stack.append(part)
+    return labeling

@@ -1,0 +1,158 @@
+"""Experiment runners: one module per row of DESIGN.md's index.
+
+Each runner builds the relevant instances, measures the quantities the
+paper claims, and returns both structured rows and a printable
+:class:`~repro.experiments.tables.Table`.  The benchmark harness under
+``benchmarks/`` and the example scripts both call into this package, so
+EXPERIMENTS.md numbers are regenerable from either entry point.
+"""
+
+from .tables import Table
+from .figure1 import Figure1Result, figure1_table, run_figure1
+from .construction import (
+    ConstructionAudit,
+    DegreeReductionAudit,
+    audit_construction,
+    audit_degree_reduction,
+    construction_table,
+    degree_reduction_table,
+)
+from .lower_bound import (
+    LowerBoundRow,
+    PreviewRow,
+    lower_bound_table,
+    preview_table,
+    run_certificate_preview,
+    run_lower_bound,
+)
+from .sum_index import (
+    ExactComplexityRow,
+    SumIndexRow,
+    exact_complexity_table,
+    run_exact_complexity,
+    run_sum_index,
+    sum_index_table,
+)
+from .upper_bound import (
+    HittingRow,
+    UpperBoundRow,
+    hitting_table,
+    run_hitting,
+    run_upper_bound,
+    upper_bound_table,
+)
+from .rs_function import (
+    ApFreeRow,
+    RSGraphRow,
+    ap_free_table,
+    rs_graph_table,
+    run_ap_free,
+    run_rs_graphs,
+)
+from .baselines import (
+    BaselineRow,
+    MonotoneRow,
+    baseline_table,
+    monotone_table,
+    run_baselines,
+    run_monotone,
+    standard_families,
+)
+from .oracle_tradeoff import OracleRow, oracle_table, run_oracles
+from .bit_sizes import BitSizeRow, bit_size_table, run_bit_sizes
+from .approximation import (
+    ApproximationRow,
+    approximation_table,
+    run_approximation,
+)
+from .ablations import (
+    CoverRuleRow,
+    GadgetRow,
+    PruningRow,
+    OrderRow,
+    SampleFactorRow,
+    ThresholdRow,
+    cover_rule_table,
+    order_table,
+    run_cover_rule,
+    run_order_ablation,
+    run_pruning_slack,
+    run_sample_factor,
+    run_threshold_sweep,
+    run_gadget_effect,
+    gadget_table,
+    pruning_table,
+    sample_factor_table,
+    threshold_table,
+)
+
+__all__ = [
+    "Table",
+    "Figure1Result",
+    "figure1_table",
+    "run_figure1",
+    "ConstructionAudit",
+    "DegreeReductionAudit",
+    "audit_construction",
+    "audit_degree_reduction",
+    "construction_table",
+    "degree_reduction_table",
+    "LowerBoundRow",
+    "PreviewRow",
+    "lower_bound_table",
+    "preview_table",
+    "run_certificate_preview",
+    "run_lower_bound",
+    "SumIndexRow",
+    "run_sum_index",
+    "sum_index_table",
+    "ExactComplexityRow",
+    "run_exact_complexity",
+    "exact_complexity_table",
+    "HittingRow",
+    "UpperBoundRow",
+    "hitting_table",
+    "run_hitting",
+    "run_upper_bound",
+    "upper_bound_table",
+    "ApFreeRow",
+    "RSGraphRow",
+    "ap_free_table",
+    "rs_graph_table",
+    "run_ap_free",
+    "run_rs_graphs",
+    "BaselineRow",
+    "MonotoneRow",
+    "baseline_table",
+    "monotone_table",
+    "run_baselines",
+    "run_monotone",
+    "standard_families",
+    "OracleRow",
+    "oracle_table",
+    "run_oracles",
+    "CoverRuleRow",
+    "OrderRow",
+    "SampleFactorRow",
+    "ThresholdRow",
+    "cover_rule_table",
+    "order_table",
+    "run_cover_rule",
+    "run_order_ablation",
+    "run_sample_factor",
+    "run_threshold_sweep",
+    "sample_factor_table",
+    "threshold_table",
+    "PruningRow",
+    "run_pruning_slack",
+    "pruning_table",
+    "GadgetRow",
+    "run_gadget_effect",
+    "gadget_table",
+    "ApproximationRow",
+    "approximation_table",
+    "run_approximation",
+    "BitSizeRow",
+    "bit_size_table",
+    "run_bit_sizes",
+]

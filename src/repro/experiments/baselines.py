@@ -1,0 +1,214 @@
+"""Experiments E9/E12: the hub-labeling landscape and monotone hubsets.
+
+E9 tabulates average hub-set size of every construction in the library
+across the graph families the paper discusses (trees get the centroid
+scheme; everything gets PLL; small instances also get the greedy
+optimum-approximation; sparse graphs get the threshold scheme and the
+RS scheme).  The qualitative shape to reproduce: trees are ``O(log n)``,
+structured sparse graphs stay polylog-ish under good orders, and the
+hard instances of Section 2 push every method toward ``n^{1-o(1)}``.
+
+E12 measures the monotone-closure inflation against the ``(D + 1)``
+factor of Section 1.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core import (
+    greedy_hub_labeling,
+    is_valid_cover,
+    monotone_closure,
+    pruned_landmark_labeling,
+    rs_hub_labeling,
+    sparse_hub_labeling,
+)
+from ..graphs import (
+    Graph,
+    diameter,
+    grid_2d,
+    random_bounded_degree_graph,
+    random_sparse_graph,
+    random_tree,
+)
+from ..labeling import tree_centroid_labeling
+from ..lowerbound import build_degree3_instance
+from .tables import Table
+
+__all__ = [
+    "BaselineRow",
+    "run_baselines",
+    "baseline_table",
+    "MonotoneRow",
+    "run_monotone",
+    "monotone_table",
+    "standard_families",
+]
+
+
+@dataclass
+class BaselineRow:
+    family: str
+    n: int
+    m: int
+    pll_avg: float
+    greedy_avg: Optional[float]
+    sparse_avg: Optional[float]
+    rs_avg: Optional[float]
+    centroid_avg: Optional[float]
+    all_valid: bool
+
+
+def standard_families(scale: int = 60) -> Dict[str, Graph]:
+    """The graph families of the comparison (keyed by name)."""
+    from ..graphs import barabasi_albert
+
+    side = max(3, int(round(scale ** 0.5)))
+    return {
+        "tree": random_tree(scale, seed=1),
+        "grid": grid_2d(side, side),
+        "sparse": random_sparse_graph(scale, seed=2),
+        "degree3": random_bounded_degree_graph(scale, 3, seed=3),
+        "scale-free": barabasi_albert(scale, 2, seed=4),
+        "hard-G(1,1)": build_degree3_instance(1, 1).graph,
+    }
+
+
+def run_baselines(
+    families: Optional[Dict[str, Graph]] = None,
+    *,
+    greedy_limit: int = 80,
+) -> List[BaselineRow]:
+    if families is None:
+        families = standard_families()
+    rows: List[BaselineRow] = []
+    for name, graph in families.items():
+        n = graph.num_vertices
+        valid = True
+        pll = pruned_landmark_labeling(graph)
+        valid &= is_valid_cover(graph, pll)
+        greedy_avg = None
+        if n <= greedy_limit:
+            greedy = greedy_hub_labeling(graph)
+            valid &= is_valid_cover(graph, greedy)
+            greedy_avg = greedy.average_size()
+        sparse_avg = None
+        if not graph.is_weighted:
+            sparse = sparse_hub_labeling(graph, seed=1).labeling
+            valid &= is_valid_cover(graph, sparse)
+            sparse_avg = sparse.average_size()
+        rs_avg = None
+        if n <= 400:
+            rs = rs_hub_labeling(graph, threshold=3, seed=1).labeling
+            valid &= is_valid_cover(graph, rs)
+            rs_avg = rs.average_size()
+        centroid_avg = None
+        if graph.num_edges == n - 1:
+            centroid = tree_centroid_labeling(graph)
+            valid &= is_valid_cover(graph, centroid)
+            centroid_avg = centroid.average_size()
+        rows.append(
+            BaselineRow(
+                family=name,
+                n=n,
+                m=graph.num_edges,
+                pll_avg=pll.average_size(),
+                greedy_avg=greedy_avg,
+                sparse_avg=sparse_avg,
+                rs_avg=rs_avg,
+                centroid_avg=centroid_avg,
+                all_valid=valid,
+            )
+        )
+    return rows
+
+
+def baseline_table(rows: List[BaselineRow]) -> Table:
+    table = Table(
+        "E9: average hub-set size by construction and family",
+        [
+            "family",
+            "n",
+            "m",
+            "PLL",
+            "greedy",
+            "sparse-D",
+            "RS-scheme",
+            "centroid",
+            "valid",
+        ],
+    )
+    for r in rows:
+        table.add_row(
+            r.family,
+            r.n,
+            r.m,
+            r.pll_avg,
+            r.greedy_avg if r.greedy_avg is not None else "-",
+            r.sparse_avg if r.sparse_avg is not None else "-",
+            r.rs_avg if r.rs_avg is not None else "-",
+            r.centroid_avg if r.centroid_avg is not None else "-",
+            r.all_valid,
+        )
+    return table
+
+
+@dataclass
+class MonotoneRow:
+    family: str
+    n: int
+    diameter: float
+    base_total: int
+    closed_total: int
+    inflation: float
+    factor_bound: float
+
+    @property
+    def within_bound(self) -> bool:
+        return self.inflation <= self.factor_bound
+
+
+def run_monotone(
+    families: Optional[Dict[str, Graph]] = None,
+) -> List[MonotoneRow]:
+    if families is None:
+        families = standard_families(scale=40)
+    rows: List[MonotoneRow] = []
+    for name, graph in families.items():
+        labeling = pruned_landmark_labeling(graph)
+        closed = monotone_closure(graph, labeling)
+        diam = diameter(graph)
+        base = labeling.total_size()
+        rows.append(
+            MonotoneRow(
+                family=name,
+                n=graph.num_vertices,
+                diameter=diam,
+                base_total=base,
+                closed_total=closed.total_size(),
+                inflation=closed.total_size() / base if base else 1.0,
+                factor_bound=diam + 1,
+            )
+        )
+    return rows
+
+
+def monotone_table(rows: List[MonotoneRow]) -> Table:
+    table = Table(
+        "E12: monotone closure inflation (bound: diameter + 1)",
+        ["family", "n", "diam", "sum|S|", "sum|S*|", "inflation", "bound", "ok"],
+    )
+    for r in rows:
+        table.add_row(
+            r.family,
+            r.n,
+            r.diameter,
+            r.base_total,
+            r.closed_total,
+            r.inflation,
+            r.factor_bound,
+            r.within_bound,
+        )
+    return table

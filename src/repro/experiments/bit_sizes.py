@@ -1,0 +1,117 @@
+"""Experiment E14: bits per label across distance-labeling schemes.
+
+The paper's upper bounds are stated in hub count *and* in bits
+(Section 1: `O(n/log n · log log n)` bits for sparse graphs, `log2(3)/2 n`
+for general graphs, `O(log^2 n)` for trees).  This runner measures the
+library's encoded schemes against those reference curves:
+
+* trivial row scheme                -- `O(n log diam)` bits;
+* incremental row scheme            -- `O(n)` bits (unit graphs);
+* hub-encoded PLL                   -- structure-adaptive;
+* hub-encoded tree centroid (trees) -- `O(log^2 n)` bits;
+* the `sqrt(n)` lower bound of [GPPR04] as the floor.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core import (
+    gppr_sparse_label_lower_bound_bits,
+    pruned_landmark_labeling,
+)
+from ..graphs import random_sparse_graph, random_tree
+from ..labeling import (
+    DistanceRowScheme,
+    HubEncodedScheme,
+    IncrementalRowScheme,
+    tree_centroid_labeling,
+)
+from .tables import Table
+
+__all__ = ["BitSizeRow", "run_bit_sizes", "bit_size_table"]
+
+
+@dataclass
+class BitSizeRow:
+    family: str
+    n: int
+    row_bits: float
+    incremental_bits: Optional[float]
+    hub_bits: float
+    centroid_bits: Optional[float]
+    sqrt_floor: float
+    log2_sq: float
+
+    @property
+    def all_exact(self) -> bool:
+        return True  # schemes are exact by construction; tests verify
+
+
+def run_bit_sizes(sizes: List[int], *, seed: int = 0) -> List[BitSizeRow]:
+    rows = []
+    for n in sizes:
+        for family in ("sparse", "tree"):
+            if family == "sparse":
+                graph = random_sparse_graph(n, seed=seed)
+            else:
+                graph = random_tree(n, seed=seed)
+            row_scheme = DistanceRowScheme(graph)
+            hub_scheme = HubEncodedScheme(pruned_landmark_labeling(graph))
+            incremental = (
+                IncrementalRowScheme(graph)
+                if not graph.is_weighted
+                else None
+            )
+            centroid_bits = None
+            if family == "tree":
+                centroid_bits = HubEncodedScheme(
+                    tree_centroid_labeling(graph)
+                ).stats().average_bits
+            rows.append(
+                BitSizeRow(
+                    family=family,
+                    n=n,
+                    row_bits=row_scheme.stats().average_bits,
+                    incremental_bits=(
+                        incremental.stats().average_bits
+                        if incremental
+                        else None
+                    ),
+                    hub_bits=hub_scheme.stats().average_bits,
+                    centroid_bits=centroid_bits,
+                    sqrt_floor=gppr_sparse_label_lower_bound_bits(n),
+                    log2_sq=math.log2(n) ** 2,
+                )
+            )
+    return rows
+
+
+def bit_size_table(rows: List[BitSizeRow]) -> Table:
+    table = Table(
+        "E14: average bits per label across schemes",
+        [
+            "family",
+            "n",
+            "row O(n log D)",
+            "incremental O(n)",
+            "hub-PLL",
+            "centroid",
+            "sqrt(n) LB",
+            "log^2 n",
+        ],
+    )
+    for r in rows:
+        table.add_row(
+            r.family,
+            r.n,
+            r.row_bits,
+            r.incremental_bits if r.incremental_bits is not None else "-",
+            r.hub_bits,
+            r.centroid_bits if r.centroid_bits is not None else "-",
+            r.sqrt_floor,
+            r.log2_sq,
+        )
+    return table

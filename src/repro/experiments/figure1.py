@@ -1,0 +1,95 @@
+"""Experiment E1: regenerate Figure 1.
+
+Figure 1 of the paper depicts ``H_{b,l}`` with ``b = 2, l = 2``
+(``s = 4``) and highlights:
+
+* the *blue* path from ``v_{0,(1,0)}`` to ``v_{4,(3,2)}``: the unique
+  shortest path, of length ``4A + 4``, passing through ``v_{2,(2,1)}``
+  (the point of symmetry);
+* a *red* alternative of length ``4A + 8`` (the uneven split).
+
+The runner rebuilds the graph, measures everything the caption claims,
+and reports paper-vs-measured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..graphs import count_shortest_paths, path_weight, shortest_path
+from ..lowerbound import LayeredGraph
+from .tables import Table
+
+__all__ = ["Figure1Result", "run_figure1", "figure1_table"]
+
+
+@dataclass
+class Figure1Result:
+    base_weight: int
+    blue_length: int
+    blue_expected: int
+    blue_is_unique: bool
+    blue_passes_midpoint: bool
+    red_length: int
+    red_expected: int
+    num_vertices: int
+    num_edges: int
+
+
+def run_figure1() -> Figure1Result:
+    lay = LayeredGraph(2, 2)
+    a = lay.base_weight
+    x, z = (1, 0), (3, 2)
+    vx = lay.vertex(0, x)
+    vz = lay.vertex(4, z)
+    dist, count = count_shortest_paths(lay.graph, vx)
+    blue = shortest_path(lay.graph, vx, vz)
+    midpoint = lay.vertex(2, (2, 1))
+    red: List[int] = [
+        lay.vertex(0, (1, 0)),
+        lay.vertex(1, (3, 0)),
+        lay.vertex(2, (3, 2)),
+        lay.vertex(3, (3, 2)),
+        lay.vertex(4, (3, 2)),
+    ]
+    return Figure1Result(
+        base_weight=a,
+        blue_length=int(dist[vz]),
+        blue_expected=4 * a + 4,
+        blue_is_unique=count[vz] == 1,
+        blue_passes_midpoint=midpoint in blue,
+        red_length=path_weight(lay.graph, red),
+        red_expected=4 * a + 8,
+        num_vertices=lay.graph.num_vertices,
+        num_edges=lay.graph.num_edges,
+    )
+
+
+def figure1_table(result: Figure1Result) -> Table:
+    table = Table(
+        "E1 / Figure 1: H_{2,2} (s=4, A=%d)" % result.base_weight,
+        ["quantity", "paper", "measured", "match"],
+    )
+    table.add_row(
+        "blue path length",
+        f"4A+4 = {result.blue_expected}",
+        result.blue_length,
+        result.blue_length == result.blue_expected,
+    )
+    table.add_row(
+        "blue path unique", "yes", result.blue_is_unique, result.blue_is_unique
+    )
+    table.add_row(
+        "passes v_{2,(2,1)}",
+        "yes",
+        result.blue_passes_midpoint,
+        result.blue_passes_midpoint,
+    )
+    table.add_row(
+        "red path length",
+        f"4A+8 = {result.red_expected}",
+        result.red_length,
+        result.red_length == result.red_expected,
+    )
+    return table

@@ -1,0 +1,97 @@
+"""Experiment E11: the centralized ``S * T`` trade-off (Section 1).
+
+The paper motivates its lower bound with the open question of distance
+oracles for sparse graphs on the curve ``S * T = O~(n^2)``.  The runner
+measures concrete (space, average query operations) points:
+
+* the APSP matrix (``S ~ n^2, T ~ 1``);
+* hub-label oracles built from PLL (``S = 2 sum|S_v|``, ``T ~ |S_u|``);
+* landmark oracles across ``k`` (``S ~ n k``, search shrinks with k).
+
+The qualitative shape: every exact oracle lands at
+``S * T >~ n^2 / polylog`` on sparse inputs -- hub labels *do not* beat
+the curve, which is exactly what Theorem 1.1 predicts for the hub route.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List
+
+from ..core import pruned_landmark_labeling
+from ..graphs import Graph, random_sparse_graph
+from ..oracles import HubLabelOracle, LandmarkOracle, MatrixOracle
+from .tables import Table
+
+__all__ = ["OracleRow", "run_oracles", "oracle_table"]
+
+
+@dataclass
+class OracleRow:
+    oracle: str
+    n: int
+    space_words: int
+    avg_query_ops: float
+    space_time_product: float
+    exact: bool
+
+
+def _measure(oracle, graph: Graph, pairs) -> OracleRow:
+    from ..graphs import shortest_path_distances
+
+    total_ops = 0
+    exact = True
+    cache = {}
+    for u, v in pairs:
+        outcome = oracle.query(u, v)
+        total_ops += outcome.operations
+        if u not in cache:
+            cache[u], _ = shortest_path_distances(graph, u)
+        if outcome.distance != cache[u][v]:
+            exact = False
+    avg_ops = total_ops / len(pairs)
+    return OracleRow(
+        oracle=oracle.name,
+        n=graph.num_vertices,
+        space_words=oracle.space_words(),
+        avg_query_ops=avg_ops,
+        space_time_product=oracle.space_words() * avg_ops,
+        exact=exact,
+    )
+
+
+def run_oracles(
+    n: int = 120, *, num_pairs: int = 60, seed: int = 0
+) -> List[OracleRow]:
+    graph = random_sparse_graph(n, seed=seed)
+    rng = random.Random(seed + 1)
+    pairs = [
+        (rng.randrange(n), rng.randrange(n)) for _ in range(num_pairs)
+    ]
+    rows = [_measure(MatrixOracle(graph), graph, pairs)]
+    labeling = pruned_landmark_labeling(graph)
+    rows.append(_measure(HubLabelOracle(labeling), graph, pairs))
+    for k in (2, 8, 32):
+        oracle = LandmarkOracle(graph, k, seed=seed)
+        row = _measure(oracle, graph, pairs)
+        row.oracle = f"landmark-k{k}"
+        rows.append(row)
+    return rows
+
+
+def oracle_table(rows: List[OracleRow]) -> Table:
+    table = Table(
+        "E11: exact distance oracles on a sparse graph (S*T curve)",
+        ["oracle", "n", "space (words)", "avg ops/query", "S*T", "exact"],
+    )
+    for r in rows:
+        table.add_row(
+            r.oracle,
+            r.n,
+            r.space_words,
+            r.avg_query_ops,
+            r.space_time_product,
+            r.exact,
+        )
+    return table

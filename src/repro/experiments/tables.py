@@ -1,0 +1,57 @@
+"""Tiny table rendering for the experiment runners.
+
+Every experiment returns a :class:`Table`; the benchmark harness and the
+example scripts print them, and EXPERIMENTS.md records them.  Plain
+ASCII, no dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+__all__ = ["Table"]
+
+
+class Table:
+    """A titled grid of rows with a header."""
+
+    def __init__(self, title: str, header: Sequence[str]) -> None:
+        self.title = title
+        self.header = list(header)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.header):
+            raise ValueError(
+                f"expected {len(self.header)} cells, got {len(cells)}"
+            )
+        self.rows.append([_fmt(c) for c in cells])
+
+    def render(self) -> str:
+        widths = [len(h) for h in self.header]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [self.title, "-" * len(self.title)]
+        lines.append(
+            "  ".join(h.ljust(w) for h, w in zip(self.header, widths))
+        )
+        lines.append("  ".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(
+                "  ".join(c.ljust(w) for c, w in zip(row, widths))
+            )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == float("inf"):
+            return "inf"
+        if abs(value) >= 1000 or (value != 0 and abs(value) < 0.01):
+            return f"{value:.3g}"
+        return f"{value:.3f}".rstrip("0").rstrip(".")
+    return str(value)

@@ -1,0 +1,132 @@
+"""Graph substrate: data structures, traversals, and generators.
+
+This package is self-contained (no third-party dependencies) and provides
+everything the higher layers need from a graph library:
+
+* :class:`Graph`, :class:`GraphBuilder` -- adjacency structures;
+* BFS / 0-1 BFS / Dijkstra / bidirectional Dijkstra traversals;
+* shortest-path structure (hub candidate sets, uniqueness, counting);
+* deterministic generators for every graph family used in the paper's
+  discussion (trees, grids, sparse random graphs, bounded degree, ...);
+* structural properties (diameter, degeneracy, components).
+"""
+
+from .graph import Graph, GraphBuilder
+from .traversal import (
+    INF,
+    bfs_distances,
+    bidirectional_distance,
+    dijkstra,
+    distance_between,
+    shortest_path_distances,
+    zero_one_bfs,
+)
+from .shortest_paths import (
+    all_pairs_distances,
+    count_shortest_paths,
+    has_unique_shortest_path,
+    hub_candidates,
+    hub_candidates_from_distances,
+    is_shortest_path,
+    path_weight,
+    reconstruct_path,
+    shortest_path,
+    shortest_path_dag_edges,
+)
+from .generators import (
+    balanced_binary_tree,
+    barabasi_albert,
+    caterpillar,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    gnm_random_graph,
+    grid_2d,
+    hypercube_graph,
+    path_graph,
+    random_bounded_degree_graph,
+    random_sparse_graph,
+    random_geometric,
+    random_tree,
+    random_weighted_graph,
+    star_graph,
+    torus_2d,
+)
+from .properties import (
+    GraphStats,
+    connected_components,
+    degeneracy,
+    degree_histogram,
+    diameter,
+    eccentricity,
+    graph_stats,
+    is_connected,
+    weighted_diameter,
+)
+from .betweenness import betweenness_centrality
+from .csr import CSRGraph
+from .dot import to_dot
+from .transforms import (
+    add_apex,
+    cartesian_product,
+    disjoint_union,
+    subdivide_weighted,
+)
+from .separators import bfs_level_separator, grid_separator
+
+__all__ = [
+    "Graph",
+    "GraphBuilder",
+    "INF",
+    "bfs_distances",
+    "bidirectional_distance",
+    "dijkstra",
+    "distance_between",
+    "shortest_path_distances",
+    "zero_one_bfs",
+    "all_pairs_distances",
+    "count_shortest_paths",
+    "has_unique_shortest_path",
+    "hub_candidates",
+    "hub_candidates_from_distances",
+    "is_shortest_path",
+    "path_weight",
+    "reconstruct_path",
+    "shortest_path",
+    "shortest_path_dag_edges",
+    "balanced_binary_tree",
+    "barabasi_albert",
+    "caterpillar",
+    "complete_bipartite_graph",
+    "complete_graph",
+    "cycle_graph",
+    "gnm_random_graph",
+    "grid_2d",
+    "hypercube_graph",
+    "path_graph",
+    "random_bounded_degree_graph",
+    "random_sparse_graph",
+    "random_geometric",
+    "random_tree",
+    "random_weighted_graph",
+    "star_graph",
+    "torus_2d",
+    "GraphStats",
+    "connected_components",
+    "degeneracy",
+    "degree_histogram",
+    "diameter",
+    "eccentricity",
+    "graph_stats",
+    "is_connected",
+    "weighted_diameter",
+    "betweenness_centrality",
+    "CSRGraph",
+    "to_dot",
+    "add_apex",
+    "cartesian_product",
+    "disjoint_union",
+    "subdivide_weighted",
+    "bfs_level_separator",
+    "grid_separator",
+]

@@ -1,0 +1,56 @@
+"""Compressed sparse row (CSR) adjacency for tight traversal loops.
+
+The list-of-tuples :class:`~repro.graphs.Graph` is convenient; for the
+big hard instances (10^4-10^5 vertices) the labeling algorithms want a
+flat layout: ``offsets[v] : offsets[v+1]`` slices ``targets`` (and
+``weights``) -- no per-edge tuple objects, no dict lookups.
+
+:class:`CSRGraph` is a read-only view built from a :class:`Graph`;
+:func:`repro.core.pll_fast.fast_pruned_landmark_labeling` consumes it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .graph import Graph
+
+__all__ = ["CSRGraph"]
+
+
+class CSRGraph:
+    """Read-only CSR adjacency built from a :class:`Graph`."""
+
+    __slots__ = ("num_vertices", "offsets", "targets", "weights", "is_weighted")
+
+    def __init__(self, graph: Graph) -> None:
+        n = graph.num_vertices
+        self.num_vertices = n
+        degrees = [graph.degree(v) for v in range(n)]
+        offsets = [0] * (n + 1)
+        for v in range(n):
+            offsets[v + 1] = offsets[v] + degrees[v]
+        targets = [0] * offsets[n]
+        weights = [0] * offsets[n]
+        cursor = list(offsets[:n])
+        for v in range(n):
+            for u, w in graph.neighbors(v):
+                targets[cursor[v]] = u
+                weights[cursor[v]] = w
+                cursor[v] += 1
+        self.offsets = offsets
+        self.targets = targets
+        self.weights = weights
+        self.is_weighted = graph.is_weighted
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.targets) // 2
+
+    def neighbor_slice(self, v: int) -> Tuple[int, int]:
+        """The [start, end) range of ``v``'s neighbors in ``targets``."""
+        return self.offsets[v], self.offsets[v + 1]
+
+    def neighbor_ids(self, v: int) -> List[int]:
+        start, end = self.neighbor_slice(v)
+        return self.targets[start:end]

@@ -1,0 +1,59 @@
+"""Graphviz DOT export.
+
+The paper's Figure 1 is a drawing of ``H_{2,2}`` with a highlighted
+shortest path; :func:`to_dot` reproduces that kind of artifact for any
+library graph -- vertices can carry display names, an edge path can be
+highlighted, and weights become edge labels.  Output is plain DOT text
+(no graphviz dependency; render externally if desired).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from .graph import Graph
+
+__all__ = ["to_dot"]
+
+
+def _quote(text: str) -> str:
+    return '"' + text.replace('"', '\\"') + '"'
+
+
+def to_dot(
+    graph: Graph,
+    *,
+    name: str = "G",
+    names: Optional[Dict[int, str]] = None,
+    highlight_path: Optional[Sequence[int]] = None,
+    show_weights: bool = True,
+) -> str:
+    """Render the graph as DOT text.
+
+    ``names`` maps vertex ids to display labels; ``highlight_path`` is a
+    vertex sequence whose edges (and vertices) are drawn bold/colored.
+    """
+    highlight_edges = set()
+    highlight_vertices = set(highlight_path or ())
+    if highlight_path:
+        for u, v in zip(highlight_path, highlight_path[1:]):
+            highlight_edges.add((min(u, v), max(u, v)))
+    lines = [f"graph {_quote(name)} {{", "  node [shape=circle];"]
+    for v in graph.vertices():
+        label = names.get(v, str(v)) if names else str(v)
+        attrs = [f"label={_quote(label)}"]
+        if v in highlight_vertices:
+            attrs.append("color=blue")
+            attrs.append("penwidth=2");
+        lines.append(f"  {v} [{', '.join(attrs)}];")
+    for u, v, w in graph.edges():
+        attrs = []
+        if show_weights and graph.is_weighted:
+            attrs.append(f"label={_quote(str(w))}")
+        if (u, v) in highlight_edges:
+            attrs.append("color=blue")
+            attrs.append("penwidth=2")
+        suffix = f" [{', '.join(attrs)}]" if attrs else ""
+        lines.append(f"  {u} -- {v}{suffix};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,328 @@
+"""Graph generators used by tests, examples, and benchmarks.
+
+All generators return plain :class:`repro.graphs.Graph` objects with
+vertices ``0 .. n-1``.  Randomized generators take an explicit ``seed``
+so every experiment is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Tuple
+
+from .graph import Graph
+
+__all__ = [
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "complete_bipartite_graph",
+    "grid_2d",
+    "torus_2d",
+    "balanced_binary_tree",
+    "random_tree",
+    "caterpillar",
+    "gnm_random_graph",
+    "random_sparse_graph",
+    "random_bounded_degree_graph",
+    "hypercube_graph",
+    "random_weighted_graph",
+    "barabasi_albert",
+    "random_geometric",
+]
+
+
+def path_graph(n: int) -> Graph:
+    """The path on ``n`` vertices (0 - 1 - ... - n-1)."""
+    g = Graph(n)
+    for v in range(n - 1):
+        g.add_edge(v, v + 1)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """The cycle on ``n >= 3`` vertices."""
+    if n < 3:
+        raise ValueError("cycle needs at least 3 vertices")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def star_graph(n: int) -> Graph:
+    """The star: vertex 0 joined to 1 .. n-1."""
+    g = Graph(n)
+    for v in range(1, n):
+        g.add_edge(0, v)
+    return g
+
+
+def complete_graph(n: int) -> Graph:
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v)
+    return g
+
+
+def complete_bipartite_graph(a: int, b: int) -> Graph:
+    """K_{a,b} with sides ``0..a-1`` and ``a..a+b-1``."""
+    g = Graph(a + b)
+    for u in range(a):
+        for v in range(a, a + b):
+            g.add_edge(u, v)
+    return g
+
+
+def grid_2d(rows: int, cols: int) -> Graph:
+    """The rows x cols grid; vertex (r, c) has index ``r * cols + c``."""
+    g = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                g.add_edge(v, v + 1)
+            if r + 1 < rows:
+                g.add_edge(v, v + cols)
+    return g
+
+
+def torus_2d(rows: int, cols: int) -> Graph:
+    """The rows x cols torus (grid with wraparound); needs sides >= 3."""
+    if rows < 3 or cols < 3:
+        raise ValueError("torus needs both sides >= 3")
+    g = Graph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            g.add_edge(v, r * cols + (c + 1) % cols)
+            g.add_edge(v, ((r + 1) % rows) * cols + c)
+    return g
+
+
+def balanced_binary_tree(depth: int) -> Graph:
+    """The perfectly balanced binary tree of the given depth.
+
+    Depth 0 is a single vertex; depth d has ``2^(d+1) - 1`` vertices in
+    heap order (children of v are 2v+1 and 2v+2).
+    """
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    n = (1 << (depth + 1)) - 1
+    g = Graph(n)
+    for v in range(n):
+        for child in (2 * v + 1, 2 * v + 2):
+            if child < n:
+                g.add_edge(v, child)
+    return g
+
+
+def random_tree(n: int, seed: int = 0) -> Graph:
+    """A uniformly random labelled tree (random Prüfer sequence)."""
+    if n <= 0:
+        raise ValueError("tree needs at least one vertex")
+    g = Graph(n)
+    if n == 1:
+        return g
+    if n == 2:
+        g.add_edge(0, 1)
+        return g
+    rng = random.Random(seed)
+    prufer = [rng.randrange(n) for _ in range(n - 2)]
+    degree = [1] * n
+    for v in prufer:
+        degree[v] += 1
+    import heapq
+
+    leaves = [v for v in range(n) if degree[v] == 1]
+    heapq.heapify(leaves)
+    for v in prufer:
+        leaf = heapq.heappop(leaves)
+        g.add_edge(leaf, v)
+        degree[v] -= 1
+        if degree[v] == 1:
+            heapq.heappush(leaves, v)
+    u = heapq.heappop(leaves)
+    v = heapq.heappop(leaves)
+    g.add_edge(u, v)
+    return g
+
+
+def caterpillar(spine: int, legs_per_vertex: int) -> Graph:
+    """A caterpillar: a spine path with ``legs_per_vertex`` leaves each."""
+    n = spine + spine * legs_per_vertex
+    g = Graph(n)
+    for v in range(spine - 1):
+        g.add_edge(v, v + 1)
+    leaf = spine
+    for v in range(spine):
+        for _ in range(legs_per_vertex):
+            g.add_edge(v, leaf)
+            leaf += 1
+    return g
+
+
+def gnm_random_graph(n: int, m: int, seed: int = 0) -> Graph:
+    """A uniformly random simple graph with ``n`` vertices and ``m`` edges."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"cannot place {m} edges on {n} vertices")
+    rng = random.Random(seed)
+    g = Graph(n)
+    chosen = set()
+    while len(chosen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        edge = (min(u, v), max(u, v))
+        if edge in chosen:
+            continue
+        chosen.add(edge)
+        g.add_edge(*edge)
+    return g
+
+
+def random_sparse_graph(n: int, seed: int = 0, avg_degree: float = 3.0) -> Graph:
+    """A *connected* sparse random graph with ~``avg_degree * n / 2`` edges.
+
+    A random spanning tree guarantees connectivity; the remaining edges are
+    sampled uniformly.  This is the stock "sparse graph" of the paper
+    (``m = O(n)``).
+    """
+    g = random_tree(n, seed=seed)
+    target_edges = max(n - 1, int(round(avg_degree * n / 2)))
+    rng = random.Random(seed + 1)
+    attempts = 0
+    limit = 50 * target_edges + 100
+    while g.num_edges < target_edges and attempts < limit:
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+    return g
+
+
+def random_bounded_degree_graph(
+    n: int, max_degree: int, seed: int = 0, target_edges: Optional[int] = None
+) -> Graph:
+    """A connected random graph with maximum degree <= ``max_degree``.
+
+    Starts from a path (degree <= 2) and adds random edges subject to the
+    degree cap.  ``max_degree`` must be at least 2.
+    """
+    if max_degree < 2:
+        raise ValueError("max_degree must be at least 2")
+    g = path_graph(n)
+    if target_edges is None:
+        target_edges = min(n * max_degree // 2, n - 1 + n // 2)
+    rng = random.Random(seed)
+    attempts = 0
+    limit = 50 * max(target_edges, 1) + 100
+    while g.num_edges < target_edges and attempts < limit:
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if (
+            u != v
+            and g.degree(u) < max_degree
+            and g.degree(v) < max_degree
+            and not g.has_edge(u, v)
+        ):
+            g.add_edge(u, v)
+    return g
+
+
+def hypercube_graph(dimension: int) -> Graph:
+    """The ``dimension``-dimensional hypercube on ``2^dimension`` vertices."""
+    n = 1 << dimension
+    g = Graph(n)
+    for v in range(n):
+        for bit in range(dimension):
+            u = v ^ (1 << bit)
+            if u > v:
+                g.add_edge(v, u)
+    return g
+
+
+def random_weighted_graph(
+    n: int,
+    m: int,
+    max_weight: int = 10,
+    seed: int = 0,
+) -> Graph:
+    """A connected random graph with integer weights in [1, max_weight]."""
+    rng = random.Random(seed)
+    g = random_tree(n, seed=seed)
+    # Re-weight the tree edges.
+    edges: List[Tuple[int, int]] = [(u, v) for u, v, _ in g.edges()]
+    g2 = Graph(n)
+    for u, v in edges:
+        g2.add_edge(u, v, rng.randint(1, max_weight))
+    attempts = 0
+    limit = 50 * max(m, 1) + 100
+    while g2.num_edges < m and attempts < limit:
+        attempts += 1
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and not g2.has_edge(u, v):
+            g2.add_edge(u, v, rng.randint(1, max_weight))
+    return g2
+
+
+def barabasi_albert(n: int, attach: int = 2, seed: int = 0) -> Graph:
+    """Preferential attachment (Barabasi-Albert style).
+
+    Starts from a small clique of ``attach + 1`` vertices; every new
+    vertex attaches to ``attach`` existing vertices sampled with
+    probability proportional to degree.  Produces the heavy-tailed
+    degree distributions on which PLL-style hub labelings shine
+    (high-degree hubs cover most pairs).
+    """
+    if attach < 1:
+        raise ValueError("attach must be >= 1")
+    core = attach + 1
+    if n < core:
+        return complete_graph(max(n, 0))
+    rng = random.Random(seed)
+    g = complete_graph(core)
+    # Repeated-endpoint list: sampling uniformly from it is sampling
+    # proportional to degree.
+    endpoints: List[int] = []
+    for u, v, _ in g.edges():
+        endpoints.extend((u, v))
+    for v in range(core, n):
+        g.add_vertex()
+        chosen = set()
+        guard = 0
+        while len(chosen) < attach and guard < 50 * attach:
+            guard += 1
+            chosen.add(endpoints[rng.randrange(len(endpoints))])
+        for u in chosen:
+            g.add_edge(v, u)
+            endpoints.extend((u, v))
+    return g
+
+
+def random_geometric(n: int, radius: float, seed: int = 0) -> Graph:
+    """A random geometric graph on the unit square.
+
+    Vertices get uniform coordinates; edges join pairs within
+    ``radius``.  The planar-ish locality makes separator-based schemes
+    competitive -- the other end of the spectrum from Barabasi-Albert.
+    """
+    if radius <= 0:
+        raise ValueError("radius must be positive")
+    rng = random.Random(seed)
+    points = [(rng.random(), rng.random()) for _ in range(n)]
+    g = Graph(n)
+    r2 = radius * radius
+    for u in range(n):
+        xu, yu = points[u]
+        for v in range(u + 1, n):
+            xv, yv = points[v]
+            if (xu - xv) ** 2 + (yu - yv) ** 2 <= r2:
+                g.add_edge(u, v)
+    return g

@@ -1,0 +1,156 @@
+"""Structural graph properties: connectivity, diameter, degeneracy.
+
+These are the invariants the paper's constructions promise (max degree 3,
+connectivity, specific diameters) and the statistics the benchmark
+harness reports for every instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .graph import Graph
+from .traversal import INF, shortest_path_distances
+
+__all__ = [
+    "connected_components",
+    "is_connected",
+    "eccentricity",
+    "diameter",
+    "weighted_diameter",
+    "degeneracy",
+    "degree_histogram",
+    "GraphStats",
+    "graph_stats",
+]
+
+
+def connected_components(graph: Graph) -> List[List[int]]:
+    """The connected components, each as a sorted vertex list."""
+    seen = [False] * graph.num_vertices
+    components: List[List[int]] = []
+    for start in graph.vertices():
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        component = []
+        while stack:
+            u = stack.pop()
+            component.append(u)
+            for v, _ in graph.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+        components.append(sorted(component))
+    return components
+
+
+def is_connected(graph: Graph) -> bool:
+    if graph.num_vertices == 0:
+        return True
+    return len(connected_components(graph)) == 1
+
+
+def eccentricity(graph: Graph, v: int) -> float:
+    """max_u dist(v, u); INF if the graph is disconnected."""
+    dist, _ = shortest_path_distances(graph, v)
+    return max(dist) if dist else 0
+
+
+def diameter(graph: Graph) -> float:
+    """The weighted diameter via n single-source runs (INF if disconnected)."""
+    best = 0.0
+    for v in graph.vertices():
+        ecc = eccentricity(graph, v)
+        if ecc == INF:
+            return INF
+        best = max(best, ecc)
+    return best
+
+
+def weighted_diameter(graph: Graph) -> float:
+    """Alias of :func:`diameter`; kept for call-site clarity."""
+    return diameter(graph)
+
+
+def degeneracy(graph: Graph) -> int:
+    """The degeneracy (smallest d such that every subgraph has a vertex
+    of degree <= d), computed by repeated minimum-degree peeling."""
+    n = graph.num_vertices
+    if n == 0:
+        return 0
+    degree = [graph.degree(v) for v in range(n)]
+    # Bucket queue over degrees.
+    max_deg = max(degree) if degree else 0
+    buckets: List[List[int]] = [[] for _ in range(max_deg + 1)]
+    for v, d in enumerate(degree):
+        buckets[d].append(v)
+    removed = [False] * n
+    best = 0
+    processed = 0
+    current = 0
+    while processed < n:
+        while current <= max_deg and not buckets[current]:
+            current += 1
+        if current > max_deg:
+            break
+        v = buckets[current].pop()
+        if removed[v] or degree[v] != current:
+            continue
+        removed[v] = True
+        processed += 1
+        best = max(best, current)
+        for u, _ in graph.neighbors(v):
+            if not removed[u]:
+                degree[u] -= 1
+                if degree[u] >= 0:
+                    buckets[degree[u]].append(u)
+                    current = min(current, degree[u])
+    return best
+
+
+def degree_histogram(graph: Graph) -> List[int]:
+    """histogram[d] = number of vertices of degree d."""
+    if graph.num_vertices == 0:
+        return []
+    hist = [0] * (graph.max_degree() + 1)
+    for v in graph.vertices():
+        hist[graph.degree(v)] += 1
+    return hist
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """A summary record printed by the benchmark harness."""
+
+    num_vertices: int
+    num_edges: int
+    max_degree: int
+    average_degree: float
+    is_connected: bool
+    diameter: Optional[float]
+
+    def row(self) -> Tuple:
+        return (
+            self.num_vertices,
+            self.num_edges,
+            self.max_degree,
+            round(self.average_degree, 3),
+            self.is_connected,
+            self.diameter,
+        )
+
+
+def graph_stats(graph: Graph, *, with_diameter: bool = False) -> GraphStats:
+    """Collect a :class:`GraphStats` record (diameter is opt-in: O(nm))."""
+    diam = diameter(graph) if with_diameter else None
+    return GraphStats(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        max_degree=graph.max_degree(),
+        average_degree=graph.average_degree(),
+        is_connected=is_connected(graph),
+        diameter=diam,
+    )

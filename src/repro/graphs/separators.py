@@ -1,0 +1,71 @@
+"""Balanced separators.
+
+Section 1.1 of the paper recalls that planar graphs get ``O(sqrt n)``
+hub labelings from recursive balanced separators [GPPR04].  This module
+finds the separators; the recursive labeling construction lives in
+:mod:`repro.core.separator_scheme` (it needs the hub-label store).
+
+* :func:`grid_separator` -- the canonical middle row/column of a 2D
+  grid (size ``min(rows, cols)``, perfectly balanced);
+* :func:`bfs_level_separator` -- generic: the BFS level whose removal
+  best balances below vs above (exact on grid-like graphs, a heuristic
+  elsewhere; always a genuine separator because BFS levels are cuts).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from .graph import Graph
+
+__all__ = ["bfs_level_separator", "grid_separator"]
+
+
+def grid_separator(rows: int, cols: int) -> List[int]:
+    """The middle row (or column, whichever is shorter) of a grid
+    indexed as ``r * cols + c`` (matching :func:`repro.graphs.grid_2d`)."""
+    if rows <= cols:
+        r = rows // 2
+        return [r * cols + c for c in range(cols)]
+    c = cols // 2
+    return [r * cols + c for r in range(rows)]
+
+
+def bfs_level_separator(graph: Graph, component: Sequence[int]) -> List[int]:
+    """A separator from BFS levels inside ``component``.
+
+    Runs BFS from an arbitrary component vertex and returns the level
+    whose removal best balances "below" against "above", preferring
+    smaller levels among equally balanced options.  Non-empty whenever
+    the component is.
+    """
+    members = set(component)
+    if len(members) <= 1:
+        return list(members)
+    source = component[0]
+    level = {source: 0}
+    frontier = [source]
+    levels: List[List[int]] = [[source]]
+    while frontier:
+        nxt = []
+        for u in frontier:
+            for v, _ in graph.neighbors(u):
+                if v in members and v not in level:
+                    level[v] = level[u] + 1
+                    nxt.append(v)
+        if nxt:
+            levels.append(nxt)
+        frontier = nxt
+    if len(levels) == 1:
+        return [source]
+    total = len(level)
+    best: Optional[Tuple[float, int, int]] = None
+    below = 0
+    for i, layer in enumerate(levels):
+        above = total - below - len(layer)
+        imbalance = max(below, above) / total
+        score = (imbalance, len(layer), i)
+        if best is None or score < best:
+            best = score
+        below += len(layer)
+    return levels[best[2]]

@@ -1,0 +1,177 @@
+"""Shortest-path structure: paths, counts, uniqueness, hub candidates.
+
+Beyond plain distances, the paper's arguments need the *structure* of
+shortest paths:
+
+* ``H_uv = {x : dist(u,x) + dist(x,v) = dist(u,v)}`` -- the set of valid
+  hubs for the pair (Section 4);
+* whether the shortest ``uv`` path is *unique* (Lemma 2.2, and the
+  monotone-hubset argument of Section 1.2);
+* explicit path reconstruction for the Figure 1 checks.
+
+All functions operate on :class:`repro.graphs.Graph`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .graph import Graph
+from .traversal import INF, shortest_path_distances
+
+__all__ = [
+    "reconstruct_path",
+    "shortest_path",
+    "path_weight",
+    "all_pairs_distances",
+    "count_shortest_paths",
+    "has_unique_shortest_path",
+    "hub_candidates",
+    "hub_candidates_from_distances",
+    "shortest_path_dag_edges",
+    "is_shortest_path",
+]
+
+
+def reconstruct_path(parent: Sequence[int], target: int) -> List[int]:
+    """Walk a parent array back from ``target`` to the tree root.
+
+    Returns the path root -> ... -> target.  Raises ``ValueError`` if
+    ``target`` was unreachable (its parent chain never reaches a root).
+    """
+    path = [target]
+    seen = {target}
+    v = target
+    while parent[v] != -1:
+        v = parent[v]
+        if v in seen:
+            raise ValueError("parent array contains a cycle")
+        seen.add(v)
+        path.append(v)
+    path.reverse()
+    return path
+
+
+def shortest_path(graph: Graph, source: int, target: int) -> Optional[List[int]]:
+    """One shortest path from ``source`` to ``target``, or None if none."""
+    dist, parent = shortest_path_distances(graph, source, with_parents=True)
+    if dist[target] == INF:
+        return None
+    assert parent is not None
+    return reconstruct_path(parent, target)
+
+
+def path_weight(graph: Graph, path: Sequence[int]) -> int:
+    """Total weight of a vertex path; raises if an edge is missing."""
+    total = 0
+    for u, v in zip(path, path[1:]):
+        w = graph.edge_weight(u, v)
+        if w is None:
+            raise ValueError(f"path uses missing edge {{{u}, {v}}}")
+        total += w
+    return total
+
+
+def is_shortest_path(graph: Graph, path: Sequence[int]) -> bool:
+    """True if ``path`` is a shortest path between its endpoints."""
+    if not path:
+        return False
+    if len(path) == 1:
+        return True
+    dist, _ = shortest_path_distances(graph, path[0])
+    return path_weight(graph, path) == dist[path[-1]]
+
+
+def all_pairs_distances(graph: Graph) -> List[List[float]]:
+    """The full n x n distance matrix (n single-source runs)."""
+    return [
+        shortest_path_distances(graph, s)[0] for s in graph.vertices()
+    ]
+
+
+def count_shortest_paths(graph: Graph, source: int) -> Tuple[List[float], List[int]]:
+    """Distances and the number of distinct shortest paths from ``source``.
+
+    Counts are exact integers (may be exponentially large; Python ints).
+    Requires all edge weights positive OR the zero-weight edges to not
+    create zero-weight cycles of multiplicity -- for safety this function
+    rejects weight-0 edges, which the paper's counting constructions never
+    use on the relevant pairs.
+    """
+    for _, _, w in graph.edges():
+        if w == 0:
+            raise ValueError(
+                "count_shortest_paths requires strictly positive weights"
+            )
+    dist, _ = shortest_path_distances(graph, source)
+    order = sorted(
+        (v for v in graph.vertices() if dist[v] != INF),
+        key=lambda v: dist[v],
+    )
+    count = [0] * graph.num_vertices
+    count[source] = 1
+    for v in order:
+        if v == source:
+            continue
+        total = 0
+        dv = dist[v]
+        for u, w in graph.neighbors(v):
+            if dist[u] != INF and dist[u] + w == dv:
+                total += count[u]
+        count[v] = total
+    return dist, count
+
+
+def has_unique_shortest_path(graph: Graph, source: int, target: int) -> bool:
+    """True iff exactly one shortest path connects ``source`` and ``target``."""
+    dist, count = count_shortest_paths(graph, source)
+    if dist[target] == INF:
+        return False
+    return count[target] == 1
+
+
+def hub_candidates(graph: Graph, u: int, v: int) -> List[int]:
+    """``H_uv``: every vertex on *some* shortest ``uv`` path.
+
+    This is the paper's ``H_uv = {x : dist(u,x) + dist(x,v) = dist(u,v)}``.
+    Costs two single-source runs.
+    """
+    dist_u, _ = shortest_path_distances(graph, u)
+    dist_v, _ = shortest_path_distances(graph, v)
+    return hub_candidates_from_distances(dist_u, dist_v, dist_u[v])
+
+
+def hub_candidates_from_distances(
+    dist_u: Sequence[float], dist_v: Sequence[float], duv: float
+) -> List[int]:
+    """``H_uv`` computed from precomputed distance rows (APSP reuse)."""
+    if duv == INF:
+        return []
+    return [
+        x
+        for x in range(len(dist_u))
+        if dist_u[x] != INF and dist_u[x] + dist_v[x] == duv
+    ]
+
+
+def shortest_path_dag_edges(
+    graph: Graph, source: int
+) -> Dict[int, List[int]]:
+    """The shortest-path DAG from ``source``.
+
+    Returns ``predecessors[v]`` = the neighbors ``u`` of ``v`` with
+    ``dist[u] + w(u,v) == dist[v]``, i.e. the last-edge choices over all
+    shortest source->v paths.  Unreachable vertices are omitted.
+    """
+    dist, _ = shortest_path_distances(graph, source)
+    predecessors: Dict[int, List[int]] = {}
+    for v in graph.vertices():
+        if dist[v] == INF or v == source:
+            continue
+        preds = [
+            u
+            for u, w in graph.neighbors(v)
+            if dist[u] != INF and dist[u] + w == dist[v]
+        ]
+        predecessors[v] = preds
+    return predecessors

@@ -1,0 +1,92 @@
+"""Graph transformations used by the constructions.
+
+* :func:`subdivide_weighted` -- replace every weight-``w`` edge by a
+  path of ``w`` unit edges (``w - 1`` fresh vertices).  Distances
+  between original vertices are preserved exactly; this is the
+  bare-bones version of the Section 2 edge gadget (without the
+  degree-reducing trees) and turns any integer-weighted instance into
+  an unweighted one at ``O(total weight)`` size.  Weight-0 edges are
+  rejected (they would merge vertices).
+* :func:`disjoint_union` -- side-by-side union with index offsets.
+* :func:`cartesian_product` -- the box product ``G x H`` (grids are
+  products of paths; used as a cross-check for the generators).
+* :func:`add_apex` -- join a fresh vertex to everything (diameter-2
+  smoke instances).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .graph import Graph
+
+__all__ = [
+    "subdivide_weighted",
+    "disjoint_union",
+    "cartesian_product",
+    "add_apex",
+]
+
+
+def subdivide_weighted(graph: Graph) -> Tuple[Graph, List[int]]:
+    """Expand integer weights into unit paths.
+
+    Returns ``(unweighted_graph, original_index)`` where
+    ``original_index[v]`` maps each original vertex to its index in the
+    new graph (originals keep their indices; auxiliaries are appended).
+    """
+    for _, _, w in graph.edges():
+        if w == 0:
+            raise ValueError("cannot subdivide weight-0 edges")
+    n = graph.num_vertices
+    result = Graph(n)
+    for u, v, w in graph.edges():
+        if w == 1:
+            result.add_edge(u, v)
+            continue
+        previous = u
+        for _ in range(w - 1):
+            aux = result.add_vertex()
+            result.add_edge(previous, aux)
+            previous = aux
+        result.add_edge(previous, v)
+    return result, list(range(n))
+
+
+def disjoint_union(first: Graph, second: Graph) -> Tuple[Graph, int]:
+    """The disjoint union; returns ``(graph, offset)`` where the second
+    graph's vertex ``v`` becomes ``offset + v``."""
+    offset = first.num_vertices
+    result = Graph(offset + second.num_vertices)
+    for u, v, w in first.edges():
+        result.add_edge(u, v, w)
+    for u, v, w in second.edges():
+        result.add_edge(offset + u, offset + v, w)
+    return result, offset
+
+
+def cartesian_product(first: Graph, second: Graph) -> Graph:
+    """The Cartesian (box) product: ``(a, x) ~ (b, y)`` iff
+    ``a = b and x ~ y`` or ``x = y and a ~ b``.
+
+    Vertex ``(a, x)`` gets index ``a * |V(second)| + x``.  Edge weights
+    carry over from the moving coordinate.
+    """
+    cols = second.num_vertices
+    result = Graph(first.num_vertices * cols)
+    for a in first.vertices():
+        for x, y, w in second.edges():
+            result.add_edge(a * cols + x, a * cols + y, w)
+    for a, b, w in first.edges():
+        for x in second.vertices():
+            result.add_edge(a * cols + x, b * cols + x, w)
+    return result
+
+
+def add_apex(graph: Graph, weight: int = 1) -> Tuple[Graph, int]:
+    """Add a universal vertex; returns ``(graph, apex_index)``."""
+    result = graph.copy()
+    apex = result.add_vertex()
+    for v in range(apex):
+        result.add_edge(apex, v, weight)
+    return result, apex

@@ -1,0 +1,203 @@
+"""Single-source shortest-path traversals.
+
+Three engines, picked by edge-weight structure:
+
+* :func:`bfs_distances` -- unweighted graphs (all weights 1).
+* :func:`zero_one_bfs` -- weights in {0, 1} (degree-reduction graphs).
+* :func:`dijkstra` -- arbitrary non-negative integer weights.
+
+:func:`shortest_path_distances` dispatches automatically.  All engines
+return a distance list indexed by vertex, with :data:`INF` marking
+unreachable vertices, and optionally a parent list encoding one
+shortest-path tree.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import List, Optional, Tuple
+
+from .graph import Graph
+
+__all__ = [
+    "INF",
+    "bfs_distances",
+    "zero_one_bfs",
+    "dijkstra",
+    "shortest_path_distances",
+    "distance_between",
+    "bidirectional_distance",
+]
+
+#: Sentinel distance for unreachable vertices.  A float so comparisons with
+#: any integer distance behave naturally.
+INF = float("inf")
+
+
+def bfs_distances(
+    graph: Graph, source: int, *, with_parents: bool = False
+) -> Tuple[List[float], Optional[List[int]]]:
+    """Breadth-first distances from ``source`` in an unweighted graph.
+
+    Edge weights are ignored (treated as 1); callers must ensure the graph
+    is unweighted or use :func:`shortest_path_distances`.
+    """
+    dist: List[float] = [INF] * graph.num_vertices
+    parent: Optional[List[int]] = (
+        [-1] * graph.num_vertices if with_parents else None
+    )
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        next_dist = dist[u] + 1
+        for v, _ in graph.neighbors(u):
+            if dist[v] == INF:
+                dist[v] = next_dist
+                if parent is not None:
+                    parent[v] = u
+                queue.append(v)
+    return dist, parent
+
+
+def zero_one_bfs(
+    graph: Graph, source: int, *, with_parents: bool = False
+) -> Tuple[List[float], Optional[List[int]]]:
+    """0-1 BFS: shortest paths when all edge weights are in {0, 1}.
+
+    Runs in O(n + m) using a deque (weight-0 edges go to the front).
+    """
+    dist: List[float] = [INF] * graph.num_vertices
+    parent: Optional[List[int]] = (
+        [-1] * graph.num_vertices if with_parents else None
+    )
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        du = dist[u]
+        for v, w in graph.neighbors(u):
+            if w not in (0, 1):
+                raise ValueError(
+                    f"zero_one_bfs requires weights in {{0, 1}}, found {w}"
+                )
+            nd = du + w
+            if nd < dist[v]:
+                dist[v] = nd
+                if parent is not None:
+                    parent[v] = u
+                if w == 0:
+                    queue.appendleft(v)
+                else:
+                    queue.append(v)
+    return dist, parent
+
+
+def dijkstra(
+    graph: Graph,
+    source: int,
+    *,
+    with_parents: bool = False,
+    cutoff: Optional[float] = None,
+) -> Tuple[List[float], Optional[List[int]]]:
+    """Dijkstra's algorithm from ``source``.
+
+    ``cutoff`` stops the search once settled distances exceed it; vertices
+    beyond the cutoff keep distance :data:`INF`.
+    """
+    dist: List[float] = [INF] * graph.num_vertices
+    parent: Optional[List[int]] = (
+        [-1] * graph.num_vertices if with_parents else None
+    )
+    dist[source] = 0
+    heap: List[Tuple[int, int]] = [(0, source)]
+    while heap:
+        du, u = heapq.heappop(heap)
+        if du > dist[u]:
+            continue
+        if cutoff is not None and du > cutoff:
+            dist[u] = INF
+            continue
+        for v, w in graph.neighbors(u):
+            nd = du + w
+            if nd < dist[v]:
+                dist[v] = nd
+                if parent is not None:
+                    parent[v] = u
+                heapq.heappush(heap, (nd, v))
+    if cutoff is not None:
+        for v in range(len(dist)):
+            if dist[v] > cutoff:
+                dist[v] = INF
+    return dist, parent
+
+
+def shortest_path_distances(
+    graph: Graph,
+    source: int,
+    *,
+    with_parents: bool = False,
+    cutoff: Optional[float] = None,
+) -> Tuple[List[float], Optional[List[int]]]:
+    """Distances from ``source``, picking the fastest applicable engine."""
+    if not graph.is_weighted and cutoff is None:
+        return bfs_distances(graph, source, with_parents=with_parents)
+    return dijkstra(graph, source, with_parents=with_parents, cutoff=cutoff)
+
+
+def distance_between(graph: Graph, u: int, v: int) -> float:
+    """The graph distance between ``u`` and ``v`` (INF if disconnected)."""
+    if u == v:
+        return 0
+    return bidirectional_distance(graph, u, v)
+
+
+def bidirectional_distance(graph: Graph, source: int, target: int) -> float:
+    """Bidirectional Dijkstra for a single pair.
+
+    Explores balls around both endpoints simultaneously; correct for
+    non-negative weights.  Returns INF if ``target`` is unreachable.
+    """
+    if source == target:
+        return 0
+    n = graph.num_vertices
+    dist_f: List[float] = [INF] * n
+    dist_b: List[float] = [INF] * n
+    dist_f[source] = 0
+    dist_b[target] = 0
+    heap_f: List[Tuple[int, int]] = [(0, source)]
+    heap_b: List[Tuple[int, int]] = [(0, target)]
+    best = INF
+    while heap_f or heap_b:
+        # Termination: once the cheapest possible un-settled meeting cannot
+        # beat ``best``, stop.  With one frontier exhausted, its distances
+        # are final, so a single top suffices (the other side contributes
+        # a non-negative amount).
+        if heap_f and heap_b:
+            if heap_f[0][0] + heap_b[0][0] >= best:
+                break
+        elif heap_f:
+            if heap_f[0][0] >= best:
+                break
+        else:
+            if heap_b[0][0] >= best:
+                break
+        # Expand the side with the smaller frontier distance.
+        if not heap_b or (heap_f and heap_f[0][0] <= heap_b[0][0]):
+            heap, dist, other = heap_f, dist_f, dist_b
+        else:
+            heap, dist, other = heap_b, dist_b, dist_f
+        du, u = heapq.heappop(heap)
+        if du > dist[u]:
+            continue
+        if other[u] != INF and du + other[u] < best:
+            best = du + other[u]
+        for v, w in graph.neighbors(u):
+            nd = du + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+                if other[v] != INF and nd + other[v] < best:
+                    best = nd + other[v]
+    return best

@@ -1,0 +1,38 @@
+"""Distance labeling substrate: bit codecs and concrete schemes.
+
+Distance labeling generalizes hub labeling (Section 1 of the paper);
+this package provides the bit-accounted schemes the benchmarks compare:
+
+* :class:`DistanceRowScheme` -- trivial ``O(n log diam)`` bits;
+* :class:`HubEncodedScheme` -- any hub labeling, gap/gamma encoded;
+* :func:`tree_centroid_labeling` -- the ``O(log^2 n)``-bit tree scheme;
+* :class:`IncrementalRowScheme` -- the ``O(n)``-bit general scheme.
+"""
+
+from .bits import (
+    BitReader,
+    Bits,
+    BitWriter,
+    elias_delta_length,
+    elias_gamma_length,
+)
+from .scheme import DistanceLabelingScheme, DistanceRowScheme, LabelingStats
+from .hub_encoding import HubEncodedScheme
+from .tree_scheme import find_centroid, tree_centroid_labeling
+from .general_scheme import IncrementalRowScheme, dfs_order
+
+__all__ = [
+    "BitReader",
+    "Bits",
+    "BitWriter",
+    "elias_delta_length",
+    "elias_gamma_length",
+    "DistanceLabelingScheme",
+    "DistanceRowScheme",
+    "LabelingStats",
+    "HubEncodedScheme",
+    "find_centroid",
+    "tree_centroid_labeling",
+    "IncrementalRowScheme",
+    "dfs_order",
+]

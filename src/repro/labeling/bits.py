@@ -1,0 +1,131 @@
+"""Bit-level codecs for distance labels.
+
+Distance labeling is measured in *bits per label* (the paper's unit), so
+the schemes in this package serialize to honest bitstrings through the
+writer/reader here.  Provided codes:
+
+* fixed-width unsigned integers;
+* unary;
+* Elias gamma and delta (self-delimiting, used for distance lists where
+  values are usually small).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+__all__ = ["BitWriter", "BitReader", "elias_gamma_length", "elias_delta_length"]
+
+
+class BitWriter:
+    """Append-only bit buffer."""
+
+    def __init__(self) -> None:
+        self._bits: List[int] = []
+
+    def __len__(self) -> int:
+        return len(self._bits)
+
+    def write_bit(self, bit: int) -> None:
+        if bit not in (0, 1):
+            raise ValueError("bit must be 0 or 1")
+        self._bits.append(bit)
+
+    def write_fixed(self, value: int, width: int) -> None:
+        """``value`` as exactly ``width`` bits, most significant first."""
+        if value < 0 or (width < 64 and value >= (1 << width)):
+            raise ValueError(f"value {value} does not fit in {width} bits")
+        for shift in range(width - 1, -1, -1):
+            self._bits.append((value >> shift) & 1)
+
+    def write_unary(self, value: int) -> None:
+        """``value`` zeros followed by a one."""
+        if value < 0:
+            raise ValueError("unary cannot encode negatives")
+        self._bits.extend([0] * value)
+        self._bits.append(1)
+
+    def write_gamma(self, value: int) -> None:
+        """Elias gamma for ``value >= 1``."""
+        if value < 1:
+            raise ValueError("gamma encodes positive integers")
+        width = value.bit_length()
+        self.write_unary(width - 1)
+        self.write_fixed(value - (1 << (width - 1)), width - 1)
+
+    def write_delta(self, value: int) -> None:
+        """Elias delta for ``value >= 1``."""
+        if value < 1:
+            raise ValueError("delta encodes positive integers")
+        width = value.bit_length()
+        self.write_gamma(width)
+        self.write_fixed(value - (1 << (width - 1)), width - 1)
+
+    def getvalue(self) -> "Bits":
+        return Bits(tuple(self._bits))
+
+
+class Bits(tuple):
+    """An immutable bitstring (tuple of 0/1) with a length in bits."""
+
+    @property
+    def num_bits(self) -> int:
+        return len(self)
+
+
+class BitReader:
+    """Sequential reader over a bitstring."""
+
+    def __init__(self, bits: Iterable[int]) -> None:
+        self._bits = tuple(bits)
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._bits) - self._pos
+
+    def read_bit(self) -> int:
+        if self._pos >= len(self._bits):
+            raise EOFError("bitstring exhausted")
+        bit = self._bits[self._pos]
+        self._pos += 1
+        return bit
+
+    def read_fixed(self, width: int) -> int:
+        value = 0
+        for _ in range(width):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def read_unary(self) -> int:
+        count = 0
+        while self.read_bit() == 0:
+            count += 1
+        return count
+
+    def read_gamma(self) -> int:
+        width = self.read_unary() + 1
+        if width == 1:
+            return 1
+        return (1 << (width - 1)) | self.read_fixed(width - 1)
+
+    def read_delta(self) -> int:
+        width = self.read_gamma()
+        if width == 1:
+            return 1
+        return (1 << (width - 1)) | self.read_fixed(width - 1)
+
+
+def elias_gamma_length(value: int) -> int:
+    """The bit length of the gamma code of ``value >= 1``."""
+    if value < 1:
+        raise ValueError("gamma encodes positive integers")
+    return 2 * value.bit_length() - 1
+
+
+def elias_delta_length(value: int) -> int:
+    """The bit length of the delta code of ``value >= 1``."""
+    if value < 1:
+        raise ValueError("delta encodes positive integers")
+    width = value.bit_length()
+    return elias_gamma_length(width) + width - 1

@@ -1,0 +1,84 @@
+"""Serializing hub labelings into distance labels.
+
+Section 1.1 of the paper: "for most existing graph classes, the best
+known distance labelling constructions are based on hub labeling
+schemes", via some encoding of (hub id, distance) lists.  This module is
+that bridge: it turns any :class:`~repro.core.HubLabeling` into a
+self-contained :class:`~repro.labeling.scheme.DistanceLabelingScheme`.
+
+Label layout: 8-bit id width; gamma-coded hub count + 1; then the hub
+list sorted by id, with ids delta-encoded as gamma-coded gaps + 1 and
+distances gamma-coded as value + 1.  Gap encoding keeps labels near the
+information-theoretic ``|S_v| (log(n / |S_v|) + log diam)`` rather than
+the naive ``|S_v| (log n + log diam)`` -- the "careful encoding"
+[GKU16] use to shave a loglog factor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..core.hublabel import HubLabeling
+from ..graphs.traversal import INF
+from .bits import BitReader, Bits, BitWriter
+from .scheme import DistanceLabelingScheme
+
+__all__ = ["HubEncodedScheme"]
+
+
+class HubEncodedScheme(DistanceLabelingScheme):
+    """A :class:`HubLabeling` exposed as a bit-label distance scheme."""
+
+    def __init__(self, labeling: HubLabeling) -> None:
+        self._labeling = labeling
+        n = labeling.num_vertices
+        self._id_width = max(1, max(n - 1, 1).bit_length())
+        self._cache: Dict[int, Bits] = {}
+
+    def num_vertices(self) -> int:
+        return self._labeling.num_vertices
+
+    def label(self, vertex: int) -> Bits:
+        cached = self._cache.get(vertex)
+        if cached is not None:
+            return cached
+        hubs: List[Tuple[int, float]] = sorted(
+            self._labeling.hubs(vertex).items()
+        )
+        writer = BitWriter()
+        writer.write_fixed(self._id_width, 8)
+        writer.write_gamma(len(hubs) + 1)
+        previous = -1
+        for hub, distance in hubs:
+            writer.write_gamma(hub - previous)  # gap >= 1
+            writer.write_gamma(int(distance) + 1)
+            previous = hub
+        bits = writer.getvalue()
+        self._cache[vertex] = bits
+        return bits
+
+    @staticmethod
+    def _parse(label: Bits) -> Dict[int, int]:
+        reader = BitReader(label)
+        reader.read_fixed(8)  # id width (layout compatibility)
+        count = reader.read_gamma() - 1
+        hubs: Dict[int, int] = {}
+        current = -1
+        for _ in range(count):
+            current += reader.read_gamma()
+            hubs[current] = reader.read_gamma() - 1
+        return hubs
+
+    def decode(self, label_u: Bits, label_v: Bits) -> float:
+        # Deliberately self-free: decoding is pure bit manipulation, so a
+        # referee holding only the two labels can run it (Theorem 1.6).
+        hubs_u = HubEncodedScheme._parse(label_u)
+        hubs_v = HubEncodedScheme._parse(label_v)
+        if len(hubs_u) > len(hubs_v):
+            hubs_u, hubs_v = hubs_v, hubs_u
+        best = INF
+        for hub, du in hubs_u.items():
+            dv = hubs_v.get(hub)
+            if dv is not None and du + dv < best:
+                best = du + dv
+        return best

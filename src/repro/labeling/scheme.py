@@ -1,0 +1,153 @@
+"""The distance-labeling interface.
+
+A distance labeling scheme assigns a bitstring ``label(v)`` to every
+vertex such that ``decode(label(u), label(v))`` equals the exact graph
+distance (the paper's definition; INF for disconnected pairs).  The
+*decoder is part of the scheme* and may not consult the graph -- tests
+enforce this by decoding through bitstrings alone.
+
+Concrete schemes in this package:
+
+* :class:`DistanceRowScheme` -- the trivial ``O(n log diam)`` bits/label
+  scheme (every vertex stores its distance row);
+* :mod:`.hub_encoding` -- any :class:`~repro.core.HubLabeling` serialized
+  to bits (the route all state-of-the-art constructions take,
+  Section 1.1);
+* :mod:`.tree_scheme` -- the ``O(log^2 n)``-bit separator scheme for
+  trees [Pel00].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..graphs.graph import Graph
+from ..graphs.traversal import INF, shortest_path_distances
+from .bits import BitReader, Bits, BitWriter
+
+__all__ = ["DistanceLabelingScheme", "LabelingStats", "DistanceRowScheme"]
+
+
+@dataclass(frozen=True)
+class LabelingStats:
+    """Bit-size statistics of a concrete labeling."""
+
+    num_vertices: int
+    total_bits: int
+    max_bits: int
+
+    @property
+    def average_bits(self) -> float:
+        if self.num_vertices == 0:
+            return 0.0
+        return self.total_bits / self.num_vertices
+
+
+class DistanceLabelingScheme:
+    """Base class: subclasses implement :meth:`label` and :meth:`decode`."""
+
+    def label(self, vertex: int) -> Bits:
+        raise NotImplementedError
+
+    def decode(self, label_u: Bits, label_v: Bits) -> float:
+        raise NotImplementedError
+
+    def num_vertices(self) -> int:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def query(self, u: int, v: int) -> float:
+        """Convenience: label both endpoints and decode."""
+        return self.decode(self.label(u), self.label(v))
+
+    def stats(self, sample: Optional[Sequence[int]] = None) -> LabelingStats:
+        """Bit statistics over all vertices (or a sample)."""
+        vertices = sample if sample is not None else range(self.num_vertices())
+        total = 0
+        biggest = 0
+        count = 0
+        for v in vertices:
+            size = len(self.label(v))
+            total += size
+            biggest = max(biggest, size)
+            count += 1
+        return LabelingStats(
+            num_vertices=count, total_bits=total, max_bits=biggest
+        )
+
+
+class DistanceRowScheme(DistanceLabelingScheme):
+    """The trivial exact scheme: ``label(v)`` is ``v``'s distance row.
+
+    Label layout (all fixed width): 8-bit id width, 8-bit distance
+    width, the vertex id, then ``n`` distance slots where the all-ones
+    pattern means unreachable.  ``O(n log diam)`` bits per label -- the
+    upper end of the spectrum every sublinear scheme is measured
+    against, and computable lazily (one traversal per labeled vertex),
+    which lets the Sum-Index protocol run on instances far beyond APSP
+    reach.
+    """
+
+    def __init__(self, graph: Graph, *, distance_width: Optional[int] = None):
+        self._graph = graph
+        n = graph.num_vertices
+        self._id_width = max(1, max(n - 1, 1).bit_length())
+        if distance_width is None:
+            # A safe upper bound on any finite distance: the total edge
+            # weight (in unweighted graphs, the number of edges).
+            bound = max(2, graph.total_weight() + graph.num_edges + 1)
+            distance_width = max(2, bound.bit_length() + 1)
+        if distance_width > 255 or self._id_width > 255:
+            raise ValueError("widths beyond 255 bits are not supported")
+        self._distance_width = distance_width
+        self._cache: Dict[int, Bits] = {}
+
+    def num_vertices(self) -> int:
+        return self._graph.num_vertices
+
+    @property
+    def unreachable_pattern(self) -> int:
+        return (1 << self._distance_width) - 1
+
+    def label(self, vertex: int) -> Bits:
+        cached = self._cache.get(vertex)
+        if cached is not None:
+            return cached
+        dist, _ = shortest_path_distances(self._graph, vertex)
+        writer = BitWriter()
+        writer.write_fixed(self._id_width, 8)
+        writer.write_fixed(self._distance_width, 8)
+        writer.write_fixed(vertex, self._id_width)
+        for d in dist:
+            if d == INF:
+                writer.write_fixed(
+                    self.unreachable_pattern, self._distance_width
+                )
+            else:
+                value = int(d)
+                if value >= self.unreachable_pattern:
+                    raise ValueError("distance exceeds the encoding width")
+                writer.write_fixed(value, self._distance_width)
+        bits = writer.getvalue()
+        self._cache[vertex] = bits
+        return bits
+
+    def decode(self, label_u: Bits, label_v: Bits) -> float:
+        reader_u = BitReader(label_u)
+        id_width = reader_u.read_fixed(8)
+        distance_width = reader_u.read_fixed(8)
+        reader_u.read_fixed(id_width)  # u's own id is not needed
+        reader_v = BitReader(label_v)
+        if reader_v.read_fixed(8) != id_width:
+            raise ValueError("labels come from different schemes")
+        if reader_v.read_fixed(8) != distance_width:
+            raise ValueError("labels come from different schemes")
+        v_id = reader_v.read_fixed(id_width)
+        # Skip to slot v_id of u's row.
+        for _ in range(v_id):
+            reader_u.read_fixed(distance_width)
+        value = reader_u.read_fixed(distance_width)
+        if value == (1 << distance_width) - 1:
+            return INF
+        return value

@@ -1,0 +1,119 @@
+"""Separator-based distance labeling for trees [Pel00, AGHP16b].
+
+The classic recursion (Section 1.1 of the paper): pick the centroid
+``c`` of the tree, let every vertex store its distance to ``c``, and
+recurse into the components of ``T - c``.  Each vertex collects one
+(centroid, distance) pair per level of the centroid decomposition --
+``O(log n)`` hubs, hence ``O(log^2 n)`` label bits -- and any pair's
+shortest path passes through the first centroid that separates them, so
+the hub property holds.
+
+:func:`tree_centroid_labeling` returns the construction as a
+:class:`~repro.core.HubLabeling` (hub count is what the paper's tables
+compare); wrap it in
+:class:`~repro.labeling.hub_encoding.HubEncodedScheme` for a bit-level
+distance labeling.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from ..core.hublabel import HubLabeling
+from ..graphs.graph import Graph
+from ..graphs.traversal import shortest_path_distances
+
+__all__ = ["tree_centroid_labeling", "find_centroid"]
+
+
+def _component_vertices(
+    graph: Graph, start: int, blocked: Set[int]
+) -> List[int]:
+    """The connected component of ``start`` avoiding ``blocked``."""
+    stack = [start]
+    seen = {start}
+    while stack:
+        u = stack.pop()
+        for v, _ in graph.neighbors(u):
+            if v not in seen and v not in blocked:
+                seen.add(v)
+                stack.append(v)
+    return list(seen)
+
+
+def find_centroid(graph: Graph, component: List[int], blocked: Set[int]) -> int:
+    """A centroid of the subtree ``component``: removing it leaves parts
+    of size at most ``|component| / 2``."""
+    members = set(component)
+    half = len(component) / 2.0
+    # Subtree sizes via iterative post-order from an arbitrary root.
+    root = component[0]
+    parent = {root: None}
+    order = [root]
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        for v, _ in graph.neighbors(u):
+            if v in members and v not in parent and v not in blocked:
+                parent[v] = u
+                order.append(v)
+                stack.append(v)
+    size = {v: 1 for v in order}
+    for v in reversed(order[1:]):
+        size[parent[v]] += size[v]
+    total = len(order)
+    for v in order:
+        biggest = total - size[v]
+        for w, _ in graph.neighbors(v):
+            if w in members and parent.get(w) == v:
+                biggest = max(biggest, size[w])
+        if biggest <= half:
+            return v
+    raise AssertionError("a tree always has a centroid")
+
+
+def tree_centroid_labeling(graph: Graph) -> HubLabeling:
+    """The centroid-decomposition hub labeling of a tree.
+
+    Raises ``ValueError`` when the graph is not a tree (cycle or
+    disconnected components are both rejected via the edge count and a
+    reachability check during the recursion).
+    """
+    n = graph.num_vertices
+    if n == 0:
+        return HubLabeling(0)
+    if graph.num_edges != n - 1:
+        raise ValueError("tree labeling requires exactly n - 1 edges")
+    labeling = HubLabeling(n)
+    blocked: Set[int] = set()
+    stack: List[List[int]] = [list(range(n))]
+    covered = 0
+    while stack:
+        component = stack.pop()
+        if not component:
+            continue
+        if len(component) == 1:
+            v = component[0]
+            labeling.add_hub(v, v, 0)
+            blocked.add(v)
+            covered += 1
+            continue
+        centroid = find_centroid(graph, component, blocked)
+        dist, _ = shortest_path_distances(graph, centroid)
+        members = set(component)
+        for v in component:
+            labeling.add_hub(v, centroid, dist[v])
+        blocked.add(centroid)
+        covered += 1
+        remaining = members - {centroid}
+        while remaining:
+            start = next(iter(remaining))
+            part = _component_vertices(graph, start, blocked)
+            part_set = set(part)
+            if not part_set <= members:
+                raise ValueError("graph is not connected as a single tree")
+            stack.append(part)
+            remaining -= part_set
+    if covered != n:
+        raise ValueError("graph is not connected as a single tree")
+    return labeling

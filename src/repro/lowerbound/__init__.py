@@ -1,0 +1,51 @@
+"""Hard instances and lower-bound machinery (Section 2 of the paper).
+
+* :mod:`.layered` -- the weighted layered graph ``H_{b,l}``;
+* :mod:`.degree3` -- its unweighted max-degree-3 simulation ``G_{b,l}``;
+* :mod:`.hardinstance` -- the Theorem 2.1 certificate and the literal
+  triplet-charging audit;
+* :mod:`.counting` -- the classic [GPPR04] counting technique as a
+  baseline (and its ``sqrt n`` ceiling for sparse graphs).
+"""
+
+from .layered import LayeredGraph, Vector
+from .degree3 import Degree3Instance, build_degree3_instance
+from .hardinstance import (
+    LowerBoundCertificate,
+    TripletAudit,
+    audit_labeling,
+    certificate_for,
+    midpoint_triplets,
+)
+from .sizing import (
+    SizePrediction,
+    balanced_parameters,
+    certificate_preview,
+    predict_size,
+)
+from .counting import (
+    counting_bound_bits_per_label,
+    shortcut_family_bound,
+    shortcut_family_graph,
+    terminal_pairs,
+)
+
+__all__ = [
+    "LayeredGraph",
+    "Vector",
+    "Degree3Instance",
+    "build_degree3_instance",
+    "LowerBoundCertificate",
+    "TripletAudit",
+    "audit_labeling",
+    "certificate_for",
+    "midpoint_triplets",
+    "SizePrediction",
+    "balanced_parameters",
+    "certificate_preview",
+    "predict_size",
+    "counting_bound_bits_per_label",
+    "shortcut_family_bound",
+    "shortcut_family_graph",
+    "terminal_pairs",
+]

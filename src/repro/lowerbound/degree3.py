@@ -1,0 +1,158 @@
+"""The unweighted, max-degree-3 hard instance ``G_{b,l}`` (Theorem 2.1).
+
+``G_{b,l}`` simulates the weighted layered graph ``H_{b,l}`` with unit
+edges and degree at most 3:
+
+* every ``H`` vertex ``v`` keeps a *core* vertex joined to the roots of
+  two perfectly balanced binary trees ``T_in(v)`` and ``T_out(v)``, each
+  with ``s = 2^b`` leaves and depth ``b`` (omitted on the boundary
+  levels).  The leaf of ``T_out(v)`` assigned to the ``H``-edge
+  ``{v, u}`` is ``v_out_u``; symmetrically for ``T_in``;
+* every ``H``-edge ``e = {u, v}`` of weight ``w(e)`` becomes a path of
+  ``w(e) - 2b - 2`` unit edges (``w(e) - 2b - 3`` auxiliary vertices)
+  from ``u_out_v`` to ``v_in_u``; together with the two tree descents
+  (``b`` edges each) and the two root links (1 edge each), the simulated
+  edge has length exactly ``w(e)``.
+
+Degrees: core vertices have degree <= 2 (the two root links), tree nodes
+degree <= 3 (parent + two children, or parent + leaf link), path vertices
+degree 2 -- so ``Delta(G) = 3``.
+
+Distances between core vertices of different levels equal the ``H``
+distances (each level is a separating cut, so paths cannot shortcut
+through trees), hence Lemma 2.2 transfers: unique shortest paths with
+forced midpoints, now in a *sparse unweighted* graph.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from ..graphs.graph import Graph, GraphBuilder
+from .layered import LayeredGraph, Vector
+
+__all__ = ["Degree3Instance", "build_degree3_instance"]
+
+
+class Degree3Instance:
+    """``G_{b,l}`` together with its correspondence to ``H_{b,l}``."""
+
+    def __init__(self, layered: LayeredGraph) -> None:
+        self.layered = layered
+        self.b = layered.b
+        self.ell = layered.ell
+        self.side = layered.side
+        (
+            self.graph,
+            self._core_index,
+            self.num_tree_vertices,
+            self.num_path_vertices,
+        ) = self._build()
+
+    # ------------------------------------------------------------------
+    def core_vertex(self, level: int, vector: Vector) -> int:
+        """The ``G`` index of the core vertex simulating ``v_{level,vec}``."""
+        return self._core_index[(level, tuple(vector))]
+
+    @property
+    def num_core_vertices(self) -> int:
+        return len(self._core_index)
+
+    def _tree_name(self, level: int, vector: Vector, side: str, node: int):
+        return ("tree", level, vector, side, node)
+
+    def _build(self) -> Tuple[Graph, Dict, int, int]:
+        layered = self.layered
+        h = layered.graph
+        b = self.b
+        s = self.side
+        builder = GraphBuilder()
+        tree_vertices = 0
+        path_vertices = 0
+
+        # Core vertices and their in/out trees.
+        for level in range(layered.num_levels):
+            for vector in layered.vectors():
+                core = ("core", level, vector)
+                builder.vertex(core)
+                for side_tag, present in (
+                    ("in", level > 0),
+                    ("out", level < layered.num_levels - 1),
+                ):
+                    if not present:
+                        continue
+                    # Heap-indexed perfect binary tree with s leaves:
+                    # internal nodes 1 .. s-1, leaves s .. 2s-1.
+                    for node in range(1, 2 * s):
+                        builder.vertex(
+                            self._tree_name(level, vector, side_tag, node)
+                        )
+                        tree_vertices += 1
+                    builder.add_edge(
+                        core, self._tree_name(level, vector, side_tag, 1)
+                    )
+                    for node in range(1, s):
+                        for child in (2 * node, 2 * node + 1):
+                            builder.add_edge(
+                                self._tree_name(level, vector, side_tag, node),
+                                self._tree_name(
+                                    level, vector, side_tag, child
+                                ),
+                            )
+
+        # Each H edge becomes a unit path between two dedicated leaves.
+        # Leaves are assigned by the neighbor's active-coordinate value,
+        # giving a bijection between the s neighbors and the s leaves.
+        for level in range(layered.num_levels - 1):
+            c = layered.active_coordinate(level)
+            for vector in layered.vectors():
+                for new_value in range(s):
+                    target = list(vector)
+                    target[c] = new_value
+                    target_vec = tuple(target)
+                    weight = layered.edge_weight_between(
+                        vector[c], new_value
+                    )
+                    leaf_out = self._tree_name(
+                        level, vector, "out", s + new_value
+                    )
+                    leaf_in = self._tree_name(
+                        level + 1, target_vec, "in", s + vector[c]
+                    )
+                    interior = weight - 2 * b - 3
+                    if interior < 0:
+                        raise ValueError(
+                            "edge weight too small to subdivide; "
+                            "need A >= 2b + 3"
+                        )
+                    previous = leaf_out
+                    for step in range(interior):
+                        aux = ("path", level, vector, new_value, step)
+                        builder.add_edge(previous, aux)
+                        previous = aux
+                        path_vertices += 1
+                    builder.add_edge(previous, leaf_in)
+
+        graph, index, _ = builder.build()
+        core_index = {
+            (level, vector): index[("core", level, vector)]
+            for level in range(layered.num_levels)
+            for vector in layered.vectors()
+        }
+        return graph, core_index, tree_vertices, path_vertices
+
+    def expected_core_distance(self, x: Vector, z: Vector) -> int:
+        """Lemma 2.2 length between ``v_{0,x}`` and ``v_{2l,z}`` cores."""
+        return self.layered.unique_path_length(x, z)
+
+    def __repr__(self) -> str:
+        return (
+            f"Degree3Instance(b={self.b}, l={self.ell}, "
+            f"n={self.graph.num_vertices}, m={self.graph.num_edges}, "
+            f"max_degree={self.graph.max_degree()})"
+        )
+
+
+def build_degree3_instance(b: int, ell: int) -> Degree3Instance:
+    """Construct ``G_{b,l}`` (and its ``H_{b,l}``) for the parameters."""
+    return Degree3Instance(LayeredGraph(b, ell))

@@ -1,0 +1,154 @@
+"""The weighted layered graph ``H_{b,l}`` (proof of Theorem 2.1).
+
+``H_{b,l}`` has ``2l + 1`` levels ``V_0 .. V_{2l}``; each level is a copy
+of the grid ``[0, s-1]^l`` with side ``s = 2^b``.  An edge joins
+``v_{i,j}`` and ``v_{i+1,j'}`` when the vectors differ in at most the
+single *active coordinate* of level step ``i`` (coordinate ``i + 1``
+going up, ``2l - i`` coming down -- so each coordinate is active exactly
+once in each half, in mirrored order).  The edge weight is
+``A + (j_c - j'_c)^2`` with ``A = 3 l s^2``.
+
+The point of the weights: a path from level 0 to level ``2l`` changes
+coordinate ``k`` by ``delta_k`` on the way up and ``delta'_k`` on the way
+down with ``delta_k + delta'_k = z_k - x_k`` fixed, and the strictly
+convex cost ``delta^2 + delta'^2`` is uniquely minimized at the even
+split -- hence a *unique* shortest path passing through the exact
+midpoint ``v_{l,(x+z)/2}`` whenever all ``z_k - x_k`` are even
+(Lemma 2.2).  That midpoint is forced into the hub set of one endpoint,
+which is the whole lower bound.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Dict, Iterator, List, Tuple
+
+from ..graphs.graph import Graph, GraphBuilder
+
+__all__ = ["LayeredGraph", "Vector"]
+
+Vector = Tuple[int, ...]
+
+
+class LayeredGraph:
+    """``H_{b,l}`` with explicit access to its grid structure."""
+
+    def __init__(self, b: int, ell: int) -> None:
+        if b < 1 or ell < 1:
+            raise ValueError("both b and l must be >= 1")
+        self.b = b
+        self.ell = ell
+        self.side = 2 ** b  # s
+        self.base_weight = 3 * ell * self.side ** 2  # A
+        self._graph, self._index = self._build()
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        return self._graph
+
+    @property
+    def num_levels(self) -> int:
+        """The number of levels, ``2l + 1``."""
+        return 2 * self.ell + 1
+
+    def active_coordinate(self, level: int) -> int:
+        """The 0-based coordinate that may change between ``level`` and
+        ``level + 1`` (paper's ``c``, shifted to 0-based)."""
+        if not 0 <= level < 2 * self.ell:
+            raise ValueError(f"level step {level} out of range")
+        if level < self.ell:
+            return level
+        return 2 * self.ell - level - 1
+
+    def vectors(self) -> Iterator[Vector]:
+        """All grid vectors of one level, ``[0, s-1]^l``."""
+        return product(range(self.side), repeat=self.ell)
+
+    def vertex(self, level: int, vector: Vector) -> int:
+        """The graph index of ``v_{level, vector}``."""
+        return self._index[(level, tuple(vector))]
+
+    def name_of(self, index: int) -> Tuple[int, Vector]:
+        return self._names[index]
+
+    def edge_weight_between(self, value_from: int, value_to: int) -> int:
+        """``A + (j_c - j'_c)^2`` for an active-coordinate change."""
+        return self.base_weight + (value_from - value_to) ** 2
+
+    def _build(self) -> Tuple[Graph, Dict]:
+        builder = GraphBuilder()
+        for level in range(self.num_levels):
+            for vector in self.vectors():
+                builder.vertex((level, vector))
+        for level in range(self.num_levels - 1):
+            c = self.active_coordinate(level)
+            for vector in self.vectors():
+                for new_value in range(self.side):
+                    target = list(vector)
+                    target[c] = new_value
+                    builder.add_edge(
+                        (level, vector),
+                        (level + 1, tuple(target)),
+                        self.edge_weight_between(vector[c], new_value),
+                    )
+        graph, index, names = builder.build()
+        self._names = names
+        return graph, index
+
+    # ------------------------------------------------------------------
+    # Lemma 2.2 quantities
+    # ------------------------------------------------------------------
+    def is_lemma_pair(self, x: Vector, z: Vector) -> bool:
+        """True when every ``z_k - x_k`` is even (the Lemma 2.2 premise)."""
+        return all((zk - xk) % 2 == 0 for xk, zk in zip(x, z))
+
+    def midpoint(self, x: Vector, z: Vector) -> Vector:
+        """``(x + z) / 2`` -- the forced middle-level vertex."""
+        if not self.is_lemma_pair(x, z):
+            raise ValueError("midpoint requires all coordinate gaps even")
+        return tuple((xk + zk) // 2 for xk, zk in zip(x, z))
+
+    def unique_path_length(self, x: Vector, z: Vector) -> int:
+        """The weighted length of the unique shortest path of Lemma 2.2:
+        ``2 l A + sum_k (z_k - x_k)^2 / 2``."""
+        if not self.is_lemma_pair(x, z):
+            raise ValueError("length formula requires all gaps even")
+        return 2 * self.ell * self.base_weight + sum(
+            (zk - xk) ** 2 // 2 for xk, zk in zip(x, z)
+        )
+
+    def unique_path_vertices(self, x: Vector, z: Vector) -> List[int]:
+        """The vertex sequence of the unique shortest path (Lemma 2.2):
+        each half changes the active coordinate by ``(z_c - x_c) / 2``."""
+        mid = self.midpoint(x, z)
+        current = list(x)
+        path = [self.vertex(0, tuple(current))]
+        for level in range(2 * self.ell):
+            c = self.active_coordinate(level)
+            if level < self.ell:
+                current[c] = mid[c]
+            else:
+                current[c] = z[c]
+            path.append(self.vertex(level + 1, tuple(current)))
+        return path
+
+    def lemma_pairs(self) -> Iterator[Tuple[Vector, Vector]]:
+        """All ``(x, z)`` with componentwise even gaps."""
+        for x in self.vectors():
+            for z in self.vectors():
+                if self.is_lemma_pair(x, z):
+                    yield x, z
+
+    def midpoint_triplet_count(self) -> int:
+        """``s^l * (s/2)^l`` -- the number of (x, y, z) triplets counted
+        in the proof of claim (iii)."""
+        return self.side ** self.ell * (self.side // 2) ** self.ell
+
+    def __repr__(self) -> str:
+        return (
+            f"LayeredGraph(b={self.b}, l={self.ell}, s={self.side}, "
+            f"A={self.base_weight}, n={self._graph.num_vertices})"
+        )

@@ -1,0 +1,15 @@
+"""Centralized distance oracles (Section 1's ``S * T`` trade-off)."""
+
+from .oracle import (
+    HubLabelOracle,
+    LandmarkOracle,
+    MatrixOracle,
+    QueryOutcome,
+)
+
+__all__ = [
+    "HubLabelOracle",
+    "LandmarkOracle",
+    "MatrixOracle",
+    "QueryOutcome",
+]

@@ -1,0 +1,171 @@
+"""Centralized distance oracles with space/time accounting (Section 1).
+
+The paper frames its result as precluding hub-label-based oracles on the
+``S * T = O~(n^2)`` trade-off curve for sparse graphs.  This module
+provides the concrete endpoints and middle of that spectrum so the
+benchmarks can chart measured (space, query-time) points:
+
+* :class:`MatrixOracle` -- ``S = O(n^2)`` words, ``T = O(1)``;
+* :class:`HubLabelOracle` -- ``S = sum |S_v|`` words, ``T = O(|S_u| +
+  |S_v|)``;
+* :class:`LandmarkOracle` -- ``S = O(n^2 / T)`` words: distances to a
+  ``k``-vertex landmark set are stored, plus a ball of radius bounded by
+  the landmark separation is searched at query time (exact, because
+  every long path hits a landmark).
+
+Space is counted in stored machine words (ids + distances), time in
+elementary operations reported by each query.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.hublabel import HubLabeling
+from ..graphs.graph import Graph
+from ..graphs.traversal import INF, shortest_path_distances
+
+__all__ = [
+    "QueryOutcome",
+    "MatrixOracle",
+    "HubLabelOracle",
+    "LandmarkOracle",
+]
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """An exact distance plus the work the oracle did to produce it."""
+
+    distance: float
+    operations: int
+
+
+class MatrixOracle:
+    """Full APSP matrix: maximal space, constant-time queries."""
+
+    name = "matrix"
+
+    def __init__(self, graph: Graph) -> None:
+        self._rows: List[List[float]] = [
+            shortest_path_distances(graph, v)[0] for v in graph.vertices()
+        ]
+
+    def space_words(self) -> int:
+        return sum(len(row) for row in self._rows)
+
+    def query(self, u: int, v: int) -> QueryOutcome:
+        return QueryOutcome(distance=self._rows[u][v], operations=1)
+
+
+class HubLabelOracle:
+    """A hub labeling used as a centralized oracle."""
+
+    name = "hub-label"
+
+    def __init__(self, labeling: HubLabeling) -> None:
+        self._labeling = labeling
+
+    def space_words(self) -> int:
+        # One (hub, distance) pair per entry.
+        return 2 * self._labeling.total_size()
+
+    def query(self, u: int, v: int) -> QueryOutcome:
+        label_u = self._labeling.hubs(u)
+        label_v = self._labeling.hubs(v)
+        operations = min(len(label_u), len(label_v))
+        return QueryOutcome(
+            distance=self._labeling.query(u, v), operations=operations
+        )
+
+
+class LandmarkOracle:
+    """Landmark distances plus bounded bidirectional search.
+
+    ``k`` landmarks are sampled (plus a deterministic degree-based
+    seed); every vertex stores its distance to each landmark
+    (``S = O(n k)``).  A query runs Dijkstra from both endpoints but
+    *prunes* any vertex whose best landmark route cannot be improved --
+    and, crucially, first computes the landmark upper bound
+    ``min_l d(u, l) + d(l, v)`` and stops the searches at radius
+    ``bound / 2``.  Exactness: the true shortest path either stays
+    within the two balls (found by the search) or leaves them, in which
+    case it has length >= bound and the landmark route is tight enough.
+    """
+
+    name = "landmark"
+
+    def __init__(self, graph: Graph, num_landmarks: int, *, seed: int = 0) -> None:
+        if num_landmarks < 1:
+            raise ValueError("need at least one landmark")
+        self._graph = graph
+        n = graph.num_vertices
+        rng = random.Random(seed)
+        chosen = set()
+        # Highest-degree vertex anchors the set; the rest are random.
+        if n:
+            chosen.add(max(graph.vertices(), key=graph.degree))
+        while len(chosen) < min(num_landmarks, n):
+            chosen.add(rng.randrange(n))
+        self._landmarks = sorted(chosen)
+        self._to_landmark: List[List[float]] = [
+            shortest_path_distances(graph, landmark)[0]
+            for landmark in self._landmarks
+        ]
+
+    def space_words(self) -> int:
+        return len(self._landmarks) * self._graph.num_vertices
+
+    def landmark_upper_bound(self, u: int, v: int) -> float:
+        best = INF
+        for row in self._to_landmark:
+            candidate = row[u] + row[v]
+            if candidate < best:
+                best = candidate
+        return best
+
+    def query(self, u: int, v: int) -> QueryOutcome:
+        if u == v:
+            return QueryOutcome(distance=0, operations=1)
+        bound = self.landmark_upper_bound(u, v)
+        operations = len(self._landmarks)
+        # Bidirectional Dijkstra capped at the landmark bound.
+        n = self._graph.num_vertices
+        dist_f: Dict[int, float] = {u: 0}
+        dist_b: Dict[int, float] = {v: 0}
+        heap_f: List[Tuple[float, int]] = [(0, u)]
+        heap_b: List[Tuple[float, int]] = [(0, v)]
+        best = bound
+        while heap_f or heap_b:
+            if heap_f and heap_b:
+                if heap_f[0][0] + heap_b[0][0] >= best:
+                    break
+            elif heap_f:
+                if heap_f[0][0] >= best:
+                    break
+            elif heap_b[0][0] >= best:
+                break
+            if not heap_b or (heap_f and heap_f[0][0] <= heap_b[0][0]):
+                heap, dist, other = heap_f, dist_f, dist_b
+            else:
+                heap, dist, other = heap_b, dist_b, dist_f
+            d, x = heapq.heappop(heap)
+            if d > dist.get(x, INF):
+                continue
+            operations += 1
+            other_d = other.get(x)
+            if other_d is not None and d + other_d < best:
+                best = d + other_d
+            for y, w in self._graph.neighbors(x):
+                nd = d + w
+                if nd < dist.get(y, INF) and nd < best:
+                    dist[y] = nd
+                    heapq.heappush(heap, (nd, y))
+                    operations += 1
+                    other_d = other.get(y)
+                    if other_d is not None and nd + other_d < best:
+                        best = nd + other_d
+        return QueryOutcome(distance=best, operations=operations)

@@ -1,0 +1,28 @@
+"""Directed 2-hop reachability covers -- the original [CHKZ03] setting.
+
+The paper's hub labelings are the undirected, distance-annotated
+descendants of these: ``u`` reaches ``v`` iff
+``L_out(u) ∩ L_in(v) != {}``.
+"""
+
+from .digraph import DiGraph
+from .distance import (
+    DirectedHubLabeling,
+    is_valid_directed_cover,
+    pruned_directed_labeling,
+)
+from .two_hop import (
+    ReachabilityLabeling,
+    is_valid_reachability_cover,
+    pruned_reachability_labeling,
+)
+
+__all__ = [
+    "DiGraph",
+    "DirectedHubLabeling",
+    "is_valid_directed_cover",
+    "pruned_directed_labeling",
+    "ReachabilityLabeling",
+    "is_valid_reachability_cover",
+    "pruned_reachability_labeling",
+]

@@ -1,0 +1,126 @@
+"""Directed graphs (for the 2-hop *reachability* covers of [CHKZ03]).
+
+The hub-labeling framework the paper builds on was introduced by Cohen,
+Halperin, Kaplan, Zwick for *directed reachability and distance*
+queries; this subpackage reproduces the reachability half on a minimal
+directed substrate:
+
+* :class:`DiGraph` -- out/in adjacency lists, unweighted;
+* forward/backward BFS, reachable sets, brute-force closure;
+* DAG detection and topological order (Kahn).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import List, Optional, Set
+
+__all__ = ["DiGraph"]
+
+
+class DiGraph:
+    """A simple directed graph on vertices ``0 .. n-1``."""
+
+    __slots__ = ("_out", "_in", "_num_edges")
+
+    def __init__(self, num_vertices: int = 0) -> None:
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self._out: List[List[int]] = [[] for _ in range(num_vertices)]
+        self._in: List[List[int]] = [[] for _ in range(num_vertices)]
+        self._num_edges = 0
+
+    # ------------------------------------------------------------------
+    def add_vertex(self) -> int:
+        self._out.append([])
+        self._in.append([])
+        return len(self._out) - 1
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add the arc ``u -> v`` (parallel arcs collapse, loops rejected)."""
+        self._check(u)
+        self._check(v)
+        if u == v:
+            raise ValueError("self-loops are not allowed")
+        if v in self._out[u]:
+            return
+        self._out[u].append(v)
+        self._in[v].append(u)
+        self._num_edges += 1
+
+    def _check(self, v: int) -> None:
+        if not 0 <= v < len(self._out):
+            raise IndexError(f"vertex {v} out of range")
+
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self._out)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def vertices(self) -> range:
+        return range(len(self._out))
+
+    def successors(self, v: int) -> List[int]:
+        self._check(v)
+        return self._out[v]
+
+    def predecessors(self, v: int) -> List[int]:
+        self._check(v)
+        return self._in[v]
+
+    def edges(self):
+        for u, row in enumerate(self._out):
+            for v in row:
+                yield (u, v)
+
+    # ------------------------------------------------------------------
+    def reachable_from(self, source: int) -> Set[int]:
+        """All vertices reachable from ``source`` (including itself)."""
+        return self._bfs(source, self._out)
+
+    def reaching_to(self, target: int) -> Set[int]:
+        """All vertices that can reach ``target`` (including itself)."""
+        return self._bfs(target, self._in)
+
+    def _bfs(self, start: int, adjacency: List[List[int]]) -> Set[int]:
+        self._check(start)
+        seen = {start}
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                if v not in seen:
+                    seen.add(v)
+                    queue.append(v)
+        return seen
+
+    def reaches(self, u: int, v: int) -> bool:
+        """Brute-force reachability (BFS per query; the test oracle)."""
+        return v in self.reachable_from(u)
+
+    # ------------------------------------------------------------------
+    def topological_order(self) -> Optional[List[int]]:
+        """A topological order, or None if the graph has a cycle (Kahn)."""
+        indegree = [len(self._in[v]) for v in self.vertices()]
+        queue = deque(v for v in self.vertices() if indegree[v] == 0)
+        order: List[int] = []
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            for v in self._out[u]:
+                indegree[v] -= 1
+                if indegree[v] == 0:
+                    queue.append(v)
+        if len(order) != self.num_vertices:
+            return None
+        return order
+
+    def is_dag(self) -> bool:
+        return self.topological_order() is not None
+
+    def __repr__(self) -> str:
+        return f"DiGraph(n={self.num_vertices}, m={self.num_edges})"

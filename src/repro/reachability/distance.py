@@ -1,0 +1,148 @@
+"""Directed 2-hop *distance* covers -- the other half of [CHKZ03].
+
+Same shape as the reachability cover but with distances attached:
+``dist(u, v) = min over h of d_out(u, h) + d_in(h, v)`` where
+``d_out``/``d_in`` are stored with the hubs.  Construction mirrors
+pruned landmark labeling with a forward and a backward pruned BFS per
+root (unweighted arcs).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .digraph import DiGraph
+
+__all__ = [
+    "DirectedHubLabeling",
+    "pruned_directed_labeling",
+    "is_valid_directed_cover",
+]
+
+INF = float("inf")
+
+
+@dataclass
+class DirectedHubLabeling:
+    """Out/in hub maps with distances; asymmetric queries."""
+
+    out_labels: List[Dict[int, int]] = field(default_factory=list)
+    in_labels: List[Dict[int, int]] = field(default_factory=list)
+
+    @classmethod
+    def empty(cls, num_vertices: int) -> "DirectedHubLabeling":
+        return cls(
+            out_labels=[{} for _ in range(num_vertices)],
+            in_labels=[{} for _ in range(num_vertices)],
+        )
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.out_labels)
+
+    def query(self, u: int, v: int) -> float:
+        """The directed distance ``u -> v`` from labels alone."""
+        a = self.out_labels[u]
+        b = self.in_labels[v]
+        if len(a) > len(b):
+            best = INF
+            for h, db in b.items():
+                da = a.get(h)
+                if da is not None and da + db < best:
+                    best = da + db
+            return best
+        best = INF
+        for h, da in a.items():
+            db = b.get(h)
+            if db is not None and da + db < best:
+                best = da + db
+        return best
+
+    def total_size(self) -> int:
+        return sum(len(s) for s in self.out_labels) + sum(
+            len(s) for s in self.in_labels
+        )
+
+
+def pruned_directed_labeling(
+    graph: DiGraph, order: Optional[List[int]] = None
+) -> DirectedHubLabeling:
+    """Canonical directed PLL (forward + backward pruned BFS per root)."""
+    n = graph.num_vertices
+    if order is None:
+        order = sorted(
+            graph.vertices(),
+            key=lambda v: -(
+                len(graph.successors(v)) + len(graph.predecessors(v))
+            ),
+        )
+    if sorted(order) != list(graph.vertices()):
+        raise ValueError("order must be a permutation of the vertices")
+    labeling = DirectedHubLabeling.empty(n)
+    for root in order:
+        _pruned_bfs(graph, root, labeling, forward=True)
+        _pruned_bfs(graph, root, labeling, forward=False)
+    return labeling
+
+
+def _pruned_bfs(
+    graph: DiGraph,
+    root: int,
+    labeling: DirectedHubLabeling,
+    *,
+    forward: bool,
+) -> None:
+    adjacency = graph.successors if forward else graph.predecessors
+    # Forward sweep covers pairs (root -> u): compare against
+    # L_out(root) merged with L_in(u).
+    root_label = (
+        labeling.out_labels[root] if forward else labeling.in_labels[root]
+    )
+    dist = {root: 0}
+    queue = deque([root])
+    while queue:
+        u = queue.popleft()
+        d = dist[u]
+        target_label = (
+            labeling.in_labels[u] if forward else labeling.out_labels[u]
+        )
+        covered = False
+        for h, dr in root_label.items():
+            du = target_label.get(h)
+            if du is not None and dr + du <= d:
+                covered = True
+                break
+        if covered:
+            continue
+        if forward:
+            labeling.in_labels[u][root] = d
+        else:
+            labeling.out_labels[u][root] = d
+        for v in adjacency(u):
+            if v not in dist:
+                dist[v] = d + 1
+                queue.append(v)
+
+
+def is_valid_directed_cover(
+    graph: DiGraph, labeling: DirectedHubLabeling
+) -> bool:
+    """Exhaustive check against per-source BFS distances."""
+    if labeling.num_vertices != graph.num_vertices:
+        return False
+    for u in graph.vertices():
+        dist = {u: 0}
+        queue = deque([u])
+        while queue:
+            x = queue.popleft()
+            for y in graph.successors(x):
+                if y not in dist:
+                    dist[y] = dist[x] + 1
+                    queue.append(y)
+        for v in graph.vertices():
+            expected = dist.get(v, INF)
+            if labeling.query(u, v) != expected:
+                return False
+    return True

@@ -1,0 +1,66 @@
+"""Ruzsa-Szemeredi substrate: AP-free sets, RS graphs, matchings.
+
+Everything Section 4 of the paper needs from additive combinatorics:
+
+* Behrend's 3-AP-free sets (and a greedy baseline) -- :mod:`.behrend`;
+* dense bipartite graphs edge-partitioned into induced matchings, in the
+  midpoint form mirrored by the paper's hard instances -- :mod:`.rsgraph`;
+* matching / vertex-cover / induced-matching machinery used by the
+  Theorem 4.1 construction -- :mod:`.matchings`;
+* reference curves for ``RS(n)`` -- :mod:`.function`.
+"""
+
+from .behrend import (
+    behrend_set,
+    greedy_progression_free,
+    is_progression_free,
+    stanley_sequence,
+)
+from .matchings import (
+    greedy_maximal_matching,
+    is_induced_matching,
+    is_matching,
+    konig_vertex_cover,
+    maximum_bipartite_matching,
+    verify_induced_matching_partition,
+)
+from .rsgraph import RSGraph, build_rs_graph, matching_of_edge
+from .triangles import TriangleSystem, build_triangle_system
+from .partition import (
+    greedy_induced_matching,
+    greedy_induced_partition,
+    strong_edge_classes_upper_bound,
+)
+from .function import (
+    behrend_density_bound,
+    empirical_rs_from_graph,
+    log_star,
+    rs_lower_bound,
+    rs_upper_bound,
+)
+
+__all__ = [
+    "behrend_set",
+    "greedy_progression_free",
+    "is_progression_free",
+    "stanley_sequence",
+    "greedy_maximal_matching",
+    "is_induced_matching",
+    "is_matching",
+    "konig_vertex_cover",
+    "maximum_bipartite_matching",
+    "verify_induced_matching_partition",
+    "RSGraph",
+    "build_rs_graph",
+    "matching_of_edge",
+    "TriangleSystem",
+    "build_triangle_system",
+    "greedy_induced_matching",
+    "greedy_induced_partition",
+    "strong_edge_classes_upper_bound",
+    "behrend_density_bound",
+    "empirical_rs_from_graph",
+    "log_star",
+    "rs_lower_bound",
+    "rs_upper_bound",
+]

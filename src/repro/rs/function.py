@@ -1,0 +1,76 @@
+"""Bounds and estimates for the Ruzsa-Szemeredi function ``RS(n)``.
+
+Known bounds (Section 1.2 of the paper)::
+
+    2^{Omega(log* n)}  <=  RS(n)  <=  2^{O(sqrt(log n))}
+
+The lower bound is Fox's quantitative removal lemma; the upper bound is
+Behrend's construction (a dense RS graph witnesses that ``RS`` cannot be
+large).  These functions give concrete, constant-explicit versions used
+by the benchmark harness to place measured values on the known envelope;
+they are *reference curves*, not tight truths -- exactly as the paper
+only ever uses ``RS(n)`` symbolically.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "rs_upper_bound",
+    "rs_lower_bound",
+    "log_star",
+    "behrend_density_bound",
+    "empirical_rs_from_graph",
+]
+
+
+def log_star(n: float) -> int:
+    """The iterated logarithm (base 2): steps of log2 until <= 1."""
+    if n <= 1:
+        return 0
+    count = 0
+    value = float(n)
+    while value > 1:
+        value = math.log2(value)
+        count += 1
+    return count
+
+
+def rs_upper_bound(n: int, constant: float = 2 * math.sqrt(2 * math.log(2))) -> float:
+    """Behrend-style upper bound ``RS(n) <= e^{c sqrt(ln n)}``.
+
+    The default constant is the classical ``2 sqrt(2 ln 2)`` from
+    Behrend's density; any graph built by
+    :func:`repro.rs.rsgraph.build_rs_graph` has ``n^2 / RS`` edges with
+    ``RS`` below (a constant multiple of) this curve.
+    """
+    if n < 2:
+        return 1.0
+    return math.exp(constant * math.sqrt(math.log(n)))
+
+
+def rs_lower_bound(n: int) -> float:
+    """Fox-style lower bound ``RS(n) >= 2^{c log* n}`` (with c = 1)."""
+    if n < 2:
+        return 1.0
+    return 2.0 ** log_star(n)
+
+
+def behrend_density_bound(limit: int) -> float:
+    """Behrend's guaranteed AP-free set size ``limit / e^{c sqrt(ln limit)}``."""
+    if limit < 2:
+        return float(max(limit, 0))
+    c = 2 * math.sqrt(2 * math.log(2))
+    return limit / math.exp(c * math.sqrt(math.log(limit)))
+
+
+def empirical_rs_from_graph(num_vertices: int, num_edges: int) -> float:
+    """The RS value certified by a concrete RS graph: ``n^2 / m``.
+
+    A *small* ratio is a strong witness (dense graph decomposable into
+    induced matchings); ``RS(n)`` is at most this ratio.
+    """
+    if num_edges <= 0:
+        return float("inf")
+    return num_vertices * num_vertices / num_edges

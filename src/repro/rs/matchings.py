@@ -1,0 +1,181 @@
+"""Matchings, vertex covers, and induced matchings on bipartite graphs.
+
+The upper-bound proof (Lemma 4.2) takes, for every triple ``(a, b, h)``,
+a *maximal* matching of the bipartite pair graph ``E^h_{a,b}``, bounds
+the minimum vertex cover by twice its size, and shows the matchings for
+equal-colored hubs tile a Ruzsa-Szemeredi graph as induced matchings.
+This module provides those primitives on bipartite graphs given as plain
+edge lists of ``(left, right)`` pairs (left and right vertex universes
+may overlap; they are treated as disjoint copies).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+__all__ = [
+    "greedy_maximal_matching",
+    "maximum_bipartite_matching",
+    "konig_vertex_cover",
+    "is_matching",
+    "is_induced_matching",
+    "verify_induced_matching_partition",
+]
+
+Edge = Tuple[int, int]
+
+
+def greedy_maximal_matching(edges: Iterable[Edge]) -> List[Edge]:
+    """A maximal (not maximum) matching by greedy scan.
+
+    Maximality is all Lemma 4.2 needs: ``|VC| <= 2 |MM|``.
+    """
+    used_left: Set[int] = set()
+    used_right: Set[int] = set()
+    matching: List[Edge] = []
+    for u, v in edges:
+        if u not in used_left and v not in used_right:
+            used_left.add(u)
+            used_right.add(v)
+            matching.append((u, v))
+    return matching
+
+
+def maximum_bipartite_matching(
+    edges: Sequence[Edge],
+) -> List[Edge]:
+    """A maximum matching via Hopcroft-Karp.
+
+    Vertices are the values appearing in ``edges`` (left/right handled as
+    disjoint universes).
+    """
+    adjacency: Dict[int, List[int]] = {}
+    rights: Set[int] = set()
+    for u, v in edges:
+        adjacency.setdefault(u, []).append(v)
+        rights.add(v)
+    match_left: Dict[int, int] = {}
+    match_right: Dict[int, int] = {}
+    INFINITE = float("inf")
+    dist: Dict[int, float] = {}
+
+    def bfs() -> bool:
+        queue = deque()
+        dist.clear()
+        for u in adjacency:
+            if u not in match_left:
+                dist[u] = 0
+                queue.append(u)
+            else:
+                dist[u] = INFINITE
+        found = False
+        while queue:
+            u = queue.popleft()
+            for v in adjacency[u]:
+                w = match_right.get(v)
+                if w is None:
+                    found = True
+                elif dist.get(w, INFINITE) == INFINITE:
+                    dist[w] = dist[u] + 1
+                    queue.append(w)
+        return found
+
+    def dfs(u: int) -> bool:
+        for v in adjacency[u]:
+            w = match_right.get(v)
+            if w is None or (dist.get(w) == dist[u] + 1 and dfs(w)):
+                match_left[u] = v
+                match_right[v] = u
+                return True
+        dist[u] = INFINITE
+        return False
+
+    while bfs():
+        for u in list(adjacency):
+            if u not in match_left:
+                dfs(u)
+    return sorted(match_left.items())
+
+
+def konig_vertex_cover(
+    edges: Sequence[Edge],
+) -> Tuple[Set[int], Set[int]]:
+    """A minimum vertex cover ``(left_cover, right_cover)`` via Koenig.
+
+    Computes a maximum matching, then the alternating-reachability set
+    ``Z`` from unmatched left vertices; the cover is
+    ``(L \\ Z) ∪ (R ∩ Z)``.  ``|cover| == |maximum matching|``.
+    """
+    matching = maximum_bipartite_matching(edges)
+    match_left = dict(matching)
+    match_right = {v: u for u, v in matching}
+    adjacency: Dict[int, List[int]] = {}
+    lefts: Set[int] = set()
+    rights: Set[int] = set()
+    for u, v in edges:
+        adjacency.setdefault(u, []).append(v)
+        lefts.add(u)
+        rights.add(v)
+    # Alternating BFS from unmatched left vertices.
+    visited_left: Set[int] = {u for u in lefts if u not in match_left}
+    visited_right: Set[int] = set()
+    queue = deque(visited_left)
+    while queue:
+        u = queue.popleft()
+        for v in adjacency.get(u, []):
+            if v in visited_right:
+                continue
+            if match_left.get(u) == v:
+                continue  # only unmatched edges L -> R
+            visited_right.add(v)
+            w = match_right.get(v)
+            if w is not None and w not in visited_left:
+                visited_left.add(w)
+                queue.append(w)
+    left_cover = lefts - visited_left
+    right_cover = rights & visited_right
+    return left_cover, right_cover
+
+
+def is_matching(edges: Sequence[Edge]) -> bool:
+    """True iff no left or right endpoint repeats."""
+    lefts = [u for u, _ in edges]
+    rights = [v for _, v in edges]
+    return len(set(lefts)) == len(lefts) and len(set(rights)) == len(rights)
+
+
+def is_induced_matching(
+    graph_edges: Set[Edge], matching: Sequence[Edge]
+) -> bool:
+    """True iff ``matching`` is induced in the bipartite graph.
+
+    Induced: the only graph edges between matched left endpoints and
+    matched right endpoints are the matching edges themselves.
+    """
+    if not is_matching(matching):
+        return False
+    matched = set(matching)
+    lefts = [u for u, _ in matching]
+    rights = [v for _, v in matching]
+    for u in lefts:
+        for v in rights:
+            if (u, v) in graph_edges and (u, v) not in matched:
+                return False
+    return True
+
+
+def verify_induced_matching_partition(
+    graph_edges: Set[Edge], matchings: Sequence[Sequence[Edge]]
+) -> bool:
+    """Check that ``matchings`` partition ``graph_edges`` into induced
+    matchings (the Ruzsa-Szemeredi property, Definition 1.3)."""
+    seen: Set[Edge] = set()
+    for matching in matchings:
+        for edge in matching:
+            if edge in seen or edge not in graph_edges:
+                return False
+            seen.add(edge)
+        if not is_induced_matching(graph_edges, matching):
+            return False
+    return seen == graph_edges

@@ -1,0 +1,130 @@
+"""Ruzsa-Szemeredi graphs: dense graphs tiled by induced matchings.
+
+Definition 1.3 of the paper: a graph on ``n`` vertices whose edges can be
+partitioned into at most ``n`` induced matchings; ``RS(n)`` is the
+largest function such that every such graph has at most ``n^2 / RS(n)``
+edges.
+
+The classic dense construction (via Behrend's progression-free sets)
+realized here is the *midpoint* form, which is exactly the structure the
+paper's hard instances mimic:
+
+* left and right vertex copies of ``Z_q`` (``q`` odd);
+* an edge ``(a_L, b_R)`` whenever ``(b - a) / 2 mod q`` lies in the
+  AP-free set ``S`` (with ``S ⊆ [1, q/4)`` so sums never wrap);
+* the matching of an edge is indexed by its *midpoint*
+  ``x = (a + b) / 2 mod q``: ``M_x = {((x - s)_L, (x + s)_R) : s ∈ S}``.
+
+AP-freeness of ``S`` makes every ``M_x`` induced (a cross edge would
+force a 3-term progression), and midpoints partition the edges, so the
+bipartite graph on ``2q`` vertices has ``q`` induced matchings and
+``q * |S| = q^2 / 2^{O(sqrt(log q))}`` edges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from .behrend import behrend_set, is_progression_free
+from .matchings import verify_induced_matching_partition
+
+__all__ = ["RSGraph", "build_rs_graph", "matching_of_edge"]
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class RSGraph:
+    """A bipartite Ruzsa-Szemeredi graph with its matching partition.
+
+    ``num_classes`` is ``q``; vertices are ``0 .. q-1`` (left copy) and
+    ``q .. 2q-1`` (right copy).  ``matchings[x]`` is the induced matching
+    whose edges have midpoint ``x``.
+    """
+
+    num_classes: int
+    difference_set: List[int]
+    edges: Set[Edge]
+    matchings: List[List[Edge]]
+
+    @property
+    def num_vertices(self) -> int:
+        return 2 * self.num_classes
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    @property
+    def num_matchings(self) -> int:
+        return sum(1 for m in self.matchings if m)
+
+    def density_ratio(self) -> float:
+        """``n^2 / m`` -- the empirical RS(n) value this graph certifies."""
+        if not self.edges:
+            return float("inf")
+        n = self.num_vertices
+        return n * n / len(self.edges)
+
+    def verify(self) -> bool:
+        """Full check of the RS property (quadratic; tests only)."""
+        if not is_progression_free(self.difference_set):
+            return False
+        if self.num_matchings > self.num_vertices:
+            return False
+        return verify_induced_matching_partition(self.edges, self.matchings)
+
+
+def build_rs_graph(num_classes: int, *, difference_set: Sequence[int] = None) -> RSGraph:
+    """Build the midpoint RS graph on ``2 * num_classes`` vertices.
+
+    ``num_classes`` must be odd (so halving mod q is a bijection).  The
+    difference set defaults to Behrend's construction inside
+    ``[1, num_classes / 4)``; a custom AP-free set may be supplied.
+    """
+    q = num_classes
+    if q < 3 or q % 2 == 0:
+        raise ValueError("num_classes must be an odd integer >= 3")
+    if difference_set is None:
+        quarter = max(2, q // 4)
+        difference_set = [s for s in behrend_set(quarter) if s >= 1]
+        if not difference_set:
+            difference_set = [1]
+    differences = sorted(set(difference_set))
+    if not differences:
+        raise ValueError("difference set must be non-empty")
+    if min(differences) < 1 or 2 * max(differences) >= q:
+        # ``s + s' <= 2 max < q`` keeps all midpoint sums carry-free, which
+        # is what turns AP-freeness into inducedness.
+        raise ValueError("difference set must lie in [1, q/2)")
+    if not is_progression_free(differences):
+        raise ValueError("difference set must be 3-AP free")
+    edges: Set[Edge] = set()
+    matchings: List[List[Edge]] = [[] for _ in range(q)]
+    for x in range(q):
+        for s in differences:
+            left = (x - s) % q
+            right = q + (x + s) % q
+            edge = (left, right)
+            edges.add(edge)
+            matchings[x].append(edge)
+    return RSGraph(
+        num_classes=q,
+        difference_set=differences,
+        edges=edges,
+        matchings=matchings,
+    )
+
+
+def matching_of_edge(graph: RSGraph, edge: Edge) -> int:
+    """The midpoint class that owns ``edge`` (inverse of the partition)."""
+    left, right = edge
+    if edge not in graph.edges:
+        raise KeyError(f"edge {edge} not in the graph")
+    q = graph.num_classes
+    a = left
+    b = right - q
+    total = (a + b) % q
+    half = (total * ((q + 1) // 2)) % q  # multiply by the inverse of 2
+    return half

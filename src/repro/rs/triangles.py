@@ -1,0 +1,124 @@
+"""The original Ruzsa-Szemeredi triangle systems [RS78].
+
+Ruzsa and Szemeredi's paper ("Triple systems with no six points
+carrying three triangles") phrased the phenomenon with triangles: from
+a 3-AP-free set ``S ⊆ [q]`` build the tripartite graph on
+``X = [q], Y = [2q], Z = [3q]`` with, for every ``x ∈ [q], s ∈ S``,
+the triangle::
+
+    (x)_X -- (x + s)_Y -- (x + 2s)_Z -- (x)_X
+
+AP-freeness makes the system *linear*: every edge lies in **exactly
+one** triangle (a second triangle through an edge would force a
+3-term progression), yet the graph has ``3 q |S|`` edges -- the same
+density phenomenon as the induced-matching form in
+:mod:`repro.rs.rsgraph`, and the seed of the (6,3)-theorem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from .behrend import behrend_set, is_progression_free
+
+__all__ = ["TriangleSystem", "build_triangle_system"]
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class TriangleSystem:
+    """The tripartite triangle graph with its triangle list.
+
+    Vertices: ``0 .. q-1`` (X), ``q .. 3q-1`` (Y, values x+s in [0, 2q)),
+    ``3q .. 6q-1`` (Z, values x+2s in [0, 3q)).
+    """
+
+    q: int
+    difference_set: List[int]
+    triangles: List[Tuple[int, int, int]]
+    edges: Set[Edge]
+
+    @property
+    def num_vertices(self) -> int:
+        return 6 * self.q
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.edges)
+
+    def all_graph_triangles(self) -> List[Tuple[int, int, int]]:
+        """Every triangle the *graph* contains (not just the intended
+        ones): X-Y-Z triples with all three edges present.
+
+        A stray triangle would mix three different intended triangles
+        and forces a 3-term progression in ``S`` -- so for an AP-free
+        set this returns exactly ``self.triangles``.
+        """
+        by_y: Dict[int, List[int]] = {}
+        for a, b in (
+            (a, b) for (a, b) in self.edges if a < self.q and b < 3 * self.q
+        ):
+            if b >= self.q:  # X-Y edge
+                by_y.setdefault(b, []).append(a)
+        found = []
+        z_neighbors: Dict[int, List[int]] = {}
+        for b, c in (
+            (b, c)
+            for (b, c) in self.edges
+            if self.q <= b < 3 * self.q and c >= 3 * self.q
+        ):
+            z_neighbors.setdefault(b, []).append(c)
+        for b, xs in by_y.items():
+            for c in z_neighbors.get(b, []):
+                for a in xs:
+                    if (a, c) in self.edges:
+                        found.append((a, b, c))
+        return sorted(found)
+
+    def is_linear(self) -> bool:
+        """Every edge lies in exactly one *graph* triangle (RS78).
+
+        Equivalent to: the graph contains no triangles beyond the
+        intended ``q * |S|`` ones -- which is what AP-freeness buys.
+        """
+        return self.all_graph_triangles() == sorted(self.triangles)
+
+
+def build_triangle_system(
+    q: int, *, difference_set: Sequence[int] = None
+) -> TriangleSystem:
+    """Build the RS78 triangle system over ``[q]`` with set ``S``.
+
+    ``S`` defaults to Behrend's construction in ``[1, q)``; it must be
+    3-AP-free, which is what forbids a second triangle on any edge.
+    """
+    if q < 2:
+        raise ValueError("q must be >= 2")
+    if difference_set is None:
+        difference_set = [s for s in behrend_set(q) if s >= 1] or [1]
+    differences = sorted(set(difference_set))
+    if min(differences) < 1 or max(differences) >= q:
+        raise ValueError("difference set must lie in [1, q)")
+    if not is_progression_free(differences):
+        raise ValueError("difference set must be 3-AP free")
+    y_base = q
+    z_base = 3 * q
+    triangles: List[Tuple[int, int, int]] = []
+    edges: Set[Edge] = set()
+    for x in range(q):
+        for s in differences:
+            a = x
+            b = y_base + x + s  # x + s in [1, 2q)
+            c = z_base + x + 2 * s  # x + 2s in [2, 3q)
+            triangles.append((a, b, c))
+            edges.add((a, b))
+            edges.add((b, c))
+            edges.add((a, c))
+    return TriangleSystem(
+        q=q,
+        difference_set=differences,
+        triangles=triangles,
+        edges=edges,
+    )

@@ -1,0 +1,53 @@
+"""Sum-Index (Section 3): the problem, the graph reduction, protocols.
+
+* :mod:`.problem` -- instances and the base-(s/2) vector encoding;
+* :mod:`.reduction` -- ``G'_{b,l}`` with the ``W`` predicate and the
+  Observation 3.1 decoder;
+* :mod:`.protocols` -- the Theorem 1.6 simultaneous-message protocol on
+  top of any distance labeling, plus the trivial baseline.
+"""
+
+from .problem import (
+    SumIndexInstance,
+    index_to_vector,
+    random_bitstring,
+    vector_to_index,
+)
+from .reduction import (
+    SumIndexGraph,
+    build_sumindex_graph,
+    decode_membership,
+)
+from .protocols import (
+    GraphLabelingProtocol,
+    Message,
+    TrivialProtocol,
+    row_label_decoder,
+    run_protocol,
+)
+from .shift import (
+    cyclic_shift,
+    protocol_for_shift_bit,
+    shift_output_bit_as_sumindex,
+)
+from .bruteforce import exact_total_bits, protocol_exists
+
+__all__ = [
+    "SumIndexInstance",
+    "index_to_vector",
+    "random_bitstring",
+    "vector_to_index",
+    "SumIndexGraph",
+    "build_sumindex_graph",
+    "decode_membership",
+    "GraphLabelingProtocol",
+    "Message",
+    "TrivialProtocol",
+    "row_label_decoder",
+    "run_protocol",
+    "cyclic_shift",
+    "protocol_for_shift_bit",
+    "shift_output_bit_as_sumindex",
+    "exact_total_bits",
+    "protocol_exists",
+]

@@ -1,0 +1,76 @@
+"""Exact simultaneous-message complexity by brute force (tiny m).
+
+The paper leans on ``SUMINDEX(n) = Omega(sqrt n)`` from the
+communication-complexity literature.  For laptop-scale sanity we can
+compute the *exact* complexity for the smallest instances by
+enumerating every deterministic protocol: Alice's message is any
+function of ``(S, a)``, Bob's of ``(S, b)``, and a referee function of
+the two messages must output ``S[(a + b) mod m]`` for **all** inputs.
+
+With message alphabets of ``2^c`` symbols the search space is
+``2^(c * m * 2^m)`` per player, so only ``m <= 2`` is exhaustive; the
+module exposes exactly that and refuses more.  (Result, verified by the
+tests: ``SUMINDEX(2)`` needs 2 message bits in total -- one per player
+is already enough, because both players know S.)
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, Optional, Tuple
+
+__all__ = ["protocol_exists", "exact_total_bits"]
+
+
+def _all_inputs(m: int) -> Iterator[Tuple[Tuple[int, ...], int, int]]:
+    for bits in product((0, 1), repeat=m):
+        for a in range(m):
+            for b in range(m):
+                yield bits, a, b
+
+
+def protocol_exists(m: int, alice_symbols: int, bob_symbols: int) -> bool:
+    """Is there a deterministic SM protocol with the given alphabets?
+
+    Exhaustive over all message functions and referee tables.  Capped at
+    ``m <= 2`` (the search is doubly exponential).
+    """
+    if m < 1:
+        raise ValueError("m must be >= 1")
+    if m > 2:
+        raise ValueError("exhaustive search is capped at m <= 2")
+    strings = list(product((0, 1), repeat=m))
+    alice_domain = [(s, a) for s in strings for a in range(m)]
+    bob_domain = [(s, b) for s in strings for b in range(m)]
+
+    for alice_values in product(range(alice_symbols), repeat=len(alice_domain)):
+        alice = dict(zip(alice_domain, alice_values))
+        for bob_values in product(range(bob_symbols), repeat=len(bob_domain)):
+            bob = dict(zip(bob_domain, bob_values))
+            # The referee table is forced: every (msg_a, msg_b) cell must
+            # be consistent across all inputs mapping to it.
+            table: dict = {}
+            consistent = True
+            for bits, a, b in _all_inputs(m):
+                key = (alice[(bits, a)], bob[(bits, b)])
+                answer = bits[(a + b) % m]
+                if table.setdefault(key, answer) != answer:
+                    consistent = False
+                    break
+            if consistent:
+                return True
+    return False
+
+
+def exact_total_bits(m: int, max_bits: int = 4) -> Optional[int]:
+    """The minimum total message bits for SUMINDEX(m) (m <= 2).
+
+    Searches symmetric and asymmetric splits up to ``max_bits`` total;
+    returns None if nothing within the budget works.
+    """
+    for total in range(0, max_bits + 1):
+        for alice_bits in range(0, total + 1):
+            bob_bits = total - alice_bits
+            if protocol_exists(m, 2 ** alice_bits, 2 ** bob_bits):
+                return total
+    return None

@@ -1,0 +1,85 @@
+"""The Sum-Index problem (Definition 1.5) and its vector encoding.
+
+Alice holds the shared bit string ``S`` of length ``m`` and an index
+``a``; Bob holds ``S`` and ``b``; each sends one simultaneous message to
+a referee who must output ``S[(a + b) mod m]``.
+
+The reduction of Theorem 1.6 encodes indices as vectors: with grid side
+``s = 2^b`` and dimension ``l``, set ``m = (s/2)^l`` and let
+``repr(x) = (sum_k x_k (s/2)^k) mod m`` -- base-``s/2`` digits.  Then
+
+* ``repr`` restricted to ``[0, s/2 - 1]^l`` is a bijection onto
+  ``[0, m - 1]`` (plain positional notation);
+* ``repr`` is linear mod ``m``: ``repr(x + z) = (repr(x) + repr(z)) mod m``
+  for *any* vectors (the identity the referee relies on).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+__all__ = [
+    "SumIndexInstance",
+    "vector_to_index",
+    "index_to_vector",
+    "random_bitstring",
+]
+
+
+def vector_to_index(vector: Sequence[int], half_side: int) -> int:
+    """``repr(x) = (sum x_k (s/2)^k) mod (s/2)^l``."""
+    if half_side < 1:
+        raise ValueError("half_side must be >= 1")
+    modulus = half_side ** len(vector)
+    value = 0
+    power = 1
+    for digit in vector:
+        value += digit * power
+        power *= half_side
+    return value % modulus if modulus else 0
+
+
+def index_to_vector(index: int, half_side: int, dimension: int) -> Tuple[int, ...]:
+    """The unique ``x in [0, s/2 - 1]^l`` with ``repr(x) = index``."""
+    modulus = half_side ** dimension
+    if not 0 <= index < modulus:
+        raise ValueError(f"index {index} out of range [0, {modulus})")
+    digits = []
+    for _ in range(dimension):
+        digits.append(index % half_side)
+        index //= half_side
+    return tuple(digits)
+
+
+def random_bitstring(length: int, seed: int = 0) -> Tuple[int, ...]:
+    rng = random.Random(seed)
+    return tuple(rng.randrange(2) for _ in range(length))
+
+
+@dataclass(frozen=True)
+class SumIndexInstance:
+    """One Sum-Index input: the shared string and the two indices."""
+
+    bits: Tuple[int, ...]
+    alice_index: int
+    bob_index: int
+
+    def __post_init__(self) -> None:
+        m = len(self.bits)
+        if m == 0:
+            raise ValueError("the shared string must be non-empty")
+        if any(bit not in (0, 1) for bit in self.bits):
+            raise ValueError("S must be a 0/1 string")
+        if not (0 <= self.alice_index < m and 0 <= self.bob_index < m):
+            raise ValueError("indices must lie in [0, m)")
+
+    @property
+    def length(self) -> int:
+        return len(self.bits)
+
+    @property
+    def answer(self) -> int:
+        """The referee's target: ``S[(a + b) mod m]``."""
+        return self.bits[(self.alice_index + self.bob_index) % len(self.bits)]

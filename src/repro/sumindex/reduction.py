@@ -1,0 +1,131 @@
+"""The graph ``G'_{b,l}`` and Observation 3.1 (Section 3).
+
+``G'_{b,l}`` is the hard instance ``G_{b,l}`` with part of its middle
+layer deleted: the core vertex ``v_{l,y}`` survives iff the predicate
+``W(y) = [S_repr(y) = 1]`` holds for the shared Sum-Index string ``S``.
+
+Observation 3.1: for a Lemma 2.2 pair (all gaps even), the distance
+between ``v_{0,x}`` and ``v_{2l,z}`` in ``G'`` reveals ``W((x+z)/2)``:
+
+* if the midpoint core survives, the unique shortest path of ``G`` is
+  intact and the distance equals the closed form
+  ``2 l A + sum (z_k - x_k)^2 / 2``;
+* if it was deleted, every remaining route either crosses the middle
+  layer at a different vertex (strictly costlier -- the even split is
+  the unique minimum of the convex cost) or backtracks (costlier still),
+  so the distance strictly exceeds the closed form (possibly infinite
+  when the whole layer is gone).
+
+The decoder therefore needs only ``x``, ``z``, and the distance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from ..graphs.graph import Graph
+from ..graphs.traversal import bidirectional_distance
+from ..lowerbound.degree3 import Degree3Instance, build_degree3_instance
+from ..lowerbound.layered import Vector
+from .problem import vector_to_index
+
+__all__ = ["SumIndexGraph", "build_sumindex_graph", "decode_membership"]
+
+
+@dataclass
+class SumIndexGraph:
+    """``G'_{b,l}`` plus the survived-vertex bookkeeping."""
+
+    instance: Degree3Instance
+    graph: Graph
+    #: (level, vector) -> vertex id in the *pruned* graph.
+    core_index: Dict[Tuple[int, Vector], int]
+    bits: Tuple[int, ...]
+    num_removed: int
+
+    @property
+    def b(self) -> int:
+        return self.instance.b
+
+    @property
+    def ell(self) -> int:
+        return self.instance.ell
+
+    @property
+    def half_side(self) -> int:
+        return self.instance.side // 2
+
+    @property
+    def modulus(self) -> int:
+        """``m = (s/2)^l`` -- the Sum-Index string length served."""
+        return self.half_side ** self.ell
+
+    def predicate(self, vector: Vector) -> bool:
+        """``W(vector) = [S_repr(vector) = 1]``."""
+        return self.bits[vector_to_index(vector, self.half_side) % self.modulus] == 1
+
+    def core_vertex(self, level: int, vector: Vector) -> int:
+        return self.core_index[(level, tuple(vector))]
+
+    def endpoint_distance(self, x: Vector, z: Vector) -> float:
+        """dist(v_{0,x}, v_{2l,z}) in the pruned graph."""
+        return bidirectional_distance(
+            self.graph,
+            self.core_vertex(0, x),
+            self.core_vertex(2 * self.ell, z),
+        )
+
+    def expected_distance(self, x: Vector, z: Vector) -> int:
+        """The Lemma 2.2 closed form (distance iff the midpoint survives)."""
+        return self.instance.layered.unique_path_length(x, z)
+
+
+def build_sumindex_graph(
+    b: int, ell: int, bits: Sequence[int]
+) -> SumIndexGraph:
+    """Prune ``G_{b,l}``'s middle layer according to ``S = bits``.
+
+    ``bits`` must have length ``m = (s/2)^l``.  Every middle-layer vector
+    ``y`` (the full ``[0, s-1]^l``, not only the bijective sub-box) is
+    kept iff ``S[repr(y)] = 1`` -- each bit controls ``2^l`` vectors, as
+    in the paper ("every value is in the image of 2^l vectors").
+    """
+    instance = build_degree3_instance(b, ell)
+    half = instance.side // 2
+    modulus = half ** ell
+    bits = tuple(bits)
+    if len(bits) != modulus:
+        raise ValueError(
+            f"need exactly m = (s/2)^l = {modulus} bits, got {len(bits)}"
+        )
+    if any(bit not in (0, 1) for bit in bits):
+        raise ValueError("bits must be 0/1")
+    layered = instance.layered
+    removed = []
+    for vector in layered.vectors():
+        index = vector_to_index(vector, half) % modulus
+        if bits[index] == 0:
+            removed.append(instance.core_vertex(ell, vector))
+    pruned, old_to_new = instance.graph.remove_vertices(removed)
+    core_index: Dict[Tuple[int, Vector], int] = {}
+    for level in range(layered.num_levels):
+        for vector in layered.vectors():
+            old = instance.core_vertex(level, vector)
+            if old in old_to_new:
+                core_index[(level, vector)] = old_to_new[old]
+    return SumIndexGraph(
+        instance=instance,
+        graph=pruned,
+        core_index=core_index,
+        bits=bits,
+        num_removed=len(removed),
+    )
+
+
+def decode_membership(
+    expected_distance: float, measured_distance: float
+) -> int:
+    """Observation 3.1's decoder: the midpoint bit is 1 iff the measured
+    distance equals the intact-path closed form."""
+    return 1 if measured_distance == expected_distance else 0

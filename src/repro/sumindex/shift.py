@@ -1,0 +1,61 @@
+"""The shift function and its relation to Sum-Index (Section 1.2).
+
+Sum-Index was first isolated [Pud94] as a single-output-bit "extract" of
+the cyclic shift function ``shift_k(x) = y`` with
+``y_i = x_{(i+k) mod n}``: proving super-linear circuit lower bounds for
+``shift`` was a candidate program, and the sublinear Sum-Index
+protocols of Pudlak and Ambainis killed it.
+
+This module makes the textbook connection executable:
+
+* :func:`cyclic_shift` -- the function itself;
+* :func:`shift_output_bit_as_sumindex` -- output bit ``i`` of
+  ``shift_k(S)`` *is* the Sum-Index answer for indices ``(i, k)``;
+* :func:`protocol_for_shift_bit` -- consequently, any Sum-Index
+  protocol (e.g. the paper's graph-based one) evaluates any single
+  output bit of shift in the simultaneous-messages model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from .problem import SumIndexInstance
+from .protocols import run_protocol
+
+__all__ = [
+    "cyclic_shift",
+    "shift_output_bit_as_sumindex",
+    "protocol_for_shift_bit",
+]
+
+
+def cyclic_shift(bits: Sequence[int], k: int) -> Tuple[int, ...]:
+    """``shift_k``: output ``y`` with ``y_i = x_{(i+k) mod n}``."""
+    n = len(bits)
+    if n == 0:
+        return ()
+    k %= n
+    return tuple(bits[(i + k) % n] for i in range(n))
+
+
+def shift_output_bit_as_sumindex(
+    bits: Sequence[int], position: int, k: int
+) -> SumIndexInstance:
+    """The Sum-Index instance whose answer is bit ``position`` of
+    ``shift_k(bits)``: Alice holds ``position``, Bob holds ``k``."""
+    n = len(bits)
+    return SumIndexInstance(
+        bits=tuple(bits),
+        alice_index=position % n,
+        bob_index=k % n,
+    )
+
+
+def protocol_for_shift_bit(
+    protocol, bits: Sequence[int], position: int, k: int
+) -> Tuple[int, int, int]:
+    """Evaluate bit ``position`` of ``shift_k(bits)`` through any
+    Sum-Index protocol.  Returns ``(bit, alice_bits, bob_bits)``."""
+    instance = shift_output_bit_as_sumindex(bits, position, k)
+    return run_protocol(protocol, instance)

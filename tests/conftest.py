@@ -1,0 +1,76 @@
+"""Shared fixtures: small graphs every test module reuses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    cycle_graph,
+    grid_2d,
+    path_graph,
+    random_sparse_graph,
+    random_tree,
+    star_graph,
+)
+
+
+@pytest.fixture
+def small_path() -> Graph:
+    return path_graph(6)
+
+
+@pytest.fixture
+def small_cycle() -> Graph:
+    return cycle_graph(7)
+
+
+@pytest.fixture
+def small_grid() -> Graph:
+    return grid_2d(4, 5)
+
+
+@pytest.fixture
+def small_star() -> Graph:
+    return star_graph(8)
+
+
+@pytest.fixture
+def small_tree() -> Graph:
+    return random_tree(30, seed=7)
+
+
+@pytest.fixture
+def sparse_graph() -> Graph:
+    return random_sparse_graph(80, seed=11)
+
+
+@pytest.fixture
+def weighted_triangle() -> Graph:
+    g = Graph(3)
+    g.add_edge(0, 1, 2)
+    g.add_edge(1, 2, 3)
+    g.add_edge(0, 2, 10)
+    return g
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-slow",
+        action="store_true",
+        default=False,
+        help="run tests marked slow (larger hard instances)",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running test")
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-slow"):
+        return
+    skip_slow = pytest.mark.skip(reason="needs --run-slow")
+    for item in items:
+        if "slow" in item.keywords:
+            item.add_marker(skip_slow)

@@ -1,0 +1,88 @@
+"""Additive-approximate labels + correction tables (Section 1.1)."""
+
+import pytest
+
+from repro.core import (
+    CorrectedScheme,
+    additive_approximation,
+    approximation_errors,
+    pruned_landmark_labeling,
+)
+from repro.graphs import (
+    all_pairs_distances,
+    grid_2d,
+    path_graph,
+    random_sparse_graph,
+)
+
+
+class TestAdditiveApproximation:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_error_in_0_1_2(self, seed):
+        g = random_sparse_graph(40, seed=seed)
+        exact = pruned_landmark_labeling(g)
+        coarse = additive_approximation(g, exact, seed=seed)
+        counts = approximation_errors(g, coarse)
+        assert len(counts) <= 3  # errors 0, 1, 2 only
+        assert sum(counts) == sum(
+            1
+            for u in range(40)
+            for v in range(u + 1, 40)
+        )
+
+    def test_never_underestimates(self):
+        g = grid_2d(5, 5)
+        exact = pruned_landmark_labeling(g)
+        coarse = additive_approximation(g, exact, seed=3)
+        matrix = all_pairs_distances(g)
+        for u in range(25):
+            for v in range(25):
+                assert coarse.query(u, v) >= matrix[u][v]
+
+    def test_coarsening_never_grows_labels(self):
+        g = random_sparse_graph(50, seed=7)
+        exact = pruned_landmark_labeling(g)
+        coarse = additive_approximation(g, exact, seed=1)
+        assert coarse.total_size() <= exact.total_size()
+
+    def test_identity_map_possible(self):
+        # On a path with seed choices mapping each hub to itself the
+        # approximation degenerates to exact -- error histogram has only
+        # slot 0 populated... any seed: errors still bounded.
+        g = path_graph(10)
+        exact = pruned_landmark_labeling(g)
+        coarse = additive_approximation(g, exact, seed=0)
+        counts = approximation_errors(g, coarse)
+        assert sum(counts) == 45
+
+
+class TestCorrectedScheme:
+    def test_exact_queries(self):
+        g = random_sparse_graph(30, seed=2)
+        scheme = CorrectedScheme.build(
+            g, pruned_landmark_labeling(g), seed=5
+        )
+        matrix = all_pairs_distances(g)
+        for u in range(30):
+            for v in range(30):
+                assert scheme.query(u, v) == matrix[u][v]
+
+    def test_bit_accounting(self):
+        import math
+
+        g = random_sparse_graph(30, seed=3)
+        scheme = CorrectedScheme.build(
+            g, pruned_landmark_labeling(g), seed=1
+        )
+        assert scheme.correction_bits_per_vertex() == pytest.approx(
+            math.log2(3) * 30
+        )
+        assert scheme.total_bits_per_vertex() > scheme.correction_bits_per_vertex()
+
+    def test_corrections_are_ternary(self):
+        g = grid_2d(4, 4)
+        scheme = CorrectedScheme.build(
+            g, pruned_landmark_labeling(g), seed=2
+        )
+        for row in scheme.corrections:
+            assert all(0 <= e <= 2 for e in row)

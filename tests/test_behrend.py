@@ -1,0 +1,80 @@
+"""Progression-free sets: Behrend, greedy, Stanley."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rs import (
+    behrend_set,
+    greedy_progression_free,
+    is_progression_free,
+    stanley_sequence,
+)
+
+
+class TestDetection:
+    def test_ap_detected(self):
+        assert not is_progression_free([1, 3, 5])
+        assert not is_progression_free([0, 5, 10])
+        assert not is_progression_free([2, 4, 3])  # order irrelevant
+
+    def test_ap_free_examples(self):
+        assert is_progression_free([])
+        assert is_progression_free([7])
+        assert is_progression_free([0, 1])
+        assert is_progression_free([0, 1, 3, 4])  # classic 4-element set
+
+    def test_duplicates_ignored(self):
+        assert is_progression_free([2, 2, 5])
+
+    @given(st.sets(st.integers(min_value=0, max_value=60), max_size=8))
+    def test_matches_brute_force(self, values):
+        items = sorted(values)
+        brute = True
+        for i, a in enumerate(items):
+            for b in items[i + 1 :]:
+                for c in items:
+                    if c != a and c != b and a + b == 2 * c:
+                        brute = False
+        assert is_progression_free(items) == brute
+
+
+class TestConstructions:
+    @pytest.mark.parametrize("limit", [0, 1, 2, 3, 10, 50, 200, 1000])
+    def test_behrend_ap_free_and_in_range(self, limit):
+        s = behrend_set(limit)
+        assert is_progression_free(s)
+        assert all(0 <= v < limit for v in s)
+        assert s == sorted(set(s))
+
+    @pytest.mark.parametrize("limit", [0, 1, 5, 30, 120])
+    def test_greedy_ap_free(self, limit):
+        s = greedy_progression_free(limit)
+        assert is_progression_free(s)
+        assert all(0 <= v < limit for v in s)
+
+    def test_greedy_equals_stanley(self):
+        # The lexicographically greedy set is exactly the base-3
+        # digits-{0,1} sequence.
+        for limit in (10, 50, 200):
+            assert greedy_progression_free(limit) == stanley_sequence(limit)
+
+    def test_greedy_is_maximal(self):
+        limit = 60
+        s = set(greedy_progression_free(limit))
+        for candidate in range(limit):
+            if candidate in s:
+                continue
+            assert not is_progression_free(sorted(s | {candidate}))
+
+    def test_behrend_density_grows(self):
+        sizes = [len(behrend_set(n)) for n in (100, 1000, 10000)]
+        assert sizes == sorted(sizes)
+        # Known value check: the greedy/Stanley count below 100 is 14 and
+        # behrend_set takes the max of both constructions at small scales.
+        assert len(behrend_set(100)) >= 14
+
+    def test_behrend_nontrivial_density(self):
+        n = 10000
+        s = behrend_set(n)
+        # Far denser than sqrt(n)...
+        assert len(s) >= 100

@@ -1,0 +1,98 @@
+"""Brandes betweenness centrality vs networkx and closed forms."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    Graph,
+    betweenness_centrality,
+    cycle_graph,
+    grid_2d,
+    path_graph,
+    random_sparse_graph,
+    random_weighted_graph,
+    star_graph,
+)
+
+
+def to_networkx(graph):
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    for u, v, w in graph.edges():
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+class TestClosedForms:
+    def test_path_interior(self):
+        # On a path, vertex i lies between i*(n-1-i) pairs.
+        n = 7
+        scores = betweenness_centrality(path_graph(n))
+        for i in range(n):
+            assert scores[i] == pytest.approx(i * (n - 1 - i))
+
+    def test_star_center(self):
+        n = 9
+        scores = betweenness_centrality(star_graph(n))
+        assert scores[0] == pytest.approx((n - 1) * (n - 2) / 2)
+        assert all(s == 0 for s in scores[1:])
+
+    def test_cycle_uniform(self):
+        scores = betweenness_centrality(cycle_graph(8))
+        assert len(set(round(s, 9) for s in scores)) == 1
+
+    def test_normalized_range(self):
+        scores = betweenness_centrality(grid_2d(4, 4), normalized=True)
+        assert all(0 <= s <= 1 for s in scores)
+
+
+class TestCrossValidation:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_networkx_unweighted(self, seed):
+        g = random_sparse_graph(40, seed=seed)
+        ours = betweenness_centrality(g, normalized=True)
+        theirs = nx.betweenness_centrality(to_networkx(g), normalized=True)
+        for v in g.vertices():
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-9)
+
+    def test_matches_networkx_weighted(self):
+        g = random_weighted_graph(25, 50, seed=4)
+        ours = betweenness_centrality(g, normalized=True)
+        theirs = nx.betweenness_centrality(
+            to_networkx(g), normalized=True, weight="weight"
+        )
+        for v in g.vertices():
+            assert ours[v] == pytest.approx(theirs[v], abs=1e-9)
+
+    def test_rejects_zero_weights(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 0)
+        with pytest.raises(ValueError):
+            betweenness_centrality(g)
+
+    def test_disconnected(self):
+        g = Graph(5)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        scores = betweenness_centrality(g)
+        assert scores[1] == pytest.approx(1.0)
+        assert scores[3] == 0 and scores[4] == 0
+
+
+class TestBetweennessOrder:
+    def test_order_on_star(self):
+        from repro.core import betweenness_order
+
+        order = betweenness_order(star_graph(7))
+        assert order[0] == 0
+        assert sorted(order) == list(range(7))
+
+    def test_order_improves_pll_on_grid(self):
+        from repro.core import betweenness_order, pruned_landmark_labeling
+        from repro.core import random_order
+
+        g = grid_2d(6, 6)
+        smart = pruned_landmark_labeling(g, betweenness_order(g))
+        naive = pruned_landmark_labeling(g, random_order(g, seed=1))
+        assert smart.total_size() <= naive.total_size()

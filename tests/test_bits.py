@@ -1,0 +1,126 @@
+"""Bit codecs: fixed, unary, Elias gamma/delta -- incl. property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.labeling import (
+    BitReader,
+    BitWriter,
+    elias_delta_length,
+    elias_gamma_length,
+)
+
+
+class TestFixed:
+    def test_round_trip(self):
+        w = BitWriter()
+        w.write_fixed(5, 4)
+        w.write_fixed(0, 3)
+        w.write_fixed(255, 8)
+        r = BitReader(w.getvalue())
+        assert r.read_fixed(4) == 5
+        assert r.read_fixed(3) == 0
+        assert r.read_fixed(8) == 255
+        assert r.remaining == 0
+
+    def test_overflow_rejected(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_fixed(16, 4)
+        with pytest.raises(ValueError):
+            w.write_fixed(-1, 4)
+
+    def test_eof(self):
+        r = BitReader((1, 0))
+        r.read_fixed(2)
+        with pytest.raises(EOFError):
+            r.read_bit()
+
+    def test_write_bit_validation(self):
+        w = BitWriter()
+        with pytest.raises(ValueError):
+            w.write_bit(2)
+
+
+class TestUnaryGammaDelta:
+    def test_unary_round_trip(self):
+        w = BitWriter()
+        for v in (0, 1, 5):
+            w.write_unary(v)
+        r = BitReader(w.getvalue())
+        assert [r.read_unary() for _ in range(3)] == [0, 1, 5]
+
+    def test_gamma_known_codes(self):
+        w = BitWriter()
+        w.write_gamma(1)
+        assert tuple(w.getvalue()) == (1,)
+        w2 = BitWriter()
+        w2.write_gamma(2)
+        assert tuple(w2.getvalue()) == (0, 1, 0)
+
+    def test_gamma_rejects_zero(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_gamma(0)
+        with pytest.raises(ValueError):
+            BitWriter().write_delta(0)
+
+    @given(st.lists(st.integers(min_value=1, max_value=10 ** 9), max_size=30))
+    def test_gamma_round_trip(self, values):
+        w = BitWriter()
+        for v in values:
+            w.write_gamma(v)
+        r = BitReader(w.getvalue())
+        assert [r.read_gamma() for _ in values] == values
+        assert r.remaining == 0
+
+    @given(st.lists(st.integers(min_value=1, max_value=10 ** 9), max_size=30))
+    def test_delta_round_trip(self, values):
+        w = BitWriter()
+        for v in values:
+            w.write_delta(v)
+        r = BitReader(w.getvalue())
+        assert [r.read_delta() for _ in values] == values
+
+    @given(st.integers(min_value=1, max_value=10 ** 9))
+    def test_length_formulas(self, value):
+        w = BitWriter()
+        w.write_gamma(value)
+        assert len(w.getvalue()) == elias_gamma_length(value)
+        w2 = BitWriter()
+        w2.write_delta(value)
+        assert len(w2.getvalue()) == elias_delta_length(value)
+
+    @given(st.integers(min_value=16, max_value=10 ** 9))
+    def test_delta_shorter_than_gamma_for_large(self, value):
+        assert elias_delta_length(value) <= elias_gamma_length(value)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["fixed8", "gamma", "delta", "unary"]),
+                st.integers(min_value=1, max_value=200),
+            ),
+            max_size=20,
+        )
+    )
+    def test_mixed_stream_round_trip(self, items):
+        w = BitWriter()
+        for kind, v in items:
+            if kind == "fixed8":
+                w.write_fixed(v, 8)
+            elif kind == "gamma":
+                w.write_gamma(v)
+            elif kind == "delta":
+                w.write_delta(v)
+            else:
+                w.write_unary(v)
+        r = BitReader(w.getvalue())
+        for kind, v in items:
+            if kind == "fixed8":
+                assert r.read_fixed(8) == v
+            elif kind == "gamma":
+                assert r.read_gamma() == v
+            elif kind == "delta":
+                assert r.read_delta() == v
+            else:
+                assert r.read_unary() == v

@@ -1,0 +1,104 @@
+"""Closed-form bound curves."""
+
+import math
+
+from repro.core import (
+    gppr_general_label_bits,
+    gppr_sparse_label_lower_bound_bits,
+    sqrt_n_lower_bound_bits,
+    theorem_11_average_hub_lower_bound,
+    theorem_14_average_hub_upper_bound,
+    theorem_21_hub_sum_lower_bound,
+    theorem_21_node_count_bounds,
+)
+from repro.rs import rs_lower_bound, rs_upper_bound, log_star
+
+
+class TestTheoremCurves:
+    def test_theorem_11_is_sublinear_but_barely(self):
+        n = 10 ** 6
+        value = theorem_11_average_hub_lower_bound(n)
+        assert 0 < value < n
+        # n / 2^{O(sqrt(log n))} dwarfs any fixed polynomial n^c, c < 1;
+        # with constant 3 the sqrt(n) crossover sits at n = 2^36.
+        assert theorem_11_average_hub_lower_bound(10 ** 13) > math.sqrt(10 ** 13)
+
+    def test_theorem_11_monotone(self):
+        values = [theorem_11_average_hub_lower_bound(10 ** k) for k in range(2, 8)]
+        assert values == sorted(values)
+
+    def test_theorem_14_below_n(self):
+        for k in range(2, 7):
+            n = 10 ** k
+            assert 0 < theorem_14_average_hub_upper_bound(n) < n
+
+    def test_theorem_14_larger_c_weaker(self):
+        n = 10 ** 5
+        assert theorem_14_average_hub_upper_bound(
+            n, c=7
+        ) > theorem_14_average_hub_upper_bound(n, c=3)
+
+    def test_node_count_bounds_bracket(self):
+        lower, upper = theorem_21_node_count_bounds(2, 2)
+        assert lower == 4 ** 2 * 5
+        assert upper > lower
+
+    def test_hub_sum_bound_positive_and_growing(self):
+        small = theorem_21_hub_sum_lower_bound(2, 2)
+        large = theorem_21_hub_sum_lower_bound(3, 2)
+        assert 0 < small < large
+
+    def test_hub_sum_bound_formula(self):
+        # b=2, l=1: s=4; triplets = 4 * 2 = 8; distortion = 4*16*4 = 256.
+        assert theorem_21_hub_sum_lower_bound(2, 1) == 8 / 256
+
+    def test_gppr_curves(self):
+        assert gppr_general_label_bits(100) == 0.5 * math.log2(3) * 100
+        assert gppr_sparse_label_lower_bound_bits(100) == 10
+        assert sqrt_n_lower_bound_bits(64) == 8
+
+
+class TestRSCurves:
+    def test_envelope_order(self):
+        for k in range(2, 9):
+            n = 10 ** k
+            assert 1 <= rs_lower_bound(n) <= rs_upper_bound(n)
+
+    def test_log_star_known_values(self):
+        assert log_star(1) == 0
+        assert log_star(2) == 1
+        assert log_star(4) == 2
+        assert log_star(16) == 3
+        assert log_star(65536) == 4
+
+    def test_rs_upper_bound_subpolynomial(self):
+        # e^{c sqrt(ln n)} grows slower than any n^epsilon; with the
+        # Behrend constant the sqrt(n) crossover sits near n ~ 4e9.
+        n = 10 ** 12
+        assert rs_upper_bound(n) < n ** 0.5
+        ratios = [
+            rs_upper_bound(10 ** k) / (10 ** k) ** 0.5 for k in (10, 14, 18)
+        ]
+        assert ratios == sorted(ratios, reverse=True)
+
+
+class TestSumIndexCurves:
+    def test_ambainis_curve_between_bounds(self):
+        from repro.core import (
+            ambainis_sumindex_upper_bound_bits,
+            sqrt_n_lower_bound_bits,
+        )
+
+        for k in range(4, 10):
+            n = 10 ** k
+            upper = ambainis_sumindex_upper_bound_bits(n)
+            assert sqrt_n_lower_bound_bits(n) < upper < n
+
+    def test_ambainis_sublinear_ratio_shrinks(self):
+        from repro.core import ambainis_sumindex_upper_bound_bits
+
+        ratios = [
+            ambainis_sumindex_upper_bound_bits(10 ** k) / 10 ** k
+            for k in (4, 6, 8, 10)
+        ]
+        assert ratios == sorted(ratios, reverse=True)

@@ -1,0 +1,42 @@
+"""Exact SM complexity of tiny Sum-Index instances."""
+
+import pytest
+
+from repro.sumindex import exact_total_bits, protocol_exists
+
+
+class TestProtocolExists:
+    def test_m1_needs_one_bit(self):
+        assert not protocol_exists(1, 1, 1)
+        assert protocol_exists(1, 2, 1)
+        assert protocol_exists(1, 1, 2)
+
+    def test_m2_one_plus_one_suffices(self):
+        assert protocol_exists(2, 2, 2)
+
+    def test_m2_single_sided_bit_fails(self):
+        # One bit total cannot carry the answer: the referee's output
+        # must depend on both indices through the string.
+        assert not protocol_exists(2, 2, 1)
+        assert not protocol_exists(2, 1, 2)
+
+    def test_m2_zero_bits_fails(self):
+        assert not protocol_exists(2, 1, 1)
+
+    def test_caps(self):
+        with pytest.raises(ValueError):
+            protocol_exists(3, 2, 2)
+        with pytest.raises(ValueError):
+            protocol_exists(0, 2, 2)
+
+
+class TestExactTotal:
+    def test_values(self):
+        assert exact_total_bits(1) == 1
+        assert exact_total_bits(2) == 2
+
+    def test_budget_exhausted(self):
+        assert exact_total_bits(2, max_bits=1) is None
+
+    def test_monotone_in_m(self):
+        assert exact_total_bits(1) <= exact_total_bits(2)

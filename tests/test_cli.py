@@ -1,0 +1,126 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestInstance:
+    def test_instance_command(self, capsys):
+        assert main(["instance", "--b", "1", "--l", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Degree3Instance" in out
+        assert "certificate" in out
+
+
+class TestLabelAndQuery:
+    def test_label_generator_verify(self, capsys):
+        assert (
+            main(
+                [
+                    "label",
+                    "--generator",
+                    "sparse:40",
+                    "--method",
+                    "pll",
+                    "--verify",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "valid 2-hop cover: True" in out
+
+    def test_label_save_and_query(self, tmp_path, capsys):
+        target = tmp_path / "labels.bin"
+        assert (
+            main(
+                [
+                    "label",
+                    "--generator",
+                    "grid:36",
+                    "--save",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        assert target.exists()
+        capsys.readouterr()
+        assert main(["query", str(target), "0", "35"]) == 0
+        out = capsys.readouterr().out
+        assert "dist(0, 35) = 10" in out
+
+    def test_label_from_edgelist_file(self, tmp_path, capsys):
+        graph_file = tmp_path / "g.txt"
+        graph_file.write_text("3 2\n0 1 1\n1 2 1\n")
+        assert main(["label", "--graph", str(graph_file), "--verify"]) == 0
+        assert "True" in capsys.readouterr().out
+
+    def test_unknown_generator(self):
+        with pytest.raises(SystemExit):
+            main(["label", "--generator", "nope:10"])
+
+    def test_no_graph_source(self):
+        with pytest.raises(SystemExit):
+            main(["label"])
+
+    def test_odd_query_vertices(self, tmp_path):
+        target = tmp_path / "labels.bin"
+        main(["label", "--generator", "tree:10", "--save", str(target)])
+        with pytest.raises(SystemExit):
+            main(["query", str(target), "0", "1", "2"])
+
+    @pytest.mark.parametrize("method", ["greedy", "sparse", "rs"])
+    def test_all_methods(self, method, capsys):
+        assert (
+            main(
+                [
+                    "label",
+                    "--generator",
+                    "tree:20",
+                    "--method",
+                    method,
+                    "--verify",
+                ]
+            )
+            == 0
+        )
+        assert "valid 2-hop cover: True" in capsys.readouterr().out
+
+
+class TestExperiments:
+    def test_fast_subset(self, capsys):
+        assert main(["experiments", "--only", "E1,E8", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "RS graphs" in out
+
+    def test_e10(self, capsys):
+        assert main(["experiments", "--only", "E10"]) == 0
+        assert "degree reduction" in capsys.readouterr().out
+
+
+class TestExperimentsWrite:
+    def test_write_file(self, tmp_path, capsys):
+        target = tmp_path / "tables.md"
+        assert (
+            main(
+                [
+                    "experiments",
+                    "--only",
+                    "E1,E10",
+                    "--fast",
+                    "--write",
+                    str(target),
+                ]
+            )
+            == 0
+        )
+        content = target.read_text()
+        assert "Figure 1" in content
+        assert "degree reduction" in content
+
+    def test_new_experiment_ids(self, capsys):
+        assert main(["experiments", "--only", "E14", "--fast"]) == 0
+        assert "bits per label" in capsys.readouterr().out

@@ -1,0 +1,93 @@
+"""The GPPR04-style counting baseline (shortcut family)."""
+
+import math
+from itertools import combinations
+
+import pytest
+
+from repro.graphs import is_connected, shortest_path_distances
+from repro.lowerbound import (
+    counting_bound_bits_per_label,
+    shortcut_family_bound,
+    shortcut_family_graph,
+    terminal_pairs,
+)
+
+
+class TestArithmetic:
+    def test_bits_per_label(self):
+        assert counting_bound_bits_per_label(100.0, 10) == 10.0
+
+    def test_rejects_no_terminals(self):
+        with pytest.raises(ValueError):
+            counting_bound_bits_per_label(5.0, 0)
+
+    def test_family_bound_shape(self):
+        n, bits = shortcut_family_bound(10)
+        assert n == 10 + 1 + 10 + 45
+        assert bits == pytest.approx(4.5)
+        # bits ~ (k-1)/2 = Theta(sqrt n).
+        assert bits >= 0.5 * math.sqrt(n) - 2
+
+
+class TestShortcutFamily:
+    def test_distances_distinguish_members(self):
+        k = 5
+        pairs = terminal_pairs(k)
+        seen = {}
+        for r in range(3):  # a few members
+            subset = frozenset(pairs[r::3])
+            g = shortcut_family_graph(k, subset)
+            profile = []
+            for t in range(k):
+                dist, _ = shortest_path_distances(g, t)
+                profile.extend(dist[t2] for t2 in range(t + 1, k))
+            key = tuple(profile)
+            assert key not in seen
+            seen[key] = subset
+
+    def test_pair_distance_is_2_or_4(self):
+        k = 4
+        pairs = terminal_pairs(k)
+        subset = frozenset({pairs[0], pairs[3]})
+        g = shortcut_family_graph(k, subset)
+        for pair in pairs:
+            dist, _ = shortest_path_distances(g, pair[0])
+            expected = 2 if pair in subset else 4
+            assert dist[pair[1]] == expected
+
+    def test_all_members_connected_same_size(self):
+        k = 4
+        pairs = terminal_pairs(k)
+        sizes = set()
+        for r in range(4):
+            subset = frozenset(pairs[:r])
+            g = shortcut_family_graph(k, subset)
+            assert is_connected(g)
+            sizes.add((g.num_vertices, g.num_edges))
+        # Vertex count constant across the family.
+        assert len({n for n, _ in sizes}) == 1
+
+    def test_graph_is_sparse(self):
+        k = 8
+        g = shortcut_family_graph(k, frozenset(terminal_pairs(k)))
+        assert g.num_edges <= 3 * g.num_vertices
+
+    def test_invalid_subset_rejected(self):
+        with pytest.raises(ValueError):
+            shortcut_family_graph(3, frozenset({(0, 9)}))
+
+    def test_full_family_exhaustive_small(self):
+        # k = 3: all 8 members pairwise distinguishable.
+        k = 3
+        pairs = terminal_pairs(k)
+        profiles = set()
+        for r in range(len(pairs) + 1):
+            for subset in combinations(pairs, r):
+                g = shortcut_family_graph(k, frozenset(subset))
+                profile = []
+                for t in range(k):
+                    dist, _ = shortest_path_distances(g, t)
+                    profile.extend(dist[t2] for t2 in range(t + 1, k))
+                profiles.add(tuple(profile))
+        assert len(profiles) == 2 ** len(pairs)

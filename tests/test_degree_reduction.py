@@ -1,0 +1,111 @@
+"""Degree reduction by vertex splitting (end of Section 4)."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    is_valid_cover,
+    project_labeling,
+    pruned_landmark_labeling,
+    reduce_degree,
+)
+from repro.graphs import (
+    Graph,
+    shortest_path_distances,
+    star_graph,
+    random_sparse_graph,
+    complete_graph,
+)
+
+
+class TestReduction:
+    def test_star_split(self):
+        g = star_graph(10)  # center degree 9
+        reduction = reduce_degree(g, chunk=3)
+        assert reduction.reduced.max_degree() <= 3 + 2
+        # Center splits into ceil(9/3) = 3 copies.
+        center_copies = [
+            v for v in reduction.reduced.vertices()
+            if reduction.origin[v] == 0
+        ]
+        assert len(center_copies) == 3
+
+    def test_default_chunk_is_average_degree(self):
+        g = random_sparse_graph(40, seed=1, avg_degree=4.0)
+        reduction = reduce_degree(g)
+        expected = max(1, math.ceil(g.num_edges / g.num_vertices))
+        assert reduction.chunk == expected
+        assert reduction.reduced.max_degree() <= expected + 2
+
+    def test_distances_preserved(self):
+        g = random_sparse_graph(30, seed=2, avg_degree=5.0)
+        reduction = reduce_degree(g, chunk=2)
+        for u in range(0, 30, 5):
+            dist_orig, _ = shortest_path_distances(g, u)
+            dist_red, _ = shortest_path_distances(
+                reduction.reduced, reduction.representative[u]
+            )
+            for v in range(30):
+                assert dist_orig[v] == dist_red[reduction.representative[v]]
+
+    def test_copies_at_distance_zero(self):
+        g = complete_graph(8)
+        reduction = reduce_degree(g, chunk=2)
+        copies = {}
+        for v in reduction.reduced.vertices():
+            copies.setdefault(reduction.origin[v], []).append(v)
+        for group in copies.values():
+            dist, _ = shortest_path_distances(reduction.reduced, group[0])
+            assert all(dist[c] == 0 for c in group)
+
+    def test_edge_weights_preserved(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 4)
+        g.add_edge(1, 2, 6)
+        reduction = reduce_degree(g, chunk=1)
+        dist, _ = shortest_path_distances(
+            reduction.reduced, reduction.representative[0]
+        )
+        assert dist[reduction.representative[2]] == 10
+
+    def test_invalid_chunk(self):
+        with pytest.raises(ValueError):
+            reduce_degree(star_graph(4), chunk=0)
+
+    def test_vertex_counts(self):
+        g = star_graph(7)
+        reduction = reduce_degree(g, chunk=2)
+        # Leaves stay single; center (degree 6) gets 3 copies.
+        assert reduction.reduced.num_vertices == 6 + 3
+
+    def test_empty_graph(self):
+        reduction = reduce_degree(Graph())
+        assert reduction.reduced.num_vertices == 0
+
+
+class TestProjection:
+    def test_projected_labeling_is_valid(self):
+        g = random_sparse_graph(30, seed=3, avg_degree=5.0)
+        reduction = reduce_degree(g, chunk=2)
+        reduced_labeling = pruned_landmark_labeling(reduction.reduced)
+        assert is_valid_cover(reduction.reduced, reduced_labeling)
+        projected = project_labeling(reduction, reduced_labeling)
+        assert is_valid_cover(g, projected)
+
+    def test_projection_size_never_larger(self):
+        g = random_sparse_graph(25, seed=4, avg_degree=5.0)
+        reduction = reduce_degree(g, chunk=2)
+        reduced_labeling = pruned_landmark_labeling(reduction.reduced)
+        projected = project_labeling(reduction, reduced_labeling)
+        for v in range(25):
+            rep = reduction.representative[v]
+            assert projected.label_size(v) <= reduced_labeling.label_size(rep)
+
+    def test_size_mismatch_rejected(self):
+        from repro.core import HubLabeling
+
+        g = star_graph(5)
+        reduction = reduce_degree(g, chunk=2)
+        with pytest.raises(ValueError):
+            project_labeling(reduction, HubLabeling(3))

@@ -1,0 +1,166 @@
+"""The experiment runners (smoke + consistency; full runs live in
+benchmarks/)."""
+
+import pytest
+
+from repro.experiments import (
+    Table,
+    ap_free_table,
+    audit_construction,
+    audit_degree_reduction,
+    baseline_table,
+    construction_table,
+    degree_reduction_table,
+    figure1_table,
+    hitting_table,
+    monotone_table,
+    oracle_table,
+    order_table,
+    rs_graph_table,
+    run_ap_free,
+    run_baselines,
+    run_cover_rule,
+    run_figure1,
+    run_hitting,
+    run_monotone,
+    run_oracles,
+    run_order_ablation,
+    run_rs_graphs,
+    run_sample_factor,
+    run_threshold_sweep,
+    run_upper_bound,
+    upper_bound_table,
+)
+
+
+class TestTable:
+    def test_render_and_alignment(self):
+        t = Table("Title", ["a", "bb"])
+        t.add_row(1, 2.5)
+        t.add_row("xx", float("inf"))
+        text = t.render()
+        assert "Title" in text
+        assert "2.5" in text
+        assert "inf" in text
+
+    def test_wrong_arity(self):
+        t = Table("T", ["a"])
+        with pytest.raises(ValueError):
+            t.add_row(1, 2)
+
+    def test_float_formatting(self):
+        t = Table("T", ["x"])
+        t.add_row(1234.5678)
+        t.add_row(0.0001234)
+        text = t.render()
+        assert "1.23e+03" in text
+        assert "0.000123" in text
+
+
+class TestRunners:
+    def test_figure1(self):
+        result = run_figure1()
+        assert result.blue_length == result.blue_expected
+        assert "Figure 1" in figure1_table(result).render()
+
+    def test_construction_small(self):
+        audit = audit_construction(1, 1)
+        assert audit.claims_hold
+        assert construction_table([audit]).rows
+
+    def test_degree_reduction(self):
+        audit = audit_degree_reduction(30, seed=1)
+        assert audit.distances_preserved
+        assert degree_reduction_table([audit]).rows
+
+    def test_hitting(self):
+        rows = run_hitting([40], threshold=4, seed=1)
+        assert rows[0].within_bound
+        assert hitting_table(rows).rows
+
+    def test_upper_bound(self):
+        rows = run_upper_bound([50], threshold=3, seed=1)
+        assert rows[0].valid
+        assert upper_bound_table(rows).rows
+
+    def test_ap_free_and_rs(self):
+        assert ap_free_table(run_ap_free([50])).rows
+        rows = run_rs_graphs([21], verify=True)
+        assert rows[0].verified
+        assert rs_graph_table(rows).rows
+
+    def test_baselines_and_monotone(self):
+        from repro.experiments import standard_families
+
+        families = standard_families(scale=25)
+        rows = run_baselines(families, greedy_limit=30)
+        assert all(r.all_valid for r in rows)
+        assert baseline_table(rows).rows
+        mono = run_monotone(families)
+        assert all(r.within_bound for r in mono)
+        assert monotone_table(mono).rows
+
+    def test_oracles(self):
+        rows = run_oracles(n=40, num_pairs=10, seed=1)
+        assert all(r.exact for r in rows)
+        assert oracle_table(rows).rows
+
+    def test_ablations(self):
+        sweep = run_threshold_sweep(n=40, thresholds=[2, 3], seed=1)
+        assert all(r.valid for r in sweep)
+        rules = run_cover_rule(n=40, seed=1)
+        by_rule = {r.rule: r for r in rules}
+        assert by_rule["konig"].charges <= by_rule["matching"].charges
+        orders = run_order_ablation(scale=25, seed=1)
+        assert order_table(orders).rows
+        factors = run_sample_factor(n=50, threshold=4, seed=1)
+        uncovered = [r.uncovered for r in factors]
+        assert uncovered == sorted(uncovered, reverse=True)
+
+
+class TestNewRunners:
+    def test_certificate_preview(self):
+        from repro.experiments import preview_table, run_certificate_preview
+
+        rows = run_certificate_preview([(1, 1), (2, 2), (4, 4)])
+        assert rows[0].num_vertices == 90
+        assert rows[-1].num_vertices > 10 ** 9
+        assert all(r.certified_average > 0 for r in rows)
+        assert preview_table(rows).rows
+
+    def test_bit_sizes(self):
+        from repro.experiments import bit_size_table, run_bit_sizes
+
+        rows = run_bit_sizes([40], seed=2)
+        assert {r.family for r in rows} == {"sparse", "tree"}
+        for row in rows:
+            assert row.hub_bits < row.row_bits
+        assert bit_size_table(rows).rows
+
+    def test_exact_complexity(self):
+        from repro.experiments import (
+            exact_complexity_table,
+            run_exact_complexity,
+        )
+
+        rows = run_exact_complexity([1, 2, 3])
+        by_m = {r.m: r.exact_bits for r in rows}
+        assert by_m[1] == 1
+        assert by_m[2] == 2
+        assert by_m[3] is None  # capped
+        assert exact_complexity_table(rows).rows
+
+    def test_approximation_runner(self):
+        from repro.experiments import approximation_table, run_approximation
+
+        rows = run_approximation([30], seed=3)
+        assert rows[0].corrected_exact
+        assert rows[0].errors_bounded
+        assert approximation_table(rows).rows
+
+    def test_pruning_runner(self):
+        from repro.experiments import pruning_table, run_pruning_slack
+
+        rows = run_pruning_slack(n=30, seed=4)
+        assert all(r.valid_after for r in rows)
+        assert pruning_table(rows).rows

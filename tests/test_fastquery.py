@@ -1,0 +1,95 @@
+"""Early-termination hub-label queries."""
+
+import random
+
+import pytest
+
+from repro.core import (
+    SortedHubIndex,
+    pruned_landmark_labeling,
+)
+from repro.graphs import (
+    all_pairs_distances,
+    grid_2d,
+    path_graph,
+    random_sparse_graph,
+    random_weighted_graph,
+)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_matches_plain_query_sparse(self, seed):
+        g = random_sparse_graph(40, seed=seed)
+        labeling = pruned_landmark_labeling(g)
+        index = SortedHubIndex(labeling)
+        for u in range(40):
+            for v in range(40):
+                assert index.query(u, v).distance == labeling.query(u, v)
+
+    def test_matches_on_weighted(self):
+        g = random_weighted_graph(30, 60, seed=5)
+        labeling = pruned_landmark_labeling(g)
+        index = SortedHubIndex(labeling)
+        matrix = all_pairs_distances(g)
+        for u in range(0, 30, 3):
+            for v in range(0, 30, 4):
+                assert index.query(u, v).distance == matrix[u][v]
+
+    def test_disconnected_pair(self):
+        from repro.graphs import Graph
+
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        index = SortedHubIndex(pruned_landmark_labeling(g))
+        from repro.graphs import INF
+
+        assert index.query(0, 3).distance == INF
+
+    def test_empty_label(self):
+        from repro.core import HubLabeling
+        from repro.graphs import INF
+
+        lab = HubLabeling(2)
+        lab.add_hub(0, 0, 0)
+        index = SortedHubIndex(lab)
+        stats = index.query(0, 1)
+        assert stats.distance == INF
+        assert stats.entries_scanned == 0
+
+
+class TestWorkSavings:
+    def test_scan_never_exceeds_total(self):
+        g = grid_2d(6, 6)
+        index = SortedHubIndex(pruned_landmark_labeling(g))
+        for u in range(0, 36, 5):
+            for v in range(0, 36, 7):
+                stats = index.query(u, v)
+                assert stats.entries_scanned <= stats.entries_total
+
+    def test_close_pairs_scan_little(self):
+        g = path_graph(64)
+        order = sorted(range(64), key=lambda v: -((v + 1) & -(v + 1)))
+        index = SortedHubIndex(pruned_landmark_labeling(g, order))
+        near = index.query(10, 11)
+        far = index.query(0, 63)
+        assert near.entries_scanned <= far.entries_scanned
+
+    def test_average_savings_on_sparse(self):
+        g = random_sparse_graph(80, seed=9)
+        index = SortedHubIndex(pruned_landmark_labeling(g))
+        rng = random.Random(0)
+        pairs = [
+            (rng.randrange(80), rng.randrange(80)) for _ in range(50)
+        ]
+        fraction = index.average_scan_fraction(pairs)
+        assert 0 < fraction < 1.0  # strictly saves work on average
+
+    def test_stats_fraction(self):
+        g = path_graph(5)
+        index = SortedHubIndex(pruned_landmark_labeling(g))
+        stats = index.query(0, 4)
+        assert stats.fraction_scanned == pytest.approx(
+            stats.entries_scanned / stats.entries_total
+        )

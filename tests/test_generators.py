@@ -1,0 +1,207 @@
+"""Generators: exact shapes, determinism, connectivity, degree caps."""
+
+import pytest
+
+from repro.graphs import (
+    balanced_binary_tree,
+    caterpillar,
+    complete_bipartite_graph,
+    complete_graph,
+    cycle_graph,
+    diameter,
+    gnm_random_graph,
+    grid_2d,
+    hypercube_graph,
+    is_connected,
+    path_graph,
+    random_bounded_degree_graph,
+    random_sparse_graph,
+    random_tree,
+    random_weighted_graph,
+    star_graph,
+    torus_2d,
+)
+
+
+class TestDeterministicFamilies:
+    def test_path(self):
+        g = path_graph(10)
+        assert g.num_edges == 9
+        assert g.max_degree() == 2
+        assert diameter(g) == 9
+
+    def test_cycle(self):
+        g = cycle_graph(8)
+        assert g.num_edges == 8
+        assert all(g.degree(v) == 2 for v in g.vertices())
+        assert diameter(g) == 4
+
+    def test_cycle_too_small(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.degree(0) == 5
+        assert g.num_edges == 5
+        assert diameter(g) == 2
+
+    def test_complete(self):
+        g = complete_graph(6)
+        assert g.num_edges == 15
+        assert diameter(g) == 1
+
+    def test_complete_bipartite(self):
+        g = complete_bipartite_graph(3, 4)
+        assert g.num_edges == 12
+        assert g.degree(0) == 4
+        assert g.degree(3) == 3
+
+    def test_grid(self):
+        g = grid_2d(3, 4)
+        assert g.num_vertices == 12
+        assert g.num_edges == 3 * 3 + 2 * 4
+        assert diameter(g) == 5
+
+    def test_torus(self):
+        g = torus_2d(4, 4)
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert diameter(g) == 4
+
+    def test_torus_too_small(self):
+        with pytest.raises(ValueError):
+            torus_2d(2, 5)
+
+    def test_balanced_binary_tree(self):
+        g = balanced_binary_tree(3)
+        assert g.num_vertices == 15
+        assert g.num_edges == 14
+        assert g.max_degree() == 3
+        assert is_connected(g)
+
+    def test_caterpillar(self):
+        g = caterpillar(5, 2)
+        assert g.num_vertices == 15
+        assert g.num_edges == 14
+        assert is_connected(g)
+
+    def test_hypercube(self):
+        g = hypercube_graph(4)
+        assert g.num_vertices == 16
+        assert all(g.degree(v) == 4 for v in g.vertices())
+        assert diameter(g) == 4
+
+
+class TestRandomFamilies:
+    def test_random_tree_is_tree(self):
+        for seed in range(5):
+            g = random_tree(40, seed=seed)
+            assert g.num_edges == 39
+            assert is_connected(g)
+
+    def test_random_tree_deterministic(self):
+        a = random_tree(25, seed=3)
+        b = random_tree(25, seed=3)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_random_tree_tiny(self):
+        assert random_tree(1).num_edges == 0
+        assert random_tree(2).num_edges == 1
+
+    def test_gnm_counts(self):
+        g = gnm_random_graph(30, 45, seed=2)
+        assert g.num_vertices == 30
+        assert g.num_edges == 45
+
+    def test_gnm_too_many_edges(self):
+        with pytest.raises(ValueError):
+            gnm_random_graph(4, 100)
+
+    def test_sparse_connected_and_sparse(self):
+        for seed in range(4):
+            g = random_sparse_graph(70, seed=seed, avg_degree=3.0)
+            assert is_connected(g)
+            assert g.num_edges <= 2 * 70  # m = O(n)
+
+    def test_bounded_degree_cap_respected(self):
+        g = random_bounded_degree_graph(60, 3, seed=4)
+        assert g.max_degree() <= 3
+        assert is_connected(g)
+
+    def test_bounded_degree_rejects_small_cap(self):
+        with pytest.raises(ValueError):
+            random_bounded_degree_graph(10, 1)
+
+    def test_weighted_graph_connected_weights_in_range(self):
+        g = random_weighted_graph(40, 80, max_weight=7, seed=6)
+        assert is_connected(g)
+        assert all(1 <= w <= 7 for _, _, w in g.edges())
+
+
+class TestComplexNetworkFamilies:
+    def test_barabasi_albert_shape(self):
+        from repro.graphs import barabasi_albert
+
+        g = barabasi_albert(150, 2, seed=1)
+        assert g.num_vertices == 150
+        assert is_connected(g)
+        # Heavy tail: the max degree dwarfs the average.
+        assert g.max_degree() > 4 * g.average_degree()
+        # Sparse: m ~ attach * n.
+        assert g.num_edges <= 3 * 150
+
+    def test_barabasi_albert_small_n(self):
+        from repro.graphs import barabasi_albert
+
+        g = barabasi_albert(2, 3, seed=0)
+        assert g.num_vertices == 2
+
+    def test_barabasi_albert_deterministic(self):
+        from repro.graphs import barabasi_albert
+
+        a = barabasi_albert(50, 2, seed=7)
+        b = barabasi_albert(50, 2, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_barabasi_albert_invalid(self):
+        from repro.graphs import barabasi_albert
+
+        with pytest.raises(ValueError):
+            barabasi_albert(10, 0)
+
+    def test_random_geometric_locality(self):
+        from repro.graphs import random_geometric
+
+        g = random_geometric(100, 0.2, seed=3)
+        assert g.num_vertices == 100
+        # Locality: smaller radius, fewer edges.
+        smaller = random_geometric(100, 0.1, seed=3)
+        assert smaller.num_edges < g.num_edges
+
+    def test_random_geometric_invalid(self):
+        from repro.graphs import random_geometric
+
+        with pytest.raises(ValueError):
+            random_geometric(10, 0)
+
+    def test_pll_valid_on_both(self):
+        from repro.core import is_valid_cover, pruned_landmark_labeling
+        from repro.graphs import barabasi_albert, random_geometric
+
+        for g in (
+            barabasi_albert(60, 2, seed=4),
+            random_geometric(60, 0.2, seed=5),
+        ):
+            assert is_valid_cover(g, pruned_landmark_labeling(g))
+
+    def test_ba_hubs_are_tiny(self):
+        # The practical phenomenon: on preferential-attachment networks
+        # PLL labels stay very small (high-degree hubs cover everything).
+        from repro.core import pruned_landmark_labeling
+        from repro.graphs import barabasi_albert, random_bounded_degree_graph
+
+        ba = barabasi_albert(150, 2, seed=6)
+        flat = random_bounded_degree_graph(150, 3, seed=6)
+        ba_avg = pruned_landmark_labeling(ba).average_size()
+        flat_avg = pruned_landmark_labeling(flat).average_size()
+        assert ba_avg < flat_avg

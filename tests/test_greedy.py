@@ -1,0 +1,84 @@
+"""Greedy 2-hop cover (Cohen et al.)."""
+
+import pytest
+
+from repro.core import (
+    greedy_hub_labeling,
+    is_valid_cover,
+    pruned_landmark_labeling,
+)
+from repro.graphs import (
+    cycle_graph,
+    grid_2d,
+    path_graph,
+    random_sparse_graph,
+    random_tree,
+    random_weighted_graph,
+    star_graph,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(10),
+            cycle_graph(9),
+            star_graph(8),
+            grid_2d(4, 4),
+            random_tree(25, seed=2),
+            random_sparse_graph(30, seed=4),
+        ],
+        ids=["path", "cycle", "star", "grid", "tree", "sparse"],
+    )
+    def test_valid_cover(self, graph):
+        labeling = greedy_hub_labeling(graph)
+        assert is_valid_cover(graph, labeling)
+
+    def test_weighted(self):
+        g = random_weighted_graph(20, 40, seed=1)
+        assert is_valid_cover(g, greedy_hub_labeling(g))
+
+    def test_disconnected(self):
+        from repro.graphs import Graph
+
+        g = Graph(5)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        assert is_valid_cover(g, greedy_hub_labeling(g))
+
+    def test_max_rounds_still_correct(self, small_grid):
+        labeling = greedy_hub_labeling(small_grid, max_rounds=1)
+        assert is_valid_cover(small_grid, labeling)
+
+    def test_zero_rounds_trivial_completion(self):
+        g = path_graph(6)
+        labeling = greedy_hub_labeling(g, max_rounds=0)
+        assert is_valid_cover(g, labeling)
+
+
+class TestQuality:
+    def test_star_is_near_optimal(self):
+        # Optimal for a star: center in every label (2 per leaf).
+        g = star_graph(12)
+        labeling = greedy_hub_labeling(g)
+        assert labeling.total_size() <= 2 * 12
+
+    def test_beats_or_matches_pll_on_small_graphs(self):
+        # Greedy optimizes total size directly and should not lose badly.
+        for seed in range(3):
+            g = random_sparse_graph(25, seed=seed)
+            greedy = greedy_hub_labeling(g).total_size()
+            pll = pruned_landmark_labeling(g).total_size()
+            assert greedy <= pll * 1.5
+
+    def test_self_hubs_present(self, small_grid):
+        labeling = greedy_hub_labeling(small_grid)
+        for v in small_grid.vertices():
+            assert labeling.hub_distance(v, v) == 0
+
+    def test_path_logarithmic_flavor(self):
+        g = path_graph(32)
+        labeling = greedy_hub_labeling(g)
+        # Far from the quadratic trivial cover.
+        assert labeling.total_size() < 32 * 8

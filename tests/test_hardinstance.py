@@ -1,0 +1,92 @@
+"""Theorem 2.1 claim (iii): certificates and the charging audit."""
+
+import pytest
+
+from repro.core import pruned_landmark_labeling, sparse_hub_labeling
+from repro.lowerbound import (
+    audit_labeling,
+    build_degree3_instance,
+    certificate_for,
+    midpoint_triplets,
+)
+
+
+@pytest.fixture(scope="module")
+def inst():
+    return build_degree3_instance(2, 1)
+
+
+@pytest.fixture(scope="module")
+def pll(inst):
+    return pruned_landmark_labeling(inst.graph)
+
+
+class TestCertificate:
+    def test_certificate_values(self, inst):
+        cert = certificate_for(inst)
+        # b=2, l=1: s=4, triplets = 4 * 2 = 8, distortion = 4*16*4.
+        assert cert.triplet_count == 8
+        assert cert.distortion == 256
+        assert cert.hub_sum_lower_bound == pytest.approx(8 / 256)
+        assert cert.average_lower_bound > 0
+
+    def test_triplet_enumeration_matches_count(self, inst):
+        cert = certificate_for(inst)
+        triplets = list(midpoint_triplets(inst))
+        assert len(triplets) == cert.triplet_count
+        for x, y, z in triplets:
+            assert all(2 * yk == xk + zk for xk, yk, zk in zip(x, y, z))
+
+    def test_measured_respects_certificate(self, inst, pll):
+        cert = certificate_for(inst)
+        assert pll.total_size() >= cert.hub_sum_lower_bound
+
+
+class TestAudit:
+    def test_audit_pll_all_charged(self, inst, pll):
+        audit = audit_labeling(inst, pll)
+        assert audit.all_charged
+        assert audit.charge_total == audit.num_triplets
+
+    def test_audit_sparse_scheme_all_charged(self):
+        # The (1, 1) instance keeps the monotone closure of the (large)
+        # threshold-scheme labeling cheap; E4 covers bigger instances.
+        small = build_degree3_instance(1, 1)
+        result = sparse_hub_labeling(small.graph, radius=2, seed=1)
+        audit = audit_labeling(small, result.labeling)
+        assert audit.all_charged
+
+    def test_closure_dominates_charges(self, inst, pll):
+        # Distinct triplets charge distinct (endpoint, hub) slots.
+        audit = audit_labeling(inst, pll)
+        assert audit.closure_total >= audit.charge_total
+
+    def test_audit_catches_broken_labeling(self, inst):
+        from repro.core import HubLabeling
+
+        empty = HubLabeling(inst.graph.num_vertices)
+        audit = audit_labeling(inst, empty)
+        assert not audit.all_charged
+        assert audit.uncharged
+
+    def test_closure_within_distortion(self, inst, pll):
+        # |S*_v| <= distortion * |S_v| summed -- Eq. (1) on real data.
+        cert = certificate_for(inst)
+        audit = audit_labeling(inst, pll)
+        assert audit.closure_total <= cert.distortion * audit.labeling_total
+
+
+class TestScaling:
+    @pytest.mark.parametrize("b,ell", [(1, 1), (2, 1)])
+    def test_certificate_positive_all_sizes(self, b, ell):
+        inst = build_degree3_instance(b, ell)
+        cert = certificate_for(inst)
+        assert cert.hub_sum_lower_bound > 0
+        assert cert.num_vertices == inst.graph.num_vertices
+
+    def test_bound_grows_with_b(self):
+        # The certificate scales as s^{2l-2} / poly(l): flat at l = 1,
+        # strictly growing in b once l >= 2.
+        small = certificate_for(build_degree3_instance(1, 2))
+        large = certificate_for(build_degree3_instance(2, 2))
+        assert large.hub_sum_lower_bound > small.hub_sum_lower_bound

@@ -1,0 +1,50 @@
+"""Hierarchical labeling predicates and the canonical-count oracle."""
+
+from repro.core import (
+    canonical_hub_count,
+    degree_order,
+    is_hierarchical,
+    order_rank,
+    pruned_landmark_labeling,
+)
+from repro.graphs import grid_2d, path_graph, random_sparse_graph, star_graph
+
+
+class TestPredicates:
+    def test_order_rank(self):
+        assert order_rank([2, 0, 1]) == [1, 2, 0]
+
+    def test_pll_is_hierarchical(self):
+        for seed in range(3):
+            g = random_sparse_graph(30, seed=seed)
+            order = degree_order(g)
+            labeling = pruned_landmark_labeling(g, order)
+            assert is_hierarchical(labeling, order)
+
+    def test_non_hierarchical_detected(self):
+        from repro.core import HubLabeling
+
+        lab = HubLabeling(3)
+        lab.add_hub(0, 2, 1)  # hub 2 has lower rank than owner 0
+        assert not is_hierarchical(lab, [0, 1, 2])
+        assert is_hierarchical(lab, [2, 1, 0])
+
+
+class TestCanonicalOracle:
+    def test_pll_matches_canonical_counts(self):
+        # PLL label sizes equal the canonical definition, vertex by
+        # vertex -- the minimality of PLL for its order.
+        for graph in (path_graph(8), star_graph(6), grid_2d(3, 3)):
+            order = degree_order(graph)
+            labeling = pruned_landmark_labeling(graph, order)
+            for v in graph.vertices():
+                assert labeling.label_size(v) == canonical_hub_count(
+                    graph, order, v
+                ), v
+
+    def test_canonical_counts_star(self):
+        g = star_graph(5)
+        order = [0, 1, 2, 3, 4]
+        assert canonical_hub_count(g, order, 0) == 1
+        for leaf in range(1, 5):
+            assert canonical_hub_count(g, order, leaf) == 2

@@ -1,0 +1,52 @@
+"""Highway dimension estimation."""
+
+from repro.core import estimate_highway_dimension
+from repro.graphs import Graph, grid_2d, path_graph, star_graph
+
+
+class TestEstimate:
+    def test_path_is_easy(self):
+        est = estimate_highway_dimension(path_graph(16))
+        # O(1) regardless of n: a ball of radius 2r is a subpath and its
+        # long subpaths are hit by a constant number of vertices.
+        assert est.dimension <= 4
+        bigger = estimate_highway_dimension(path_graph(32))
+        assert bigger.dimension <= 4  # flat as n grows
+
+    def test_star_is_trivial(self):
+        est = estimate_highway_dimension(star_graph(10))
+        assert est.dimension <= 1
+
+    def test_grid_grows(self):
+        small = estimate_highway_dimension(grid_2d(4, 4)).dimension
+        large = estimate_highway_dimension(grid_2d(7, 7)).dimension
+        assert large >= small
+        assert large >= 3  # grids have no highway structure
+
+    def test_highway_mesh_flattens(self):
+        # A grid plus express edges has lower highway dimension than the
+        # bare grid at the radii the expressway covers.
+        side = 7
+        bare = grid_2d(side, side)
+        express = bare.copy()
+        # Add express edges along the middle row/column (weight 1 keeps
+        # the graph unweighted in structure but shortcuts long paths).
+        mid = side // 2
+        for c in range(0, side - 2, 2):
+            express.add_edge(mid * side + c, mid * side + c + 2)
+            express.add_edge(c * side + mid, (c + 2) * side + mid)
+        bare_est = estimate_highway_dimension(bare)
+        express_est = estimate_highway_dimension(express)
+        # Express edges add clutter at tiny radii but shrink the hitting
+        # sets at the radii they span -- the [ADF+16] highway effect.
+        for r in (4, 8):
+            assert express_est.per_radius[r] <= bare_est.per_radius[r]
+
+    def test_per_radius_keys_double(self):
+        est = estimate_highway_dimension(grid_2d(5, 5))
+        radii = sorted(est.per_radius)
+        for a, b in zip(radii, radii[1:]):
+            assert b == 2 * a
+
+    def test_empty_and_single(self):
+        assert estimate_highway_dimension(Graph(1)).dimension == 0

@@ -1,0 +1,139 @@
+"""The HubLabeling store and query engine."""
+
+import pytest
+
+from repro.core import HubLabeling
+from repro.graphs import INF
+
+
+class TestStore:
+    def test_add_and_query(self):
+        lab = HubLabeling(3)
+        lab.add_hub(0, 2, 5)
+        lab.add_hub(1, 2, 3)
+        assert lab.query(0, 1) == 8
+        assert lab.meet(0, 1) == 2
+
+    def test_no_common_hub_is_inf(self):
+        lab = HubLabeling(2)
+        lab.add_hub(0, 0, 0)
+        lab.add_hub(1, 1, 0)
+        assert lab.query(0, 1) == INF
+        assert lab.meet(0, 1) is None
+
+    def test_readding_keeps_minimum(self):
+        lab = HubLabeling(1)
+        lab.add_hub(0, 0, 5)
+        lab.add_hub(0, 0, 3)
+        lab.add_hub(0, 0, 9)
+        assert lab.hub_distance(0, 0) == 3
+
+    def test_negative_distance_rejected(self):
+        lab = HubLabeling(1)
+        with pytest.raises(ValueError):
+            lab.add_hub(0, 0, -1)
+
+    def test_discard(self):
+        lab = HubLabeling(2)
+        lab.add_hub(0, 1, 4)
+        lab.discard_hub(0, 1)
+        assert lab.hub_distance(0, 1) is None
+        lab.discard_hub(0, 1)  # idempotent
+
+    def test_contains_and_hub_set(self):
+        lab = HubLabeling(2)
+        lab.add_hubs(0, [(1, 2), (0, 0)])
+        assert (0, 1) in lab
+        assert (1, 1) not in lab
+        assert lab.hub_set(0) == [0, 1]
+
+    def test_negative_vertex_count_rejected(self):
+        with pytest.raises(ValueError):
+            HubLabeling(-1)
+
+
+class TestAccounting:
+    def test_sizes(self):
+        lab = HubLabeling(3)
+        lab.add_hub(0, 0, 0)
+        lab.add_hub(0, 1, 1)
+        lab.add_hub(1, 1, 0)
+        assert lab.total_size() == 3
+        assert lab.average_size() == pytest.approx(1.0)
+        assert lab.max_size() == 2
+        assert lab.label_size(2) == 0
+
+    def test_empty_average(self):
+        assert HubLabeling(0).average_size() == 0.0
+
+    def test_bit_size_formula(self):
+        lab = HubLabeling(4)  # id width = 2
+        lab.add_hub(0, 3, 6)  # distance width from max=6 -> 3 bits
+        lab.add_hub(1, 3, 2)
+        assert lab.bit_size() == 2 * (2 + 3)
+
+    def test_bit_size_with_explicit_max(self):
+        lab = HubLabeling(2)
+        lab.add_hub(0, 1, 1)
+        assert lab.bit_size(max_distance=255) == 1 * (1 + 8)
+
+
+class TestSetOperations:
+    def test_union_minimum_wins(self):
+        a = HubLabeling(2)
+        a.add_hub(0, 1, 5)
+        b = HubLabeling(2)
+        b.add_hub(0, 1, 3)
+        b.add_hub(1, 0, 2)
+        merged = a.union(b)
+        assert merged.hub_distance(0, 1) == 3
+        assert merged.hub_distance(1, 0) == 2
+
+    def test_union_size_mismatch(self):
+        with pytest.raises(ValueError):
+            HubLabeling(2).union(HubLabeling(3))
+
+    def test_copy_independent(self):
+        a = HubLabeling(1)
+        a.add_hub(0, 0, 0)
+        b = a.copy()
+        b.add_hub(0, 0, 0)
+        b_labels = b.hubs(0)
+        b_labels[0] = 7  # mutate the copy's dict directly
+        assert a.hub_distance(0, 0) == 0
+
+    def test_repr(self):
+        lab = HubLabeling(2)
+        lab.add_hub(0, 0, 0)
+        assert "n=2" in repr(lab)
+
+
+class TestDistributionViews:
+    def test_histogram(self):
+        from repro.core import label_size_histogram
+
+        lab = HubLabeling(4)
+        lab.add_hub(0, 0, 0)
+        lab.add_hub(1, 0, 1)
+        lab.add_hub(1, 1, 0)
+        hist = label_size_histogram(lab)
+        assert hist == [2, 1, 1]  # two empty, one single, one double
+
+    def test_quantiles(self):
+        from repro.core import label_size_quantiles
+
+        lab = HubLabeling(10)
+        for v in range(10):
+            for h in range(v + 1):
+                lab.add_hub(v, h, abs(v - h))
+        q = label_size_quantiles(lab, quantiles=(0.0, 0.5, 0.9))
+        assert q[0.0] == 1
+        assert q[0.5] == 6
+        assert q[0.9] == 10
+
+    def test_empty(self):
+        from repro.core import label_size_histogram, label_size_quantiles
+
+        lab = HubLabeling(0)
+        assert label_size_histogram(lab) == [0]
+        assert label_size_quantiles(lab) == {0.5: 0, 0.9: 0, 0.99: 0}

@@ -1,0 +1,129 @@
+"""Property-based invariants across the whole stack (hypothesis)."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    HubLabeling,
+    is_valid_cover,
+    monotone_closure,
+    pruned_landmark_labeling,
+)
+from repro.graphs import (
+    Graph,
+    INF,
+    all_pairs_distances,
+    bidirectional_distance,
+    shortest_path_distances,
+)
+from repro.labeling import HubEncodedScheme
+
+
+@st.composite
+def random_graphs(draw):
+    """Small random graphs (possibly disconnected, possibly weighted)."""
+    n = draw(st.integers(min_value=1, max_value=18))
+    density = draw(st.floats(min_value=0.0, max_value=0.5))
+    weighted = draw(st.booleans())
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    rng = random.Random(seed)
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < density:
+                weight = rng.randint(1, 9) if weighted else 1
+                g.add_edge(u, v, weight)
+    return g
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_pll_always_valid(graph):
+    labeling = pruned_landmark_labeling(graph)
+    assert is_valid_cover(graph, labeling)
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_graphs())
+def test_pll_queries_symmetric(graph):
+    labeling = pruned_landmark_labeling(graph)
+    n = graph.num_vertices
+    for u in range(n):
+        for v in range(u, n):
+            assert labeling.query(u, v) == labeling.query(v, u)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_bidirectional_matches_single_source(graph):
+    n = graph.num_vertices
+    source = 0
+    dist, _ = shortest_path_distances(graph, source)
+    for v in range(n):
+        assert bidirectional_distance(graph, source, v) == dist[v]
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_monotone_closure_keeps_cover_valid(graph):
+    labeling = pruned_landmark_labeling(graph)
+    closed = monotone_closure(graph, labeling)
+    assert is_valid_cover(graph, closed)
+    assert closed.total_size() >= labeling.total_size()
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_hub_encoding_round_trips_distances(graph):
+    labeling = pruned_landmark_labeling(graph)
+    scheme = HubEncodedScheme(labeling)
+    matrix = all_pairs_distances(graph)
+    n = graph.num_vertices
+    for u in range(n):
+        for v in range(n):
+            assert scheme.query(u, v) == matrix[u][v]
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_graphs())
+def test_query_is_upper_bound_even_for_partial_labels(graph):
+    """Any labeling with *exact* hub distances over-estimates, never
+    under-estimates."""
+    n = graph.num_vertices
+    partial = HubLabeling(n)
+    rng = random.Random(42)
+    for v in range(n):
+        dist, _ = shortest_path_distances(graph, v)
+        for h in range(n):
+            if dist[h] != INF and rng.random() < 0.3:
+                partial.add_hub(v, h, dist[h])
+    matrix = all_pairs_distances(graph)
+    for u in range(n):
+        for v in range(n):
+            assert partial.query(u, v) >= matrix[u][v]
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs(), st.integers(min_value=2, max_value=4))
+def test_rs_scheme_always_valid(graph, threshold):
+    from repro.core import rs_hub_labeling
+
+    result = rs_hub_labeling(graph, threshold=threshold, seed=1)
+    assert is_valid_cover(graph, result.labeling)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_graphs())
+def test_degree_reduction_preserves_metric(graph):
+    from repro.core import reduce_degree
+
+    reduction = reduce_degree(graph, chunk=2)
+    n = graph.num_vertices
+    for u in range(0, n, max(1, n // 4)):
+        dist_orig, _ = shortest_path_distances(graph, u)
+        dist_red, _ = shortest_path_distances(
+            reduction.reduced, reduction.representative[u]
+        )
+        for v in range(n):
+            assert dist_orig[v] == dist_red[reduction.representative[v]]

@@ -1,0 +1,88 @@
+"""Serialization round trips (JSON, binary, edge lists)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    HubLabeling,
+    graph_from_edgelist,
+    graph_to_edgelist,
+    labeling_from_bytes,
+    labeling_from_json,
+    labeling_to_bytes,
+    labeling_to_json,
+    pruned_landmark_labeling,
+)
+from repro.graphs import Graph, random_sparse_graph, random_weighted_graph
+
+
+def labelings_equal(a: HubLabeling, b: HubLabeling) -> bool:
+    if a.num_vertices != b.num_vertices:
+        return False
+    return all(
+        dict(a.hubs(v)) == dict(b.hubs(v)) for v in range(a.num_vertices)
+    )
+
+
+class TestJson:
+    def test_round_trip(self):
+        g = random_sparse_graph(25, seed=1)
+        labeling = pruned_landmark_labeling(g)
+        assert labelings_equal(
+            labeling, labeling_from_json(labeling_to_json(labeling))
+        )
+
+    def test_empty(self):
+        assert labelings_equal(
+            HubLabeling(0), labeling_from_json(labeling_to_json(HubLabeling(0)))
+        )
+
+
+class TestBinary:
+    def test_round_trip(self):
+        g = random_sparse_graph(30, seed=2)
+        labeling = pruned_landmark_labeling(g)
+        blob = labeling_to_bytes(labeling)
+        assert labelings_equal(labeling, labeling_from_bytes(blob))
+
+    def test_binary_smaller_than_json(self):
+        g = random_sparse_graph(40, seed=3)
+        labeling = pruned_landmark_labeling(g)
+        assert len(labeling_to_bytes(labeling)) < len(
+            labeling_to_json(labeling).encode()
+        )
+
+    @given(st.integers(min_value=0, max_value=12), st.integers(0, 10 ** 6))
+    @settings(max_examples=25, deadline=None)
+    def test_round_trip_random_labelings(self, n, seed):
+        import random
+
+        rng = random.Random(seed)
+        labeling = HubLabeling(n)
+        for v in range(n):
+            for _ in range(rng.randrange(4)):
+                labeling.add_hub(v, rng.randrange(max(n, 1)), rng.randrange(50))
+        blob = labeling_to_bytes(labeling)
+        assert labelings_equal(labeling, labeling_from_bytes(blob))
+
+
+class TestEdgeList:
+    def test_round_trip(self):
+        g = random_weighted_graph(20, 40, seed=4)
+        text = graph_to_edgelist(g)
+        h = graph_from_edgelist(text)
+        assert sorted(g.edges()) == sorted(h.edges())
+        assert g.num_vertices == h.num_vertices
+
+    def test_empty(self):
+        assert graph_from_edgelist(graph_to_edgelist(Graph())).num_vertices == 0
+
+    def test_isolated_vertices_preserved(self):
+        g = Graph(5)
+        g.add_edge(0, 1)
+        h = graph_from_edgelist(graph_to_edgelist(g))
+        assert h.num_vertices == 5
+
+    def test_header_mismatch_detected(self):
+        with pytest.raises(ValueError):
+            graph_from_edgelist("3 5\n0 1 1\n")

@@ -1,0 +1,137 @@
+"""The weighted layered graph H_{b,l} and Lemma 2.2."""
+
+import pytest
+
+from repro.graphs import (
+    count_shortest_paths,
+    shortest_path,
+    shortest_path_distances,
+)
+from repro.lowerbound import LayeredGraph
+
+
+class TestStructure:
+    @pytest.mark.parametrize("b,ell", [(1, 1), (1, 2), (2, 1), (2, 2)])
+    def test_vertex_count(self, b, ell):
+        lay = LayeredGraph(b, ell)
+        s = 2 ** b
+        assert lay.graph.num_vertices == (2 * ell + 1) * s ** ell
+
+    @pytest.mark.parametrize("b,ell", [(1, 1), (2, 1), (1, 2)])
+    def test_interior_degree_is_2s(self, b, ell):
+        lay = LayeredGraph(b, ell)
+        s = 2 ** b
+        for vector in lay.vectors():
+            v = lay.vertex(1, vector) if ell >= 1 else None
+            assert lay.graph.degree(v) == 2 * s
+        # Boundary levels have degree s.
+        for vector in lay.vectors():
+            assert lay.graph.degree(lay.vertex(0, vector)) == s
+
+    def test_active_coordinate_mirrored(self):
+        lay = LayeredGraph(1, 3)
+        ups = [lay.active_coordinate(i) for i in range(3)]
+        downs = [lay.active_coordinate(i) for i in range(3, 6)]
+        assert ups == [0, 1, 2]
+        assert downs == [2, 1, 0]
+
+    def test_active_coordinate_out_of_range(self):
+        lay = LayeredGraph(1, 1)
+        with pytest.raises(ValueError):
+            lay.active_coordinate(2)
+
+    def test_edge_weights(self):
+        lay = LayeredGraph(2, 1)
+        # A = 3 * 1 * 16 = 48; change by 3 costs 48 + 9.
+        v0 = lay.vertex(0, (0,))
+        v1 = lay.vertex(1, (3,))
+        assert lay.graph.edge_weight(v0, v1) == 48 + 9
+        same = lay.vertex(1, (0,))
+        assert lay.graph.edge_weight(v0, same) == 48
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            LayeredGraph(0, 1)
+        with pytest.raises(ValueError):
+            LayeredGraph(1, 0)
+
+
+class TestLemma22:
+    @pytest.mark.parametrize("b,ell", [(1, 1), (2, 1), (1, 2)])
+    def test_uniqueness_and_midpoint_exhaustive(self, b, ell):
+        lay = LayeredGraph(b, ell)
+        top = 2 * ell
+        for x, z in lay.lemma_pairs():
+            vx = lay.vertex(0, x)
+            vz = lay.vertex(top, z)
+            dist, count = count_shortest_paths(lay.graph, vx)
+            assert count[vz] == 1, f"not unique for {x} -> {z}"
+            assert dist[vz] == lay.unique_path_length(x, z)
+            path = shortest_path(lay.graph, vx, vz)
+            assert lay.vertex(ell, lay.midpoint(x, z)) in path
+
+    def test_unique_path_vertices_is_the_shortest_path(self):
+        lay = LayeredGraph(2, 2)
+        x, z = (1, 0), (3, 2)
+        claimed = lay.unique_path_vertices(x, z)
+        actual = shortest_path(lay.graph, claimed[0], claimed[-1])
+        assert claimed == actual
+
+    def test_point_symmetry_of_deltas(self):
+        lay = LayeredGraph(2, 2)
+        x, z = (0, 2), (2, 0)
+        mid = lay.midpoint(x, z)
+        assert mid == (1, 1)
+        path = lay.unique_path_vertices(x, z)
+        assert path[lay.ell] == lay.vertex(lay.ell, mid)
+
+    def test_non_lemma_pair_rejected(self):
+        lay = LayeredGraph(2, 1)
+        with pytest.raises(ValueError):
+            lay.midpoint((0,), (1,))
+        with pytest.raises(ValueError):
+            lay.unique_path_length((0,), (3,))
+
+    def test_triplet_count(self):
+        lay = LayeredGraph(2, 2)
+        assert lay.midpoint_triplet_count() == 16 * 4
+        assert sum(1 for _ in lay.lemma_pairs()) == 16 * 4
+
+    def test_odd_gap_pairs_can_tie(self):
+        # Sanity: the lemma premise matters -- for odd gaps no claim is
+        # made, and ties genuinely appear.
+        lay = LayeredGraph(1, 1)  # s = 2: gap 1 is odd
+        vx = lay.vertex(0, (0,))
+        vz = lay.vertex(2, (1,))
+        dist, count = count_shortest_paths(lay.graph, vx)
+        assert count[vz] == 2  # split (0,1) and (1,0) tie
+
+
+class TestFigure1:
+    """Figure 1 shows H_{2,2}: blue path length 4A + 4, red 4A + 8."""
+
+    def test_blue_path(self):
+        lay = LayeredGraph(2, 2)
+        a = lay.base_weight
+        assert a == 96
+        x, z = (1, 0), (3, 2)
+        assert lay.unique_path_length(x, z) == 4 * a + 4
+        assert lay.midpoint(x, z) == (2, 1)
+        dist, _ = shortest_path_distances(lay.graph, lay.vertex(0, x))
+        assert dist[lay.vertex(4, z)] == 4 * a + 4
+
+    def test_red_path_costs_4a_plus_8(self):
+        # The uneven split (delta, delta') = (2, 0) per coordinate.
+        lay = LayeredGraph(2, 2)
+        a = lay.base_weight
+        x, z = (1, 0), (3, 2)
+        red = [
+            lay.vertex(0, (1, 0)),
+            lay.vertex(1, (3, 0)),  # coord 0 jumps by 2: A + 4
+            lay.vertex(2, (3, 2)),  # coord 1 jumps by 2: A + 4
+            lay.vertex(3, (3, 2)),  # A
+            lay.vertex(4, (3, 2)),  # A
+        ]
+        from repro.graphs import path_weight
+
+        assert path_weight(lay.graph, red) == 4 * a + 8

@@ -1,0 +1,121 @@
+"""Bipartite matchings, Koenig covers, induced matchings."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rs import (
+    greedy_maximal_matching,
+    is_induced_matching,
+    is_matching,
+    konig_vertex_cover,
+    maximum_bipartite_matching,
+)
+
+
+def brute_force_maximum_matching(edges):
+    best = 0
+    for r in range(len(edges), 0, -1):
+        for combo in itertools.combinations(edges, r):
+            if is_matching(combo):
+                return r
+    return best
+
+
+def random_edges(num_left, num_right, count, seed):
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < count:
+        edges.add((rng.randrange(num_left), rng.randrange(num_right)))
+    return sorted(edges)
+
+
+class TestGreedyMaximal:
+    def test_is_matching_and_maximal(self):
+        edges = random_edges(6, 6, 12, seed=1)
+        mm = greedy_maximal_matching(edges)
+        assert is_matching(mm)
+        used_l = {u for u, _ in mm}
+        used_r = {v for _, v in mm}
+        for u, v in edges:
+            assert u in used_l or v in used_r  # maximality
+
+    def test_empty(self):
+        assert greedy_maximal_matching([]) == []
+
+
+class TestMaximumMatching:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_matches_brute_force(self, seed):
+        edges = random_edges(5, 5, 8, seed=seed)
+        hk = maximum_bipartite_matching(edges)
+        assert is_matching(hk)
+        assert set(hk) <= set(edges)
+        assert len(hk) == brute_force_maximum_matching(edges)
+
+    def test_perfect_matching_on_crown(self):
+        edges = [(i, i) for i in range(5)] + [(i, (i + 1) % 5) for i in range(5)]
+        assert len(maximum_bipartite_matching(edges)) == 5
+
+    def test_star_has_matching_one(self):
+        edges = [(0, j) for j in range(6)]
+        assert len(maximum_bipartite_matching(edges)) == 1
+
+
+class TestKonig:
+    def covers(self, cover, edges):
+        left_cover, right_cover = cover
+        return all(u in left_cover or v in right_cover for u, v in edges)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cover_valid_and_tight(self, seed):
+        edges = random_edges(5, 6, 9, seed=seed + 10)
+        cover = konig_vertex_cover(edges)
+        assert self.covers(cover, edges)
+        matching_size = len(maximum_bipartite_matching(edges))
+        assert len(cover[0]) + len(cover[1]) == matching_size
+
+    def test_cover_at_most_twice_greedy(self):
+        # The Lemma 4.2 inequality |VC| <= 2 |MM| for any maximal MM.
+        edges = random_edges(8, 8, 20, seed=3)
+        cover = konig_vertex_cover(edges)
+        mm = greedy_maximal_matching(edges)
+        assert len(cover[0]) + len(cover[1]) <= 2 * len(mm)
+
+    def test_empty(self):
+        assert konig_vertex_cover([]) == (set(), set())
+
+
+class TestInducedMatchings:
+    def test_is_matching(self):
+        assert is_matching([(0, 1), (2, 3)])
+        assert not is_matching([(0, 1), (0, 3)])
+        assert not is_matching([(0, 1), (2, 1)])
+
+    def test_induced_positive(self):
+        graph_edges = {(0, 10), (1, 11), (2, 12)}
+        assert is_induced_matching(graph_edges, [(0, 10), (1, 11)])
+
+    def test_cross_edge_breaks_inducedness(self):
+        graph_edges = {(0, 10), (1, 11), (0, 11)}
+        assert not is_induced_matching(graph_edges, [(0, 10), (1, 11)])
+
+    def test_non_matching_rejected(self):
+        graph_edges = {(0, 10), (0, 11)}
+        assert not is_induced_matching(graph_edges, [(0, 10), (0, 11)])
+
+    @given(
+        st.sets(
+            st.tuples(
+                st.integers(min_value=0, max_value=4),
+                st.integers(min_value=10, max_value=14),
+            ),
+            max_size=12,
+        )
+    )
+    @settings(max_examples=50)
+    def test_single_edge_always_induced(self, graph_edges):
+        for edge in graph_edges:
+            assert is_induced_matching(graph_edges, [edge])

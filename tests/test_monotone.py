@@ -1,0 +1,109 @@
+"""Monotone hubsets (Section 1.2): closure, detection, inflation bound."""
+
+from repro.core import (
+    HubLabeling,
+    is_monotone,
+    is_valid_cover,
+    monotone_closure,
+    pruned_landmark_labeling,
+    tree_path_to_root,
+)
+from repro.graphs import (
+    diameter,
+    grid_2d,
+    path_graph,
+    random_sparse_graph,
+    shortest_path_distances,
+)
+
+
+class TestTreePath:
+    def test_tree_path_to_root(self):
+        parent = [-1, 0, 1, 2]
+        assert tree_path_to_root(parent, 3) == [3, 2, 1, 0]
+        assert tree_path_to_root(parent, 0) == [0]
+
+
+class TestClosure:
+    def test_closure_is_monotone(self, small_grid):
+        labeling = pruned_landmark_labeling(small_grid)
+        closed = monotone_closure(small_grid, labeling)
+        assert is_monotone(small_grid, closed)
+
+    def test_closure_preserves_cover(self, small_grid):
+        labeling = pruned_landmark_labeling(small_grid)
+        closed = monotone_closure(small_grid, labeling)
+        assert is_valid_cover(small_grid, closed)
+
+    def test_closure_only_grows(self, sparse_graph):
+        labeling = pruned_landmark_labeling(sparse_graph)
+        closed = monotone_closure(sparse_graph, labeling)
+        for v in sparse_graph.vertices():
+            assert set(labeling.hub_set(v)) <= set(closed.hub_set(v))
+
+    def test_closure_idempotent(self, small_grid):
+        labeling = pruned_landmark_labeling(small_grid)
+        once = monotone_closure(small_grid, labeling)
+        twice = monotone_closure(small_grid, once)
+        assert twice.total_size() == once.total_size()
+
+    def test_closure_distances_exact(self, small_grid):
+        labeling = pruned_landmark_labeling(small_grid)
+        closed = monotone_closure(small_grid, labeling)
+        for v in small_grid.vertices():
+            dist, _ = shortest_path_distances(small_grid, v)
+            for h, d in closed.hubs(v).items():
+                assert d == dist[h]
+
+    def test_closure_inflation_at_most_diameter(self, small_grid):
+        # |S*_v| <= (diam + 1) |S_v| -- the Eq. (1) mechanism.
+        labeling = pruned_landmark_labeling(small_grid)
+        closed = monotone_closure(small_grid, labeling)
+        diam = diameter(small_grid)
+        for v in small_grid.vertices():
+            assert closed.label_size(v) <= (diam + 1) * labeling.label_size(v)
+
+    def test_closure_drops_unreachable_hubs(self):
+        from repro.graphs import Graph
+
+        g = Graph(3)
+        g.add_edge(0, 1)
+        lab = HubLabeling(3)
+        lab.add_hub(0, 2, 5)  # bogus unreachable hub
+        closed = monotone_closure(g, lab)
+        assert closed.label_size(0) == 0
+
+
+class TestIsMonotone:
+    def test_path_prefix_labels_monotone(self):
+        g = path_graph(5)
+        lab = HubLabeling(5)
+        for v in range(5):
+            for h in range(v + 1):
+                lab.add_hub(v, h, v - h)
+        assert is_monotone(g, lab)
+
+    def test_gap_breaks_monotonicity(self):
+        g = path_graph(5)
+        lab = HubLabeling(5)
+        lab.add_hub(4, 4, 0)
+        lab.add_hub(4, 0, 4)  # hub 0 without the intermediate vertices
+        assert not is_monotone(g, lab)
+
+    def test_wrong_distance_detected(self):
+        g = path_graph(3)
+        lab = HubLabeling(3)
+        lab.add_hub(2, 2, 0)
+        lab.add_hub(2, 1, 2)  # true distance is 1
+        assert not is_monotone(g, lab)
+
+    def test_empty_labels_are_monotone(self, small_grid):
+        assert is_monotone(small_grid, HubLabeling(small_grid.num_vertices))
+
+    def test_pll_not_necessarily_monotone(self):
+        # On a sparse random graph PLL labels usually skip intermediates.
+        g = random_sparse_graph(40, seed=8)
+        labeling = pruned_landmark_labeling(g)
+        closed = monotone_closure(g, labeling)
+        # The closure is monotone even if the input was not.
+        assert is_monotone(g, closed)

@@ -1,0 +1,87 @@
+"""Exact minimum hub labelings and the hierarchical gap (tiny graphs)."""
+
+import pytest
+
+from repro.core import (
+    best_hierarchical_labeling,
+    greedy_hub_labeling,
+    is_hierarchical,
+    is_valid_cover,
+    minimum_hub_labeling,
+    minimum_total_size,
+    pruned_landmark_labeling,
+)
+from repro.graphs import Graph, cycle_graph, path_graph, star_graph
+
+
+class TestMinimum:
+    def test_single_edge(self):
+        g = path_graph(2)
+        # One pair; cover it with one shared hub: sizes {1, 1}.
+        assert minimum_total_size(g) == 2
+
+    def test_triangle(self):
+        g = cycle_graph(3)
+        # Each pair is an edge whose only hub candidates are its two
+        # endpoints, so each edge orients to a hub and S(v) collects the
+        # hubs of v's edges.  At most one vertex can see both its edges
+        # agree, hence the optimum is 3 * 2 - 1 = 5.
+        assert minimum_total_size(g) == 5
+
+    def test_star_optimum(self):
+        g = star_graph(5)
+        # Center must meet every pair: S(leaf) = {center, ...}.
+        # Optimal: S(0)={0}, S(leaf)={0} covers leaf pairs via 0 (on the
+        # shortest path) and (0, leaf) via 0.  Total = 5.
+        assert minimum_total_size(g) == 5
+
+    def test_path4_optimum_below_pll(self):
+        g = path_graph(4)
+        optimum = minimum_total_size(g)
+        pll = pruned_landmark_labeling(g).total_size()
+        assert optimum <= pll
+
+    def test_minimum_is_valid_cover_up_to_selfpairs(self):
+        for g in (path_graph(5), cycle_graph(5), star_graph(5)):
+            labeling = minimum_hub_labeling(g)
+            from repro.core import verify_cover
+
+            report = verify_cover(g, labeling)
+            assert report.ok
+
+    def test_greedy_within_log_factor(self):
+        import math
+
+        for g in (path_graph(6), cycle_graph(6), star_graph(6)):
+            optimum = minimum_total_size(g)
+            greedy = greedy_hub_labeling(g).total_size()
+            n = g.num_vertices
+            # Greedy includes n self-hubs by design; compare covers.
+            assert greedy <= optimum * (2 + math.log(n)) + n
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            minimum_hub_labeling(path_graph(12))
+
+
+class TestBestHierarchical:
+    def test_best_order_on_path(self):
+        g = path_graph(5)
+        labeling, order = best_hierarchical_labeling(g)
+        assert is_valid_cover(g, labeling)
+        assert is_hierarchical(labeling, list(order))
+        # The dyadic order (2, 1, 3, 0, 4) is among the optima.
+        from repro.core import pruned_landmark_labeling
+
+        dyadic = pruned_landmark_labeling(g, [2, 1, 3, 0, 4])
+        assert labeling.total_size() == dyadic.total_size()
+
+    def test_hierarchical_at_least_unrestricted(self):
+        for g in (path_graph(5), cycle_graph(5)):
+            hier, _ = best_hierarchical_labeling(g)
+            optimum = minimum_total_size(g)
+            assert hier.total_size() >= optimum
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError):
+            best_hierarchical_labeling(path_graph(10))

@@ -1,0 +1,102 @@
+"""Centralized distance oracles: exactness and accounting."""
+
+import pytest
+
+from repro.core import pruned_landmark_labeling
+from repro.graphs import (
+    all_pairs_distances,
+    grid_2d,
+    path_graph,
+    random_sparse_graph,
+    random_weighted_graph,
+)
+from repro.oracles import HubLabelOracle, LandmarkOracle, MatrixOracle
+
+
+def assert_oracle_exact(graph, oracle, stride=1):
+    matrix = all_pairs_distances(graph)
+    n = graph.num_vertices
+    for u in range(0, n, stride):
+        for v in range(0, n, stride):
+            outcome = oracle.query(u, v)
+            assert outcome.distance == matrix[u][v], (u, v)
+            assert outcome.operations >= 1
+
+
+class TestMatrixOracle:
+    def test_exact(self):
+        g = random_sparse_graph(30, seed=1)
+        assert_oracle_exact(g, MatrixOracle(g))
+
+    def test_space_quadratic(self):
+        g = path_graph(10)
+        assert MatrixOracle(g).space_words() == 100
+
+    def test_constant_ops(self):
+        g = grid_2d(4, 4)
+        oracle = MatrixOracle(g)
+        assert oracle.query(0, 15).operations == 1
+
+
+class TestHubLabelOracle:
+    def test_exact(self):
+        g = random_sparse_graph(30, seed=2)
+        oracle = HubLabelOracle(pruned_landmark_labeling(g))
+        assert_oracle_exact(g, oracle)
+
+    def test_space_counts_pairs(self):
+        g = path_graph(6)
+        labeling = pruned_landmark_labeling(g)
+        oracle = HubLabelOracle(labeling)
+        assert oracle.space_words() == 2 * labeling.total_size()
+
+    def test_ops_bounded_by_smaller_label(self):
+        g = grid_2d(5, 5)
+        labeling = pruned_landmark_labeling(g)
+        oracle = HubLabelOracle(labeling)
+        out = oracle.query(0, 24)
+        assert out.operations <= min(
+            labeling.label_size(0), labeling.label_size(24)
+        )
+
+
+class TestLandmarkOracle:
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    def test_exact_unweighted(self, k):
+        g = random_sparse_graph(40, seed=3)
+        assert_oracle_exact(g, LandmarkOracle(g, k, seed=1), stride=3)
+
+    def test_exact_weighted(self):
+        g = random_weighted_graph(30, 60, seed=4)
+        assert_oracle_exact(g, LandmarkOracle(g, 4, seed=2), stride=3)
+
+    def test_space_scales_with_landmarks(self):
+        g = path_graph(20)
+        assert LandmarkOracle(g, 2, seed=0).space_words() <= LandmarkOracle(
+            g, 8, seed=0
+        ).space_words()
+
+    def test_landmark_bound_is_upper_bound(self):
+        g = random_sparse_graph(100, seed=5)
+        oracle = LandmarkOracle(g, 10, seed=1)
+        matrix_row = all_pairs_distances(g)
+        for u, v in [(0, 50), (10, 90), (25, 75), (5, 95)]:
+            assert oracle.landmark_upper_bound(u, v) >= matrix_row[u][v]
+
+    def test_more_landmarks_tighter_bounds(self):
+        g = random_sparse_graph(100, seed=5)
+        few = LandmarkOracle(g, 2, seed=1)
+        many = LandmarkOracle(g, 30, seed=1)
+        pairs = [(0, 50), (10, 90), (25, 75), (5, 95)]
+        slack_few = sum(few.landmark_upper_bound(u, v) for u, v in pairs)
+        slack_many = sum(many.landmark_upper_bound(u, v) for u, v in pairs)
+        assert slack_many <= slack_few
+
+    def test_rejects_zero_landmarks(self):
+        with pytest.raises(ValueError):
+            LandmarkOracle(path_graph(5), 0)
+
+    def test_same_vertex(self):
+        g = path_graph(5)
+        oracle = LandmarkOracle(g, 2, seed=0)
+        assert oracle.query(3, 3).distance == 0

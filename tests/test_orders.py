@@ -1,0 +1,62 @@
+"""Vertex orderings for hierarchical labelings."""
+
+from repro.core import (
+    coverage_order,
+    degree_order,
+    eccentricity_order,
+    random_order,
+)
+from repro.graphs import grid_2d, path_graph, star_graph
+
+
+def is_permutation(order, n):
+    return sorted(order) == list(range(n))
+
+
+class TestOrders:
+    def test_degree_order_star(self):
+        order = degree_order(star_graph(6))
+        assert order[0] == 0
+        assert is_permutation(order, 6)
+
+    def test_degree_order_tie_break_by_index(self):
+        order = degree_order(path_graph(4))
+        # degrees: 1,2,2,1 -> [1, 2, 0, 3]
+        assert order == [1, 2, 0, 3]
+
+    def test_random_order_deterministic_per_seed(self, small_grid):
+        a = random_order(small_grid, seed=5)
+        b = random_order(small_grid, seed=5)
+        c = random_order(small_grid, seed=6)
+        assert a == b
+        assert a != c
+        assert is_permutation(a, small_grid.num_vertices)
+
+    def test_eccentricity_order_path_center_first(self):
+        order = eccentricity_order(path_graph(7))
+        assert order[0] == 3
+        assert set(order[1:3]) == {2, 4}
+        assert is_permutation(order, 7)
+
+    def test_coverage_order_star_center_first(self):
+        order = coverage_order(star_graph(8))
+        assert order[0] == 0
+        assert is_permutation(order, 8)
+
+    def test_coverage_order_path_picks_central(self):
+        order = coverage_order(path_graph(9))
+        assert order[0] == 4  # the midpoint covers the most pairs
+        assert is_permutation(order, 9)
+
+    def test_coverage_order_rounds_cap(self):
+        g = grid_2d(3, 3)
+        order = coverage_order(g, rounds=2)
+        assert is_permutation(order, 9)
+
+    def test_coverage_order_disconnected(self):
+        from repro.graphs import Graph
+
+        g = Graph(4)
+        g.add_edge(0, 1)
+        order = coverage_order(g)
+        assert is_permutation(order, 4)

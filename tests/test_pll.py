@@ -1,0 +1,128 @@
+"""Pruned landmark labeling: correctness across families and orders."""
+
+import pytest
+
+from repro.core import (
+    degree_order,
+    eccentricity_order,
+    is_valid_cover,
+    pruned_landmark_labeling,
+    random_order,
+    verify_cover,
+)
+from repro.graphs import (
+    balanced_binary_tree,
+    cycle_graph,
+    grid_2d,
+    hypercube_graph,
+    path_graph,
+    random_bounded_degree_graph,
+    random_sparse_graph,
+    random_tree,
+    random_weighted_graph,
+    star_graph,
+)
+
+
+FAMILIES = [
+    ("path", path_graph(15)),
+    ("cycle", cycle_graph(12)),
+    ("star", star_graph(10)),
+    ("grid", grid_2d(5, 5)),
+    ("tree", random_tree(40, seed=1)),
+    ("binary-tree", balanced_binary_tree(4)),
+    ("sparse", random_sparse_graph(60, seed=2)),
+    ("bounded-degree", random_bounded_degree_graph(50, 3, seed=3)),
+    ("hypercube", hypercube_graph(4)),
+]
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("name,graph", FAMILIES, ids=[f[0] for f in FAMILIES])
+    def test_valid_cover_on_family(self, name, graph):
+        labeling = pruned_landmark_labeling(graph)
+        assert is_valid_cover(graph, labeling)
+
+    def test_weighted_graph(self):
+        g = random_weighted_graph(40, 80, seed=5)
+        labeling = pruned_landmark_labeling(g)
+        assert is_valid_cover(g, labeling)
+
+    def test_zero_weight_edges(self):
+        from repro.graphs import Graph
+
+        g = Graph(4)
+        g.add_edge(0, 1, 0)
+        g.add_edge(1, 2, 3)
+        g.add_edge(2, 3, 0)
+        labeling = pruned_landmark_labeling(g)
+        assert is_valid_cover(g, labeling)
+
+    def test_disconnected_graph(self):
+        from repro.graphs import Graph
+
+        g = Graph(6)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        labeling = pruned_landmark_labeling(g)
+        assert is_valid_cover(g, labeling)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_any_order_is_correct(self, seed, small_grid):
+        order = random_order(small_grid, seed=seed)
+        labeling = pruned_landmark_labeling(small_grid, order)
+        assert is_valid_cover(small_grid, labeling)
+
+    def test_invalid_order_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            pruned_landmark_labeling(small_grid, [0, 1])
+
+
+class TestStructure:
+    def test_every_vertex_is_own_hub(self, small_grid):
+        labeling = pruned_landmark_labeling(small_grid)
+        for v in small_grid.vertices():
+            assert labeling.hub_distance(v, v) == 0
+
+    def test_first_vertex_hub_of_all(self, small_grid):
+        order = degree_order(small_grid)
+        labeling = pruned_landmark_labeling(small_grid, order)
+        root = order[0]
+        for v in small_grid.vertices():
+            assert labeling.hub_distance(v, root) is not None
+
+    def test_star_center_first_gives_two_hubs(self):
+        g = star_graph(12)
+        labeling = pruned_landmark_labeling(g, degree_order(g))
+        # center stores itself; leaves store center + themselves.
+        assert labeling.label_size(0) == 1
+        assert all(labeling.label_size(v) == 2 for v in range(1, 12))
+
+    def test_path_dyadic_order_logarithmic(self):
+        # A dyadic (recursive-separator) order on the path gives the
+        # canonical O(log n) hierarchical labeling.
+        g = path_graph(64)
+        order = sorted(range(64), key=lambda v: -((v + 1) & -(v + 1)))
+        labeling = pruned_landmark_labeling(g, order)
+        assert labeling.max_size() <= 7  # log2(64) + 1
+
+    def test_order_quality_matters(self):
+        g = path_graph(64)
+        good_order = sorted(range(64), key=lambda v: -((v + 1) & -(v + 1)))
+        good = pruned_landmark_labeling(g, good_order)
+        bad = pruned_landmark_labeling(g, list(range(64)))
+        assert good.total_size() < bad.total_size()
+        # Eccentricity (center-first) order also beats the linear scan.
+        centered = pruned_landmark_labeling(g, eccentricity_order(g))
+        assert centered.total_size() < bad.total_size()
+
+    def test_hierarchical_property(self, small_grid):
+        # In a PLL labeling, hub h in S(v) implies rank(h) <= rank(v)
+        # in the processing order.
+        order = degree_order(small_grid)
+        rank = {v: i for i, v in enumerate(order)}
+        labeling = pruned_landmark_labeling(small_grid, order)
+        for v in small_grid.vertices():
+            for h in labeling.hub_set(v):
+                assert rank[h] <= rank[v]

@@ -1,0 +1,87 @@
+"""Array PLL: exact equality with the reference implementation."""
+
+import pytest
+
+from repro.core import (
+    fast_pruned_landmark_labeling,
+    is_valid_cover,
+    pruned_landmark_labeling,
+    random_order,
+)
+from repro.graphs import (
+    CSRGraph,
+    grid_2d,
+    path_graph,
+    random_bounded_degree_graph,
+    random_sparse_graph,
+    random_weighted_graph,
+)
+
+
+def labels_equal(a, b):
+    return a.num_vertices == b.num_vertices and all(
+        dict(a.hubs(v)) == dict(b.hubs(v)) for v in range(a.num_vertices)
+    )
+
+
+class TestCSR:
+    def test_structure(self):
+        g = grid_2d(3, 3)
+        csr = CSRGraph(g)
+        assert csr.num_vertices == 9
+        assert csr.num_edges == g.num_edges
+        for v in g.vertices():
+            assert sorted(csr.neighbor_ids(v)) == sorted(g.neighbor_ids(v))
+
+    def test_weighted_flag(self):
+        g = random_weighted_graph(10, 15, seed=1)
+        assert CSRGraph(g).is_weighted
+
+    def test_slices_partition(self):
+        g = random_sparse_graph(30, seed=2)
+        csr = CSRGraph(g)
+        assert csr.offsets[0] == 0
+        assert csr.offsets[-1] == len(csr.targets)
+
+
+class TestFastPLL:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(12),
+            grid_2d(5, 5),
+            random_sparse_graph(50, seed=3),
+            random_bounded_degree_graph(40, 3, seed=4),
+        ],
+        ids=["path", "grid", "sparse", "deg3"],
+    )
+    def test_identical_to_reference(self, graph):
+        reference = pruned_landmark_labeling(graph)
+        fast = fast_pruned_landmark_labeling(graph)
+        assert labels_equal(reference, fast)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_identical_under_random_orders(self, seed):
+        g = random_sparse_graph(35, seed=seed)
+        order = random_order(g, seed=seed)
+        assert labels_equal(
+            pruned_landmark_labeling(g, order),
+            fast_pruned_landmark_labeling(g, order),
+        )
+
+    def test_weighted_fallback(self):
+        g = random_weighted_graph(25, 50, seed=5)
+        labeling = fast_pruned_landmark_labeling(g)
+        assert is_valid_cover(g, labeling)
+
+    def test_disconnected(self):
+        from repro.graphs import Graph
+
+        g = Graph(6)
+        g.add_edge(0, 1)
+        g.add_edge(3, 4)
+        assert is_valid_cover(g, fast_pruned_landmark_labeling(g))
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            fast_pruned_landmark_labeling(path_graph(4), [0, 1])

@@ -1,0 +1,89 @@
+"""Structural property computations."""
+
+from repro.graphs import (
+    INF,
+    Graph,
+    complete_graph,
+    connected_components,
+    cycle_graph,
+    degeneracy,
+    degree_histogram,
+    diameter,
+    eccentricity,
+    graph_stats,
+    grid_2d,
+    is_connected,
+    path_graph,
+    random_tree,
+    star_graph,
+)
+
+
+class TestComponents:
+    def test_single_component(self, small_grid):
+        assert len(connected_components(small_grid)) == 1
+        assert is_connected(small_grid)
+
+    def test_multiple_components(self):
+        g = Graph(6)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        comps = connected_components(g)
+        assert sorted(map(tuple, comps)) == [(0, 1), (2, 3), (4,), (5,)]
+        assert not is_connected(g)
+
+    def test_empty_graph_connected(self):
+        assert is_connected(Graph())
+
+
+class TestDistancesStats:
+    def test_eccentricity_path(self):
+        g = path_graph(5)
+        assert eccentricity(g, 0) == 4
+        assert eccentricity(g, 2) == 2
+
+    def test_diameter_disconnected(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        assert diameter(g) == INF
+
+    def test_diameter_known_values(self):
+        assert diameter(grid_2d(3, 3)) == 4
+        assert diameter(star_graph(9)) == 2
+        assert diameter(complete_graph(5)) == 1
+
+
+class TestDegeneracy:
+    def test_tree_degeneracy_one(self):
+        assert degeneracy(random_tree(30, seed=2)) == 1
+
+    def test_cycle_degeneracy_two(self):
+        assert degeneracy(cycle_graph(9)) == 2
+
+    def test_complete_graph(self):
+        assert degeneracy(complete_graph(6)) == 5
+
+    def test_empty(self):
+        assert degeneracy(Graph()) == 0
+        assert degeneracy(Graph(5)) == 0
+
+
+class TestHistogramAndStats:
+    def test_degree_histogram(self):
+        g = star_graph(5)
+        hist = degree_histogram(g)
+        assert hist[1] == 4
+        assert hist[4] == 1
+        assert sum(hist) == 5
+
+    def test_graph_stats_record(self, small_grid):
+        stats = graph_stats(small_grid, with_diameter=True)
+        assert stats.num_vertices == 20
+        assert stats.num_edges == small_grid.num_edges
+        assert stats.is_connected
+        assert stats.diameter == 7
+        assert len(stats.row()) == 6
+
+    def test_graph_stats_without_diameter(self, small_grid):
+        stats = graph_stats(small_grid)
+        assert stats.diameter is None

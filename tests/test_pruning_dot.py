@@ -1,0 +1,107 @@
+"""Redundant-hub pruning and DOT export."""
+
+import pytest
+
+from repro.core import (
+    HubLabeling,
+    is_valid_cover,
+    prune_labeling,
+    pruned_landmark_labeling,
+    sparse_hub_labeling,
+)
+from repro.graphs import (
+    grid_2d,
+    path_graph,
+    random_sparse_graph,
+    to_dot,
+)
+
+
+class TestPruning:
+    def test_pruned_still_valid(self):
+        g = random_sparse_graph(40, seed=8)
+        labeling = sparse_hub_labeling(g, radius=2, seed=1).labeling
+        pruned = prune_labeling(g, labeling)
+        assert is_valid_cover(g, pruned)
+
+    def test_pruned_is_subset(self):
+        g = grid_2d(4, 4)
+        labeling = sparse_hub_labeling(g, radius=2, seed=2).labeling
+        pruned = prune_labeling(g, labeling)
+        for v in g.vertices():
+            assert set(pruned.hub_set(v)) <= set(labeling.hub_set(v))
+
+    def test_overprovisioned_shrinks_substantially(self):
+        g = random_sparse_graph(50, seed=9)
+        labeling = sparse_hub_labeling(g, radius=3, seed=3).labeling
+        pruned = prune_labeling(g, labeling)
+        assert pruned.total_size() < 0.6 * labeling.total_size()
+
+    def test_pll_nearly_unshrinkable(self):
+        # The canonical hierarchical labeling has little slack: pruning
+        # removes at most a small fraction.
+        g = random_sparse_graph(40, seed=10)
+        labeling = pruned_landmark_labeling(g)
+        pruned = prune_labeling(g, labeling)
+        assert pruned.total_size() >= 0.8 * labeling.total_size()
+
+    def test_broken_input_rejected(self):
+        g = path_graph(5)
+        with pytest.raises(ValueError):
+            prune_labeling(g, HubLabeling(5))
+
+    def test_size_mismatch_rejected(self):
+        g = path_graph(5)
+        with pytest.raises(ValueError):
+            prune_labeling(g, HubLabeling(3))
+
+    def test_self_hubs_kept_by_default(self):
+        g = path_graph(6)
+        labeling = pruned_landmark_labeling(g)
+        pruned = prune_labeling(g, labeling)
+        for v in g.vertices():
+            assert pruned.hub_distance(v, v) == 0
+
+
+class TestDot:
+    def test_basic_structure(self):
+        g = path_graph(3)
+        dot = to_dot(g, name="demo")
+        assert dot.startswith('graph "demo" {')
+        assert "0 -- 1;" in dot
+        assert "1 -- 2;" in dot
+        assert dot.rstrip().endswith("}")
+
+    def test_weights_rendered(self):
+        from repro.graphs import Graph
+
+        g = Graph(2)
+        g.add_edge(0, 1, 7)
+        dot = to_dot(g)
+        assert 'label="7"' in dot
+
+    def test_highlight_path(self):
+        g = path_graph(4)
+        dot = to_dot(g, highlight_path=[0, 1, 2])
+        assert dot.count("color=blue") >= 4  # 3 vertices + 2 edges
+
+    def test_names(self):
+        g = path_graph(2)
+        dot = to_dot(g, names={0: "v_{0,(1,0)}", 1: "mid"})
+        assert 'label="v_{0,(1,0)}"' in dot
+        assert 'label="mid"' in dot
+
+    def test_figure1_artifact(self):
+        # The actual Figure 1 graph with its blue path, as DOT.
+        from repro.lowerbound import LayeredGraph
+
+        lay = LayeredGraph(2, 2)
+        path = lay.unique_path_vertices((1, 0), (3, 2))
+        names = {
+            lay.vertex(level, vec): f"v{level},{vec}"
+            for level in range(lay.num_levels)
+            for vec in lay.vectors()
+        }
+        dot = to_dot(lay.graph, names=names, highlight_path=path)
+        assert 'label="v0,(1, 0)"' in dot
+        assert dot.count("color=blue") >= 2 * len(path) - 1

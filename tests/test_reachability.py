@@ -1,0 +1,237 @@
+"""Directed 2-hop reachability covers ([CHKZ03] framework)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.reachability import (
+    DiGraph,
+    ReachabilityLabeling,
+    is_valid_reachability_cover,
+    pruned_reachability_labeling,
+)
+
+
+def random_digraph(n, density, seed):
+    rng = random.Random(seed)
+    g = DiGraph(n)
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < density:
+                g.add_edge(u, v)
+    return g
+
+
+class TestDiGraph:
+    def test_basics(self):
+        g = DiGraph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert g.num_edges == 2
+        assert g.successors(0) == [1]
+        assert g.predecessors(2) == [1]
+        assert sorted(g.edges()) == [(0, 1), (1, 2)]
+
+    def test_parallel_collapse_and_loops(self):
+        g = DiGraph(2)
+        g.add_edge(0, 1)
+        g.add_edge(0, 1)
+        assert g.num_edges == 1
+        with pytest.raises(ValueError):
+            g.add_edge(1, 1)
+
+    def test_reachability_oracle(self):
+        g = DiGraph(4)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        assert g.reaches(0, 2)
+        assert not g.reaches(2, 0)
+        assert g.reachable_from(0) == {0, 1, 2}
+        assert g.reaching_to(2) == {0, 1, 2}
+
+    def test_topological_order_dag(self):
+        g = DiGraph(4)
+        g.add_edge(3, 1)
+        g.add_edge(1, 0)
+        g.add_edge(3, 2)
+        order = g.topological_order()
+        assert order is not None
+        position = {v: i for i, v in enumerate(order)}
+        for u, v in g.edges():
+            assert position[u] < position[v]
+        assert g.is_dag()
+
+    def test_cycle_detected(self):
+        g = DiGraph(3)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 0)
+        assert g.topological_order() is None
+        assert not g.is_dag()
+
+
+class TestTwoHopCover:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_valid_on_random_digraphs(self, seed):
+        g = random_digraph(14, 0.2, seed)
+        labeling = pruned_reachability_labeling(g)
+        assert is_valid_reachability_cover(g, labeling)
+
+    def test_valid_on_cycle(self):
+        g = DiGraph(6)
+        for v in range(6):
+            g.add_edge(v, (v + 1) % 6)
+        labeling = pruned_reachability_labeling(g)
+        assert is_valid_reachability_cover(g, labeling)
+        # In a directed cycle everyone reaches everyone.
+        assert all(labeling.query(u, v) for u in range(6) for v in range(6))
+
+    def test_valid_on_dag_chain(self):
+        g = DiGraph(8)
+        for v in range(7):
+            g.add_edge(v, v + 1)
+        labeling = pruned_reachability_labeling(g)
+        assert is_valid_reachability_cover(g, labeling)
+        assert labeling.query(0, 7)
+        assert not labeling.query(7, 0)
+
+    def test_self_reachability(self):
+        g = DiGraph(3)
+        labeling = pruned_reachability_labeling(g)
+        for v in range(3):
+            assert labeling.query(v, v)
+
+    def test_custom_order_still_valid(self):
+        g = random_digraph(12, 0.25, seed=99)
+        order = list(range(12))
+        labeling = pruned_reachability_labeling(g, order)
+        assert is_valid_reachability_cover(g, labeling)
+
+    def test_invalid_order_rejected(self):
+        with pytest.raises(ValueError):
+            pruned_reachability_labeling(DiGraph(3), [0, 1])
+
+    def test_pruning_helps_on_star_dag(self):
+        # Source star: hub-first order gives tiny labels.
+        n = 20
+        g = DiGraph(n)
+        for v in range(1, n):
+            g.add_edge(0, v)
+        labeling = pruned_reachability_labeling(g, list(range(n)))
+        assert labeling.average_size() <= 4
+
+    def test_size_accounting(self):
+        g = random_digraph(10, 0.3, seed=5)
+        labeling = pruned_reachability_labeling(g)
+        assert labeling.total_size() == sum(
+            len(s) for s in labeling.out_labels
+        ) + sum(len(s) for s in labeling.in_labels)
+        assert labeling.average_size() == labeling.total_size() / 10
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=12),
+        st.floats(min_value=0.0, max_value=0.5),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_property_random_digraphs(self, n, density, seed):
+        g = random_digraph(n, density, seed)
+        labeling = pruned_reachability_labeling(g)
+        assert is_valid_reachability_cover(g, labeling)
+
+    def test_mismatched_labeling_rejected(self):
+        g = DiGraph(3)
+        assert not is_valid_reachability_cover(
+            g, ReachabilityLabeling.empty(2)
+        )
+
+
+class TestDirectedDistance:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_valid_on_random_digraphs(self, seed):
+        from repro.reachability import (
+            is_valid_directed_cover,
+            pruned_directed_labeling,
+        )
+
+        g = random_digraph(13, 0.25, seed)
+        labeling = pruned_directed_labeling(g)
+        assert is_valid_directed_cover(g, labeling)
+
+    def test_asymmetry(self):
+        from repro.reachability import pruned_directed_labeling
+
+        g = DiGraph(4)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        labeling = pruned_directed_labeling(g)
+        assert labeling.query(0, 3) == 3
+        assert labeling.query(3, 0) == float("inf")
+        assert labeling.query(2, 2) == 0
+
+    def test_cycle_distances(self):
+        from repro.reachability import (
+            is_valid_directed_cover,
+            pruned_directed_labeling,
+        )
+
+        g = DiGraph(5)
+        for v in range(5):
+            g.add_edge(v, (v + 1) % 5)
+        labeling = pruned_directed_labeling(g)
+        assert is_valid_directed_cover(g, labeling)
+        assert labeling.query(0, 4) == 4
+        assert labeling.query(4, 0) == 1
+
+    def test_invalid_order_rejected(self):
+        from repro.reachability import pruned_directed_labeling
+
+        with pytest.raises(ValueError):
+            pruned_directed_labeling(DiGraph(3), [2, 1])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=1, max_value=11),
+        st.floats(min_value=0.0, max_value=0.5),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_property_random_digraphs(self, n, density, seed):
+        from repro.reachability import (
+            is_valid_directed_cover,
+            pruned_directed_labeling,
+        )
+
+        g = random_digraph(n, density, seed)
+        assert is_valid_directed_cover(g, pruned_directed_labeling(g))
+
+
+class TestDirectedUndirectedEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=12),
+        st.floats(min_value=0.1, max_value=0.5),
+        st.integers(min_value=0, max_value=10 ** 6),
+    )
+    def test_symmetric_digraph_matches_undirected_bfs(self, n, density, seed):
+        """On a symmetric digraph, directed labels reproduce undirected
+        distances -- a cross-substrate consistency check."""
+        from repro.graphs import Graph, shortest_path_distances, INF
+        from repro.reachability import pruned_directed_labeling
+
+        rng = random.Random(seed)
+        undirected = Graph(n)
+        directed = DiGraph(n)
+        for u in range(n):
+            for v in range(u + 1, n):
+                if rng.random() < density:
+                    undirected.add_edge(u, v)
+                    directed.add_edge(u, v)
+                    directed.add_edge(v, u)
+        labeling = pruned_directed_labeling(directed)
+        for u in range(n):
+            dist, _ = shortest_path_distances(undirected, u)
+            for v in range(n):
+                expected = dist[v] if dist[v] != INF else float("inf")
+                assert labeling.query(u, v) == expected

@@ -1,0 +1,120 @@
+"""The Theorem 4.1 RS-based hub labeling construction."""
+
+import pytest
+
+from repro.core import (
+    default_threshold,
+    is_valid_cover,
+    rs_hub_labeling,
+)
+from repro.graphs import (
+    cycle_graph,
+    grid_2d,
+    path_graph,
+    random_bounded_degree_graph,
+    random_sparse_graph,
+)
+from repro.rs import is_induced_matching
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(20),
+            cycle_graph(15),
+            grid_2d(5, 5),
+            random_bounded_degree_graph(40, 3, seed=1),
+            random_sparse_graph(40, seed=2),
+        ],
+        ids=["path", "cycle", "grid", "deg3", "sparse"],
+    )
+    @pytest.mark.parametrize("threshold", [2, 3, 5])
+    def test_valid_cover(self, graph, threshold):
+        result = rs_hub_labeling(graph, threshold=threshold, seed=7)
+        assert is_valid_cover(graph, result.labeling)
+
+    def test_multiple_seeds(self):
+        g = random_bounded_degree_graph(35, 3, seed=3)
+        for seed in range(5):
+            result = rs_hub_labeling(g, threshold=3, seed=seed)
+            assert is_valid_cover(g, result.labeling)
+
+    def test_zero_one_weights_supported(self):
+        from repro.core import reduce_degree
+
+        g = random_sparse_graph(30, seed=5, avg_degree=4.0)
+        reduction = reduce_degree(g, chunk=2)
+        result = rs_hub_labeling(reduction.reduced, threshold=3, seed=1)
+        assert is_valid_cover(reduction.reduced, result.labeling)
+
+    def test_invalid_threshold(self, small_grid):
+        with pytest.raises(ValueError):
+            rs_hub_labeling(small_grid, threshold=1)
+
+    def test_disconnected(self):
+        from repro.graphs import Graph
+
+        g = Graph(8)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(4, 5)
+        g.add_edge(5, 6)
+        result = rs_hub_labeling(g, threshold=2, seed=0)
+        assert is_valid_cover(g, result.labeling)
+
+
+class TestAccounting:
+    def test_component_sizes_reported(self):
+        g = random_bounded_degree_graph(40, 3, seed=4)
+        result = rs_hub_labeling(g, threshold=3, seed=2)
+        sizes = result.component_sizes()
+        assert sizes["total_label_size"] == result.labeling.total_size()
+        assert sizes["charges_F"] == result.charge_total
+        # N(F) in a max-degree-Delta graph has <= (Delta+1)|F| vertices.
+        delta = g.max_degree()
+        assert result.neighborhood_total <= (delta + 1) * result.charge_total
+
+    def test_num_colors_is_d_cubed(self):
+        g = path_graph(15)
+        result = rs_hub_labeling(g, threshold=3, seed=0)
+        assert result.num_colors == 27
+
+    def test_default_threshold_reasonable(self):
+        assert 2 <= default_threshold(100) <= 10
+        assert default_threshold(10 ** 6) >= default_threshold(100)
+
+    def test_conflict_total_bounded(self):
+        # E[sum |R_v|] <= n^2 / D; allow generous slack for small n.
+        g = random_bounded_degree_graph(50, 3, seed=6)
+        result = rs_hub_labeling(g, threshold=4, seed=3)
+        assert result.conflict_total <= 4 * 50 * 50 / 4
+
+
+class TestLemma42Diagnostics:
+    def test_matchings_are_induced_in_color_class_union(self):
+        """Lemma 4.2: the maximal matchings of hubs sharing a color tile
+        the union graph G^c_{a,b} as *induced* matchings."""
+        g = random_bounded_degree_graph(30, 3, seed=8)
+        result = rs_hub_labeling(
+            g, threshold=3, seed=4, collect_matchings=True
+        )
+        checked = 0
+        for (color, a, b), matchings in result.matchings_by_color.items():
+            union_edges = {e for m in matchings for e in m}
+            for matching in matchings:
+                assert is_induced_matching(union_edges, matching)
+                checked += 1
+        assert checked > 0
+
+    def test_matchings_edge_disjoint_within_color(self):
+        g = grid_2d(5, 5)
+        result = rs_hub_labeling(
+            g, threshold=3, seed=9, collect_matchings=True
+        )
+        for matchings in result.matchings_by_color.values():
+            seen = set()
+            for matching in matchings:
+                for edge in matching:
+                    assert edge not in seen
+                    seen.add(edge)

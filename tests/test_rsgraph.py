@@ -1,0 +1,90 @@
+"""Ruzsa-Szemeredi graphs: partition, inducedness, density."""
+
+import pytest
+
+from repro.rs import (
+    RSGraph,
+    build_rs_graph,
+    empirical_rs_from_graph,
+    matching_of_edge,
+)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("q", [3, 5, 9, 21, 51])
+    def test_verify_full_property(self, q):
+        rs = build_rs_graph(q)
+        assert rs.verify()
+
+    def test_even_or_tiny_q_rejected(self):
+        with pytest.raises(ValueError):
+            build_rs_graph(10)
+        with pytest.raises(ValueError):
+            build_rs_graph(1)
+
+    def test_custom_difference_set(self):
+        rs = build_rs_graph(21, difference_set=[1, 4, 9])
+        assert rs.verify()
+        assert rs.num_edges == 21 * 3
+
+    def test_ap_difference_set_rejected(self):
+        with pytest.raises(ValueError):
+            build_rs_graph(31, difference_set=[1, 2, 3])
+
+    def test_too_large_difference_rejected(self):
+        with pytest.raises(ValueError):
+            build_rs_graph(11, difference_set=[6])
+
+    def test_empty_difference_rejected(self):
+        with pytest.raises(ValueError):
+            build_rs_graph(11, difference_set=[])
+
+    def test_edge_count_is_q_times_set_size(self):
+        rs = build_rs_graph(51)
+        assert rs.num_edges == 51 * len(rs.difference_set)
+
+    def test_at_most_n_matchings(self):
+        rs = build_rs_graph(25, difference_set=[1, 3, 8])
+        assert rs.num_matchings <= rs.num_vertices
+
+
+class TestPartitionStructure:
+    def test_matching_of_edge_inverse(self):
+        rs = build_rs_graph(21, difference_set=[1, 4, 9])
+        for x, matching in enumerate(rs.matchings):
+            for edge in matching:
+                assert matching_of_edge(rs, edge) == x
+
+    def test_unknown_edge_raises(self):
+        rs = build_rs_graph(9, difference_set=[1])
+        with pytest.raises(KeyError):
+            matching_of_edge(rs, (0, 0))
+
+    def test_matchings_have_equal_size(self):
+        rs = build_rs_graph(25, difference_set=[1, 3, 8])
+        sizes = {len(m) for m in rs.matchings}
+        assert sizes == {3}
+
+
+class TestDensity:
+    def test_density_ratio(self):
+        rs = build_rs_graph(51)
+        assert rs.density_ratio() == pytest.approx(
+            (2 * 51) ** 2 / rs.num_edges
+        )
+        assert empirical_rs_from_graph(
+            rs.num_vertices, rs.num_edges
+        ) == rs.density_ratio()
+
+    def test_density_improves_with_scale(self):
+        # n^2/m shrinks relative to n as q grows (denser in relative terms
+        # than a constant-degree graph).
+        small = build_rs_graph(51)
+        large = build_rs_graph(201)
+        assert (
+            large.density_ratio() / large.num_vertices
+            < small.density_ratio() / small.num_vertices
+        )
+
+    def test_empirical_rs_empty(self):
+        assert empirical_rs_from_graph(10, 0) == float("inf")

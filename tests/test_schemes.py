@@ -1,0 +1,163 @@
+"""Distance labeling schemes: exactness and bit accounting."""
+
+import pytest
+
+from repro.core import pruned_landmark_labeling
+from repro.graphs import (
+    INF,
+    Graph,
+    all_pairs_distances,
+    grid_2d,
+    path_graph,
+    random_sparse_graph,
+    random_tree,
+    star_graph,
+)
+from repro.labeling import (
+    DistanceRowScheme,
+    HubEncodedScheme,
+    IncrementalRowScheme,
+    dfs_order,
+    tree_centroid_labeling,
+)
+
+
+def assert_scheme_exact(graph, scheme, stride=1):
+    matrix = all_pairs_distances(graph)
+    n = graph.num_vertices
+    for u in range(0, n, stride):
+        for v in range(0, n, stride):
+            assert scheme.query(u, v) == matrix[u][v], (u, v)
+
+
+class TestDistanceRow:
+    def test_exact_on_families(self):
+        for g in (path_graph(12), grid_2d(4, 4), random_sparse_graph(30, seed=1)):
+            assert_scheme_exact(g, DistanceRowScheme(g))
+
+    def test_unreachable(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        scheme = DistanceRowScheme(g)
+        assert scheme.query(0, 3) == INF
+
+    def test_weighted(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 7)
+        g.add_edge(1, 2, 5)
+        assert DistanceRowScheme(g).query(0, 2) == 12
+
+    def test_decode_is_pure(self):
+        g = path_graph(6)
+        scheme = DistanceRowScheme(g)
+        label_a = scheme.label(0)
+        label_b = scheme.label(5)
+        # A decode with no instance state: call through the class.
+        assert DistanceRowScheme.decode(None, label_a, label_b) == 5
+
+    def test_stats(self):
+        g = path_graph(8)
+        scheme = DistanceRowScheme(g)
+        stats = scheme.stats()
+        assert stats.num_vertices == 8
+        assert stats.total_bits == 8 * stats.max_bits
+        assert stats.average_bits == stats.max_bits
+
+    def test_label_cached(self):
+        g = path_graph(5)
+        scheme = DistanceRowScheme(g)
+        assert scheme.label(2) is scheme.label(2)
+
+
+class TestHubEncoded:
+    def test_exact_from_pll(self):
+        g = random_sparse_graph(35, seed=3)
+        scheme = HubEncodedScheme(pruned_landmark_labeling(g))
+        assert_scheme_exact(g, scheme)
+
+    def test_bits_scale_with_hub_count(self):
+        g = star_graph(20)
+        labeling = pruned_landmark_labeling(g)
+        scheme = HubEncodedScheme(labeling)
+        stats = scheme.stats()
+        # ~2 hubs per leaf with tiny distances: labels must stay small.
+        assert stats.average_bits < 40
+
+    def test_gap_encoding_beats_naive_bound(self):
+        g = grid_2d(6, 6)
+        labeling = pruned_landmark_labeling(g)
+        scheme = HubEncodedScheme(labeling)
+        naive_bits = labeling.bit_size()
+        assert scheme.stats().total_bits < 2 * naive_bits
+
+
+class TestIncrementalRow:
+    def test_exact(self):
+        for g in (path_graph(10), grid_2d(4, 5), random_sparse_graph(25, seed=2)):
+            assert_scheme_exact(g, IncrementalRowScheme(g))
+
+    def test_rejects_weighted(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 3)
+        with pytest.raises(ValueError):
+            IncrementalRowScheme(g)
+
+    def test_rejects_disconnected_at_label_time(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        scheme = IncrementalRowScheme(g)
+        with pytest.raises(ValueError):
+            scheme.label(0)
+
+    def test_dfs_order_is_permutation(self):
+        g = grid_2d(3, 3)
+        assert sorted(dfs_order(g)) == list(range(9))
+
+    def test_labels_linear_bits_on_bounded_degree(self):
+        from repro.graphs import random_bounded_degree_graph
+
+        g = random_bounded_degree_graph(60, 3, seed=4)
+        scheme = IncrementalRowScheme(g)
+        stats = scheme.stats()
+        # Increments along a DFS of a connected graph are small: the
+        # per-label bits are O(n), far from the O(n log n) row encoding.
+        assert stats.max_bits <= 8 * 60
+
+
+class TestTreeCentroid:
+    def test_valid_cover_and_log_hubs(self):
+        from repro.core import is_valid_cover
+
+        for seed in range(3):
+            t = random_tree(60, seed=seed)
+            labeling = tree_centroid_labeling(t)
+            assert is_valid_cover(t, labeling)
+            assert labeling.max_size() <= 8  # ~ log2(60) + 2
+
+    def test_path_labels(self):
+        labeling = tree_centroid_labeling(path_graph(31))
+        assert labeling.max_size() <= 6
+
+    def test_rejects_cycle(self):
+        from repro.graphs import cycle_graph
+
+        with pytest.raises(ValueError):
+            tree_centroid_labeling(cycle_graph(5))
+
+    def test_rejects_forest(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        # 3 edges needed for a 4-vertex tree; this forest has 2.
+        with pytest.raises(ValueError):
+            tree_centroid_labeling(g)
+
+    def test_single_vertex(self):
+        labeling = tree_centroid_labeling(Graph(1))
+        assert labeling.hub_distance(0, 0) == 0
+
+    def test_encoded_bits_polylog(self):
+        t = random_tree(100, seed=9)
+        scheme = HubEncodedScheme(tree_centroid_labeling(t))
+        # O(log^2 n) bits with small constants.
+        assert scheme.stats().max_bits <= 4 * 49  # 4 * log2(100)^2

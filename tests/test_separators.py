@@ -1,0 +1,127 @@
+"""Separators and the recursive separator hub labeling."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    grid_recursive_separator_fn,
+    is_valid_cover,
+    separator_hub_labeling,
+)
+from repro.graphs import (
+    Graph,
+    bfs_level_separator,
+    grid_2d,
+    grid_separator,
+    path_graph,
+    random_sparse_graph,
+    random_tree,
+)
+
+
+class TestGridSeparator:
+    def test_middle_row(self):
+        sep = grid_separator(4, 6)
+        assert sep == [2 * 6 + c for c in range(6)]
+
+    def test_middle_column_when_taller(self):
+        sep = grid_separator(6, 4)
+        assert sep == [r * 4 + 2 for r in range(6)]
+
+    def test_separates_grid(self):
+        rows, cols = 5, 5
+        g = grid_2d(rows, cols)
+        sep = set(grid_separator(rows, cols))
+        remaining, _ = g.remove_vertices(sep)
+        from repro.graphs import connected_components
+
+        parts = connected_components(remaining)
+        assert len(parts) == 2
+
+
+class TestBfsLevelSeparator:
+    def test_path_middle(self):
+        g = path_graph(9)
+        sep = bfs_level_separator(g, list(range(9)))
+        assert len(sep) == 1
+        assert sep[0] == 4  # BFS from 0: best level is the middle
+
+    def test_always_inside_component(self):
+        g = random_sparse_graph(40, seed=5)
+        component = list(range(40))
+        sep = bfs_level_separator(g, component)
+        assert sep
+        assert set(sep) <= set(component)
+
+    def test_singleton_component(self):
+        g = Graph(3)
+        assert bfs_level_separator(g, [2]) == [2]
+
+    def test_is_a_cut(self):
+        # Removing a BFS level disconnects below from above.
+        g = grid_2d(5, 5)
+        sep = set(bfs_level_separator(g, list(range(25))))
+        if len(sep) < 25:
+            remaining, mapping = g.remove_vertices(sep)
+            # Any split is fine; just check nothing broke structurally.
+            assert remaining.num_vertices == 25 - len(sep)
+
+
+class TestSeparatorLabeling:
+    @pytest.mark.parametrize(
+        "graph",
+        [
+            path_graph(20),
+            grid_2d(5, 6),
+            random_tree(30, seed=2),
+            random_sparse_graph(35, seed=3),
+        ],
+        ids=["path", "grid", "tree", "sparse"],
+    )
+    def test_valid_cover(self, graph):
+        labeling = separator_hub_labeling(graph)
+        assert is_valid_cover(graph, labeling)
+
+    def test_disconnected(self):
+        g = Graph(7)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(4, 5)
+        labeling = separator_hub_labeling(g)
+        assert is_valid_cover(g, labeling)
+
+    def test_grid_sqrt_bound(self):
+        # The GPPR04 shape: O(sqrt n) hubs per vertex on grids.
+        side = 8
+        g = grid_2d(side, side)
+        labeling = separator_hub_labeling(
+            g, separator_fn=grid_recursive_separator_fn(side)
+        )
+        assert is_valid_cover(g, labeling)
+        n = side * side
+        # Hub count <= ~ side + side/2 + side/2 + side/4*... ~ 4*sqrt(n).
+        assert labeling.max_size() <= 4 * math.isqrt(n) + 4
+
+    def test_grid_beats_naive_pll_order(self):
+        from repro.core import pruned_landmark_labeling
+
+        side = 8
+        g = grid_2d(side, side)
+        sep = separator_hub_labeling(
+            g, separator_fn=grid_recursive_separator_fn(side)
+        )
+        naive = pruned_landmark_labeling(g, list(range(side * side)))
+        assert sep.total_size() < naive.total_size()
+
+    def test_empty_separator_rejected(self):
+        g = path_graph(5)
+        with pytest.raises(ValueError):
+            separator_hub_labeling(g, separator_fn=lambda graph, comp: [])
+
+    def test_foreign_separator_rejected(self):
+        g = path_graph(5)
+        with pytest.raises(ValueError):
+            separator_hub_labeling(
+                g, separator_fn=lambda graph, comp: [99]
+            )

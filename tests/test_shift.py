@@ -1,0 +1,52 @@
+"""The shift function and its Sum-Index extraction (Section 1.2)."""
+
+from repro.sumindex import (
+    GraphLabelingProtocol,
+    TrivialProtocol,
+    cyclic_shift,
+    protocol_for_shift_bit,
+    shift_output_bit_as_sumindex,
+)
+
+
+class TestShiftFunction:
+    def test_shift_basic(self):
+        assert cyclic_shift((1, 0, 0, 1), 1) == (0, 0, 1, 1)
+        assert cyclic_shift((1, 0, 0, 1), 0) == (1, 0, 0, 1)
+        assert cyclic_shift((1, 0, 0, 1), 4) == (1, 0, 0, 1)
+
+    def test_shift_negative_and_large(self):
+        bits = (1, 1, 0, 0)
+        assert cyclic_shift(bits, -1) == cyclic_shift(bits, 3)
+        assert cyclic_shift(bits, 9) == cyclic_shift(bits, 1)
+
+    def test_empty(self):
+        assert cyclic_shift((), 3) == ()
+
+
+class TestExtraction:
+    def test_output_bit_equals_sumindex_answer(self):
+        bits = (1, 0, 1, 1, 0, 0, 1, 0)
+        for k in range(8):
+            shifted = cyclic_shift(bits, k)
+            for i in range(8):
+                inst = shift_output_bit_as_sumindex(bits, i, k)
+                assert inst.answer == shifted[i]
+
+    def test_shift_through_trivial_protocol(self):
+        bits = (1, 0, 1, 0)
+        protocol = TrivialProtocol(4)
+        for k in range(4):
+            shifted = cyclic_shift(bits, k)
+            for i in range(4):
+                out, _, _ = protocol_for_shift_bit(protocol, bits, i, k)
+                assert out == shifted[i]
+
+    def test_shift_through_graph_protocol(self):
+        bits = (1, 0)
+        protocol = GraphLabelingProtocol(2, 1)
+        for k in range(2):
+            shifted = cyclic_shift(bits, k)
+            for i in range(2):
+                out, _, _ = protocol_for_shift_bit(protocol, bits, i, k)
+                assert out == shifted[i]

@@ -1,0 +1,152 @@
+"""Shortest-path structure: reconstruction, counting, hub candidates."""
+
+import pytest
+
+from repro.graphs import (
+    INF,
+    Graph,
+    all_pairs_distances,
+    count_shortest_paths,
+    cycle_graph,
+    grid_2d,
+    has_unique_shortest_path,
+    hub_candidates,
+    hub_candidates_from_distances,
+    is_shortest_path,
+    path_graph,
+    path_weight,
+    reconstruct_path,
+    shortest_path,
+    shortest_path_dag_edges,
+    shortest_path_distances,
+)
+
+
+class TestPathReconstruction:
+    def test_shortest_path_on_path_graph(self):
+        g = path_graph(5)
+        assert shortest_path(g, 0, 4) == [0, 1, 2, 3, 4]
+
+    def test_shortest_path_disconnected(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        assert shortest_path(g, 0, 2) is None
+
+    def test_reconstruct_cycle_detection(self):
+        with pytest.raises(ValueError):
+            reconstruct_path([1, 0], 0)
+
+    def test_path_weight(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 2)
+        g.add_edge(1, 2, 3)
+        assert path_weight(g, [0, 1, 2]) == 5
+        with pytest.raises(ValueError):
+            path_weight(g, [0, 2])
+
+    def test_is_shortest_path(self):
+        g = cycle_graph(6)
+        assert is_shortest_path(g, [0, 1, 2])
+        assert not is_shortest_path(g, [0, 1, 2, 3, 4])  # long way round
+        assert is_shortest_path(g, [3])
+        assert not is_shortest_path(g, [])
+
+
+class TestCounting:
+    def test_grid_counts_are_binomials(self):
+        # Paths in a grid from corner to (r, c) number C(r+c, r).
+        g = grid_2d(4, 4)
+        dist, count = count_shortest_paths(g, 0)
+        import math
+
+        for r in range(4):
+            for c in range(4):
+                v = r * 4 + c
+                assert dist[v] == r + c
+                assert count[v] == math.comb(r + c, r)
+
+    def test_unique_on_tree(self):
+        g = path_graph(6)
+        for v in range(6):
+            assert has_unique_shortest_path(g, 0, v)
+
+    def test_even_cycle_has_two_paths(self):
+        g = cycle_graph(6)
+        dist, count = count_shortest_paths(g, 0)
+        assert dist[3] == 3
+        assert count[3] == 2
+        assert not has_unique_shortest_path(g, 0, 3)
+
+    def test_rejects_zero_weights(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 0)
+        with pytest.raises(ValueError):
+            count_shortest_paths(g, 0)
+
+    def test_unreachable_pair_not_unique(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        assert not has_unique_shortest_path(g, 0, 2)
+
+
+class TestHubCandidates:
+    def test_candidates_on_path(self):
+        g = path_graph(5)
+        assert hub_candidates(g, 0, 4) == [0, 1, 2, 3, 4]
+        assert hub_candidates(g, 1, 3) == [1, 2, 3]
+
+    def test_candidates_on_even_cycle(self):
+        g = cycle_graph(4)
+        # Antipodal pair: both intermediate vertices qualify.
+        assert sorted(hub_candidates(g, 0, 2)) == [0, 1, 2, 3]
+
+    def test_candidates_disconnected(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        assert hub_candidates(g, 0, 2) == []
+
+    def test_candidates_from_matrix(self):
+        g = grid_2d(3, 3)
+        matrix = all_pairs_distances(g)
+        direct = hub_candidates(g, 0, 8)
+        reused = hub_candidates_from_distances(
+            matrix[0], matrix[8], matrix[0][8]
+        )
+        assert direct == reused
+
+    def test_self_pair(self):
+        g = path_graph(3)
+        assert hub_candidates(g, 1, 1) == [1]
+
+
+class TestDag:
+    def test_dag_predecessors(self):
+        g = grid_2d(2, 2)
+        preds = shortest_path_dag_edges(g, 0)
+        assert sorted(preds[3]) == [1, 2]
+        assert preds[1] == [0]
+        assert 0 not in preds
+
+    def test_dag_omits_unreachable(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        preds = shortest_path_dag_edges(g, 0)
+        assert 2 not in preds
+
+
+class TestAllPairs:
+    def test_symmetry(self, small_grid):
+        matrix = all_pairs_distances(small_grid)
+        n = small_grid.num_vertices
+        for u in range(n):
+            for v in range(n):
+                assert matrix[u][v] == matrix[v][u]
+
+    def test_triangle_inequality(self, sparse_graph):
+        matrix = all_pairs_distances(sparse_graph)
+        n = sparse_graph.num_vertices
+        for u in range(0, n, 9):
+            for v in range(0, n, 7):
+                for w in range(0, n, 11):
+                    if INF not in (matrix[u][w], matrix[w][v]):
+                        assert matrix[u][v] <= matrix[u][w] + matrix[w][v]

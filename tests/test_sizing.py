@@ -1,0 +1,75 @@
+"""Closed-form sizing of hard instances vs the real constructions."""
+
+import pytest
+
+from repro.lowerbound import (
+    balanced_parameters,
+    build_degree3_instance,
+    certificate_for,
+    certificate_preview,
+    predict_size,
+)
+
+
+class TestPrediction:
+    @pytest.mark.parametrize("b,ell", [(1, 1), (2, 1), (1, 2)])
+    def test_matches_real_instance(self, b, ell):
+        inst = build_degree3_instance(b, ell)
+        prediction = predict_size(b, ell)
+        assert prediction.cores == inst.num_core_vertices
+        assert prediction.tree_vertices == inst.num_tree_vertices
+        assert prediction.path_vertices == inst.num_path_vertices
+        assert prediction.total == inst.graph.num_vertices
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            predict_size(0, 1)
+
+    def test_growth_is_monotone(self):
+        sizes = [
+            predict_size(b, ell).total
+            for b, ell in [(1, 1), (1, 2), (2, 2), (2, 3)]
+        ]
+        assert sizes == sorted(sizes)
+
+
+class TestBalance:
+    def test_small_target(self):
+        assert balanced_parameters(10) == (1, 1)
+
+    def test_respects_budget(self):
+        for target in (10 ** 3, 10 ** 5, 10 ** 7):
+            b, ell = balanced_parameters(target)
+            if (b, ell) != (1, 1):
+                assert predict_size(b, ell).total <= target
+
+    def test_square_balance_grows(self):
+        small = balanced_parameters(10 ** 4)
+        large = balanced_parameters(10 ** 8)
+        assert large >= small
+
+
+class TestCertificatePreview:
+    @pytest.mark.parametrize("b,ell", [(1, 1), (2, 1)])
+    def test_matches_built_certificate(self, b, ell):
+        inst = build_degree3_instance(b, ell)
+        built = certificate_for(inst)
+        preview = certificate_preview(b, ell)
+        assert preview.triplet_count == built.triplet_count
+        assert preview.distortion == built.distortion
+        assert preview.num_vertices == built.num_vertices
+
+    def test_preview_scales_without_building(self):
+        # (4, 4) would be a ~10^9-vertex graph; the preview is instant.
+        cert = certificate_preview(4, 4)
+        assert cert.num_vertices > 10 ** 8
+        assert cert.hub_sum_lower_bound > 10 ** 3
+        # The certified *average* starts climbing once the grid term
+        # s^{2l} outruns the gadget overhead (s^{l+3} l^2-ish): visible
+        # from (3,3) onward on the balanced diagonal.
+        mid = certificate_preview(3, 3)
+        huge = certificate_preview(5, 5)
+        assert (
+            huge.hub_sum_lower_bound / huge.num_vertices
+            > mid.hub_sum_lower_bound / mid.num_vertices
+        )

@@ -1,0 +1,76 @@
+"""The threshold-based sparse-graph scheme (ADKP16/GKU16 style)."""
+
+import pytest
+
+from repro.core import (
+    default_radius,
+    is_valid_cover,
+    sparse_hub_labeling,
+)
+from repro.graphs import (
+    grid_2d,
+    path_graph,
+    random_bounded_degree_graph,
+    random_sparse_graph,
+    random_weighted_graph,
+)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("radius", [1, 2, 3, 5])
+    def test_valid_for_every_radius(self, radius):
+        g = random_sparse_graph(50, seed=4)
+        result = sparse_hub_labeling(g, radius=radius, seed=1)
+        assert is_valid_cover(g, result.labeling)
+
+    def test_default_radius_valid(self, small_grid):
+        result = sparse_hub_labeling(small_grid, seed=0)
+        assert is_valid_cover(small_grid, result.labeling)
+
+    def test_rejects_weighted(self):
+        g = random_weighted_graph(10, 15, seed=0)
+        with pytest.raises(ValueError):
+            sparse_hub_labeling(g)
+
+    def test_rejects_bad_radius(self, small_grid):
+        with pytest.raises(ValueError):
+            sparse_hub_labeling(small_grid, radius=0)
+
+
+class TestAccounting:
+    def test_components_add_up(self):
+        g = random_bounded_degree_graph(60, 3, seed=2)
+        result = sparse_hub_labeling(g, radius=3, seed=5)
+        # Label = self + sample + corrections + ball; union may dedupe, so
+        # total <= sum of parts + n (selves).
+        upper = (
+            60
+            + 60 * len(result.hitting.hitting_set)
+            + result.correction_total
+            + result.ball_total
+        )
+        assert result.labeling.total_size() <= upper
+
+    def test_ball_total_counts_pairs_within_radius(self):
+        g = path_graph(10)
+        result = sparse_hub_labeling(g, radius=2, seed=0)
+        expected = sum(
+            1
+            for v in range(10)
+            for x in range(10)
+            if x != v and abs(x - v) <= 2
+        )
+        assert result.ball_total == expected
+
+    def test_default_radius_scales_with_log(self):
+        small = default_radius(random_sparse_graph(30, seed=1))
+        big = default_radius(random_sparse_graph(300, seed=1))
+        assert big >= small
+
+    def test_bigger_radius_smaller_sample(self):
+        g = random_sparse_graph(80, seed=6)
+        small_d = sparse_hub_labeling(g, radius=2, seed=3)
+        large_d = sparse_hub_labeling(g, radius=6, seed=3)
+        assert len(large_d.hitting.hitting_set) <= len(
+            small_d.hitting.hitting_set
+        )

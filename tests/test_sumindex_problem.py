@@ -1,0 +1,79 @@
+"""Sum-Index instances and the base-(s/2) vector encoding."""
+
+import pytest
+
+from repro.sumindex import (
+    SumIndexInstance,
+    index_to_vector,
+    random_bitstring,
+    vector_to_index,
+)
+
+
+class TestEncoding:
+    def test_bijection_on_sub_box(self):
+        half, dim = 4, 3
+        seen = set()
+        from itertools import product
+
+        for vec in product(range(half), repeat=dim):
+            idx = vector_to_index(vec, half)
+            assert index_to_vector(idx, half, dim) == vec
+            seen.add(idx)
+        assert seen == set(range(half ** dim))
+
+    def test_linearity_mod_m(self):
+        # repr(x + z) == (repr(x) + repr(z)) mod m for any vectors.
+        half, dim = 4, 2
+        m = half ** dim
+        from itertools import product
+
+        for x in product(range(2 * half), repeat=dim):
+            for z in product(range(half), repeat=dim):
+                summed = tuple(a + b for a, b in zip(x, z))
+                assert vector_to_index(summed, half) == (
+                    vector_to_index(x, half) + vector_to_index(z, half)
+                ) % m
+
+    def test_every_value_has_2_to_l_preimages(self):
+        # Over the full [0, s-1]^l box each index value appears 2^l times.
+        half, dim = 2, 2  # s = 4
+        from collections import Counter
+        from itertools import product
+
+        counts = Counter(
+            vector_to_index(vec, half)
+            for vec in product(range(2 * half), repeat=dim)
+        )
+        assert all(c == 2 ** dim for c in counts.values())
+
+    def test_index_out_of_range(self):
+        with pytest.raises(ValueError):
+            index_to_vector(100, 2, 2)
+        with pytest.raises(ValueError):
+            index_to_vector(-1, 2, 2)
+
+    def test_invalid_half_side(self):
+        with pytest.raises(ValueError):
+            vector_to_index((0,), 0)
+
+
+class TestInstance:
+    def test_answer(self):
+        inst = SumIndexInstance(bits=(1, 0, 1, 0), alice_index=1, bob_index=2)
+        assert inst.answer == 0  # S[3]
+        inst2 = SumIndexInstance(bits=(1, 0, 1, 0), alice_index=3, bob_index=3)
+        assert inst2.answer == 1  # S[(3+3) mod 4] = S[2]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SumIndexInstance(bits=(), alice_index=0, bob_index=0)
+        with pytest.raises(ValueError):
+            SumIndexInstance(bits=(0, 2), alice_index=0, bob_index=0)
+        with pytest.raises(ValueError):
+            SumIndexInstance(bits=(0, 1), alice_index=2, bob_index=0)
+
+    def test_random_bitstring_deterministic(self):
+        assert random_bitstring(16, seed=1) == random_bitstring(16, seed=1)
+        assert random_bitstring(16, seed=1) != random_bitstring(16, seed=2)
+        assert all(b in (0, 1) for b in random_bitstring(32, seed=3))

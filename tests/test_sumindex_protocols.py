@@ -1,0 +1,97 @@
+"""The Theorem 1.6 protocol end-to-end, plus baselines."""
+
+import itertools
+
+import pytest
+
+from repro.core import pruned_landmark_labeling
+from repro.labeling import HubEncodedScheme
+from repro.sumindex import (
+    GraphLabelingProtocol,
+    SumIndexInstance,
+    TrivialProtocol,
+    random_bitstring,
+    run_protocol,
+)
+
+
+class TestTrivialProtocol:
+    def test_correct_on_all_inputs(self):
+        m = 8
+        proto = TrivialProtocol(m)
+        bits = random_bitstring(m, seed=4)
+        for a in range(m):
+            for b in range(m):
+                inst = SumIndexInstance(bits=bits, alice_index=a, bob_index=b)
+                out, abits, bbits = run_protocol(proto, inst)
+                assert out == inst.answer
+                assert abits == m + 3  # payload + 3-bit index
+                assert bbits == 3
+
+
+class TestGraphProtocol:
+    def test_exhaustive_b2_l1(self):
+        b, ell = 2, 1
+        m = 2
+        for bits in itertools.product([0, 1], repeat=m):
+            proto = GraphLabelingProtocol(b, ell)
+            for a in range(m):
+                for bb in range(m):
+                    inst = SumIndexInstance(
+                        bits=bits, alice_index=a, bob_index=bb
+                    )
+                    out, _, _ = run_protocol(proto, inst)
+                    assert out == inst.answer, (bits, a, bb)
+
+    def test_hub_encoded_backend(self):
+        b, ell = 2, 1
+        m = 2
+
+        def hub_factory(graph):
+            return HubEncodedScheme(pruned_landmark_labeling(graph))
+
+        def hub_decoder(label_a, label_b):
+            return HubEncodedScheme.decode(None, label_a, label_b)
+
+        for bits in [(1, 0), (0, 1), (1, 1)]:
+            proto = GraphLabelingProtocol(
+                b, ell, scheme_factory=hub_factory, decoder=hub_decoder
+            )
+            for a in range(m):
+                for bb in range(m):
+                    inst = SumIndexInstance(
+                        bits=bits, alice_index=a, bob_index=bb
+                    )
+                    out, _, _ = run_protocol(proto, inst)
+                    assert out == inst.answer
+
+    def test_messages_are_bit_accounted(self):
+        proto = GraphLabelingProtocol(2, 1)
+        inst = SumIndexInstance(bits=(1, 0), alice_index=1, bob_index=0)
+        out, abits, bbits = run_protocol(proto, inst)
+        assert out == inst.answer
+        assert abits > 1
+        assert bbits > 1
+
+    def test_referee_never_sees_s(self):
+        """The same messages decoded by a referee built fresh (no cache,
+        no S) give the same answer."""
+        proto = GraphLabelingProtocol(2, 1)
+        bits = (0, 1)
+        inst = SumIndexInstance(bits=bits, alice_index=1, bob_index=1)
+        msg_a = proto.alice_message(bits, 1)
+        msg_b = proto.bob_message(bits, 1)
+        fresh_referee = GraphLabelingProtocol(2, 1)
+        assert fresh_referee.referee(msg_a, msg_b) == inst.answer
+
+    @pytest.mark.slow
+    def test_exhaustive_b2_l2(self):
+        b, ell = 2, 2
+        m = 4
+        bits = (1, 0, 0, 1)
+        proto = GraphLabelingProtocol(b, ell)
+        for a in range(m):
+            for bb in range(m):
+                inst = SumIndexInstance(bits=bits, alice_index=a, bob_index=bb)
+                out, _, _ = run_protocol(proto, inst)
+                assert out == inst.answer

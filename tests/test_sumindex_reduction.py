@@ -1,0 +1,98 @@
+"""G'_{b,l}: middle-layer pruning and Observation 3.1."""
+
+import itertools
+
+import pytest
+
+from repro.graphs import INF
+from repro.sumindex import (
+    build_sumindex_graph,
+    decode_membership,
+    index_to_vector,
+)
+
+
+class TestConstruction:
+    def test_wrong_bit_count_rejected(self):
+        with pytest.raises(ValueError):
+            build_sumindex_graph(2, 1, (1,))  # needs m = 2
+        with pytest.raises(ValueError):
+            build_sumindex_graph(2, 1, (1, 2))
+
+    def test_all_ones_removes_nothing(self):
+        pruned = build_sumindex_graph(2, 1, (1, 1))
+        assert pruned.num_removed == 0
+        assert (
+            pruned.graph.num_vertices
+            == pruned.instance.graph.num_vertices
+        )
+
+    def test_all_zeros_removes_whole_layer(self):
+        pruned = build_sumindex_graph(2, 1, (0, 0))
+        assert pruned.num_removed == 4  # all s = 4 middle vectors
+
+    def test_each_bit_controls_2_to_l_vectors(self):
+        pruned = build_sumindex_graph(2, 1, (0, 1))
+        assert pruned.num_removed == 2  # 2^l = 2 vectors per bit
+
+    def test_max_degree_still_three(self):
+        pruned = build_sumindex_graph(2, 1, (1, 0))
+        assert pruned.graph.max_degree() <= 3
+
+    def test_predicate_matches_bits(self):
+        bits = (1, 0)
+        pruned = build_sumindex_graph(2, 1, bits)
+        for vector in pruned.instance.layered.vectors():
+            level_key = (1, vector)
+            present = level_key in pruned.core_index
+            assert present == pruned.predicate(vector)
+
+
+class TestObservation31:
+    @pytest.mark.parametrize("bits", list(itertools.product([0, 1], repeat=2)))
+    def test_distance_reveals_the_bit(self, bits):
+        b, ell = 2, 1
+        pruned = build_sumindex_graph(b, ell, bits)
+        half = pruned.half_side
+        for a in range(pruned.modulus):
+            for bb in range(pruned.modulus):
+                x = tuple(2 * d for d in index_to_vector(a, half, ell))
+                z = tuple(2 * d for d in index_to_vector(bb, half, ell))
+                expected = pruned.expected_distance(x, z)
+                measured = pruned.endpoint_distance(x, z)
+                decoded = decode_membership(expected, measured)
+                assert decoded == bits[(a + bb) % pruned.modulus]
+
+    def test_removed_midpoint_strictly_longer(self):
+        pruned = build_sumindex_graph(2, 1, (0, 1))
+        # Find a pair whose midpoint bit is 0.
+
+        half = pruned.half_side
+        a = bb = 0  # midpoint index 0, bit 0
+        x = tuple(2 * d for d in index_to_vector(a, half, 1))
+        z = tuple(2 * d for d in index_to_vector(bb, half, 1))
+        expected = pruned.expected_distance(x, z)
+        measured = pruned.endpoint_distance(x, z)
+        assert measured > expected
+
+    def test_intact_midpoint_exact(self):
+        pruned = build_sumindex_graph(2, 1, (1, 0))
+
+        half = pruned.half_side
+        x = tuple(2 * d for d in index_to_vector(0, half, 1))
+        z = tuple(2 * d for d in index_to_vector(0, half, 1))
+        assert pruned.endpoint_distance(x, z) == pruned.expected_distance(x, z)
+
+    def test_all_zeros_can_disconnect(self):
+        pruned = build_sumindex_graph(2, 1, (0, 0))
+
+        half = pruned.half_side
+        x = tuple(2 * d for d in index_to_vector(0, half, 1))
+        z = tuple(2 * d for d in index_to_vector(1, half, 1))
+        assert pruned.endpoint_distance(x, z) == INF
+        assert decode_membership(pruned.expected_distance(x, z), INF) == 0
+
+    def test_decode_membership_basics(self):
+        assert decode_membership(10, 10) == 1
+        assert decode_membership(10, 12) == 0
+        assert decode_membership(10, INF) == 0

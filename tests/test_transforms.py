@@ -1,0 +1,109 @@
+"""Graph transformations: subdivision, unions, products, apex."""
+
+import pytest
+
+from repro.graphs import (
+    Graph,
+    add_apex,
+    cartesian_product,
+    cycle_graph,
+    diameter,
+    disjoint_union,
+    grid_2d,
+    hypercube_graph,
+    is_connected,
+    path_graph,
+    random_weighted_graph,
+    shortest_path_distances,
+    subdivide_weighted,
+)
+
+
+class TestSubdivision:
+    def test_preserves_distances(self):
+        g = random_weighted_graph(25, 50, max_weight=6, seed=3)
+        expanded, index = subdivide_weighted(g)
+        assert not expanded.is_weighted
+        for u in range(0, 25, 4):
+            orig, _ = shortest_path_distances(g, u)
+            new, _ = shortest_path_distances(expanded, index[u])
+            for v in range(25):
+                assert orig[v] == new[index[v]]
+
+    def test_size_is_total_weight(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 4)
+        g.add_edge(1, 2, 2)
+        expanded, _ = subdivide_weighted(g)
+        assert expanded.num_edges == 6
+        assert expanded.num_vertices == 3 + (4 - 1) + (2 - 1)
+
+    def test_unit_edges_untouched(self):
+        g = path_graph(5)
+        expanded, _ = subdivide_weighted(g)
+        assert expanded.num_vertices == 5
+        assert expanded.num_edges == 4
+
+    def test_rejects_zero_weights(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 0)
+        with pytest.raises(ValueError):
+            subdivide_weighted(g)
+
+
+class TestUnionProductApex:
+    def test_disjoint_union(self):
+        union, offset = disjoint_union(path_graph(3), cycle_graph(4))
+        assert union.num_vertices == 7
+        assert union.num_edges == 2 + 4
+        assert offset == 3
+        assert not is_connected(union)
+
+    def test_product_of_paths_is_grid(self):
+        product = cartesian_product(path_graph(3), path_graph(4))
+        grid = grid_2d(3, 4)
+        assert product.num_vertices == grid.num_vertices
+        assert sorted(product.edges()) == sorted(grid.edges())
+
+    def test_product_of_edges_is_square(self):
+        square = cartesian_product(path_graph(2), path_graph(2))
+        # Isomorphic to C4 (under the (a,x) indexing, not equal to the
+        # canonical cycle labels): 4 vertices of degree 2, diameter 2.
+        assert sorted(square.edges()) == [
+            (0, 1, 1),
+            (0, 2, 1),
+            (1, 3, 1),
+            (2, 3, 1),
+        ]
+        assert diameter(square) == 2
+
+    def test_product_hypercube(self):
+        edge = path_graph(2)
+        cube = cartesian_product(cartesian_product(edge, edge), edge)
+        assert cube.num_vertices == 8
+        assert cube.num_edges == hypercube_graph(3).num_edges
+
+    def test_apex_diameter_two(self):
+        g, apex = add_apex(path_graph(10))
+        assert g.degree(apex) == 10
+        assert diameter(g) == 2
+
+    def test_product_metric_is_sum_of_factor_metrics(self):
+        # dist_{G x H}((a,x),(b,y)) = dist_G(a,b) + dist_H(x,y).
+        from repro.graphs import cycle_graph as cyc
+
+        g = path_graph(4)
+        h = cyc(5)
+        product = cartesian_product(g, h)
+        cols = h.num_vertices
+        dist_g = {a: shortest_path_distances(g, a)[0] for a in g.vertices()}
+        dist_h = {x: shortest_path_distances(h, x)[0] for x in h.vertices()}
+        for a in g.vertices():
+            for x in h.vertices():
+                row, _ = shortest_path_distances(product, a * cols + x)
+                for b in g.vertices():
+                    for y in h.vertices():
+                        assert (
+                            row[b * cols + y]
+                            == dist_g[a][b] + dist_h[x][y]
+                        )

@@ -1,0 +1,151 @@
+"""Traversal engines cross-checked against networkx and each other."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    INF,
+    Graph,
+    bfs_distances,
+    bidirectional_distance,
+    dijkstra,
+    distance_between,
+    grid_2d,
+    random_sparse_graph,
+    random_weighted_graph,
+    shortest_path_distances,
+    zero_one_bfs,
+)
+
+
+def to_networkx(graph: Graph) -> nx.Graph:
+    g = nx.Graph()
+    g.add_nodes_from(graph.vertices())
+    for u, v, w in graph.edges():
+        g.add_edge(u, v, weight=w)
+    return g
+
+
+class TestBFS:
+    def test_path_distances(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        dist, _ = bfs_distances(g, 0)
+        assert dist == [0, 1, 2, 3]
+
+    def test_unreachable_is_inf(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        dist, _ = bfs_distances(g, 0)
+        assert dist[2] == INF
+
+    def test_parents_reconstruct_tree(self):
+        g = grid_2d(3, 3)
+        dist, parent = bfs_distances(g, 0, with_parents=True)
+        for v in g.vertices():
+            if v != 0:
+                assert dist[parent[v]] + 1 == dist[v]
+
+    def test_matches_networkx(self):
+        g = random_sparse_graph(50, seed=5)
+        expected = nx.single_source_shortest_path_length(to_networkx(g), 0)
+        dist, _ = bfs_distances(g, 0)
+        for v in g.vertices():
+            assert dist[v] == expected.get(v, INF)
+
+
+class TestDijkstra:
+    def test_weighted_triangle(self, weighted_triangle):
+        dist, _ = dijkstra(weighted_triangle, 0)
+        assert dist == [0, 2, 5]
+
+    def test_matches_networkx_weighted(self):
+        g = random_weighted_graph(40, 100, seed=3)
+        ng = to_networkx(g)
+        expected = nx.single_source_dijkstra_path_length(ng, 0)
+        dist, _ = dijkstra(g, 0)
+        for v in g.vertices():
+            assert dist[v] == expected.get(v, INF)
+
+    def test_cutoff_drops_far_vertices(self):
+        g = Graph(4)
+        g.add_edge(0, 1, 1)
+        g.add_edge(1, 2, 1)
+        g.add_edge(2, 3, 1)
+        dist, _ = dijkstra(g, 0, cutoff=2)
+        assert dist[:3] == [0, 1, 2]
+        assert dist[3] == INF
+
+    def test_parents_consistent(self):
+        g = random_weighted_graph(30, 60, seed=9)
+        dist, parent = dijkstra(g, 0, with_parents=True)
+        for v in g.vertices():
+            if v != 0 and dist[v] != INF:
+                w = g.edge_weight(parent[v], v)
+                assert dist[parent[v]] + w == dist[v]
+
+    def test_zero_weight_edges(self):
+        g = Graph(3)
+        g.add_edge(0, 1, 0)
+        g.add_edge(1, 2, 5)
+        dist, _ = dijkstra(g, 0)
+        assert dist == [0, 0, 5]
+
+
+class TestZeroOneBFS:
+    def test_matches_dijkstra(self):
+        g = Graph(6)
+        edges = [(0, 1, 0), (1, 2, 1), (2, 3, 0), (0, 4, 1), (4, 5, 1), (5, 3, 0)]
+        for u, v, w in edges:
+            g.add_edge(u, v, w)
+        d1, _ = zero_one_bfs(g, 0)
+        d2, _ = dijkstra(g, 0)
+        assert d1 == d2
+
+    def test_rejects_other_weights(self):
+        g = Graph(2)
+        g.add_edge(0, 1, 3)
+        with pytest.raises(ValueError):
+            zero_one_bfs(g, 0)
+
+
+class TestDispatcherAndPairQueries:
+    def test_dispatch_unweighted(self, small_grid):
+        d1, _ = shortest_path_distances(small_grid, 0)
+        d2, _ = bfs_distances(small_grid, 0)
+        assert d1 == d2
+
+    def test_dispatch_weighted(self, weighted_triangle):
+        d1, _ = shortest_path_distances(weighted_triangle, 0)
+        assert d1 == [0, 2, 5]
+
+    def test_distance_between_same_vertex(self, small_grid):
+        assert distance_between(small_grid, 3, 3) == 0
+
+    def test_bidirectional_matches_full(self):
+        g = random_weighted_graph(40, 90, seed=1)
+        dist, _ = dijkstra(g, 0)
+        for v in range(0, 40, 3):
+            assert bidirectional_distance(g, 0, v) == dist[v]
+
+    def test_bidirectional_disconnected(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        assert bidirectional_distance(g, 0, 3) == INF
+
+    def test_bidirectional_zero_weights(self):
+        g = Graph(4)
+        g.add_edge(0, 1, 0)
+        g.add_edge(1, 2, 0)
+        g.add_edge(2, 3, 0)
+        assert bidirectional_distance(g, 0, 3) == 0
+
+    def test_bidirectional_many_random_pairs(self):
+        g = random_sparse_graph(60, seed=21)
+        full = {v: shortest_path_distances(g, v)[0] for v in range(0, 60, 7)}
+        for u, row in full.items():
+            for v in range(0, 60, 5):
+                assert bidirectional_distance(g, u, v) == row[v]

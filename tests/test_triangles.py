@@ -1,0 +1,59 @@
+"""The RS78 triangle systems (linearity from AP-freeness)."""
+
+import pytest
+
+from repro.rs import TriangleSystem, build_triangle_system
+
+
+class TestConstruction:
+    @pytest.mark.parametrize("q", [3, 9, 21, 51])
+    def test_linear_for_ap_free_sets(self, q):
+        ts = build_triangle_system(q)
+        assert ts.is_linear()
+
+    def test_counts(self):
+        ts = build_triangle_system(15, difference_set=[1, 4, 6])
+        assert len(ts.triangles) == 15 * 3
+        assert ts.num_edges == 3 * 15 * 3  # edges never coincide
+        assert ts.num_vertices == 90
+
+    def test_custom_set_validated(self):
+        with pytest.raises(ValueError):
+            build_triangle_system(20, difference_set=[1, 2, 3])
+        with pytest.raises(ValueError):
+            build_triangle_system(20, difference_set=[0, 4])
+        with pytest.raises(ValueError):
+            build_triangle_system(5, difference_set=[7])
+        with pytest.raises(ValueError):
+            build_triangle_system(1)
+
+    def test_ap_set_breaks_linearity(self):
+        # Bypassing validation with an AP set creates stray triangles:
+        # s1, s3, s2 with s1 + s2 = 2 s3 glue edges of three intended
+        # triangles into a fourth one.
+        q = 12
+        S = [1, 2, 3]
+        y, z = q, 3 * q
+        triangles, edges = [], set()
+        for x in range(q):
+            for s in S:
+                a, b, c = x, y + x + s, z + x + 2 * s
+                triangles.append((a, b, c))
+                edges |= {(a, b), (b, c), (a, c)}
+        ts = TriangleSystem(
+            q=q, difference_set=S, triangles=triangles, edges=edges
+        )
+        assert not ts.is_linear()
+        assert len(ts.all_graph_triangles()) > len(triangles)
+
+    def test_density_same_phenomenon_as_matchings(self):
+        # n^2 / m for the triangle system's graph tracks the same RS
+        # witness scale as the bipartite midpoint form.
+        from repro.rs import build_rs_graph, empirical_rs_from_graph
+
+        q = 51
+        ts = build_triangle_system(q)
+        bip = build_rs_graph(q)
+        tri_witness = empirical_rs_from_graph(ts.num_vertices, ts.num_edges)
+        bip_witness = bip.density_ratio()
+        assert 0.2 < tri_witness / bip_witness < 5

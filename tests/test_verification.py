@@ -1,0 +1,91 @@
+"""Cover verification: correct labelings pass, broken ones are caught."""
+
+from repro.core import (
+    HubLabeling,
+    coverage_fraction,
+    is_valid_cover,
+    pruned_landmark_labeling,
+    verify_cover,
+)
+from repro.graphs import Graph, path_graph
+import pytest
+
+
+def trivial_labeling(graph) -> HubLabeling:
+    """Every vertex stores hub 0 (assumes connectivity through vertex 0)."""
+    from repro.graphs import shortest_path_distances
+
+    lab = HubLabeling(graph.num_vertices)
+    dist, _ = shortest_path_distances(graph, 0)
+    for v in graph.vertices():
+        lab.add_hub(v, 0, dist[v])
+        lab.add_hub(v, v, 0)
+    return lab
+
+
+class TestVerifyCover:
+    def test_valid_pll(self, small_grid):
+        report = verify_cover(small_grid, pruned_landmark_labeling(small_grid))
+        assert report.ok
+        assert report.fraction_covered == 1.0
+        assert not report.violations
+
+    def test_hub_zero_only_valid_on_star(self, small_star):
+        # On a star, vertex 0 lies on every shortest path.
+        lab = trivial_labeling(small_star)
+        assert is_valid_cover(small_star, lab)
+
+    def test_hub_zero_invalid_on_path_midpoints(self):
+        g = path_graph(5)
+        lab = trivial_labeling(g)
+        # Pair (1, 2): route via 0 gives 1 + 2 = 3 > 1.
+        report = verify_cover(g, lab)
+        assert not report.ok
+        assert any(u == 1 and v == 2 for u, v, _, _ in report.violations)
+
+    def test_violation_records_distances(self):
+        g = path_graph(4)
+        lab = trivial_labeling(g)
+        report = verify_cover(g, lab)
+        for u, v, true_dist, estimate in report.violations:
+            assert estimate > true_dist
+
+    def test_max_violations_cap(self):
+        g = path_graph(30)
+        lab = trivial_labeling(g)
+        report = verify_cover(g, lab, max_violations=3)
+        assert len(report.violations) == 3
+        assert report.num_covered < report.num_pairs
+
+    def test_explicit_pairs(self, small_grid):
+        lab = pruned_landmark_labeling(small_grid)
+        report = verify_cover(small_grid, lab, pairs=[(0, 5), (3, 19)])
+        assert report.num_pairs == 2
+        assert report.ok
+
+    def test_size_mismatch_rejected(self, small_grid):
+        with pytest.raises(ValueError):
+            verify_cover(small_grid, HubLabeling(3))
+
+    def test_disconnected_pairs_ignored(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        lab = HubLabeling(4)
+        for v in range(4):
+            lab.add_hub(v, v, 0)
+        lab.add_hub(1, 0, 1)
+        lab.add_hub(3, 2, 1)
+        report = verify_cover(g, lab)
+        assert report.num_pairs == 2  # only the connected pairs
+        assert report.ok
+
+    def test_coverage_fraction_partial(self):
+        g = path_graph(5)
+        lab = trivial_labeling(g)
+        frac = coverage_fraction(g, lab)
+        assert 0 < frac < 1
+
+    def test_report_repr(self, small_grid):
+        report = verify_cover(small_grid, pruned_landmark_labeling(small_grid))
+        assert "OK" in repr(report)
