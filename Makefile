@@ -1,7 +1,7 @@
 # Convenience targets.  The environment is offline: editable installs go
 # through setup.cfg (legacy path), never an isolated PEP-517 build.
 
-.PHONY: install test bench experiments examples coverage clean
+.PHONY: install test bench experiments examples coverage chaos clean
 
 install:
 	pip install -e .
@@ -17,6 +17,9 @@ bench:
 
 experiments:
 	python -m repro experiments
+
+chaos:
+	python -m repro chaos --generator sparse:40 --trials 50
 
 examples:
 	python examples/quickstart.py

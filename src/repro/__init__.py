@@ -18,10 +18,23 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.labeling`   -- bit-accounted distance labeling schemes;
 * :mod:`repro.oracles`    -- centralized oracles for the S*T trade-off;
 * :mod:`repro.reachability` -- directed 2-hop reachability covers, the
-  original [CHKZ03] form of the framework.
+  original [CHKZ03] form of the framework;
+* :mod:`repro.runtime`    -- the resilient serving layer: typed errors,
+  integrity-checked artifacts, fault injection, and an oracle that
+  degrades to exact search instead of answering wrong.
 """
 
-from . import core, graphs, labeling, lowerbound, oracles, reachability, rs, sumindex
+from . import (
+    core,
+    graphs,
+    labeling,
+    lowerbound,
+    oracles,
+    reachability,
+    rs,
+    runtime,
+    sumindex,
+)
 from .core import (
     HubLabeling,
     greedy_hub_labeling,
@@ -44,6 +57,7 @@ __all__ = [
     "oracles",
     "reachability",
     "rs",
+    "runtime",
     "sumindex",
     "HubLabeling",
     "greedy_hub_labeling",

@@ -6,16 +6,27 @@ Commands:
   (``--only E1,E4`` to filter; ``--fast`` to skip the heavy ones);
 * ``label``       -- build a hub labeling for a graph given as an
   edge-list file (or a named generator) and report sizes / save it;
-* ``query``       -- load a saved labeling and answer distance queries;
+* ``query``       -- load a saved labeling and answer distance queries,
+  optionally through the resilient runtime (``--graph`` +
+  ``--fallback`` / ``--verify-sample``);
 * ``instance``    -- build a hard instance ``G_{b,l}`` and print its
-  anatomy and certificate.
+  anatomy and certificate;
+* ``chaos``       -- run the seeded fault-injection sweep and report
+  how every fault was detected or degraded.
 
 Examples::
 
     python -m repro.cli experiments --only E1,E8
     python -m repro.cli label --generator sparse:200 --method pll --save labels.bin
     python -m repro.cli query labels.bin 0 42 7 199
+    python -m repro.cli query labels.bin 0 42 --graph g.txt --verify-sample 8
     python -m repro.cli instance --b 2 --l 1
+    python -m repro.cli chaos --generator sparse:30 --trials 25
+
+User errors never print tracebacks: every
+:class:`~repro.runtime.errors.ReproError` is reported as a one-line
+diagnostic on stderr and mapped to that error class's distinct exit
+code (64-69; missing files exit 74).
 """
 
 import argparse
@@ -39,6 +50,7 @@ from .graphs import (
     random_sparse_graph,
     random_tree,
 )
+from .runtime import FAULT_KINDS, DomainError, ReproError, ResilientOracle, chaos_sweep
 
 __all__ = ["main"]
 
@@ -98,9 +110,66 @@ def _cmd_query(args) -> int:
         labeling = labeling_from_bytes(handle.read())
     if len(args.vertices) % 2:
         raise SystemExit("provide an even number of vertices (pairs)")
-    for u, v in zip(args.vertices[::2], args.vertices[1::2]):
-        print(f"dist({u}, {v}) = {labeling.query(u, v)}")
+    pairs = list(zip(args.vertices[::2], args.vertices[1::2]))
+    has_graph = bool(args.graph or args.generator)
+    if not has_graph:
+        if args.fallback:
+            raise SystemExit(
+                "--fallback needs the graph: add --graph FILE or "
+                "--generator KIND:N"
+            )
+        if args.verify_sample:
+            raise SystemExit(
+                "--verify-sample needs the graph: add --graph FILE or "
+                "--generator KIND:N"
+            )
+        for u, v in pairs:
+            for vertex in (u, v):
+                if not 0 <= vertex < labeling.num_vertices:
+                    raise DomainError(
+                        f"vertex {vertex} outside "
+                        f"0..{labeling.num_vertices - 1}"
+                    )
+            print(f"dist({u}, {v}) = {labeling.query(u, v)}")
+        return 0
+    graph = _load_graph(args)
+    fallback = True if args.fallback is None else args.fallback
+    oracle = ResilientOracle(
+        graph,
+        labeling,
+        fallback=fallback,
+        verify_sample=args.verify_sample,
+        seed=args.seed,
+    )
+    for u, v in pairs:
+        outcome = oracle.query(u, v)
+        marker = "  [exact fallback]" if outcome.source == "fallback" else ""
+        print(f"dist({u}, {v}) = {outcome.distance}{marker}")
+    if not oracle.health.healthy:
+        print(f"health: {oracle.health!r}", file=sys.stderr)
     return 0
+
+
+def _cmd_chaos(args) -> int:
+    graph = _load_graph(args)
+    labeling = _build_labeling(graph, args.method, args.seed)
+    kinds = args.faults.split(",") if args.faults else list(FAULT_KINDS)
+    for kind in kinds:
+        if kind not in FAULT_KINDS:
+            raise SystemExit(
+                f"unknown fault kind {kind!r}; pick from "
+                f"{','.join(FAULT_KINDS)}"
+            )
+    report = chaos_sweep(
+        graph,
+        labeling,
+        kinds=kinds,
+        trials_per_kind=args.trials,
+        queries_per_trial=args.queries,
+        seed=args.seed,
+    )
+    print(report.render())
+    return 0 if report.ok else 1
 
 
 def _cmd_instance(args) -> int:
@@ -245,19 +314,78 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument(
         "vertices", nargs="+", type=int, help="pairs: u1 v1 u2 v2 ..."
     )
+    p_query.add_argument(
+        "--graph", help="edge-list file (enables the resilient runtime)"
+    )
+    p_query.add_argument(
+        "--generator", help="KIND:N graph source (alternative to --graph)"
+    )
+    p_query.add_argument("--seed", type=int, default=0)
+    p_query.add_argument(
+        "--fallback",
+        action=argparse.BooleanOptionalAction,
+        default=None,
+        help="degrade to exact search on integrity/budget trouble "
+        "(default: on when a graph is given); --no-fallback raises "
+        "typed errors instead",
+    )
+    p_query.add_argument(
+        "--verify-sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="admission-check the labeling from N sampled sources "
+        "(N >= n verifies exhaustively) before answering",
+    )
     p_query.set_defaults(func=_cmd_query)
 
     p_inst = sub.add_parser("instance", help="build a hard instance")
     p_inst.add_argument("--b", type=int, default=1)
     p_inst.add_argument("--l", dest="ell", type=int, default=1)
     p_inst.set_defaults(func=_cmd_instance)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="seeded fault-injection sweep over the runtime"
+    )
+    p_chaos.add_argument("--graph", help="edge-list file")
+    p_chaos.add_argument(
+        "--generator",
+        default="sparse:30",
+        help="KIND:N graph source (default sparse:30)",
+    )
+    p_chaos.add_argument(
+        "--method",
+        default="pll",
+        choices=["pll", "greedy", "sparse", "rs"],
+    )
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--trials", type=int, default=25, help="injections per fault kind"
+    )
+    p_chaos.add_argument(
+        "--queries", type=int, default=10, help="graded queries per injection"
+    )
+    p_chaos.add_argument(
+        "--faults",
+        help=f"comma-separated subset of {','.join(FAULT_KINDS)}",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # User/data errors are diagnosed in one line, never a traceback;
+        # the exit code identifies the error class (see runtime.errors).
+        print(f"error: {exc.diagnostic()}", file=sys.stderr)
+        return exc.exit_code
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 74  # EX_IOERR
 
 
 if __name__ == "__main__":

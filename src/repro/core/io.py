@@ -13,18 +13,44 @@ labeling once, query it from anywhere.  Formats:
   :func:`graph_from_edgelist`).
 
 Round-trip fidelity is exact (tests cover all three).
+
+Binary labelings are wrapped in a versioned, checksummed **envelope**
+(see :data:`ARTIFACT_MAGIC`) so that truncation and bit-flips are
+detected at load time -- a labeling answers *exact* distance queries,
+so a corrupted artifact must fail loudly, never decode to plausible
+garbage.  Envelope layout, all integers big-endian::
+
+    offset  size  field
+    0       4     magic  b"RHL\\x01"  (format marker)
+    4       1     format version      (currently 1)
+    5       8     num_vertices        (redundant with payload; checked)
+    13      8     payload length in bytes
+    21      4     CRC32 of payload
+    25      ...   payload = legacy bit stream (8-byte bit count + bits)
+
+Legacy (pre-envelope) blobs start with the payload directly; since
+their leading 8-byte bit count never reaches ``2**56``, the first byte
+of a legacy blob is always ``0x00`` and the two formats cannot be
+confused.  :func:`labeling_from_bytes` reads both.  Malformed input of
+either flavor raises :class:`~repro.runtime.errors.ArtifactCorruptError`
+with the offset where decoding failed; malformed edge-list text raises
+:class:`~repro.runtime.errors.FormatError` naming the offending line.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from typing import List
 
 from ..graphs.graph import Graph
 from ..labeling.bits import BitReader, BitWriter
+from ..runtime.errors import ArtifactCorruptError, FormatError
 from .hublabel import HubLabeling
 
 __all__ = [
+    "ARTIFACT_MAGIC",
+    "ARTIFACT_VERSION",
     "labeling_to_json",
     "labeling_from_json",
     "labeling_to_bytes",
@@ -32,6 +58,13 @@ __all__ = [
     "graph_to_edgelist",
     "graph_from_edgelist",
 ]
+
+#: Leading bytes of an enveloped labeling artifact.
+ARTIFACT_MAGIC = b"RHL\x01"
+#: Current envelope format version.
+ARTIFACT_VERSION = 1
+#: Envelope header size: magic + version + n + payload length + CRC32.
+_HEADER_SIZE = 4 + 1 + 8 + 8 + 4
 
 
 # ----------------------------------------------------------------------
@@ -58,9 +91,9 @@ def labeling_from_json(text: str) -> HubLabeling:
 
 
 # ----------------------------------------------------------------------
-# Binary (gap + gamma coded, byte-packed)
+# Binary (gap + gamma coded, byte-packed, CRC-protected envelope)
 # ----------------------------------------------------------------------
-def labeling_to_bytes(labeling: HubLabeling) -> bytes:
+def _encode_payload(labeling: HubLabeling) -> bytes:
     writer = BitWriter()
     writer.write_gamma(labeling.num_vertices + 1)
     for v in range(labeling.num_vertices):
@@ -89,23 +122,135 @@ def labeling_to_bytes(labeling: HubLabeling) -> bytes:
     return bytes(out)
 
 
-def labeling_from_bytes(blob: bytes) -> HubLabeling:
-    num_bits = int.from_bytes(blob[:8], "big")
+def labeling_to_bytes(labeling: HubLabeling, *, envelope: bool = True) -> bytes:
+    """Serialize ``labeling``; by default inside the checksummed envelope.
+
+    ``envelope=False`` emits the legacy raw bit stream (still readable by
+    :func:`labeling_from_bytes`, but without load-time corruption
+    detection beyond structural decode failures).
+    """
+    payload = _encode_payload(labeling)
+    if not envelope:
+        return payload
+    header = bytearray()
+    header += ARTIFACT_MAGIC
+    header.append(ARTIFACT_VERSION)
+    header += labeling.num_vertices.to_bytes(8, "big")
+    header += len(payload).to_bytes(8, "big")
+    header += (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(4, "big")
+    return bytes(header) + payload
+
+
+def _decode_payload(payload: bytes, *, base_offset: int = 0) -> HubLabeling:
+    """Decode the legacy bit stream, converting decode mishaps into
+    :class:`ArtifactCorruptError` with a useful offset."""
+    if len(payload) < 8:
+        raise ArtifactCorruptError(
+            "payload shorter than its 8-byte bit-count header",
+            offset=base_offset + len(payload),
+        )
+    num_bits = int.from_bytes(payload[:8], "big")
+    available = 8 * (len(payload) - 8)
+    if num_bits > available:
+        raise ArtifactCorruptError(
+            f"bit count claims {num_bits} bits but only {available} present",
+            offset=base_offset + 8,
+        )
     bits: List[int] = []
-    for byte in blob[8:]:
+    for byte in payload[8:]:
         for shift in range(7, -1, -1):
             bits.append((byte >> shift) & 1)
     reader = BitReader(bits[:num_bits])
-    n = reader.read_gamma() - 1
-    labeling = HubLabeling(n)
-    for v in range(n):
-        count = reader.read_gamma() - 1
-        current = -1
-        for _ in range(count):
-            current += reader.read_gamma()
-            distance = reader.read_gamma() - 1
-            labeling.add_hub(v, current, distance)
+
+    def fail(message: str) -> ArtifactCorruptError:
+        # Translate the reader's bit position to a byte offset in the
+        # whole input (bits start after the 8-byte count).
+        byte_offset = base_offset + 8 + (num_bits - reader.remaining) // 8
+        return ArtifactCorruptError(message, offset=byte_offset)
+
+    try:
+        n = reader.read_gamma() - 1
+        if n > reader.remaining:
+            # Every vertex contributes at least a 1-bit hub count, so a
+            # decoded n beyond the remaining bits is corruption -- refuse
+            # before allocating n label slots.
+            raise fail(
+                f"implausible vertex count {n} for a "
+                f"{reader.remaining}-bit payload"
+            )
+        labeling = HubLabeling(n)
+        for v in range(n):
+            count = reader.read_gamma() - 1
+            current = -1
+            for _ in range(count):
+                current += reader.read_gamma()
+                if current >= n:
+                    raise fail(
+                        f"hub id {current} out of range for {n} vertices"
+                    )
+                distance = reader.read_gamma() - 1
+                labeling.add_hub(v, current, distance)
+    except EOFError:
+        raise fail("bit stream exhausted mid-decode") from None
+    except (IndexError, ValueError) as exc:
+        if isinstance(exc, ArtifactCorruptError):
+            raise
+        raise fail(f"malformed bit stream ({exc})") from None
+    if reader.remaining:
+        raise fail(f"{reader.remaining} trailing bits after decode")
     return labeling
+
+
+def labeling_from_bytes(blob: bytes) -> HubLabeling:
+    """Deserialize a labeling from envelope or legacy bytes.
+
+    Raises :class:`ArtifactCorruptError` (with the failing offset) on
+    truncated, bit-flipped, or otherwise malformed input.
+    """
+    if blob[:4] == ARTIFACT_MAGIC:
+        if len(blob) < _HEADER_SIZE:
+            raise ArtifactCorruptError(
+                f"envelope header truncated ({len(blob)} of "
+                f"{_HEADER_SIZE} bytes)",
+                offset=len(blob),
+            )
+        version = blob[4]
+        if version != ARTIFACT_VERSION:
+            raise ArtifactCorruptError(
+                f"unsupported artifact version {version}", offset=4
+            )
+        declared_n = int.from_bytes(blob[5:13], "big")
+        payload_len = int.from_bytes(blob[13:21], "big")
+        checksum = int.from_bytes(blob[21:25], "big")
+        payload = blob[_HEADER_SIZE:]
+        if len(payload) != payload_len:
+            raise ArtifactCorruptError(
+                f"payload is {len(payload)} bytes, header declares "
+                f"{payload_len}",
+                offset=_HEADER_SIZE + min(len(payload), payload_len),
+            )
+        if (zlib.crc32(payload) & 0xFFFFFFFF) != checksum:
+            raise ArtifactCorruptError(
+                "payload CRC32 mismatch (artifact bytes were altered)",
+                offset=_HEADER_SIZE,
+            )
+        labeling = _decode_payload(payload, base_offset=_HEADER_SIZE)
+        if labeling.num_vertices != declared_n:
+            raise ArtifactCorruptError(
+                f"header declares {declared_n} vertices, payload decodes "
+                f"{labeling.num_vertices}",
+                offset=5,
+            )
+        return labeling
+    if not blob:
+        raise ArtifactCorruptError("empty artifact", offset=0)
+    if blob[0] != 0:
+        raise ArtifactCorruptError(
+            "unrecognized artifact header (neither envelope magic nor a "
+            "legacy bit stream)",
+            offset=0,
+        )
+    return _decode_payload(blob)
 
 
 # ----------------------------------------------------------------------
@@ -119,18 +264,77 @@ def graph_to_edgelist(graph: Graph) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _parse_int(token: str, what: str, line_number: int) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise FormatError(
+            f"{what} {token!r} is not an integer", line=line_number
+        ) from None
+
+
 def graph_from_edgelist(text: str) -> Graph:
-    lines = [line for line in text.splitlines() if line.strip()]
-    if not lines:
-        return Graph()
-    header = lines[0].split()
-    n, m = int(header[0]), int(header[1])
-    graph = Graph(n)
-    for line in lines[1:]:
+    """Parse ``n m`` header + ``u v [w]`` edge lines into a :class:`Graph`.
+
+    Blank lines and ``#`` comments are skipped.  Malformed lines,
+    out-of-range or negative vertex ids, non-numeric or negative
+    weights, self-loops, and a header/edge-count mismatch all raise
+    :class:`FormatError` naming the offending (1-based) line.
+    """
+    graph: Graph = Graph()
+    header = None
+    declared_edges = 0
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
         parts = line.split()
-        graph.add_edge(int(parts[0]), int(parts[1]), int(parts[2]))
-    if graph.num_edges != m:
-        raise ValueError(
-            f"edge count mismatch: header says {m}, found {graph.num_edges}"
+        if header is None:
+            if len(parts) != 2:
+                raise FormatError(
+                    f"header must be 'n m', got {len(parts)} fields",
+                    line=line_number,
+                )
+            n = _parse_int(parts[0], "vertex count", line_number)
+            m = _parse_int(parts[1], "edge count", line_number)
+            if n < 0 or m < 0:
+                raise FormatError(
+                    "vertex and edge counts must be non-negative",
+                    line=line_number,
+                )
+            header = (n, m)
+            declared_edges = m
+            graph = Graph(n)
+            continue
+        if len(parts) not in (2, 3):
+            raise FormatError(
+                f"edge line must be 'u v [w]', got {len(parts)} fields",
+                line=line_number,
+            )
+        u = _parse_int(parts[0], "vertex id", line_number)
+        v = _parse_int(parts[1], "vertex id", line_number)
+        weight = (
+            _parse_int(parts[2], "edge weight", line_number)
+            if len(parts) == 3
+            else 1
+        )
+        n = graph.num_vertices
+        for vertex in (u, v):
+            if vertex < 0 or vertex >= n:
+                raise FormatError(
+                    f"vertex id {vertex} outside 0..{n - 1}",
+                    line=line_number,
+                )
+        try:
+            graph.add_edge(u, v, weight)
+        except ValueError as exc:
+            raise FormatError(str(exc), line=line_number) from None
+    if header is None:
+        return graph
+    if graph.num_edges != declared_edges:
+        raise FormatError(
+            f"edge count mismatch: header says {declared_edges}, "
+            f"found {graph.num_edges}",
+            line=1,
         )
     return graph

@@ -13,6 +13,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from ..graphs.graph import Graph
 from ..graphs.traversal import INF, shortest_path_distances
+from ..runtime.errors import DomainError
 from .hublabel import HubLabeling
 
 __all__ = [
@@ -61,15 +62,24 @@ def verify_cover(
     *,
     pairs: Optional[Sequence[Tuple[int, int]]] = None,
     max_violations: int = 100,
+    include_disconnected: bool = False,
 ) -> CoverReport:
     """Check that the labeling answers every (given) pair exactly.
 
     When ``pairs`` is None all connected ordered pairs ``u < v`` are
     checked via ``n`` single-source traversals.  Violations are recorded
     as ``(u, v, true_distance, query_result)`` up to ``max_violations``.
+
+    ``include_disconnected`` additionally checks pairs with no path:
+    their query must return INF (a corrupted labeling inventing a finite
+    distance for a disconnected pair is a violation too).  The runtime's
+    admission gate uses this; the default matches the paper's cover
+    property, which only constrains connected pairs.
     """
     if labeling.num_vertices != graph.num_vertices:
-        raise ValueError("labeling does not match the graph's vertex count")
+        raise DomainError(
+            "labeling does not match the graph's vertex count"
+        )
     report = CoverReport(
         num_pairs=0, num_covered=0, violation_cap=max_violations
     )
@@ -81,7 +91,7 @@ def verify_cover(
     for u in graph.vertices():
         dist, _ = shortest_path_distances(graph, u)
         for v in range(u + 1, graph.num_vertices):
-            if dist[v] == INF:
+            if dist[v] == INF and not include_disconnected:
                 continue
             _check_pair(report, u, v, dist[v], labeling, max_violations)
     return report
@@ -110,6 +120,7 @@ def verify_cover_sampled(
     num_sources: int = 32,
     seed: int = 0,
     max_violations: int = 100,
+    include_disconnected: bool = False,
 ) -> CoverReport:
     """Cover check from a random sample of source vertices.
 
@@ -120,7 +131,9 @@ def verify_cover_sampled(
     import random
 
     if labeling.num_vertices != graph.num_vertices:
-        raise ValueError("labeling does not match the graph's vertex count")
+        raise DomainError(
+            "labeling does not match the graph's vertex count"
+        )
     n = graph.num_vertices
     rng = random.Random(seed)
     sources = (
@@ -134,7 +147,7 @@ def verify_cover_sampled(
     for u in sources:
         dist, _ = shortest_path_distances(graph, u)
         for v in graph.vertices():
-            if v == u or dist[v] == INF:
+            if v == u or (dist[v] == INF and not include_disconnected):
                 continue
             _check_pair(report, u, v, dist[v], labeling, max_violations)
     return report

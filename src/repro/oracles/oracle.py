@@ -27,6 +27,7 @@ from typing import Dict, List, Tuple
 from ..core.hublabel import HubLabeling
 from ..graphs.graph import Graph
 from ..graphs.traversal import INF, shortest_path_distances
+from ..runtime.errors import DomainError
 
 __all__ = [
     "QueryOutcome",
@@ -38,10 +39,28 @@ __all__ = [
 
 @dataclass(frozen=True)
 class QueryOutcome:
-    """An exact distance plus the work the oracle did to produce it."""
+    """An exact distance plus the work the oracle did to produce it.
+
+    ``source`` records which engine produced the answer: ``"oracle"``
+    for the plain oracles here, ``"label"`` / ``"fallback"`` for the
+    resilient runtime's two paths.  Disconnected pairs uniformly get
+    ``distance == INF`` (never an exception).
+    """
 
     distance: float
     operations: int
+    source: str = "oracle"
+
+
+def _check_query_domain(num_vertices: int, u: int, v: int) -> None:
+    """Shared vertex-id validation: every oracle rejects ids outside
+    ``0..n-1`` with :class:`DomainError` instead of wrapping around
+    (negative ids) or raising a raw IndexError."""
+    for vertex in (u, v):
+        if not 0 <= vertex < num_vertices:
+            raise DomainError(
+                f"vertex {vertex} outside 0..{num_vertices - 1}"
+            )
 
 
 class MatrixOracle:
@@ -58,6 +77,7 @@ class MatrixOracle:
         return sum(len(row) for row in self._rows)
 
     def query(self, u: int, v: int) -> QueryOutcome:
+        _check_query_domain(len(self._rows), u, v)
         return QueryOutcome(distance=self._rows[u][v], operations=1)
 
 
@@ -74,6 +94,7 @@ class HubLabelOracle:
         return 2 * self._labeling.total_size()
 
     def query(self, u: int, v: int) -> QueryOutcome:
+        _check_query_domain(self._labeling.num_vertices, u, v)
         label_u = self._labeling.hubs(u)
         label_v = self._labeling.hubs(v)
         operations = min(len(label_u), len(label_v))
@@ -128,6 +149,7 @@ class LandmarkOracle:
         return best
 
     def query(self, u: int, v: int) -> QueryOutcome:
+        _check_query_domain(self._graph.num_vertices, u, v)
         if u == v:
             return QueryOutcome(distance=0, operations=1)
         bound = self.landmark_upper_bound(u, v)

@@ -1,0 +1,53 @@
+"""Resilient oracle runtime: fail loudly or degrade exactly, never lie.
+
+The paper's object is a labeling answering *exact* distance queries; in
+a serving system the labeling artifact -- not the graph -- is what gets
+shipped, cached, and (eventually) corrupted.  This package is the
+defensive layer around that artifact:
+
+* :mod:`repro.runtime.errors`    -- the typed error taxonomy
+  (:class:`ReproError` and friends) adopted by serialization,
+  verification, and the CLI;
+* :mod:`repro.runtime.resilient` -- :class:`ResilientOracle`, a
+  hub-label oracle with admission verification, per-query budgets,
+  quarantine, and exact bidirectional-search fallback, plus its
+  :class:`HealthReport`;
+* :mod:`repro.runtime.faults`    -- deterministic fault injection
+  (bit-flips, truncation, dropped hubs, perturbed distances) and the
+  :func:`chaos_sweep` harness grading the whole stack.
+
+See ``docs/robustness.md`` for the end-to-end story.
+"""
+
+from .errors import (
+    ArtifactCorruptError,
+    DomainError,
+    FormatError,
+    IntegrityError,
+    QueryBudgetExceeded,
+    ReproError,
+)
+from .resilient import HealthReport, ResilientOracle
+from .faults import (
+    FAULT_KINDS,
+    ChaosOutcome,
+    ChaosReport,
+    FaultInjector,
+    chaos_sweep,
+)
+
+__all__ = [
+    "ReproError",
+    "ArtifactCorruptError",
+    "FormatError",
+    "IntegrityError",
+    "QueryBudgetExceeded",
+    "DomainError",
+    "ResilientOracle",
+    "HealthReport",
+    "FAULT_KINDS",
+    "FaultInjector",
+    "ChaosOutcome",
+    "ChaosReport",
+    "chaos_sweep",
+]

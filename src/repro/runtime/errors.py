@@ -1,0 +1,107 @@
+"""Typed error taxonomy for the resilient oracle runtime.
+
+Every failure the library can diagnose maps to one subclass of
+:class:`ReproError`, so callers (and the CLI) can distinguish *what went
+wrong* without parsing message strings:
+
+* :class:`ArtifactCorruptError` -- a serialized artifact (labeling blob,
+  envelope) is truncated, bit-flipped, or structurally invalid; carries
+  the byte/bit offset where decoding failed;
+* :class:`FormatError` -- malformed textual input (edge lists, headers);
+  carries the offending line number;
+* :class:`IntegrityError` -- an artifact parsed cleanly but fails a
+  semantic check (cover verification, vertex-count mismatch against a
+  graph);
+* :class:`QueryBudgetExceeded` -- a query would exceed its per-query
+  operation budget;
+* :class:`DomainError` -- arguments outside the structure's domain
+  (vertex ids out of range, bad parameters).
+
+The classes that signal *bad data or bad arguments* also subclass
+:class:`ValueError` so pre-taxonomy call sites (``except ValueError``)
+keep working.  Each class carries a distinct ``exit_code`` (sysexits
+style, all >= 64 to stay clear of argparse's 2) which the CLI uses as
+its process exit status.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = [
+    "ReproError",
+    "ArtifactCorruptError",
+    "FormatError",
+    "IntegrityError",
+    "QueryBudgetExceeded",
+    "DomainError",
+]
+
+
+class ReproError(Exception):
+    """Root of the library's typed error taxonomy."""
+
+    #: Process exit status the CLI maps this error to.
+    exit_code = 64
+
+    def diagnostic(self) -> str:
+        """A one-line ``kind: detail`` rendering for stderr."""
+        return f"{type(self).__name__}: {self}"
+
+
+class ArtifactCorruptError(ReproError, ValueError):
+    """A serialized artifact is damaged (truncated, flipped, garbage).
+
+    ``offset`` locates the failure in the input when known; ``unit`` says
+    whether it counts bytes or bits.
+    """
+
+    exit_code = 65
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        offset: Optional[int] = None,
+        unit: str = "bytes",
+    ) -> None:
+        if offset is not None:
+            message = f"{message} (at {unit[:-1]} offset {offset})"
+        super().__init__(message)
+        self.offset = offset
+        self.unit = unit
+
+
+class FormatError(ReproError, ValueError):
+    """Malformed textual input; ``line`` is the 1-based offending line."""
+
+    exit_code = 66
+
+    def __init__(self, message: str, *, line: Optional[int] = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+class IntegrityError(ReproError):
+    """An artifact parsed cleanly but fails a semantic consistency check."""
+
+    exit_code = 67
+
+
+class QueryBudgetExceeded(ReproError):
+    """A query's operation cost would exceed the configured budget."""
+
+    exit_code = 68
+
+    def __init__(self, message: str, *, cost: int = 0, budget: int = 0) -> None:
+        super().__init__(message)
+        self.cost = cost
+        self.budget = budget
+
+
+class DomainError(ReproError, ValueError):
+    """Arguments outside the structure's domain (bad vertex ids etc.)."""
+
+    exit_code = 69

@@ -1,0 +1,236 @@
+"""Graceful degradation: a hub-label oracle that never answers wrong.
+
+:class:`ResilientOracle` wraps :class:`~repro.oracles.oracle.HubLabelOracle`
+with the defenses a production serving path needs when the labeling
+artifact -- not the graph -- is what got shipped:
+
+* **admission check** -- at construction, a (sampled or full) cover
+  verification runs against the graph; vertices involved in any
+  violation are *quarantined*;
+* **per-query budget** -- a query whose label-intersection cost would
+  exceed ``operation_budget`` is not served from labels;
+* **exact fallback** -- quarantined endpoints, budget overruns, and
+  label answers claiming disconnection are re-answered by exact
+  bidirectional search on the graph
+  (:func:`~repro.graphs.traversal.bidirectional_distance`), so the
+  response is still the true distance, just slower;
+* **health accounting** -- every degradation event increments a counter
+  on the oracle's :class:`HealthReport`.
+
+With ``fallback=False`` the same conditions raise typed errors
+(:class:`~repro.runtime.errors.IntegrityError`,
+:class:`~repro.runtime.errors.QueryBudgetExceeded`) instead of
+degrading.  Either way a query never silently returns a distance the
+labels cannot certify.
+
+The admission check is exhaustive when ``verify_sample >= n`` (then a
+wrong pair is *guaranteed* to be quarantined -- the chaos suite relies
+on this) and probabilistic below that (cheaper; corruption outside the
+sampled rows can slip through to label answers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Set
+
+from ..core.hublabel import HubLabeling
+from ..graphs.graph import Graph
+from ..graphs.traversal import INF, bidirectional_distance
+from ..oracles.oracle import HubLabelOracle, QueryOutcome
+from .errors import DomainError, IntegrityError, QueryBudgetExceeded
+
+__all__ = ["HealthReport", "ResilientOracle"]
+
+
+@dataclass
+class HealthReport:
+    """Counters describing how an oracle has been degrading."""
+
+    queries: int = 0
+    label_answers: int = 0
+    fallbacks: int = 0
+    integrity_failures: int = 0
+    budget_exhaustions: int = 0
+    admission_violations: int = 0
+    quarantined: Set[int] = field(default_factory=set)
+
+    @property
+    def healthy(self) -> bool:
+        """True while no degradation event has been recorded."""
+        return (
+            self.integrity_failures == 0
+            and self.budget_exhaustions == 0
+            and self.admission_violations == 0
+            and not self.quarantined
+        )
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "queries": self.queries,
+            "label_answers": self.label_answers,
+            "fallbacks": self.fallbacks,
+            "integrity_failures": self.integrity_failures,
+            "budget_exhaustions": self.budget_exhaustions,
+            "admission_violations": self.admission_violations,
+            "quarantined_vertices": len(self.quarantined),
+        }
+
+    def __repr__(self) -> str:
+        status = "healthy" if self.healthy else "degraded"
+        return (
+            f"HealthReport({status}, queries={self.queries}, "
+            f"fallbacks={self.fallbacks}, "
+            f"quarantined={len(self.quarantined)})"
+        )
+
+
+class ResilientOracle:
+    """An exact oracle over untrusted labels, with exact-BFS fallback."""
+
+    name = "resilient-hub-label"
+
+    def __init__(
+        self,
+        graph: Graph,
+        labeling: HubLabeling,
+        *,
+        fallback: bool = True,
+        verify_sample: int = 0,
+        operation_budget: Optional[int] = None,
+        seed: int = 0,
+    ) -> None:
+        if labeling.num_vertices != graph.num_vertices:
+            raise IntegrityError(
+                f"labeling covers {labeling.num_vertices} vertices but the "
+                f"graph has {graph.num_vertices}"
+            )
+        if operation_budget is not None and operation_budget < 1:
+            raise DomainError("operation_budget must be positive")
+        self._graph = graph
+        self._oracle = HubLabelOracle(labeling)
+        self._labeling = labeling
+        self._fallback = fallback
+        self._budget = operation_budget
+        self.health = HealthReport()
+        if verify_sample > 0:
+            self._admit(verify_sample, seed)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _admit(self, verify_sample: int, seed: int) -> None:
+        # Imported here: core.verification itself adopts runtime.errors,
+        # so a top-level import would be circular during package init.
+        from ..core.verification import verify_cover, verify_cover_sampled
+
+        n = self._graph.num_vertices
+        if verify_sample >= n:
+            report = verify_cover(
+                self._graph,
+                self._labeling,
+                max_violations=n * n,
+                include_disconnected=True,
+            )
+        else:
+            report = verify_cover_sampled(
+                self._graph,
+                self._labeling,
+                num_sources=verify_sample,
+                seed=seed,
+                max_violations=n * n,
+                include_disconnected=True,
+            )
+        if report.ok:
+            return
+        self.health.admission_violations += len(report.violations)
+        if not self._fallback:
+            raise IntegrityError(
+                f"labeling failed admission: {len(report.violations)} "
+                f"violating pair(s) out of {report.num_pairs} checked"
+            )
+        for u, v, _true, _est in report.violations:
+            self.health.quarantined.add(u)
+            self.health.quarantined.add(v)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def space_words(self) -> int:
+        return self._oracle.space_words()
+
+    @property
+    def quarantined(self) -> Set[int]:
+        return set(self.health.quarantined)
+
+    def quarantine(self, vertex: int) -> None:
+        """Manually mark a vertex as untrusted (all its queries degrade)."""
+        self._check_vertex(vertex)
+        self.health.quarantined.add(vertex)
+
+    def _check_vertex(self, vertex: int) -> None:
+        if not 0 <= vertex < self._graph.num_vertices:
+            raise DomainError(
+                f"vertex {vertex} outside 0..{self._graph.num_vertices - 1}"
+            )
+
+    def _exact(self, u: int, v: int) -> QueryOutcome:
+        self.health.fallbacks += 1
+        distance = bidirectional_distance(self._graph, u, v)
+        # The search's cost is not instrumented; charge the conservative
+        # proxy n so trade-off accounting never undercounts a fallback.
+        return QueryOutcome(
+            distance=distance,
+            operations=max(1, self._graph.num_vertices),
+            source="fallback",
+        )
+
+    def query(self, u: int, v: int) -> QueryOutcome:
+        """Exact distance for ``(u, v)``: labels when trusted, BFS else."""
+        self._check_vertex(u)
+        self._check_vertex(v)
+        self.health.queries += 1
+        if u == v:
+            self.health.label_answers += 1
+            return QueryOutcome(distance=0, operations=1, source="label")
+        if u in self.health.quarantined or v in self.health.quarantined:
+            if not self._fallback:
+                raise IntegrityError(
+                    f"endpoint of ({u}, {v}) is quarantined and fallback "
+                    "is disabled"
+                )
+            return self._exact(u, v)
+        cost = min(self._labeling.label_size(u), self._labeling.label_size(v))
+        if self._budget is not None and cost > self._budget:
+            self.health.budget_exhaustions += 1
+            if not self._fallback:
+                raise QueryBudgetExceeded(
+                    f"query ({u}, {v}) needs {cost} operations, "
+                    f"budget is {self._budget}",
+                    cost=cost,
+                    budget=self._budget,
+                )
+            return self._exact(u, v)
+        outcome = self._oracle.query(u, v)
+        if outcome.distance == INF and self._fallback:
+            # Labels claim the pair is disconnected.  An honest labeling
+            # is allowed to say so, but a corrupted one uses INF to hide
+            # dropped entries -- cross-check before trusting it.
+            exact = self._exact(u, v)
+            if exact.distance != INF:
+                self.health.integrity_failures += 1
+                self.health.quarantined.update((u, v))
+            return exact
+        self.health.label_answers += 1
+        return QueryOutcome(
+            distance=outcome.distance,
+            operations=outcome.operations,
+            source="label",
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"ResilientOracle(n={self._graph.num_vertices}, "
+            f"fallback={self._fallback}, budget={self._budget}, "
+            f"{self.health!r})"
+        )

@@ -124,3 +124,125 @@ class TestExperimentsWrite:
     def test_new_experiment_ids(self, capsys):
         assert main(["experiments", "--only", "E14", "--fast"]) == 0
         assert "bits per label" in capsys.readouterr().out
+
+
+class TestResilientQuery:
+    def _save(self, tmp_path, generator="grid:36"):
+        target = tmp_path / "labels.bin"
+        assert main(
+            ["label", "--generator", generator, "--save", str(target)]
+        ) == 0
+        return target
+
+    def test_query_through_runtime(self, tmp_path, capsys):
+        target = self._save(tmp_path)
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "query",
+                    str(target),
+                    "0",
+                    "35",
+                    "--generator",
+                    "grid:36",
+                    "--verify-sample",
+                    "36",
+                ]
+            )
+            == 0
+        )
+        assert "dist(0, 35) = 10" in capsys.readouterr().out
+
+    def test_fallback_needs_graph(self, tmp_path):
+        target = self._save(tmp_path)
+        with pytest.raises(SystemExit):
+            main(["query", str(target), "0", "1", "--fallback"])
+        with pytest.raises(SystemExit):
+            main(["query", str(target), "0", "1", "--verify-sample", "4"])
+
+    def test_mismatched_graph_is_integrity_error(self, tmp_path, capsys):
+        target = self._save(tmp_path, generator="tree:10")
+        assert (
+            main(
+                ["query", str(target), "0", "1", "--generator", "grid:36"]
+            )
+            == 67
+        )
+        assert "IntegrityError" in capsys.readouterr().err
+
+
+class TestErrorExitCodes:
+    def test_corrupt_artifact_exits_65(self, tmp_path, capsys):
+        target = tmp_path / "labels.bin"
+        main(["label", "--generator", "tree:12", "--save", str(target)])
+        blob = bytearray(target.read_bytes())
+        blob[-2] ^= 0xFF
+        target.write_bytes(bytes(blob))
+        capsys.readouterr()
+        assert main(["query", str(target), "0", "1"]) == 65
+        err = capsys.readouterr().err
+        assert "ArtifactCorruptError" in err
+        assert "\n" not in err.strip()  # one-line diagnostic, no traceback
+
+    def test_malformed_edgelist_exits_66(self, tmp_path, capsys):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("2 1\n0 nope 1\n")
+        assert main(["label", "--graph", str(bad)]) == 66
+        assert "line 2" in capsys.readouterr().err
+
+    def test_out_of_range_query_exits_69(self, tmp_path, capsys):
+        target = tmp_path / "labels.bin"
+        main(["label", "--generator", "tree:12", "--save", str(target)])
+        capsys.readouterr()
+        assert main(["query", str(target), "0", "99"]) == 69
+        assert "DomainError" in capsys.readouterr().err
+
+    def test_missing_file_exits_74(self, tmp_path, capsys):
+        assert main(["query", str(tmp_path / "nope.bin"), "0", "1"]) == 74
+        assert "error:" in capsys.readouterr().err
+
+
+class TestChaosCommand:
+    def test_sweep_reports_zero_wrong(self, capsys):
+        assert (
+            main(
+                [
+                    "chaos",
+                    "--generator",
+                    "sparse:20",
+                    "--trials",
+                    "4",
+                    "--queries",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "zero wrong answers" in out
+        for kind in ("bit-flip", "truncate", "drop-hub", "perturb"):
+            assert kind in out
+
+    def test_fault_subset(self, capsys):
+        assert (
+            main(
+                [
+                    "chaos",
+                    "--generator",
+                    "tree:15",
+                    "--trials",
+                    "3",
+                    "--faults",
+                    "bit-flip,truncate",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bit-flip" in out
+        assert "drop-hub" not in out
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["chaos", "--faults", "cosmic-ray"])

@@ -105,3 +105,69 @@ class TestDenseGraphCorner:
         from repro.core import is_valid_cover
 
         assert is_valid_cover(g, labeling)
+
+
+class TestRuntimeEdgeCases:
+    """Degradation paths on degenerate structures."""
+
+    def test_empty_labeling_round_trips_through_envelope(self):
+        from repro.core import labeling_from_bytes, labeling_to_bytes
+
+        blob = labeling_to_bytes(HubLabeling(0))
+        assert labeling_from_bytes(blob).num_vertices == 0
+        legacy = labeling_to_bytes(HubLabeling(0), envelope=False)
+        assert labeling_from_bytes(legacy).num_vertices == 0
+
+    def test_resilient_oracle_on_singleton(self):
+        from repro.runtime import ResilientOracle
+
+        g = Graph(1)
+        oracle = ResilientOracle(
+            g, pruned_landmark_labeling(g), verify_sample=1
+        )
+        assert oracle.query(0, 0).distance == 0
+        assert oracle.health.healthy
+
+    def test_isolated_vertex_queries_stay_inf(self):
+        from repro.runtime import ResilientOracle
+
+        g = Graph(3)
+        g.add_edge(0, 1)
+        oracle = ResilientOracle(
+            g, pruned_landmark_labeling(g), verify_sample=3
+        )
+        assert oracle.query(0, 2).distance == INF
+        assert oracle.query(2, 2).distance == 0
+
+    def test_edgelist_comments_and_blank_lines(self):
+        from repro.core import graph_from_edgelist
+
+        g = graph_from_edgelist(
+            "# weighted triangle\n\n3 3\n0 1 2\n\n1 2 3  # heavy\n0 2 1\n"
+        )
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+
+    def test_edgelist_weightless_lines_default_to_one(self):
+        from repro.core import graph_from_edgelist
+
+        g = graph_from_edgelist("2 1\n0 1\n")
+        assert g.edge_weight(0, 1) == 1
+
+    def test_edgelist_errors_name_the_line(self):
+        from repro.core import graph_from_edgelist
+        from repro.runtime import FormatError
+
+        cases = [
+            ("bogus header\n", 1),
+            ("2 1\n0 1 1 9\n", 2),          # too many fields
+            ("2 1\n\n0 -1 1\n", 3),         # negative id, after blank
+            ("2 1\n0 1 x\n", 2),            # non-numeric weight
+            ("2 1\n0 5 1\n", 2),            # id out of range
+            ("2 1\n0 0 1\n", 2),            # self-loop
+            ("2 2\n0 1 1\n", 1),            # count mismatch -> header
+        ]
+        for text, line in cases:
+            with pytest.raises(FormatError) as excinfo:
+                graph_from_edgelist(text)
+            assert excinfo.value.line == line, text

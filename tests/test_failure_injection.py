@@ -4,6 +4,11 @@ A labeling store is only trustworthy if its checkers catch sabotage:
 wrong distances, deleted hubs, truncated serializations, foreign
 labels.  Each test corrupts a healthy artifact and asserts the library
 reports the problem instead of silently returning wrong answers.
+
+The chaos suite at the bottom is the acceptance gate for the resilient
+runtime: hundreds of seeded faults across all four fault families, and
+every graded query must either raise a typed ``ReproError`` or return
+the exact ground-truth distance via fallback.
 """
 
 import random
@@ -19,8 +24,21 @@ from repro.core import (
     verify_cover,
     verify_cover_sampled,
 )
-from repro.graphs import grid_2d, random_sparse_graph
+from repro.core.io import ARTIFACT_MAGIC
+from repro.graphs import all_pairs_distances, grid_2d, random_sparse_graph
 from repro.labeling import BitReader, DistanceRowScheme, HubEncodedScheme
+from repro.runtime import (
+    FAULT_KINDS,
+    ArtifactCorruptError,
+    ChaosReport,
+    DomainError,
+    FaultInjector,
+    IntegrityError,
+    QueryBudgetExceeded,
+    ReproError,
+    ResilientOracle,
+    chaos_sweep,
+)
 
 
 @pytest.fixture
@@ -75,6 +93,161 @@ class TestCoverChecker:
         report = verify_cover_sampled(graph, labeling, num_sources=8, seed=3)
         assert report.ok
 
+    def test_vertex_count_mismatch_is_domain_error(self, healthy):
+        graph, _ = healthy
+        with pytest.raises(DomainError):
+            verify_cover(graph, HubLabeling(graph.num_vertices + 1))
+        with pytest.raises(ValueError):  # taxonomy keeps old contract
+            verify_cover_sampled(graph, HubLabeling(1))
+
+
+class TestErrorTaxonomy:
+    def test_all_errors_descend_from_repro_error(self):
+        from repro.runtime import (
+            ArtifactCorruptError,
+            DomainError,
+            FormatError,
+            IntegrityError,
+            QueryBudgetExceeded,
+        )
+
+        for cls in (
+            ArtifactCorruptError,
+            FormatError,
+            IntegrityError,
+            QueryBudgetExceeded,
+            DomainError,
+        ):
+            assert issubclass(cls, ReproError)
+
+    def test_data_errors_remain_value_errors(self):
+        from repro.runtime import FormatError
+
+        assert issubclass(ArtifactCorruptError, ValueError)
+        assert issubclass(FormatError, ValueError)
+        assert issubclass(DomainError, ValueError)
+
+    def test_exit_codes_are_distinct_and_nonzero(self):
+        from repro.runtime import FormatError
+
+        codes = [
+            cls.exit_code
+            for cls in (
+                ReproError,
+                ArtifactCorruptError,
+                FormatError,
+                IntegrityError,
+                QueryBudgetExceeded,
+                DomainError,
+            )
+        ]
+        assert len(set(codes)) == len(codes)
+        assert all(code not in (0, 1, 2) for code in codes)
+
+    def test_diagnostic_is_one_line(self):
+        error = ArtifactCorruptError("boom", offset=7)
+        assert "\n" not in error.diagnostic()
+        assert "ArtifactCorruptError" in error.diagnostic()
+        assert error.offset == 7
+
+
+class TestEnvelope:
+    def test_round_trip_is_enveloped(self, healthy):
+        _, labeling = healthy
+        blob = labeling_to_bytes(labeling)
+        assert blob[:4] == ARTIFACT_MAGIC
+        restored = labeling_from_bytes(blob)
+        assert restored.num_vertices == labeling.num_vertices
+        assert all(
+            dict(restored.hubs(v)) == dict(labeling.hubs(v))
+            for v in range(labeling.num_vertices)
+        )
+
+    def test_legacy_stream_still_loads(self, healthy):
+        _, labeling = healthy
+        legacy = labeling_to_bytes(labeling, envelope=False)
+        assert legacy[:1] == b"\x00"  # pre-envelope blobs start 0x00
+        restored = labeling_from_bytes(legacy)
+        assert all(
+            dict(restored.hubs(v)) == dict(labeling.hubs(v))
+            for v in range(labeling.num_vertices)
+        )
+
+    def test_empty_blob_rejected(self):
+        with pytest.raises(ArtifactCorruptError):
+            labeling_from_bytes(b"")
+
+    def test_unrecognized_header_rejected(self):
+        with pytest.raises(ArtifactCorruptError):
+            labeling_from_bytes(b"\x7fELF garbage that is neither format")
+
+    def test_header_truncation_has_offset(self, healthy):
+        _, labeling = healthy
+        blob = labeling_to_bytes(labeling)
+        with pytest.raises(ArtifactCorruptError) as excinfo:
+            labeling_from_bytes(blob[:10])
+        assert excinfo.value.offset is not None
+
+    def test_payload_truncation_detected(self, healthy):
+        _, labeling = healthy
+        blob = labeling_to_bytes(labeling)
+        for cut in (len(blob) - 1, len(blob) // 2, 30):
+            with pytest.raises(ArtifactCorruptError):
+                labeling_from_bytes(blob[:cut])
+
+    def test_trailing_bytes_detected(self, healthy):
+        _, labeling = healthy
+        blob = labeling_to_bytes(labeling)
+        with pytest.raises(ArtifactCorruptError):
+            labeling_from_bytes(blob + b"\x00\x01")
+
+    def test_crc_catches_payload_flip(self, healthy):
+        _, labeling = healthy
+        blob = bytearray(labeling_to_bytes(labeling))
+        blob[-3] ^= 0x10
+        with pytest.raises(ArtifactCorruptError) as excinfo:
+            labeling_from_bytes(bytes(blob))
+        assert "CRC32" in str(excinfo.value)
+
+    def test_bad_version_rejected(self, healthy):
+        _, labeling = healthy
+        blob = bytearray(labeling_to_bytes(labeling))
+        blob[4] = 99
+        with pytest.raises(ArtifactCorruptError):
+            labeling_from_bytes(bytes(blob))
+
+    def test_vertex_count_header_cross_checked(self, healthy):
+        _, labeling = healthy
+        blob = bytearray(labeling_to_bytes(labeling))
+        # Header n and CRC-protected payload disagree: bump header n and
+        # recompute nothing -- the CRC still matches (payload untouched),
+        # so the cross-check must fire.
+        blob[12] ^= 0x01
+        with pytest.raises(ArtifactCorruptError):
+            labeling_from_bytes(bytes(blob))
+
+    def test_legacy_hub_id_overrun_detected(self):
+        # A legacy stream whose gap coding walks past n must be refused,
+        # not absorbed into an out-of-range dict key.
+        labeling = HubLabeling(3)
+        labeling.add_hub(0, 2, 1)
+        legacy = bytearray(labeling_to_bytes(labeling, envelope=False))
+        corrupted = None
+        for position in range(64, 8 * len(legacy)):
+            mangled = bytearray(legacy)
+            mangled[position // 8] ^= 0x80 >> (position % 8)
+            try:
+                decoded = labeling_from_bytes(bytes(mangled))
+            except ArtifactCorruptError:
+                corrupted = True
+                continue
+            for v in range(decoded.num_vertices):
+                assert all(
+                    0 <= hub < decoded.num_vertices
+                    for hub in decoded.hubs(v)
+                )
+        assert corrupted  # at least one flip was structurally fatal
+
 
 class TestSerializationCorruption:
     def test_truncated_blob_raises(self, healthy):
@@ -98,6 +271,123 @@ class TestSerializationCorruption:
             for v in range(min(mangled.num_vertices, labeling.num_vertices))
         ) or mangled.num_vertices != labeling.num_vertices
         assert differs
+
+    def test_every_single_byte_flip_is_caught(self, healthy):
+        """With the envelope, *any* one-byte corruption is detected."""
+        _, labeling = healthy
+        blob = labeling_to_bytes(labeling)
+        rng = random.Random(9)
+        for _ in range(60):
+            position = rng.randrange(len(blob))
+            mangled = bytearray(blob)
+            mangled[position] ^= rng.randint(1, 255)
+            with pytest.raises(ArtifactCorruptError):
+                labeling_from_bytes(bytes(mangled))
+
+
+class TestResilientOracle:
+    def test_healthy_labeling_serves_from_labels(self, healthy):
+        graph, labeling = healthy
+        oracle = ResilientOracle(
+            graph, labeling, verify_sample=graph.num_vertices
+        )
+        assert oracle.health.healthy
+        outcome = oracle.query(0, 39)
+        assert outcome.source == "label"
+        assert oracle.health.fallbacks == 0
+
+    def test_admission_quarantines_sabotaged_vertices(self, healthy):
+        graph, labeling = healthy
+        sabotaged = labeling.copy()
+        for hub in list(sabotaged.hubs(5)):
+            sabotaged.discard_hub(5, hub)
+        oracle = ResilientOracle(
+            graph, sabotaged, verify_sample=graph.num_vertices
+        )
+        assert 5 in oracle.quarantined
+        assert not oracle.health.healthy
+
+    def test_fallback_answers_are_exact(self, healthy):
+        graph, labeling = healthy
+        sabotaged = labeling.copy()
+        for hub in list(sabotaged.hubs(7)):
+            sabotaged.discard_hub(7, hub)
+        oracle = ResilientOracle(
+            graph, sabotaged, verify_sample=graph.num_vertices
+        )
+        truth = all_pairs_distances(graph)
+        for v in range(graph.num_vertices):
+            assert oracle.query(7, v).distance == truth[7][v]
+        assert oracle.health.fallbacks > 0
+
+    def test_no_fallback_raises_integrity_error(self, healthy):
+        graph, labeling = healthy
+        sabotaged = labeling.copy()
+        for hub in list(sabotaged.hubs(3)):
+            sabotaged.discard_hub(3, hub)
+        with pytest.raises(IntegrityError):
+            ResilientOracle(
+                graph,
+                sabotaged,
+                fallback=False,
+                verify_sample=graph.num_vertices,
+            )
+
+    def test_budget_exhaustion_degrades_or_raises(self, healthy):
+        graph, labeling = healthy
+        degrading = ResilientOracle(graph, labeling, operation_budget=1)
+        truth = all_pairs_distances(graph)
+        outcome = degrading.query(0, 39)
+        assert outcome.distance == truth[0][39]
+        assert degrading.health.budget_exhaustions >= 0
+        strict = ResilientOracle(
+            graph, labeling, fallback=False, operation_budget=1
+        )
+        raised = False
+        for v in range(1, graph.num_vertices):
+            try:
+                strict.query(0, v)
+            except QueryBudgetExceeded as exc:
+                assert exc.cost > exc.budget
+                raised = True
+                break
+        assert raised
+
+    def test_out_of_range_vertices_rejected(self, healthy):
+        graph, labeling = healthy
+        oracle = ResilientOracle(graph, labeling)
+        for pair in [(-1, 0), (0, -1), (0, graph.num_vertices), (10**6, 0)]:
+            with pytest.raises(DomainError):
+                oracle.query(*pair)
+
+    def test_inf_claims_are_cross_checked(self, healthy):
+        graph, labeling = healthy
+        sabotaged = labeling.copy()
+        # Wipe vertex 11's label entirely: its queries claim INF.
+        for hub in list(sabotaged.hubs(11)):
+            sabotaged.discard_hub(11, hub)
+        oracle = ResilientOracle(graph, sabotaged)  # no admission check
+        truth = all_pairs_distances(graph)
+        outcome = oracle.query(11, 0)
+        assert outcome.distance == truth[11][0]
+        assert outcome.source == "fallback"
+        assert oracle.health.integrity_failures >= 1
+        assert 11 in oracle.quarantined
+
+    def test_mismatched_labeling_rejected(self, healthy):
+        graph, _ = healthy
+        with pytest.raises(IntegrityError):
+            ResilientOracle(graph, HubLabeling(graph.num_vertices + 3))
+
+    def test_health_report_counts(self, healthy):
+        graph, labeling = healthy
+        oracle = ResilientOracle(graph, labeling)
+        for v in range(10):
+            oracle.query(0, v)
+        assert oracle.health.queries == 10
+        snapshot = oracle.health.as_dict()
+        assert snapshot["queries"] == 10
+        assert snapshot["label_answers"] + snapshot["fallbacks"] >= 10
 
 
 class TestSchemeMisuse:
@@ -129,3 +419,78 @@ class TestSchemeMisuse:
         reader.read_fixed(3)
         with pytest.raises(EOFError):
             reader.read_fixed(1)
+
+
+class TestChaosSweep:
+    """The acceptance gate: no fault ever produces a silent wrong answer."""
+
+    @pytest.fixture(scope="class")
+    def swept(self):
+        graph = random_sparse_graph(26, seed=11)
+        labeling = pruned_landmark_labeling(graph)
+        assert is_valid_cover(graph, labeling)
+        report = chaos_sweep(
+            graph,
+            labeling,
+            trials_per_kind=50,
+            queries_per_trial=8,
+            seed=2026,
+        )
+        return report
+
+    def test_at_least_200_injections_across_all_kinds(self, swept):
+        assert swept.num_injections >= 200
+        assert set(swept.by_kind()) == set(FAULT_KINDS)
+
+    def test_zero_silently_wrong_answers(self, swept):
+        assert swept.ok
+        assert all(outcome.wrong == 0 for outcome in swept.outcomes)
+
+    def test_byte_faults_detected_at_load(self, swept):
+        summary = swept.by_kind()
+        for kind in ("bit-flip", "truncate"):
+            assert summary[kind]["detected_at_load"] == summary[kind][
+                "injections"
+            ]
+
+    def test_label_faults_served_exactly(self, swept):
+        summary = swept.by_kind()
+        for kind in ("drop-hub", "perturb"):
+            assert summary[kind]["queries"] > 0
+            assert summary[kind]["wrong"] == 0
+
+    def test_sweep_is_deterministic(self):
+        graph = random_sparse_graph(18, seed=4)
+        labeling = pruned_landmark_labeling(graph)
+        first = chaos_sweep(
+            graph, labeling, trials_per_kind=5, queries_per_trial=4, seed=7
+        )
+        second = chaos_sweep(
+            graph, labeling, trials_per_kind=5, queries_per_trial=4, seed=7
+        )
+        assert first.outcomes == second.outcomes
+
+    def test_render_mentions_verdict(self, swept):
+        text = swept.render()
+        assert "zero wrong answers" in text
+        assert "bit-flip" in text
+
+    def test_rejects_unknown_kind(self, healthy):
+        graph, labeling = healthy
+        with pytest.raises(ValueError):
+            chaos_sweep(graph, labeling, kinds=("gamma-ray",))
+
+    def test_legacy_artifacts_still_load_after_sweep(self, healthy):
+        # The acceptance criterion's compatibility clause: pre-envelope
+        # blobs written by old code keep loading bit-exactly.
+        _, labeling = healthy
+        legacy = labeling_to_bytes(labeling, envelope=False)
+        restored = labeling_from_bytes(legacy)
+        assert all(
+            dict(restored.hubs(v)) == dict(labeling.hubs(v))
+            for v in range(labeling.num_vertices)
+        )
+
+    def test_empty_report_is_ok(self):
+        assert ChaosReport().ok
+        assert ChaosReport().num_injections == 0

@@ -4,6 +4,8 @@ import pytest
 
 from repro.core import pruned_landmark_labeling
 from repro.graphs import (
+    INF,
+    Graph,
     all_pairs_distances,
     grid_2d,
     path_graph,
@@ -11,6 +13,7 @@ from repro.graphs import (
     random_weighted_graph,
 )
 from repro.oracles import HubLabelOracle, LandmarkOracle, MatrixOracle
+from repro.runtime import DomainError, ResilientOracle
 
 
 def assert_oracle_exact(graph, oracle, stride=1):
@@ -100,3 +103,70 @@ class TestLandmarkOracle:
         g = path_graph(5)
         oracle = LandmarkOracle(g, 2, seed=0)
         assert oracle.query(3, 3).distance == 0
+
+
+def _all_oracles(graph):
+    labeling = pruned_landmark_labeling(graph)
+    return [
+        MatrixOracle(graph),
+        HubLabelOracle(labeling),
+        LandmarkOracle(graph, 2, seed=0),
+        ResilientOracle(graph, labeling),
+    ]
+
+
+class TestQueryOutcomeDegradation:
+    """Out-of-range ids and disconnected pairs behave the same way on
+    every oracle: DomainError and QueryOutcome(INF) respectively."""
+
+    @pytest.mark.parametrize(
+        "pair", [(-1, 0), (0, -1), (0, 10), (10, 0), (10**9, 0)]
+    )
+    def test_out_of_range_raises_domain_error_everywhere(self, pair):
+        g = path_graph(10)
+        for oracle in _all_oracles(g):
+            with pytest.raises(DomainError):
+                oracle.query(*pair)
+
+    def test_domain_error_is_a_value_error(self):
+        g = path_graph(4)
+        for oracle in _all_oracles(g):
+            with pytest.raises(ValueError):
+                oracle.query(0, 99)
+
+    def test_disconnected_pair_returns_inf_everywhere(self):
+        g = Graph(5)
+        g.add_edge(0, 1)
+        g.add_edge(2, 3)
+        for oracle in _all_oracles(g):
+            outcome = oracle.query(0, 3)
+            assert outcome.distance == INF, oracle.name
+            assert outcome.operations >= 1
+
+    def test_disconnected_self_component_pairs_exact(self):
+        g = Graph(6)
+        g.add_edge(0, 1)
+        g.add_edge(1, 2)
+        g.add_edge(3, 4)
+        truth = all_pairs_distances(g)
+        for oracle in _all_oracles(g):
+            for u in range(6):
+                for v in range(6):
+                    assert oracle.query(u, v).distance == truth[u][v]
+
+    def test_outcome_source_field(self):
+        g = path_graph(6)
+        labeling = pruned_landmark_labeling(g)
+        assert HubLabelOracle(labeling).query(0, 5).source == "oracle"
+        assert ResilientOracle(g, labeling).query(0, 5).source == "label"
+
+    def test_empty_graph_oracles_reject_all_queries(self):
+        g = Graph(0)
+        labeling = pruned_landmark_labeling(g)
+        for oracle in (
+            MatrixOracle(g),
+            HubLabelOracle(labeling),
+            ResilientOracle(g, labeling),
+        ):
+            with pytest.raises(DomainError):
+                oracle.query(0, 0)

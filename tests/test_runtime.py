@@ -1,0 +1,186 @@
+"""The resilient runtime's building blocks: faults, health, budgets.
+
+End-to-end chaos grading lives in ``test_failure_injection.py``; these
+are the unit-level contracts of :mod:`repro.runtime` -- deterministic
+injectors, health accounting, and report rendering.
+"""
+
+import pytest
+
+from repro.core import (
+    labeling_from_bytes,
+    labeling_to_bytes,
+    pruned_landmark_labeling,
+)
+from repro.graphs import Graph, INF, random_sparse_graph
+from repro.runtime import (
+    FAULT_KINDS,
+    ArtifactCorruptError,
+    DomainError,
+    FaultInjector,
+    HealthReport,
+    ResilientOracle,
+)
+
+
+@pytest.fixture
+def setting():
+    graph = random_sparse_graph(30, seed=3)
+    return graph, pruned_landmark_labeling(graph)
+
+
+class TestFaultInjectorDeterminism:
+    def test_same_seed_same_bit_flips(self, setting):
+        _, labeling = setting
+        blob = labeling_to_bytes(labeling)
+        assert FaultInjector(seed=5).bit_flip(blob, flips=3) == FaultInjector(
+            seed=5
+        ).bit_flip(blob, flips=3)
+
+    def test_different_seed_different_bit_flips(self, setting):
+        _, labeling = setting
+        blob = labeling_to_bytes(labeling)
+        assert FaultInjector(seed=1).bit_flip(blob, flips=3) != FaultInjector(
+            seed=2
+        ).bit_flip(blob, flips=3)
+
+    def test_truncate_strictly_shortens(self, setting):
+        _, labeling = setting
+        blob = labeling_to_bytes(labeling)
+        for seed in range(10):
+            assert len(FaultInjector(seed=seed).truncate(blob)) < len(blob)
+
+    def test_drop_hubs_removes_entries(self, setting):
+        _, labeling = setting
+        mangled = FaultInjector(seed=0).drop_hubs(labeling, count=5)
+        assert mangled.total_size() == labeling.total_size() - 5
+        # The original is untouched (faults operate on copies).
+        assert labeling.total_size() > mangled.total_size()
+
+    def test_perturb_keeps_size_changes_distances(self, setting):
+        _, labeling = setting
+        mangled = FaultInjector(seed=0).perturb_distances(labeling, count=4)
+        assert mangled.total_size() == labeling.total_size()
+        changed = sum(
+            dict(mangled.hubs(v)) != dict(labeling.hubs(v))
+            for v in range(labeling.num_vertices)
+        )
+        assert changed >= 1
+
+    def test_string_seeds_are_stable(self, setting):
+        _, labeling = setting
+        blob = labeling_to_bytes(labeling)
+        a = FaultInjector(seed="0:bit-flip:3").bit_flip(blob)
+        b = FaultInjector(seed="0:bit-flip:3").bit_flip(blob)
+        assert a == b
+
+    def test_byte_vs_label_fault_routing(self, setting):
+        _, labeling = setting
+        blob = labeling_to_bytes(labeling)
+        injector = FaultInjector(seed=0)
+        with pytest.raises(ValueError):
+            injector.corrupt_blob("drop-hub", blob)
+        with pytest.raises(ValueError):
+            injector.corrupt_labeling("truncate", labeling)
+
+    def test_empty_inputs(self):
+        injector = FaultInjector(seed=0)
+        assert injector.bit_flip(b"") == b""
+        assert injector.truncate(b"x") == b""
+        from repro.core import HubLabeling
+
+        empty = HubLabeling(0)
+        assert injector.drop_hubs(empty).num_vertices == 0
+        assert injector.perturb_distances(empty).num_vertices == 0
+
+    def test_all_kinds_corrupt_something(self, setting):
+        _, labeling = setting
+        blob = labeling_to_bytes(labeling)
+        for kind in FAULT_KINDS:
+            injector = FaultInjector(seed=kind)
+            if kind in ("bit-flip", "truncate"):
+                assert injector.corrupt_blob(kind, blob) != blob
+            else:
+                mangled = injector.corrupt_labeling(kind, labeling)
+                assert any(
+                    dict(mangled.hubs(v)) != dict(labeling.hubs(v))
+                    for v in range(labeling.num_vertices)
+                )
+
+
+class TestHealthReport:
+    def test_fresh_report_is_healthy(self):
+        assert HealthReport().healthy
+
+    def test_quarantine_breaks_health(self):
+        report = HealthReport()
+        report.quarantined.add(3)
+        assert not report.healthy
+
+    def test_as_dict_round_trip(self):
+        report = HealthReport(queries=4, fallbacks=2)
+        snapshot = report.as_dict()
+        assert snapshot["queries"] == 4
+        assert snapshot["fallbacks"] == 2
+        assert "degraded" not in repr(HealthReport())
+        assert "healthy" in repr(HealthReport())
+
+
+class TestResilientOracleUnit:
+    def test_space_words_delegates(self, setting):
+        graph, labeling = setting
+        oracle = ResilientOracle(graph, labeling)
+        assert oracle.space_words() == 2 * labeling.total_size()
+
+    def test_self_query_is_zero(self, setting):
+        graph, labeling = setting
+        oracle = ResilientOracle(graph, labeling)
+        assert oracle.query(7, 7).distance == 0
+
+    def test_manual_quarantine_forces_fallback(self, setting):
+        graph, labeling = setting
+        oracle = ResilientOracle(graph, labeling)
+        oracle.quarantine(4)
+        outcome = oracle.query(4, 9)
+        assert outcome.source == "fallback"
+        with pytest.raises(DomainError):
+            oracle.quarantine(-2)
+
+    def test_disconnected_pair_returns_inf(self):
+        graph = Graph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        labeling = pruned_landmark_labeling(graph)
+        oracle = ResilientOracle(
+            graph, labeling, verify_sample=graph.num_vertices
+        )
+        outcome = oracle.query(0, 3)
+        assert outcome.distance == INF
+        # Genuine disconnection is not an integrity failure.
+        assert oracle.health.integrity_failures == 0
+
+    def test_invalid_budget_rejected(self, setting):
+        graph, labeling = setting
+        with pytest.raises(DomainError):
+            ResilientOracle(graph, labeling, operation_budget=0)
+
+    def test_sampled_admission_cheaper_than_full(self, setting):
+        graph, labeling = setting
+        oracle = ResilientOracle(graph, labeling, verify_sample=4, seed=1)
+        assert oracle.health.healthy
+
+
+class TestEnvelopeProperties:
+    def test_envelope_overhead_is_constant(self, setting):
+        _, labeling = setting
+        enveloped = labeling_to_bytes(labeling)
+        legacy = labeling_to_bytes(labeling, envelope=False)
+        assert len(enveloped) - len(legacy) == 25  # fixed header size
+
+    def test_double_corruption_still_detected(self, setting):
+        _, labeling = setting
+        blob = labeling_to_bytes(labeling)
+        injector = FaultInjector(seed=13)
+        mangled = injector.truncate(injector.bit_flip(blob, flips=2))
+        with pytest.raises(ArtifactCorruptError):
+            labeling_from_bytes(mangled)
