@@ -1,7 +1,7 @@
 # Convenience targets.  The environment is offline: editable installs go
 # through setup.cfg (legacy path), never an isolated PEP-517 build.
 
-.PHONY: install test bench experiments examples coverage chaos clean
+.PHONY: install test bench bench-full bench-tables experiments examples coverage chaos clean
 
 install:
 	pip install -e .
@@ -13,6 +13,13 @@ test-slow:
 	pytest tests/ --run-slow
 
 bench:
+	python -m repro bench --quick
+	python tools/bench_gate.py --current BENCH_perf.json
+
+bench-full:
+	python -m repro bench
+
+bench-tables:
 	pytest benchmarks/ --benchmark-only
 
 experiments:

@@ -3,19 +3,35 @@
 Every benchmark regenerates one experiment row from DESIGN.md's index.
 Tables are printed (visible under ``pytest -s``) *and* written to
 ``benchmarks/results/<name>.txt``, which is what EXPERIMENTS.md quotes.
+A machine-readable JSON sidecar (``<name>.json``: title, header, rows)
+lands next to each text table so tooling -- dashboards, regression
+gates -- can consume the same numbers without screen-scraping.
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
 def record_table(name: str, table) -> None:
-    """Print a table and persist it under benchmarks/results/."""
+    """Print a table and persist it under benchmarks/results/.
+
+    Writes both the rendered text (``<name>.txt``) and a JSON sidecar
+    (``<name>.json``) carrying the structured title/header/rows.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     text = table.render()
     print()
     print(text)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    sidecar = {
+        "title": table.title,
+        "header": list(table.header),
+        "rows": [list(row) for row in table.rows],
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(sidecar, indent=2) + "\n"
+    )

@@ -21,7 +21,10 @@ Package map (see DESIGN.md for the full inventory):
   original [CHKZ03] form of the framework;
 * :mod:`repro.runtime`    -- the resilient serving layer: typed errors,
   integrity-checked artifacts, fault injection, and an oracle that
-  degrades to exact search instead of answering wrong.
+  degrades to exact search instead of answering wrong;
+* :mod:`repro.perf`       -- the performance layer: flat-array label
+  store (``backend="flat"`` on the oracles), process-pool traversal
+  fan-out (``workers=``), and the ``repro bench`` suite.
 """
 
 from . import (
@@ -30,6 +33,7 @@ from . import (
     labeling,
     lowerbound,
     oracles,
+    perf,
     reachability,
     rs,
     runtime,
@@ -55,6 +59,7 @@ __all__ = [
     "labeling",
     "lowerbound",
     "oracles",
+    "perf",
     "reachability",
     "rs",
     "runtime",

@@ -12,7 +12,10 @@ Commands:
 * ``instance``    -- build a hard instance ``G_{b,l}`` and print its
   anatomy and certificate;
 * ``chaos``       -- run the seeded fault-injection sweep and report
-  how every fault was detected or degraded.
+  how every fault was detected or degraded;
+* ``bench``       -- run the pinned performance suites (construction,
+  flat vs dict batch throughput, label memory, traversal fan-out) and
+  write machine-readable ``BENCH_perf.json``.
 
 Examples::
 
@@ -22,6 +25,7 @@ Examples::
     python -m repro.cli query labels.bin 0 42 --graph g.txt --verify-sample 8
     python -m repro.cli instance --b 2 --l 1
     python -m repro.cli chaos --generator sparse:30 --trials 25
+    python -m repro.cli bench --quick --out BENCH_perf.json
 
 User errors never print tracebacks: every
 :class:`~repro.runtime.errors.ReproError` is reported as a one-line
@@ -187,6 +191,30 @@ def _cmd_instance(args) -> int:
         f"certificate: sum|S_v| >= {cert.hub_sum_lower_bound:.6f} "
         f"(avg >= {cert.average_lower_bound:.3e})"
     )
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from .perf.bench import render_results, run_bench, write_results
+
+    results = run_bench(
+        quick=args.quick,
+        seed=args.seed,
+        num_sources=args.sources,
+        repeats=args.repeats,
+        workers=args.workers,
+    )
+    print(render_results(results))
+    write_results(results, args.out)
+    print(f"\nwrote {args.out}")
+    mismatches = results["backend_consistency"]["value"]
+    if mismatches:
+        print(
+            f"error: flat and dict backends disagree on {mismatches} "
+            "pair(s)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -370,6 +398,38 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"comma-separated subset of {','.join(FAULT_KINDS)}",
     )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the pinned performance suites"
+    )
+    p_bench.add_argument(
+        "--quick",
+        action="store_true",
+        help="benchmark G(2,1) instead of the acceptance instance G(2,2)",
+    )
+    p_bench.add_argument(
+        "--out",
+        default="BENCH_perf.json",
+        help="result file (default BENCH_perf.json)",
+    )
+    p_bench.add_argument("--seed", type=int, default=7)
+    p_bench.add_argument(
+        "--sources",
+        type=int,
+        default=64,
+        metavar="N",
+        help="workload roots: N sampled sources x every vertex",
+    )
+    p_bench.add_argument(
+        "--repeats", type=int, default=3, help="timings take the best of R"
+    )
+    p_bench.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size for the traversal fan-out suite",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
     return parser
 
 

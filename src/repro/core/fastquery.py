@@ -40,7 +40,12 @@ class QueryStats:
 
 
 class SortedHubIndex:
-    """A hub labeling reindexed for early-termination queries."""
+    """A hub labeling reindexed for early-termination queries.
+
+    Accepts any label store exposing ``num_vertices`` and ``hubs(v)`` --
+    the dict-backed :class:`HubLabeling` and the frozen
+    :class:`~repro.perf.flat.FlatHubLabeling` both qualify.
+    """
 
     def __init__(self, labeling: HubLabeling) -> None:
         self._by_distance: List[List[Tuple[float, int]]] = []

@@ -63,21 +63,26 @@ def build_hitting_set(
     *,
     seed: int = 0,
     matrix: List[List[float]] = None,
+    workers: int = None,
 ) -> HittingSetResult:
     """Sample ``S`` and collect the correction sets ``Q_u``.
 
     ``matrix`` may supply a precomputed distance matrix (APSP reuse by
-    the RS scheme); otherwise it is computed here.  Rich pairs are
-    detected exactly via ``|H_uv| >= D``.
+    the RS scheme); otherwise it is computed here -- with ``workers``
+    the per-root sweeps fan out over a process pool
+    (:func:`repro.perf.parallel.shortest_path_rows`; None/1 = serial,
+    identical rows).  Rich pairs are detected exactly via
+    ``|H_uv| >= D``.
     """
     n = graph.num_vertices
     rng = random.Random(seed)
     size = hitting_set_size(n, threshold)
     sample = set(rng.sample(range(n), size)) if n else set()
     if matrix is None:
-        matrix = [
-            shortest_path_distances(graph, v)[0] for v in graph.vertices()
-        ]
+        # Imported here: repro.perf sits above the core layer.
+        from ..perf.parallel import shortest_path_rows
+
+        matrix = shortest_path_rows(graph, workers=workers)
     result = HittingSetResult(threshold=threshold, hitting_set=sample)
     sample_list = sorted(sample)
     # In an unweighted graph a shortest path of length d carries d + 1

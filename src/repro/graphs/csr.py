@@ -21,11 +21,19 @@ __all__ = ["CSRGraph"]
 class CSRGraph:
     """Read-only CSR adjacency built from a :class:`Graph`."""
 
-    __slots__ = ("num_vertices", "offsets", "targets", "weights", "is_weighted")
+    __slots__ = (
+        "num_vertices",
+        "offsets",
+        "targets",
+        "weights",
+        "is_weighted",
+        "_num_edges",
+    )
 
     def __init__(self, graph: Graph) -> None:
         n = graph.num_vertices
         self.num_vertices = n
+        self._num_edges = graph.num_edges
         degrees = [graph.degree(v) for v in range(n)]
         offsets = [0] * (n + 1)
         for v in range(n):
@@ -45,7 +53,20 @@ class CSRGraph:
 
     @property
     def num_edges(self) -> int:
-        return len(self.targets) // 2
+        """Edge count carried over from the source :class:`Graph`.
+
+        Counting ``len(self.targets) // 2`` would silently halve
+        odd-length adjacency (self-loops or digraph-style builds store
+        one slot per direction); the builder knows the true count, so
+        it is recorded instead of re-derived.
+        """
+        return self._num_edges
+
+    def __repr__(self) -> str:
+        kind = "weighted" if self.is_weighted else "unweighted"
+        return (
+            f"CSRGraph(n={self.num_vertices}, m={self.num_edges}, {kind})"
+        )
 
     def neighbor_slice(self, v: int) -> Tuple[int, int]:
         """The [start, end) range of ``v``'s neighbors in ``targets``."""

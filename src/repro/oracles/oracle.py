@@ -22,7 +22,7 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..core.hublabel import HubLabeling
 from ..graphs.graph import Graph
@@ -82,12 +82,41 @@ class MatrixOracle:
 
 
 class HubLabelOracle:
-    """A hub labeling used as a centralized oracle."""
+    """A hub labeling used as a centralized oracle.
+
+    ``backend`` selects the label store: ``"dict"`` keeps the mutable
+    per-vertex dictionaries of :class:`HubLabeling`; ``"flat"`` freezes
+    them into a :class:`~repro.perf.flat.FlatHubLabeling` (immutable
+    CSR arrays, pointer-merge queries, vectorized :meth:`batch_query`).
+    Either store answers every query identically; only speed and
+    memory layout change.
+    """
 
     name = "hub-label"
 
-    def __init__(self, labeling: HubLabeling) -> None:
+    def __init__(self, labeling, *, backend: str = "dict") -> None:
+        if backend not in ("dict", "flat"):
+            raise ValueError(
+                f"backend must be 'dict' or 'flat', got {backend!r}"
+            )
+        # Imported lazily: repro.perf sits above the oracles layer.
+        from ..perf.flat import FlatHubLabeling
+
+        if backend == "flat" and not isinstance(labeling, FlatHubLabeling):
+            labeling = FlatHubLabeling.from_labeling(labeling)
+        elif backend == "dict" and isinstance(labeling, FlatHubLabeling):
+            labeling = labeling.to_labeling()
         self._labeling = labeling
+        self._backend = backend
+
+    @property
+    def backend(self) -> str:
+        return self._backend
+
+    @property
+    def labeling(self):
+        """The underlying label store (dict or flat, per ``backend``)."""
+        return self._labeling
 
     def space_words(self) -> int:
         # One (hub, distance) pair per entry.
@@ -95,12 +124,27 @@ class HubLabelOracle:
 
     def query(self, u: int, v: int) -> QueryOutcome:
         _check_query_domain(self._labeling.num_vertices, u, v)
-        label_u = self._labeling.hubs(u)
-        label_v = self._labeling.hubs(v)
-        operations = min(len(label_u), len(label_v))
+        operations = min(
+            self._labeling.label_size(u), self._labeling.label_size(v)
+        )
         return QueryOutcome(
             distance=self._labeling.query(u, v), operations=operations
         )
+
+    def batch_query(self, pairs) -> List[float]:
+        """Distances for a list of pairs (no per-query accounting).
+
+        The flat backend dispatches to its vectorized kernels; the dict
+        backend loops the scalar query.  Answers are identical either
+        way -- this is the oracle surface the benchmark gate compares.
+        """
+        n = self._labeling.num_vertices
+        if self._backend == "flat":
+            return self._labeling.batch_query(pairs)
+        for u, v in pairs:
+            _check_query_domain(n, u, v)
+        query = self._labeling.query
+        return [query(u, v) for u, v in pairs]
 
 
 class LandmarkOracle:
@@ -119,7 +163,14 @@ class LandmarkOracle:
 
     name = "landmark"
 
-    def __init__(self, graph: Graph, num_landmarks: int, *, seed: int = 0) -> None:
+    def __init__(
+        self,
+        graph: Graph,
+        num_landmarks: int,
+        *,
+        seed: int = 0,
+        workers: Optional[int] = None,
+    ) -> None:
         if num_landmarks < 1:
             raise ValueError("need at least one landmark")
         self._graph = graph
@@ -132,10 +183,13 @@ class LandmarkOracle:
         while len(chosen) < min(num_landmarks, n):
             chosen.add(rng.randrange(n))
         self._landmarks = sorted(chosen)
-        self._to_landmark: List[List[float]] = [
-            shortest_path_distances(graph, landmark)[0]
-            for landmark in self._landmarks
-        ]
+        # Per-landmark sweeps are independent; ``workers`` fans them out
+        # over a process pool (None/1 = serial, identical rows).
+        from ..perf.parallel import shortest_path_rows
+
+        self._to_landmark: List[List[float]] = shortest_path_rows(
+            graph, self._landmarks, workers=workers
+        )
 
     def space_words(self) -> int:
         return len(self._landmarks) * self._graph.num_vertices

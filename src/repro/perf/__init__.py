@@ -1,0 +1,26 @@
+"""Performance layer: flat-array labels, parallel sweeps, benchmarks.
+
+Three pieces (see docs/performance.md):
+
+* :class:`~repro.perf.flat.FlatHubLabeling` -- immutable CSR-style
+  label store with pointer-merge queries and a vectorized
+  ``batch_query`` (:mod:`repro.perf.kernels`), selectable on the
+  oracles via ``backend="flat"``;
+* :mod:`repro.perf.parallel` -- process-pool fan-out for per-root
+  BFS/Dijkstra sweeps, behind the ``workers=`` knob on
+  ``build_hitting_set`` / ``LandmarkOracle`` / ``verify_cover_sampled``;
+* :mod:`repro.perf.bench` -- the pinned benchmark suite behind
+  ``python -m repro bench`` (imported lazily: it is a CLI surface, not
+  a library dependency).
+"""
+
+from .flat import FlatHubLabeling
+from .kernels import HAVE_NUMPY
+from .parallel import resolve_workers, shortest_path_rows
+
+__all__ = [
+    "FlatHubLabeling",
+    "HAVE_NUMPY",
+    "resolve_workers",
+    "shortest_path_rows",
+]

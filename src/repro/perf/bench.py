@@ -1,0 +1,218 @@
+"""The ``repro bench`` suite: pinned instances, machine-readable results.
+
+Runs a fixed set of performance suites on a pinned hard instance
+``G_{b,l}`` (the paper's degree-3 lower-bound graph) and writes
+``BENCH_perf.json`` with the schema ``suite -> {metric, value, unit,
+instance, seed}``.  The suites:
+
+* ``pll_construction``      -- PLL build time on the pinned instance;
+* ``flat_conversion``       -- dict -> :class:`FlatHubLabeling` time;
+* ``batch_throughput_dict`` -- scalar ``query`` loop throughput on a
+  subsample of the workload (the dict store has no batch engine to
+  amortize with -- that is the point of the comparison);
+* ``batch_throughput_flat`` -- ``batch_query`` throughput over the full
+  workload through the public oracle API;
+* ``batch_speedup``         -- flat / dict throughput ratio;
+* ``backend_consistency``   -- mismatching answers between the two
+  backends over the *full* workload (must be 0);
+* ``label_memory_dict`` / ``label_memory_flat`` -- store sizes in words;
+* ``sssp_rows``             -- per-root traversal throughput through
+  :func:`repro.perf.parallel.shortest_path_rows` (exercises the
+  ``workers=`` fan-out when requested).
+
+The workload is source-rooted -- ``num_sources`` sampled roots paired
+with every vertex -- matching how verification and construction actually
+consume queries.  Timings take the best of ``repeats`` runs so a noisy
+neighbor cannot fail the gate; the consistency check runs once and is
+exact.  ``tools/bench_gate.py`` compares two result files and fails on
+throughput regressions.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["run_bench", "render_results", "write_results", "DEFAULT_OUT"]
+
+#: Default output path for the machine-readable results.
+DEFAULT_OUT = "BENCH_perf.json"
+
+#: Pinned instances: the acceptance instance and the CI-sized one.
+FULL_INSTANCE = (2, 2)  # n = 24400
+QUICK_INSTANCE = (2, 1)  # n = 1516
+
+
+def _instance_name(b: int, ell: int) -> str:
+    return f"G({b},{ell})"
+
+
+def _best_time(fn, repeats: int) -> float:
+    """Best-of-``repeats`` wall time of ``fn()`` (noise-robust)."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _workload(
+    n: int, num_sources: int, seed: int
+) -> Tuple[List[int], List[Tuple[int, int]]]:
+    """Source-rooted pairs: sampled roots x every vertex."""
+    rng = random.Random(seed)
+    k = min(num_sources, n)
+    sources = sorted(rng.sample(range(n), k))
+    pairs = [(s, t) for s in sources for t in range(n)]
+    return sources, pairs
+
+
+def run_bench(
+    *,
+    quick: bool = False,
+    seed: int = 7,
+    num_sources: int = 64,
+    repeats: int = 3,
+    workers: Optional[int] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Run every suite and return ``suite -> entry`` (the JSON schema).
+
+    ``quick`` swaps the acceptance instance ``G(2,2)`` for the small
+    ``G(2,1)`` (seconds instead of minutes -- what CI runs).  ``seed``
+    pins the workload sample; ``workers`` is forwarded to the traversal
+    fan-out suite only.
+    """
+    from ..core import pruned_landmark_labeling
+    from ..lowerbound import build_degree3_instance
+    from ..oracles.oracle import HubLabelOracle
+    from .flat import FlatHubLabeling
+    from .parallel import shortest_path_rows
+
+    b, ell = QUICK_INSTANCE if quick else FULL_INSTANCE
+    instance = _instance_name(b, ell)
+
+    def entry(metric: str, value, unit: str, **extra):
+        row = {
+            "metric": metric,
+            "value": value,
+            "unit": unit,
+            "instance": instance,
+            "seed": seed,
+        }
+        row.update(extra)
+        return row
+
+    results: Dict[str, Dict[str, object]] = {}
+
+    graph = build_degree3_instance(b, ell).graph
+    n = graph.num_vertices
+
+    start = time.perf_counter()
+    labeling = pruned_landmark_labeling(graph)
+    build_time = time.perf_counter() - start
+    results["pll_construction"] = entry(
+        "build_time", round(build_time, 6), "s", n=n
+    )
+
+    convert_time = _best_time(
+        lambda: FlatHubLabeling.from_labeling(labeling), repeats
+    )
+    flat = FlatHubLabeling.from_labeling(labeling)
+    results["flat_conversion"] = entry(
+        "convert_time", round(convert_time, 6), "s", entries=flat.total_size()
+    )
+
+    dict_oracle = HubLabelOracle(labeling, backend="dict")
+    flat_oracle = HubLabelOracle(labeling, backend="flat")
+    # Dict store: logical words (one id + one distance per entry).  Flat
+    # store: the actual backing-array footprint in 8-byte words (arrays
+    # carry no per-entry object overhead, unlike the dicts).
+    results["label_memory_dict"] = entry(
+        "space", dict_oracle.space_words(), "words"
+    )
+    results["label_memory_flat"] = entry(
+        "space",
+        flat.space_bytes() // 8,
+        "words",
+        bytes=flat.space_bytes(),
+    )
+
+    sources, pairs = _workload(n, num_sources, seed)
+
+    # Dict throughput: scalar loop on a strided subsample (cost per query
+    # is ordering-independent, so the stride keeps it representative).
+    dict_target = 20_000
+    stride = max(1, len(pairs) // dict_target)
+    dict_pairs = pairs[::stride]
+
+    def dict_loop():
+        query = labeling.query
+        for u, v in dict_pairs:
+            query(u, v)
+
+    dict_time = _best_time(dict_loop, repeats)
+    dict_qps = len(dict_pairs) / dict_time if dict_time > 0 else 0.0
+    results["batch_throughput_dict"] = entry(
+        "throughput", round(dict_qps, 1), "queries/s", pairs=len(dict_pairs)
+    )
+
+    flat_time = _best_time(lambda: flat_oracle.batch_query(pairs), repeats)
+    flat_qps = len(pairs) / flat_time if flat_time > 0 else 0.0
+    results["batch_throughput_flat"] = entry(
+        "throughput", round(flat_qps, 1), "queries/s", pairs=len(pairs)
+    )
+
+    speedup = flat_qps / dict_qps if dict_qps > 0 else 0.0
+    results["batch_speedup"] = entry("speedup", round(speedup, 2), "x")
+
+    # Consistency: the full workload, once, exact equality (INF included).
+    flat_answers = flat_oracle.batch_query(pairs)
+    query = labeling.query
+    mismatches = sum(
+        1
+        for (u, v), got in zip(pairs, flat_answers)
+        if query(u, v) != got
+    )
+    results["backend_consistency"] = entry(
+        "mismatches", mismatches, "pairs", pairs=len(pairs)
+    )
+
+    roots = sources[: max(1, min(len(sources), 8 if quick else 16))]
+    rows_time = _best_time(
+        lambda: shortest_path_rows(graph, roots, workers=workers),
+        1 if not quick else repeats,
+    )
+    rows_rps = len(roots) / rows_time if rows_time > 0 else 0.0
+    results["sssp_rows"] = entry(
+        "throughput",
+        round(rows_rps, 3),
+        "rows/s",
+        roots=len(roots),
+        workers=workers,
+    )
+    return results
+
+
+def render_results(results: Dict[str, Dict[str, object]]) -> str:
+    """Human-readable table of a result mapping."""
+    width = max(len(name) for name in results)
+    lines = [f"{'suite':<{width}}  {'metric':<12} {'value':>14} unit"]
+    lines.append("-" * len(lines[0]))
+    for name, row in results.items():
+        lines.append(
+            f"{name:<{width}}  {row['metric']:<12} "
+            f"{row['value']:>14} {row['unit']}"
+        )
+    return "\n".join(lines)
+
+
+def write_results(
+    results: Dict[str, Dict[str, object]], path: str = DEFAULT_OUT
+) -> None:
+    """Write the ``suite -> entry`` mapping as pretty-printed JSON."""
+    with open(path, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")

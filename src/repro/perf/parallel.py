@@ -1,0 +1,163 @@
+"""Process-pool fan-out for embarrassingly-parallel per-root traversals.
+
+The expensive half of every scheme in this repo is the same loop: one
+BFS/Dijkstra per root vertex (APSP for the hitting-set scheme, one row
+per landmark for :class:`~repro.oracles.oracle.LandmarkOracle`, one row
+per sampled source for verification).  The rows are independent, so the
+loop parallelizes trivially -- except that shipping a ``Graph`` of
+tuple-lists to every task would drown the win in pickling.
+
+:func:`shortest_path_rows` therefore ships a *CSR payload* (five plain
+lists) **once per worker** via the pool initializer; each task then only
+carries its chunk of root ids.  Distances are bit-identical to the
+serial :func:`~repro.graphs.traversal.shortest_path_distances` engine:
+BFS and Dijkstra distances are unique regardless of traversal order, so
+``workers=8`` and ``workers=1`` return the same rows.
+
+``workers=None`` (or ``<= 1``) stays fully serial -- no pool, no fork --
+which keeps tests deterministic and single-CPU machines honest.  The
+knob is plumbed through ``build_hitting_set``, ``LandmarkOracle`` and
+``verify_cover_sampled``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from typing import List, Optional, Sequence, Tuple
+
+from ..graphs.csr import CSRGraph
+from ..graphs.graph import Graph
+from ..graphs.traversal import INF, shortest_path_distances
+
+__all__ = ["resolve_workers", "shortest_path_rows"]
+
+#: CSR payload shipped to each worker: (n, offsets, targets, weights,
+#: is_weighted) -- plain picklable lists, no Graph objects.
+_Payload = Tuple[int, List[int], List[int], List[int], bool]
+
+#: Per-process payload installed by the pool initializer.
+_WORKER_PAYLOAD: Optional[_Payload] = None
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a ``workers=`` knob: ``None``/0/1 mean serial."""
+    if workers is None:
+        return 1
+    if workers < 0:
+        raise ValueError("workers must be >= 0")
+    return max(1, workers)
+
+
+def _csr_payload(graph: Graph) -> _Payload:
+    csr = CSRGraph(graph)
+    return (
+        csr.num_vertices,
+        list(csr.offsets),
+        list(csr.targets),
+        list(csr.weights),
+        csr.is_weighted,
+    )
+
+
+def _init_worker(payload: _Payload) -> None:
+    global _WORKER_PAYLOAD
+    _WORKER_PAYLOAD = payload
+
+
+def _csr_bfs(payload: _Payload, source: int) -> List[float]:
+    n, offsets, targets, _weights, _ = payload
+    dist: List[float] = [INF] * n
+    dist[source] = 0
+    queue = deque([source])
+    while queue:
+        u = queue.popleft()
+        next_dist = dist[u] + 1
+        for i in range(offsets[u], offsets[u + 1]):
+            v = targets[i]
+            if dist[v] == INF:
+                dist[v] = next_dist
+                queue.append(v)
+    return dist
+
+
+def _csr_dijkstra(payload: _Payload, source: int) -> List[float]:
+    n, offsets, targets, weights, _ = payload
+    dist: List[float] = [INF] * n
+    dist[source] = 0
+    heap: List[Tuple[int, int]] = [(0, source)]
+    while heap:
+        du, u = heapq.heappop(heap)
+        if du > dist[u]:
+            continue
+        for i in range(offsets[u], offsets[u + 1]):
+            v = targets[i]
+            nd = du + weights[i]
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return dist
+
+
+def _rows_for_chunk(roots: Sequence[int]) -> List[List[float]]:
+    """Task body: distance rows for a chunk of roots (worker payload)."""
+    payload = _WORKER_PAYLOAD
+    assert payload is not None, "worker initialized without a CSR payload"
+    engine = _csr_dijkstra if payload[4] else _csr_bfs
+    return [engine(payload, root) for root in roots]
+
+
+def _chunk(roots: Sequence[int], num_chunks: int) -> List[List[int]]:
+    """Split roots into at most ``num_chunks`` contiguous, balanced runs."""
+    num_chunks = min(num_chunks, len(roots))
+    size, extra = divmod(len(roots), num_chunks)
+    chunks: List[List[int]] = []
+    cursor = 0
+    for index in range(num_chunks):
+        width = size + (1 if index < extra else 0)
+        chunks.append(list(roots[cursor : cursor + width]))
+        cursor += width
+    return chunks
+
+
+def shortest_path_rows(
+    graph: Graph,
+    roots: Optional[Sequence[int]] = None,
+    *,
+    workers: Optional[int] = None,
+) -> List[List[float]]:
+    """Distance rows ``[dist(root, .) for root in roots]``.
+
+    ``roots=None`` means every vertex (APSP).  With ``workers > 1`` the
+    rows are computed by a :class:`ProcessPoolExecutor` over a CSR
+    payload shipped once per worker; results are returned in root order
+    and are identical to the serial engine's.
+    """
+    if roots is None:
+        roots = range(graph.num_vertices)
+    roots = list(roots)
+    n = graph.num_vertices
+    for root in roots:
+        if not 0 <= root < n:
+            raise ValueError(f"root {root} outside 0..{n - 1}")
+    if not roots:
+        return []
+    effective = resolve_workers(workers)
+    if effective <= 1 or len(roots) <= 1:
+        return [
+            shortest_path_distances(graph, root)[0] for root in roots
+        ]
+    payload = _csr_payload(graph)
+    # ~4 chunks per worker keeps stragglers short without re-pickling
+    # the graph (the payload rides the initializer, not the tasks).
+    chunks = _chunk(roots, effective * 4)
+    rows: List[List[float]] = []
+    with ProcessPoolExecutor(
+        max_workers=effective,
+        initializer=_init_worker,
+        initargs=(payload,),
+    ) as pool:
+        for chunk_rows in pool.map(_rows_for_chunk, chunks):
+            rows.extend(chunk_rows)
+    return rows

@@ -213,8 +213,15 @@ def chaos_sweep(
     trials_per_kind: int = 50,
     queries_per_trial: int = 10,
     seed: int = 0,
+    backend: str = "dict",
 ) -> ChaosReport:
     """Inject ``trials_per_kind`` faults of each kind and grade the runtime.
+
+    ``backend`` selects the serving store of the graded
+    :class:`ResilientOracle` (``"flat"`` exercises the
+    :class:`~repro.perf.flat.FlatHubLabeling` path); the grades must be
+    identical for both backends -- the flat store changes layout, not
+    answers.
 
     Byte-level faults are applied to the enveloped serialization and must
     be caught at load.  Label-level faults are admitted through a *full*
@@ -267,6 +274,7 @@ def chaos_sweep(
                 fallback=True,
                 verify_sample=n,  # exhaustive admission: see docstring
                 seed=trial,
+                backend=backend,
             )
             detected = detected or not oracle.health.healthy
             queries = label_answers = fallbacks = wrong = 0

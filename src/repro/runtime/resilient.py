@@ -32,7 +32,7 @@ sampled rows can slip through to label answers).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.hublabel import HubLabeling
 from ..graphs.graph import Graph
@@ -99,6 +99,7 @@ class ResilientOracle:
         verify_sample: int = 0,
         operation_budget: Optional[int] = None,
         seed: int = 0,
+        backend: str = "dict",
     ) -> None:
         if labeling.num_vertices != graph.num_vertices:
             raise IntegrityError(
@@ -108,7 +109,9 @@ class ResilientOracle:
         if operation_budget is not None and operation_budget < 1:
             raise DomainError("operation_budget must be positive")
         self._graph = graph
-        self._oracle = HubLabelOracle(labeling)
+        # ``backend`` picks the serving store (see HubLabelOracle); the
+        # admission gate always verifies the labeling it was handed.
+        self._oracle = HubLabelOracle(labeling, backend=backend)
         self._labeling = labeling
         self._fallback = fallback
         self._budget = operation_budget
@@ -227,6 +230,57 @@ class ResilientOracle:
             operations=outcome.operations,
             source="label",
         )
+
+    def batch_query(self, pairs: Sequence[Tuple[int, int]]) -> List[float]:
+        """Exact distances for many pairs, degradation semantics intact.
+
+        Pairs needing special handling (identical endpoints, a
+        quarantined endpoint, a budget overrun) go through the scalar
+        :meth:`query` path with its full accounting; the rest are
+        answered by the backend's batch engine in one shot, with the
+        same INF cross-check as the scalar path.  Returns distances
+        only (per-query operation counts are what batching amortizes
+        away); health counters are updated for every pair.
+        """
+        for u, v in pairs:
+            self._check_vertex(u)
+            self._check_vertex(v)
+        results: List[Optional[float]] = [None] * len(pairs)
+        quarantined = self.health.quarantined
+        budget = self._budget
+        label_size = self._labeling.label_size
+        trusted: List[int] = []
+        for index, (u, v) in enumerate(pairs):
+            degraded = (
+                u == v
+                or u in quarantined
+                or v in quarantined
+                or (
+                    budget is not None
+                    and min(label_size(u), label_size(v)) > budget
+                )
+            )
+            if degraded:
+                results[index] = self.query(u, v).distance
+            else:
+                trusted.append(index)
+        if trusted:
+            answers = self._oracle.batch_query(
+                [pairs[index] for index in trusted]
+            )
+            self.health.queries += len(trusted)
+            for index, distance in zip(trusted, answers):
+                if distance == INF and self._fallback:
+                    u, v = pairs[index]
+                    exact = self._exact(u, v)
+                    if exact.distance != INF:
+                        self.health.integrity_failures += 1
+                        self.health.quarantined.update((u, v))
+                    results[index] = exact.distance
+                else:
+                    self.health.label_answers += 1
+                    results[index] = distance
+        return results
 
     def __repr__(self) -> str:
         return (

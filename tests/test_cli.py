@@ -246,3 +246,34 @@ class TestChaosCommand:
     def test_unknown_fault_rejected(self):
         with pytest.raises(SystemExit):
             main(["chaos", "--faults", "cosmic-ray"])
+
+
+class TestBench:
+    def test_quick_bench_writes_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "BENCH_perf.json"
+        assert (
+            main(
+                [
+                    "bench",
+                    "--quick",
+                    "--out",
+                    str(out),
+                    "--sources",
+                    "2",
+                    "--repeats",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "batch_speedup" in text
+        assert str(out) in text
+        results = json.loads(out.read_text())
+        assert results["backend_consistency"]["value"] == 0
+        for row in results.values():
+            assert {"metric", "value", "unit", "instance", "seed"} <= set(
+                row
+            )

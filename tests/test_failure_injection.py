@@ -470,6 +470,26 @@ class TestChaosSweep:
         )
         assert first.outcomes == second.outcomes
 
+    def test_flat_backend_grades_identically(self):
+        # The flat store changes layout, not answers: the same sweep
+        # served through backend="flat" must produce the same outcomes,
+        # fault for fault, including zero wrong answers.
+        graph = random_sparse_graph(18, seed=4)
+        labeling = pruned_landmark_labeling(graph)
+        dict_report = chaos_sweep(
+            graph, labeling, trials_per_kind=5, queries_per_trial=4, seed=7
+        )
+        flat_report = chaos_sweep(
+            graph,
+            labeling,
+            trials_per_kind=5,
+            queries_per_trial=4,
+            seed=7,
+            backend="flat",
+        )
+        assert flat_report.ok
+        assert flat_report.outcomes == dict_report.outcomes
+
     def test_render_mentions_verdict(self, swept):
         text = swept.render()
         assert "zero wrong answers" in text

@@ -63,6 +63,58 @@ class TestHubLabelOracle:
         )
 
 
+class TestHubLabelOracleBackends:
+    def test_flat_backend_exact(self):
+        g = random_sparse_graph(30, seed=2)
+        oracle = HubLabelOracle(pruned_landmark_labeling(g), backend="flat")
+        assert oracle.backend == "flat"
+        assert_oracle_exact(g, oracle)
+
+    def test_backends_answer_identically(self):
+        g = random_sparse_graph(25, seed=8)
+        labeling = pruned_landmark_labeling(g)
+        dict_oracle = HubLabelOracle(labeling, backend="dict")
+        flat_oracle = HubLabelOracle(labeling, backend="flat")
+        pairs = [(u, v) for u in range(25) for v in range(25)]
+        assert flat_oracle.batch_query(pairs) == dict_oracle.batch_query(
+            pairs
+        )
+        for u, v in pairs[:100]:
+            assert (
+                flat_oracle.query(u, v).distance
+                == dict_oracle.query(u, v).distance
+            )
+
+    def test_space_words_agree(self):
+        g = path_graph(8)
+        labeling = pruned_landmark_labeling(g)
+        assert (
+            HubLabelOracle(labeling, backend="flat").space_words()
+            == HubLabelOracle(labeling, backend="dict").space_words()
+        )
+
+    def test_flat_input_converts_for_dict_backend(self):
+        from repro.perf import FlatHubLabeling
+
+        g = path_graph(8)
+        labeling = pruned_landmark_labeling(g)
+        flat = FlatHubLabeling.from_labeling(labeling)
+        oracle = HubLabelOracle(flat, backend="dict")
+        assert oracle.backend == "dict"
+        assert_oracle_exact(g, oracle)
+
+    def test_unknown_backend_rejected(self):
+        g = path_graph(4)
+        with pytest.raises(ValueError):
+            HubLabelOracle(pruned_landmark_labeling(g), backend="csr")
+
+    def test_batch_query_checks_domain(self):
+        g = path_graph(6)
+        oracle = HubLabelOracle(pruned_landmark_labeling(g), backend="flat")
+        with pytest.raises(DomainError):
+            oracle.batch_query([(0, 1), (0, 6)])
+
+
 class TestLandmarkOracle:
     @pytest.mark.parametrize("k", [1, 3, 8])
     def test_exact_unweighted(self, k):

@@ -1,0 +1,158 @@
+"""The benchmark suite and its regression gate.
+
+Runs the real suites on the small pinned instance (tiny workload, one
+repeat) and checks the machine-readable contract: the JSON schema
+``suite -> {metric, value, unit, instance, seed}``, backend consistency,
+and the gate's pass/fail/skip behavior that CI relies on.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import pytest
+
+from repro.perf.bench import render_results, run_bench, write_results
+
+ROOT = pathlib.Path(__file__).parent.parent
+
+_spec = importlib.util.spec_from_file_location(
+    "bench_gate", ROOT / "tools" / "bench_gate.py"
+)
+bench_gate = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench_gate)
+
+REQUIRED_SUITES = (
+    "pll_construction",
+    "flat_conversion",
+    "batch_throughput_dict",
+    "batch_throughput_flat",
+    "batch_speedup",
+    "backend_consistency",
+    "label_memory_dict",
+    "label_memory_flat",
+    "sssp_rows",
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    return run_bench(quick=True, num_sources=4, repeats=1)
+
+
+class TestBenchSchema:
+    def test_every_suite_present(self, results):
+        for suite in REQUIRED_SUITES:
+            assert suite in results, suite
+
+    def test_entry_schema(self, results):
+        for suite, row in results.items():
+            for key in ("metric", "value", "unit", "instance", "seed"):
+                assert key in row, (suite, key)
+            assert row["instance"] == "G(2,1)"
+            assert row["seed"] == 7
+            assert isinstance(row["value"], (int, float))
+
+    def test_backends_consistent(self, results):
+        assert results["backend_consistency"]["value"] == 0
+        assert results["backend_consistency"]["pairs"] > 0
+
+    def test_throughputs_positive(self, results):
+        assert results["batch_throughput_dict"]["value"] > 0
+        assert results["batch_throughput_flat"]["value"] > 0
+        assert results["batch_speedup"]["value"] > 0
+
+    def test_render_lists_every_suite(self, results):
+        text = render_results(results)
+        for suite in REQUIRED_SUITES:
+            assert suite in text
+
+    def test_write_results_round_trips(self, results, tmp_path):
+        out = tmp_path / "BENCH_perf.json"
+        write_results(results, str(out))
+        assert json.loads(out.read_text()) == json.loads(
+            json.dumps(results)
+        )
+
+
+def _entry(metric, value, instance="G(2,1)"):
+    return {
+        "metric": metric,
+        "value": value,
+        "unit": "queries/s",
+        "instance": instance,
+        "seed": 7,
+    }
+
+
+class TestGateLogic:
+    def test_within_bounds_passes(self):
+        current = {"t": _entry("throughput", 95.0)}
+        baseline = {"t": _entry("throughput", 100.0)}
+        assert bench_gate.compare(current, baseline, 0.20) == []
+
+    def test_regression_fails(self):
+        current = {"t": _entry("throughput", 70.0)}
+        baseline = {"t": _entry("throughput", 100.0)}
+        failures = bench_gate.compare(current, baseline, 0.20)
+        assert len(failures) == 1
+        assert "below baseline" in failures[0]
+
+    def test_non_throughput_metrics_not_gated(self):
+        current = {"m": _entry("build_time", 900.0)}
+        baseline = {"m": _entry("build_time", 1.0)}
+        assert bench_gate.compare(current, baseline, 0.20) == []
+
+    def test_instance_mismatch_skipped(self, capsys):
+        current = {"t": _entry("throughput", 1.0, instance="G(2,2)")}
+        baseline = {"t": _entry("throughput", 100.0)}
+        assert bench_gate.compare(current, baseline, 0.20) == []
+
+    def test_backend_mismatch_fails(self):
+        current = {"backend_consistency": _entry("mismatches", 3)}
+        assert bench_gate.compare(current, {}, 0.20)
+
+    def test_speedup_is_gated(self):
+        current = {"s": _entry("speedup", 2.0)}
+        baseline = {"s": _entry("speedup", 3.0)}
+        assert bench_gate.compare(current, baseline, 0.20)
+
+    def test_missing_baseline_file_skips(self, tmp_path, capsys):
+        current = tmp_path / "cur.json"
+        current.write_text("{}")
+        code = bench_gate.main(
+            [
+                "--current",
+                str(current),
+                "--baseline",
+                str(tmp_path / "missing.json"),
+            ]
+        )
+        assert code == 0
+        assert "skipping" in capsys.readouterr().out
+
+    def test_main_pass_and_fail(self, tmp_path):
+        cur = tmp_path / "cur.json"
+        base = tmp_path / "base.json"
+        base.write_text(json.dumps({"t": _entry("throughput", 100.0)}))
+        cur.write_text(json.dumps({"t": _entry("throughput", 99.0)}))
+        assert (
+            bench_gate.main(
+                ["--current", str(cur), "--baseline", str(base)]
+            )
+            == 0
+        )
+        cur.write_text(json.dumps({"t": _entry("throughput", 9.0)}))
+        assert (
+            bench_gate.main(
+                ["--current", str(cur), "--baseline", str(base)]
+            )
+            == 1
+        )
+
+    def test_committed_baseline_is_machine_portable(self):
+        """The repo's baseline gates ratios, never absolute rates."""
+        path = ROOT / "benchmarks" / "baselines" / "BENCH_quick.json"
+        baseline = json.loads(path.read_text())
+        for suite, row in baseline.items():
+            assert row["unit"] in ("x", "pairs"), suite

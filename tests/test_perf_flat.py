@@ -1,0 +1,275 @@
+"""The flat-array label store: layout, equality with the dict store.
+
+The contract under test is strict: ``FlatHubLabeling`` changes memory
+layout and batch speed, *never* answers.  Every query -- scalar, batch,
+one-to-many, through the accelerated kernels or the pure-Python merge
+fallback -- must return exactly what the dict store returns, including
+``INF`` for disconnected pairs and identical Python types.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import HubLabeling, pruned_landmark_labeling
+from repro.core.fastquery import SortedHubIndex
+from repro.graphs import INF, random_sparse_graph, random_tree
+from repro.perf import FlatHubLabeling
+from repro.perf import kernels
+from repro.runtime import DomainError
+
+
+def _all_pairs(n):
+    return [(u, v) for u in range(n) for v in range(n)]
+
+
+@pytest.fixture(scope="module")
+def connected_case():
+    graph = random_sparse_graph(40, seed=3)
+    labeling = pruned_landmark_labeling(graph)
+    return labeling, FlatHubLabeling.from_labeling(labeling)
+
+
+@pytest.fixture(scope="module")
+def disconnected_case():
+    # Two components: the tree on 0..19 and another on 20..39.
+    from repro.graphs import Graph
+
+    graph = Graph(40)
+    for offset, seed in ((0, 1), (20, 2)):
+        for u, v, w in random_tree(20, seed=seed).edges():
+            graph.add_edge(offset + u, offset + v, w)
+    labeling = pruned_landmark_labeling(graph)
+    return labeling, FlatHubLabeling.from_labeling(labeling)
+
+
+class TestRoundTrip:
+    def test_to_labeling_is_exact(self, connected_case):
+        labeling, flat = connected_case
+        back = flat.to_labeling()
+        assert back.num_vertices == labeling.num_vertices
+        for v in range(labeling.num_vertices):
+            assert back.hubs(v) == labeling.hubs(v)
+
+    def test_accounting_matches(self, connected_case):
+        labeling, flat = connected_case
+        assert flat.total_size() == labeling.total_size()
+        assert flat.average_size() == labeling.average_size()
+        assert flat.max_size() == labeling.max_size()
+        for v in range(labeling.num_vertices):
+            assert flat.label_size(v) == labeling.label_size(v)
+            assert flat.hub_set(v) == labeling.hub_set(v)
+            assert flat.hubs(v) == labeling.hubs(v)
+
+    def test_hub_runs_are_sorted(self, connected_case):
+        _, flat = connected_case
+        for v in range(flat.num_vertices):
+            hubs = flat.hub_set(v)
+            assert hubs == sorted(hubs)
+
+    def test_repr(self, connected_case):
+        _, flat = connected_case
+        assert "FlatHubLabeling" in repr(flat)
+
+    def test_empty_labeling(self):
+        flat = FlatHubLabeling.from_labeling(HubLabeling(3))
+        assert flat.query(0, 2) == INF
+        assert flat.batch_query([(0, 1), (2, 2)]) == [INF, INF]
+
+
+class TestScalarEquality:
+    def test_query_matches_dict_everywhere(self, connected_case):
+        labeling, flat = connected_case
+        for u, v in _all_pairs(labeling.num_vertices):
+            expected = labeling.query(u, v)
+            got = flat.query(u, v)
+            assert got == expected
+            assert type(got) is type(expected)
+            # ``meet`` may break ties differently between the stores;
+            # any common hub realizing the minimum is correct.
+            hub = flat.meet(u, v)
+            if expected == INF:
+                assert hub is None
+            else:
+                assert labeling.hubs(u)[hub] + labeling.hubs(v)[hub] == expected
+
+    def test_disconnected_pairs_are_inf(self, disconnected_case):
+        labeling, flat = disconnected_case
+        assert flat.query(0, 25) == INF
+        for u, v in _all_pairs(labeling.num_vertices):
+            assert flat.query(u, v) == labeling.query(u, v)
+
+    def test_hub_distance_and_contains(self, connected_case):
+        labeling, flat = connected_case
+        for v in range(labeling.num_vertices):
+            for hub, dist in labeling.hubs(v).items():
+                assert flat.hub_distance(v, hub) == dist
+                assert (v, hub) in flat
+            assert flat.hub_distance(v, 10**6) is None
+
+    def test_domain_errors(self, connected_case):
+        _, flat = connected_case
+        n = flat.num_vertices
+        with pytest.raises(DomainError):
+            flat.query(0, n)
+        with pytest.raises(DomainError):
+            flat.query(-1, 0)
+        with pytest.raises(DomainError):
+            flat.batch_query([(0, 1), (n, 0)])
+        with pytest.raises(DomainError):
+            flat.batch_query_from(n)
+
+
+class TestBatchEquality:
+    def test_batch_matches_scalar_loop(self, connected_case):
+        labeling, flat = connected_case
+        pairs = _all_pairs(labeling.num_vertices)
+        answers = flat.batch_query(pairs)
+        for (u, v), got in zip(pairs, answers):
+            expected = labeling.query(u, v)
+            assert got == expected
+            assert type(got) is type(expected)
+
+    def test_batch_on_disconnected_graph(self, disconnected_case):
+        labeling, flat = disconnected_case
+        pairs = _all_pairs(labeling.num_vertices)
+        expected = [labeling.query(u, v) for u, v in pairs]
+        assert flat.batch_query(pairs) == expected
+
+    def test_batch_query_from_full_row(self, connected_case):
+        labeling, flat = connected_case
+        n = labeling.num_vertices
+        for source in (0, 7, n - 1):
+            row = flat.batch_query_from(source)
+            assert row == [labeling.query(source, v) for v in range(n)]
+
+    def test_batch_query_from_explicit_targets(self, disconnected_case):
+        labeling, flat = disconnected_case
+        targets = [0, 5, 21, 39, 5]
+        row = flat.batch_query_from(3, targets)
+        assert row == [labeling.query(3, v) for v in targets]
+
+    def test_empty_batch(self, connected_case):
+        _, flat = connected_case
+        assert flat.batch_query([]) == []
+
+    def test_pure_python_merge_agrees(self, connected_case):
+        labeling, flat = connected_case
+        pairs = _all_pairs(labeling.num_vertices)[:300]
+        assert flat._batch_query_merge(pairs) == flat.batch_query(pairs)
+
+
+class TestAcceleratorGating:
+    def test_accelerator_used_on_integral_labels(self, connected_case):
+        _, flat = connected_case
+        if kernels.HAVE_NUMPY:
+            assert flat._accelerator() is not None
+
+    def test_fractional_distances_fall_back(self):
+        lab = HubLabeling(2)
+        lab.add_hub(0, 0, 0.5)
+        lab.add_hub(1, 0, 0.25)
+        flat = FlatHubLabeling.from_labeling(lab)
+        assert flat._accelerator() is None
+        assert flat.query(0, 1) == 0.75
+        assert flat.batch_query([(0, 1)]) == [0.75]
+
+    def test_huge_distances_fall_back(self):
+        lab = HubLabeling(2)
+        lab.add_hub(0, 0, 20000)
+        lab.add_hub(1, 0, 1)
+        flat = FlatHubLabeling.from_labeling(lab)
+        # 2 * max_dist would overflow the uint16 sentinel headroom.
+        assert flat._accelerator() is None
+        assert flat.batch_query([(0, 1), (1, 1)]) == [20001, 2]
+
+
+class TestSortedHubIndexInterop:
+    def test_index_accepts_flat_store(self, connected_case):
+        labeling, flat = connected_case
+        index = SortedHubIndex(flat)
+        for u, v in _all_pairs(labeling.num_vertices)[:200]:
+            assert index.query(u, v).distance == labeling.query(u, v)
+
+
+class TestPropertyEquality:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=24),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_random_graphs_agree(self, n, seed):
+        graph = random_sparse_graph(n, seed=seed)
+        labeling = pruned_landmark_labeling(graph)
+        flat = FlatHubLabeling.from_labeling(labeling)
+        pairs = _all_pairs(n)
+        expected = [labeling.query(u, v) for u, v in pairs]
+        assert flat.batch_query(pairs) == expected
+        assert [flat.query(u, v) for u, v in pairs] == expected
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=7),
+                st.integers(min_value=0, max_value=50),
+            ),
+            max_size=40,
+        )
+    )
+    def test_arbitrary_labelings_agree(self, entries):
+        lab = HubLabeling(8)
+        for v, hub, dist in entries:
+            lab.add_hub(v, hub, dist)
+        flat = FlatHubLabeling.from_labeling(lab)
+        pairs = _all_pairs(8)
+        assert flat.batch_query(pairs) == [lab.query(u, v) for u, v in pairs]
+
+
+class TestAddHubRegression:
+    """``add_hub`` must keep the minimum distance per (vertex, hub).
+
+    The flat freeze inherits whatever the dict store holds, so a
+    re-add regression would silently poison both backends -- pin the
+    behavior from several angles.
+    """
+
+    def test_readd_larger_is_ignored(self):
+        lab = HubLabeling(2)
+        lab.add_hub(0, 1, 3)
+        lab.add_hub(0, 1, 7)
+        assert lab.hub_distance(0, 1) == 3
+        assert FlatHubLabeling.from_labeling(lab).hub_distance(0, 1) == 3
+
+    def test_readd_smaller_wins(self):
+        lab = HubLabeling(2)
+        lab.add_hub(0, 1, 7)
+        lab.add_hub(0, 1, 3)
+        lab.add_hub(0, 1, 5)
+        assert lab.hub_distance(0, 1) == 3
+
+    def test_add_hubs_bulk_keeps_minimum(self):
+        lab = HubLabeling(1)
+        lab.add_hubs(0, [(0, 9), (0, 2), (0, 4)])
+        assert lab.hub_distance(0, 0) == 2
+
+    def test_query_reflects_minimum_after_readds(self):
+        lab = HubLabeling(2)
+        lab.add_hub(0, 0, 10)
+        lab.add_hub(1, 0, 10)
+        lab.add_hub(0, 0, 1)
+        lab.add_hub(1, 0, 1)
+        lab.add_hub(0, 0, 99)
+        assert lab.query(0, 1) == 2
+        assert FlatHubLabeling.from_labeling(lab).query(0, 1) == 2
+
+    def test_float_and_int_mix_keeps_minimum(self):
+        lab = HubLabeling(1)
+        lab.add_hub(0, 0, 2.5)
+        lab.add_hub(0, 0, 2)
+        lab.add_hub(0, 0, 2.25)
+        assert lab.hub_distance(0, 0) == 2
+        assert not math.isinf(lab.query(0, 0))

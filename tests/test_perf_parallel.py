@@ -1,0 +1,108 @@
+"""The process-pool traversal fan-out: parallel == serial, always.
+
+``shortest_path_rows`` must return rows bit-identical to looping
+``shortest_path_distances`` regardless of ``workers``; the consumers
+(hitting sets, landmark oracles, sampled verification) must therefore
+be deterministic in the worker count.  The pool is real -- these tests
+actually fork two workers -- so they stay on small graphs.
+"""
+
+import pytest
+
+from repro.core import pruned_landmark_labeling
+from repro.core.hitting import build_hitting_set
+from repro.core.verification import verify_cover_sampled
+from repro.graphs import random_sparse_graph, random_tree
+from repro.graphs.traversal import shortest_path_distances
+from repro.oracles.oracle import LandmarkOracle
+from repro.perf import resolve_workers, shortest_path_rows
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return random_sparse_graph(30, seed=9)
+
+
+@pytest.fixture(scope="module")
+def weighted_graph():
+    g = random_tree(24, seed=5)
+    weighted = type(g)(24)
+    for i, (u, v, _w) in enumerate(g.edges()):
+        weighted.add_edge(u, v, 1 + (i % 4))
+    return weighted
+
+
+class TestResolveWorkers:
+    def test_serial_spellings(self):
+        assert resolve_workers(None) == 1
+        assert resolve_workers(0) == 1
+        assert resolve_workers(1) == 1
+
+    def test_parallel_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+
+class TestRows:
+    def test_serial_matches_traversal(self, graph):
+        rows = shortest_path_rows(graph)
+        for v in graph.vertices():
+            assert rows[v] == shortest_path_distances(graph, v)[0]
+
+    def test_two_workers_match_serial(self, graph):
+        serial = shortest_path_rows(graph)
+        parallel = shortest_path_rows(graph, workers=2)
+        assert parallel == serial
+
+    def test_roots_subset_and_order(self, graph):
+        roots = [17, 3, 3, 0]
+        rows = shortest_path_rows(graph, roots, workers=2)
+        assert len(rows) == len(roots)
+        for root, row in zip(roots, rows):
+            assert row == shortest_path_distances(graph, root)[0]
+
+    def test_weighted_graph_dijkstra_path(self, weighted_graph):
+        serial = shortest_path_rows(weighted_graph)
+        parallel = shortest_path_rows(weighted_graph, workers=2)
+        assert parallel == serial
+
+    def test_empty_roots(self, graph):
+        assert shortest_path_rows(graph, [], workers=2) == []
+
+    def test_bad_root_rejected(self, graph):
+        with pytest.raises(Exception):
+            shortest_path_rows(graph, [graph.num_vertices])
+
+
+class TestConsumers:
+    def test_hitting_set_deterministic_in_workers(self, graph):
+        serial = build_hitting_set(graph, 4, seed=3)
+        parallel = build_hitting_set(graph, 4, seed=3, workers=2)
+        assert parallel.hitting_set == serial.hitting_set
+        assert parallel.corrections == serial.corrections
+        assert parallel.num_rich_pairs == serial.num_rich_pairs
+
+    def test_landmark_oracle_deterministic_in_workers(self, graph):
+        serial = LandmarkOracle(graph, num_landmarks=5, seed=2)
+        parallel = LandmarkOracle(graph, num_landmarks=5, seed=2, workers=2)
+        assert parallel.space_words() == serial.space_words()
+        for u in range(0, graph.num_vertices, 7):
+            for v in range(0, graph.num_vertices, 5):
+                assert (
+                    parallel.query(u, v).distance
+                    == serial.query(u, v).distance
+                )
+
+    def test_sampled_verification_deterministic_in_workers(self, graph):
+        labeling = pruned_landmark_labeling(graph)
+        serial = verify_cover_sampled(graph, labeling, num_sources=8, seed=1)
+        parallel = verify_cover_sampled(
+            graph, labeling, num_sources=8, seed=1, workers=2
+        )
+        assert serial.ok
+        assert parallel.num_pairs == serial.num_pairs
+        assert parallel.num_covered == serial.num_covered
+        assert parallel.violations == serial.violations

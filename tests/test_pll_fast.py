@@ -43,6 +43,21 @@ class TestCSR:
         assert csr.offsets[0] == 0
         assert csr.offsets[-1] == len(csr.targets)
 
+    def test_num_edges_is_source_count_not_arc_count(self):
+        # The CSR stores two directed arcs per undirected edge; the edge
+        # count must come from the source graph, not the arc arrays.
+        g = random_weighted_graph(12, 20, seed=6)
+        csr = CSRGraph(g)
+        assert csr.num_edges == g.num_edges
+        assert len(csr.targets) == 2 * g.num_edges
+
+    def test_repr(self):
+        g = grid_2d(2, 3)
+        assert repr(CSRGraph(g)) == "CSRGraph(n=6, m=7, unweighted)"
+        w = random_weighted_graph(5, 6, seed=0)
+        assert "weighted" in repr(CSRGraph(w))
+        assert f"m={w.num_edges}" in repr(CSRGraph(w))
+
 
 class TestFastPLL:
     @pytest.mark.parametrize(

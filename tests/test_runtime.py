@@ -170,6 +170,72 @@ class TestResilientOracleUnit:
         assert oracle.health.healthy
 
 
+class TestResilientBatchQuery:
+    def _pairs(self, n):
+        return [(u, v) for u in range(n) for v in range(0, n, 3)]
+
+    def test_batch_matches_scalar_per_backend(self, setting):
+        graph, labeling = setting
+        pairs = self._pairs(graph.num_vertices)
+        scalar = ResilientOracle(graph, labeling)
+        expected = [scalar.query(u, v).distance for u, v in pairs]
+        for backend in ("dict", "flat"):
+            oracle = ResilientOracle(graph, labeling, backend=backend)
+            assert oracle.batch_query(pairs) == expected
+            assert oracle.health.queries == len(pairs)
+
+    def test_quarantined_pairs_degrade_in_batch(self, setting):
+        graph, labeling = setting
+        oracle = ResilientOracle(graph, labeling, backend="flat")
+        oracle.quarantine(4)
+        before = oracle.health.fallbacks
+        answers = oracle.batch_query([(4, 9), (0, 9), (3, 3)])
+        assert oracle.health.fallbacks > before
+        scalar = ResilientOracle(graph, labeling)
+        assert answers == [
+            scalar.query(4, 9).distance,
+            scalar.query(0, 9).distance,
+            0,
+        ]
+
+    def test_batch_budget_overruns_fall_back(self, setting):
+        graph, labeling = setting
+        oracle = ResilientOracle(
+            graph, labeling, operation_budget=1, backend="flat"
+        )
+        pairs = self._pairs(graph.num_vertices)[:20]
+        answers = oracle.batch_query(pairs)
+        assert oracle.health.budget_exhaustions > 0
+        scalar = ResilientOracle(graph, labeling)
+        assert answers == [scalar.query(u, v).distance for u, v in pairs]
+
+    def test_batch_inf_claim_cross_checked(self):
+        # A labeling that falsely claims disconnection: the batch path
+        # must re-answer exactly and record the integrity failure.
+        graph = Graph(3)
+        graph.add_edge(0, 1)
+        graph.add_edge(1, 2)
+        labeling = pruned_landmark_labeling(graph)
+        labeling.discard_hub(2, labeling.hub_set(2)[0])
+        lying = any(
+            labeling.query(u, v) == INF
+            for u in range(3)
+            for v in range(3)
+            if u != v
+        )
+        oracle = ResilientOracle(graph, labeling, backend="flat")
+        answers = oracle.batch_query([(0, 2), (2, 0)])
+        assert answers == [2, 2]
+        if lying:
+            assert oracle.health.integrity_failures > 0
+
+    def test_batch_rejects_bad_vertices(self, setting):
+        graph, labeling = setting
+        oracle = ResilientOracle(graph, labeling, backend="flat")
+        with pytest.raises(DomainError):
+            oracle.batch_query([(0, 1), (0, graph.num_vertices)])
+
+
 class TestEnvelopeProperties:
     def test_envelope_overhead_is_constant(self, setting):
         _, labeling = setting

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate over ``BENCH_perf.json`` files.
+
+Compares a current result file (written by ``python -m repro bench``)
+against a committed baseline with the same schema (``suite -> {metric,
+value, unit, instance, seed}``) and exits non-zero when:
+
+* any throughput suite regressed by more than ``--max-regression``
+  (default 20%) relative to the baseline, or
+* the ``backend_consistency`` suite reports mismatches (the flat and
+  dict stores must answer identically -- a fast wrong answer is not a
+  performance win).
+
+Suites present on only one side are reported but never fail the gate
+(so the suite list can grow without re-baselining), and a missing
+baseline file skips the comparison entirely with exit 0 -- that is how
+the very first CI run bootstraps.
+
+Usage::
+
+    python tools/bench_gate.py --current BENCH_perf.json \
+        --baseline benchmarks/baselines/BENCH_quick.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+#: Suites whose ``value`` is a rate (higher is better) and gated.
+THROUGHPUT_METRICS = ("throughput", "speedup")
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        data = json.load(handle)
+    if not isinstance(data, dict):
+        raise SystemExit(f"{path}: expected a suite -> entry mapping")
+    return data
+
+
+def compare(
+    current: dict, baseline: dict, max_regression: float
+) -> list:
+    """Return a list of human-readable failure strings."""
+    failures = []
+    consistency = current.get("backend_consistency")
+    if consistency and consistency.get("value"):
+        failures.append(
+            f"backend_consistency: {consistency['value']} mismatching "
+            "pair(s) between flat and dict backends"
+        )
+    for suite in sorted(set(current) & set(baseline)):
+        cur, base = current[suite], baseline[suite]
+        if cur.get("metric") not in THROUGHPUT_METRICS:
+            continue
+        if cur.get("instance") != base.get("instance"):
+            print(
+                f"note: {suite} measured on {cur.get('instance')} vs "
+                f"baseline {base.get('instance')}; skipping"
+            )
+            continue
+        base_value = float(base.get("value") or 0.0)
+        cur_value = float(cur.get("value") or 0.0)
+        if base_value <= 0:
+            continue
+        floor = base_value * (1.0 - max_regression)
+        if cur_value < floor:
+            drop = 100.0 * (1.0 - cur_value / base_value)
+            failures.append(
+                f"{suite}: {cur_value:.1f} {cur.get('unit', '')} is "
+                f"{drop:.1f}% below baseline {base_value:.1f} "
+                f"(allowed {100 * max_regression:.0f}%)"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--current", default="BENCH_perf.json", help="fresh result file"
+    )
+    parser.add_argument(
+        "--baseline",
+        default="benchmarks/baselines/BENCH_quick.json",
+        help="committed baseline (missing file skips the gate)",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.20,
+        help="allowed fractional throughput drop (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+    if not os.path.exists(args.baseline):
+        print(f"bench gate: no baseline at {args.baseline}; skipping")
+        return 0
+    current = load(args.current)
+    baseline = load(args.baseline)
+    failures = compare(current, baseline, args.max_regression)
+    for suite in sorted(set(current) ^ set(baseline)):
+        side = "baseline" if suite in baseline else "current"
+        print(f"note: suite {suite!r} only in {side}; not gated")
+    if failures:
+        print("bench gate FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    gated = sum(
+        1
+        for suite in set(current) & set(baseline)
+        if current[suite].get("metric") in THROUGHPUT_METRICS
+    )
+    print(f"bench gate OK ({gated} throughput suite(s) within bounds)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
