@@ -1,7 +1,7 @@
 # Convenience targets.  The environment is offline: editable installs go
 # through setup.cfg (legacy path), never an isolated PEP-517 build.
 
-.PHONY: install test bench bench-full bench-tables experiments examples coverage chaos clean
+.PHONY: install test bench bench-full bench-tables experiments examples coverage chaos stats schema clean
 
 install:
 	pip install -e .
@@ -27,6 +27,15 @@ experiments:
 
 chaos:
 	python -m repro chaos --generator sparse:40 --trials 50
+
+coverage:
+	pytest tests/ --cov=repro --cov-report=term-missing --cov-fail-under=70
+
+stats:
+	python -m repro stats --generator sparse:100 --pairs 10000
+
+schema:
+	python tools/check_metrics_schema.py
 
 examples:
 	python examples/quickstart.py

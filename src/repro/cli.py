@@ -14,8 +14,16 @@ Commands:
 * ``chaos``       -- run the seeded fault-injection sweep and report
   how every fault was detected or degraded;
 * ``bench``       -- run the pinned performance suites (construction,
-  flat vs dict batch throughput, label memory, traversal fan-out) and
-  write machine-readable ``BENCH_perf.json``.
+  flat vs dict batch throughput, label memory, traversal fan-out,
+  instrumentation overhead) and write machine-readable
+  ``BENCH_perf.json``;
+* ``stats``       -- run an instrumented query workload (or load a
+  snapshot written by ``--metrics-out``) and print the metrics
+  registry as a table, JSON, or Prometheus text exposition.
+
+The ``query``, ``chaos``, and ``bench`` commands accept
+``--metrics-out FILE`` to dump the final registry snapshot as JSON --
+the file ``stats`` can read back.
 
 Examples::
 
@@ -26,6 +34,8 @@ Examples::
     python -m repro.cli instance --b 2 --l 1
     python -m repro.cli chaos --generator sparse:30 --trials 25
     python -m repro.cli bench --quick --out BENCH_perf.json
+    python -m repro.cli stats --generator sparse:100 --pairs 10000 --json
+    python -m repro.cli stats snapshot.json --prom
 
 User errors never print tracebacks: every
 :class:`~repro.runtime.errors.ReproError` is reported as a one-line
@@ -34,6 +44,8 @@ code (64-69; missing files exit 74).
 """
 
 import argparse
+import json
+import random
 import sys
 from typing import List, Optional
 
@@ -91,6 +103,17 @@ def _build_labeling(graph: Graph, method: str, seed: int):
     raise SystemExit(f"unknown method {method!r}")
 
 
+def _maybe_write_metrics(args) -> None:
+    """Honor ``--metrics-out FILE`` on the commands that offer it."""
+    path = getattr(args, "metrics_out", None)
+    if path:
+        from .obs.export import write_snapshot
+        from .obs.registry import get_registry
+
+        write_snapshot(get_registry(), path)
+        print(f"wrote metrics snapshot to {path}")
+
+
 def _cmd_label(args) -> int:
     graph = _load_graph(args)
     labeling = _build_labeling(graph, args.method, args.seed)
@@ -127,6 +150,11 @@ def _cmd_query(args) -> int:
                 "--verify-sample needs the graph: add --graph FILE or "
                 "--generator KIND:N"
             )
+        from .oracles.oracle import HubLabelOracle
+
+        # Serve through the instrumented oracle (not labeling.query
+        # directly) so --metrics-out captures the served queries.
+        oracle = HubLabelOracle(labeling)
         for u, v in pairs:
             for vertex in (u, v):
                 if not 0 <= vertex < labeling.num_vertices:
@@ -134,7 +162,8 @@ def _cmd_query(args) -> int:
                         f"vertex {vertex} outside "
                         f"0..{labeling.num_vertices - 1}"
                     )
-            print(f"dist({u}, {v}) = {labeling.query(u, v)}")
+            print(f"dist({u}, {v}) = {oracle.query(u, v).distance}")
+        _maybe_write_metrics(args)
         return 0
     graph = _load_graph(args)
     fallback = True if args.fallback is None else args.fallback
@@ -151,6 +180,7 @@ def _cmd_query(args) -> int:
         print(f"dist({u}, {v}) = {outcome.distance}{marker}")
     if not oracle.health.healthy:
         print(f"health: {oracle.health!r}", file=sys.stderr)
+    _maybe_write_metrics(args)
     return 0
 
 
@@ -173,6 +203,7 @@ def _cmd_chaos(args) -> int:
         seed=args.seed,
     )
     print(report.render())
+    _maybe_write_metrics(args)
     return 0 if report.ok else 1
 
 
@@ -207,6 +238,7 @@ def _cmd_bench(args) -> int:
     print(render_results(results))
     write_results(results, args.out)
     print(f"\nwrote {args.out}")
+    _maybe_write_metrics(args)
     mismatches = results["backend_consistency"]["value"]
     if mismatches:
         print(
@@ -215,6 +247,42 @@ def _cmd_bench(args) -> int:
             file=sys.stderr,
         )
         return 1
+    return 0
+
+
+def _run_stats_workload(args) -> None:
+    """Drive an instrumented batch workload through both oracle backends."""
+    from .oracles.oracle import HubLabelOracle
+
+    graph = _load_graph(args)
+    labeling = _build_labeling(graph, args.method, args.seed)
+    n = graph.num_vertices
+    rng = random.Random(args.seed)
+    pairs = [
+        (rng.randrange(n), rng.randrange(n)) for _ in range(args.pairs)
+    ]
+    for backend in ("dict", "flat"):
+        HubLabelOracle(labeling, backend=backend).batch_query(pairs)
+
+
+def _cmd_stats(args) -> int:
+    from .obs.export import load_snapshot, render_prometheus, render_table
+    from .obs.registry import get_registry
+
+    if args.snapshot:
+        try:
+            snapshot = load_snapshot(args.snapshot)
+        except ValueError as exc:
+            raise SystemExit(f"error: {exc}")
+    else:
+        _run_stats_workload(args)
+        snapshot = get_registry().snapshot()
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+    elif args.prom:
+        sys.stdout.write(render_prometheus(snapshot))
+    else:
+        print(render_table(snapshot))
     return 0
 
 
@@ -365,6 +433,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="admission-check the labeling from N sampled sources "
         "(N >= n verifies exhaustively) before answering",
     )
+    p_query.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="dump the final metrics registry snapshot as JSON",
+    )
     p_query.set_defaults(func=_cmd_query)
 
     p_inst = sub.add_parser("instance", help="build a hard instance")
@@ -396,6 +469,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument(
         "--faults",
         help=f"comma-separated subset of {','.join(FAULT_KINDS)}",
+    )
+    p_chaos.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="dump the final metrics registry snapshot as JSON",
     )
     p_chaos.set_defaults(func=_cmd_chaos)
 
@@ -429,7 +507,50 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="process-pool size for the traversal fan-out suite",
     )
+    p_bench.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="dump the final metrics registry snapshot as JSON",
+    )
     p_bench.set_defaults(func=_cmd_bench)
+
+    p_stats = sub.add_parser(
+        "stats", help="print the observability metrics registry"
+    )
+    p_stats.add_argument(
+        "snapshot",
+        nargs="?",
+        help="snapshot file written by --metrics-out (default: run a "
+        "fresh instrumented workload instead)",
+    )
+    p_stats.add_argument("--graph", help="edge-list file for the workload")
+    p_stats.add_argument(
+        "--generator",
+        default="sparse:100",
+        help="KIND:N graph source (default sparse:100)",
+    )
+    p_stats.add_argument(
+        "--method",
+        default="pll",
+        choices=["pll", "greedy", "sparse", "rs"],
+    )
+    p_stats.add_argument("--seed", type=int, default=0)
+    p_stats.add_argument(
+        "--pairs",
+        type=int,
+        default=10_000,
+        help="batch workload size per backend (default 10000)",
+    )
+    fmt = p_stats.add_mutually_exclusive_group()
+    fmt.add_argument(
+        "--json", action="store_true", help="print the snapshot as JSON"
+    )
+    fmt.add_argument(
+        "--prom",
+        action="store_true",
+        help="print Prometheus text exposition",
+    )
+    p_stats.set_defaults(func=_cmd_stats)
     return parser
 
 

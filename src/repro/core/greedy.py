@@ -23,7 +23,9 @@ from typing import Dict, List, Optional, Set, Tuple
 from ..graphs.graph import Graph
 from ..graphs.shortest_paths import all_pairs_distances
 from ..graphs.traversal import INF
+from ..obs.spans import span
 from .hublabel import HubLabeling
+from .pll import _report_build_rate
 
 __all__ = ["greedy_hub_labeling"]
 
@@ -37,36 +39,44 @@ def greedy_hub_labeling(
     all ``(v, v)`` pairs and lets stars stay asymmetric.  ``max_rounds``
     caps the number of greedy rounds (the labeling is completed with
     trivial stars afterwards so it is always correct).
+
+    The build reports tracing spans (``greedy.build`` with nested
+    ``greedy.apsp`` / ``greedy.rounds``) and a
+    ``build.labels_per_second`` gauge to the active metrics registry.
     """
-    n = graph.num_vertices
-    matrix = all_pairs_distances(graph)
-    labeling = HubLabeling(n)
-    for v in range(n):
-        labeling.add_hub(v, v, 0)
-    uncovered: Set[Tuple[int, int]] = set()
-    for u in range(n):
-        row = matrix[u]
-        for v in range(u + 1, n):
-            if row[v] != INF and labeling.query(u, v) != row[v]:
-                uncovered.add((u, v))
-    rounds = 0
-    while uncovered:
-        if max_rounds is not None and rounds >= max_rounds:
-            _finish_trivially(labeling, matrix, uncovered)
-            break
-        rounds += 1
-        star = _best_star(n, matrix, uncovered, labeling)
-        if star is None:
-            _finish_trivially(labeling, matrix, uncovered)
-            break
-        w, side_a, side_b = star
-        for u in side_a | side_b:
-            labeling.add_hub(u, w, matrix[u][w])
-        uncovered = {
-            (u, v)
-            for (u, v) in uncovered
-            if labeling.query(u, v) != matrix[u][v]
-        }
+    with span("greedy.build") as build_span:
+        n = graph.num_vertices
+        with span("greedy.apsp"):
+            matrix = all_pairs_distances(graph)
+        labeling = HubLabeling(n)
+        for v in range(n):
+            labeling.add_hub(v, v, 0)
+        uncovered: Set[Tuple[int, int]] = set()
+        for u in range(n):
+            row = matrix[u]
+            for v in range(u + 1, n):
+                if row[v] != INF and labeling.query(u, v) != row[v]:
+                    uncovered.add((u, v))
+        with span("greedy.rounds"):
+            rounds = 0
+            while uncovered:
+                if max_rounds is not None and rounds >= max_rounds:
+                    _finish_trivially(labeling, matrix, uncovered)
+                    break
+                rounds += 1
+                star = _best_star(n, matrix, uncovered, labeling)
+                if star is None:
+                    _finish_trivially(labeling, matrix, uncovered)
+                    break
+                w, side_a, side_b = star
+                for u in side_a | side_b:
+                    labeling.add_hub(u, w, matrix[u][w])
+                uncovered = {
+                    (u, v)
+                    for (u, v) in uncovered
+                    if labeling.query(u, v) != matrix[u][v]
+                }
+    _report_build_rate("greedy", labeling, build_span.duration)
     return labeling
 
 

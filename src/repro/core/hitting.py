@@ -20,6 +20,9 @@ from typing import Dict, List, Set
 
 from ..graphs.graph import Graph
 from ..graphs.traversal import INF, shortest_path_distances
+from ..obs.catalog import BUILD_PAIRS_PER_SECOND
+from ..obs.registry import get_registry
+from ..obs.spans import span
 
 __all__ = ["HittingSetResult", "hitting_set_size", "build_hitting_set"]
 
@@ -74,44 +77,55 @@ def build_hitting_set(
     identical rows).  Rich pairs are detected exactly via
     ``|H_uv| >= D``.
     """
-    n = graph.num_vertices
-    rng = random.Random(seed)
-    size = hitting_set_size(n, threshold)
-    sample = set(rng.sample(range(n), size)) if n else set()
-    if matrix is None:
-        # Imported here: repro.perf sits above the core layer.
-        from ..perf.parallel import shortest_path_rows
+    with span("hitting.build"):
+        n = graph.num_vertices
+        rng = random.Random(seed)
+        size = hitting_set_size(n, threshold)
+        sample = set(rng.sample(range(n), size)) if n else set()
+        if matrix is None:
+            # Imported here: repro.perf sits above the core layer.
+            from ..perf.parallel import shortest_path_rows
 
-        matrix = shortest_path_rows(graph, workers=workers)
-    result = HittingSetResult(threshold=threshold, hitting_set=sample)
-    sample_list = sorted(sample)
-    # In an unweighted graph a shortest path of length d carries d + 1
-    # candidate hubs, so distance >= threshold - 1 certifies richness
-    # without scanning -- the common case for far pairs.
-    unweighted = not graph.is_weighted
-    for u in range(n):
-        row_u = matrix[u]
-        for v in range(u + 1, n):
-            duv = row_u[v]
-            if duv == INF:
-                continue
-            row_v = matrix[v]
-            if unweighted and duv >= threshold - 1:
-                rich = True
-            else:
-                count = 0
-                for x in range(n):
-                    if row_u[x] + row_v[x] == duv:
-                        count += 1
-                        if count >= threshold:
-                            break
-                rich = count >= threshold
-            if not rich:
-                continue
-            result.num_rich_pairs += 1
-            # A sample vertex on a shortest path?  O(|S|) short-circuit.
-            hit = any(row_u[s] + row_v[s] == duv for s in sample_list)
-            if not hit:
-                result.corrections.setdefault(u, set()).add(v)
-                result.corrections.setdefault(v, set()).add(u)
+            with span("hitting.apsp"):
+                matrix = shortest_path_rows(graph, workers=workers)
+        result = HittingSetResult(threshold=threshold, hitting_set=sample)
+        sample_list = sorted(sample)
+        # In an unweighted graph a shortest path of length d carries d + 1
+        # candidate hubs, so distance >= threshold - 1 certifies richness
+        # without scanning -- the common case for far pairs.
+        unweighted = not graph.is_weighted
+        with span("hitting.classify") as classify_span:
+            for u in range(n):
+                row_u = matrix[u]
+                for v in range(u + 1, n):
+                    duv = row_u[v]
+                    if duv == INF:
+                        continue
+                    row_v = matrix[v]
+                    if unweighted and duv >= threshold - 1:
+                        rich = True
+                    else:
+                        count = 0
+                        for x in range(n):
+                            if row_u[x] + row_v[x] == duv:
+                                count += 1
+                                if count >= threshold:
+                                    break
+                        rich = count >= threshold
+                    if not rich:
+                        continue
+                    result.num_rich_pairs += 1
+                    # A sample vertex on a shortest path?  O(|S|)
+                    # short-circuit.
+                    hit = any(
+                        row_u[s] + row_v[s] == duv for s in sample_list
+                    )
+                    if not hit:
+                        result.corrections.setdefault(u, set()).add(v)
+                        result.corrections.setdefault(v, set()).add(u)
+    registry = get_registry()
+    if registry.enabled and classify_span.duration:
+        registry.gauge(BUILD_PAIRS_PER_SECOND, builder="hitting-set").set(
+            (n * (n - 1) // 2) / classify_span.duration
+        )
     return result

@@ -24,6 +24,9 @@ from typing import List, Optional, Tuple
 
 from ..graphs.graph import Graph
 from ..graphs.traversal import INF
+from ..obs.catalog import BUILD_LABELS_PER_SECOND
+from ..obs.registry import get_registry
+from ..obs.spans import span
 from .hublabel import HubLabeling
 from .orders import degree_order
 
@@ -37,19 +40,38 @@ def pruned_landmark_labeling(
 
     ``order`` defaults to decreasing degree.  Every vertex appears in its
     own hub set (with distance 0), which PLL guarantees by construction.
+
+    The build reports tracing spans (``pll.build`` with nested
+    ``pll.order`` / ``pll.sweeps``) and a ``build.labels_per_second``
+    gauge to the active metrics registry.
     """
-    if order is None:
-        order = degree_order(graph)
-    if sorted(order) != list(graph.vertices()):
-        raise ValueError("order must be a permutation of the vertices")
-    labeling = HubLabeling(graph.num_vertices)
-    if graph.is_weighted:
-        for root in order:
-            _pruned_dijkstra(graph, root, labeling)
-    else:
-        for root in order:
-            _pruned_bfs(graph, root, labeling)
+    with span("pll.build") as build_span:
+        with span("pll.order"):
+            if order is None:
+                order = degree_order(graph)
+            if sorted(order) != list(graph.vertices()):
+                raise ValueError(
+                    "order must be a permutation of the vertices"
+                )
+        labeling = HubLabeling(graph.num_vertices)
+        with span("pll.sweeps"):
+            if graph.is_weighted:
+                for root in order:
+                    _pruned_dijkstra(graph, root, labeling)
+            else:
+                for root in order:
+                    _pruned_bfs(graph, root, labeling)
+    _report_build_rate("pll", labeling, build_span.duration)
     return labeling
+
+
+def _report_build_rate(builder: str, labeling, duration) -> None:
+    """Set ``build.labels_per_second{builder=...}`` for a finished build."""
+    registry = get_registry()
+    if registry.enabled and duration:
+        registry.gauge(BUILD_LABELS_PER_SECOND, builder=builder).set(
+            labeling.total_size() / duration
+        )
 
 
 def _pruned_bfs(graph: Graph, root: int, labeling: HubLabeling) -> None:

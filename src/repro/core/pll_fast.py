@@ -21,9 +21,10 @@ from typing import List, Optional
 
 from ..graphs.csr import CSRGraph
 from ..graphs.graph import Graph
+from ..obs.spans import span
 from .hublabel import HubLabeling
 from .orders import degree_order
-from .pll import pruned_landmark_labeling
+from .pll import _report_build_rate, pruned_landmark_labeling
 
 __all__ = ["fast_pruned_landmark_labeling"]
 
@@ -44,6 +45,13 @@ def fast_pruned_landmark_labeling(
         raise ValueError("order must be a permutation of the vertices")
     if graph.is_weighted:
         return pruned_landmark_labeling(graph, order)
+    with span("pll-fast.build") as build_span:
+        labeling = _array_pll(graph, order)
+    _report_build_rate("pll-fast", labeling, build_span.duration)
+    return labeling
+
+
+def _array_pll(graph: Graph, order: List[int]) -> HubLabeling:
     n = graph.num_vertices
     csr = CSRGraph(graph)
     offsets = csr.offsets

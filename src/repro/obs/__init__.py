@@ -1,0 +1,57 @@
+"""Observability: metrics registry, tracing spans, and exporters.
+
+The serving stack (oracles, resilient runtime, constructions, chaos
+sweep, benchmarks) reports counters, gauges, latency histograms, and
+nested wall-time spans into a process-global -- but swappable --
+:class:`Registry`.  ``python -m repro stats`` renders the result as a
+table, JSON, or Prometheus text exposition; ``--metrics-out FILE`` on
+``query`` / ``bench`` / ``chaos`` dumps a snapshot for later viewing.
+
+Everything is dependency-free and cheap enough for the scalar query hot
+path (the bench suite gates the dict-backend overhead at <= 10%); see
+``docs/observability.md`` for the metric catalogue and the design notes.
+"""
+
+from .catalog import CATALOG, MetricSpec, catalog_names
+from .export import (
+    load_snapshot,
+    render_prometheus,
+    render_table,
+    snapshot_names,
+    write_snapshot,
+)
+from .registry import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    Registry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .spans import Span, current_span, span
+
+__all__ = [
+    "CATALOG",
+    "MetricSpec",
+    "catalog_names",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "Registry",
+    "NullRegistry",
+    "DEFAULT_LATENCY_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "use_registry",
+    "Span",
+    "span",
+    "current_span",
+    "render_table",
+    "render_prometheus",
+    "write_snapshot",
+    "load_snapshot",
+    "snapshot_names",
+]

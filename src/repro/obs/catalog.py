@@ -1,0 +1,159 @@
+"""The metric catalogue: every name the instrumentation may emit.
+
+Instrumented code imports its metric names from here instead of using
+string literals, so a rename is a one-line change that automatically
+propagates -- and anything *not* routed through this module is caught:
+
+* ``tools/check_metrics_schema.py`` (run by CI's bench job and by
+  ``tests/test_obs_integration.py``) runs a workload touching every
+  subsystem and fails if an emitted metric name is absent from this
+  catalogue, or if the catalogue drifts from the committed
+  ``docs/metrics_schema.json``;
+* ``docs/observability.md`` documents exactly these entries (a docs
+  test keeps the two aligned).
+
+``labels`` lists the label *keys* an instrument is emitted with; the
+label values are unconstrained (backends, builders, span paths...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["MetricSpec", "CATALOG", "catalog_names"]
+
+# ---------------------------------------------------------------------------
+# Metric name constants (the only strings instrumentation sites may use)
+# ---------------------------------------------------------------------------
+ORACLE_QUERIES = "oracle.queries"
+ORACLE_QUERY_LATENCY_SECONDS = "oracle.query_latency_seconds"
+ORACLE_BATCHES = "oracle.batches"
+ORACLE_BATCH_LATENCY_SECONDS = "oracle.batch_latency_seconds"
+
+RESILIENT_QUERIES = "resilient.queries"
+RESILIENT_LABEL_ANSWERS = "resilient.label_answers"
+RESILIENT_FALLBACKS = "resilient.fallbacks"
+RESILIENT_BUDGET_EXHAUSTIONS = "resilient.budget_exhaustions"
+RESILIENT_INTEGRITY_FAILURES = "resilient.integrity_failures"
+RESILIENT_ADMISSION_VIOLATIONS = "resilient.admission_violations"
+RESILIENT_QUARANTINED_VERTICES = "resilient.quarantined_vertices"
+
+BUILD_LABELS_PER_SECOND = "build.labels_per_second"
+BUILD_PAIRS_PER_SECOND = "build.pairs_per_second"
+
+CHAOS_INJECTIONS = "chaos.injections"
+CHAOS_DETECTED_AT_LOAD = "chaos.detected_at_load"
+CHAOS_FALLBACKS = "chaos.fallbacks"
+CHAOS_WRONG_ANSWERS = "chaos.wrong_answers"
+
+SPAN_DURATION_SECONDS = "span.duration_seconds"
+SPAN_COUNT = "span.count"
+
+BENCH_SUITE_DURATION_SECONDS = "bench.suite_duration_seconds"
+
+
+@dataclass(frozen=True)
+class MetricSpec:
+    """One catalogued metric: name, instrument type, label keys, firing."""
+
+    name: str
+    kind: str  # "counter" | "gauge" | "histogram"
+    labels: Tuple[str, ...]
+    fires: str
+
+
+_SPECS = (
+    MetricSpec(
+        ORACLE_QUERIES, "counter", ("backend",),
+        "per pair answered by HubLabelOracle.query / batch_query",
+    ),
+    MetricSpec(
+        ORACLE_QUERY_LATENCY_SECONDS, "histogram", ("backend",),
+        "scalar query wall time, deterministically sampled 1-in-"
+        "LATENCY_SAMPLE; batches contribute their per-pair mean once",
+    ),
+    MetricSpec(
+        ORACLE_BATCHES, "counter", ("backend",),
+        "per HubLabelOracle.batch_query call",
+    ),
+    MetricSpec(
+        ORACLE_BATCH_LATENCY_SECONDS, "histogram", ("backend",),
+        "wall time of each batch_query call",
+    ),
+    MetricSpec(
+        RESILIENT_QUERIES, "counter", (),
+        "per ResilientOracle query (batch pairs included)",
+    ),
+    MetricSpec(
+        RESILIENT_LABEL_ANSWERS, "counter", (),
+        "per query answered from trusted labels",
+    ),
+    MetricSpec(
+        RESILIENT_FALLBACKS, "counter", (),
+        "per query degraded to exact bidirectional search",
+    ),
+    MetricSpec(
+        RESILIENT_BUDGET_EXHAUSTIONS, "counter", (),
+        "per query whose label cost exceeded operation_budget",
+    ),
+    MetricSpec(
+        RESILIENT_INTEGRITY_FAILURES, "counter", (),
+        "per cross-check catching labels wrongly claiming disconnection",
+    ),
+    MetricSpec(
+        RESILIENT_ADMISSION_VIOLATIONS, "counter", (),
+        "per violating pair found by the admission verification gate",
+    ),
+    MetricSpec(
+        RESILIENT_QUARANTINED_VERTICES, "gauge", (),
+        "current quarantine size, updated whenever it changes",
+    ),
+    MetricSpec(
+        BUILD_LABELS_PER_SECOND, "gauge", ("builder",),
+        "label entries produced per second by the last labeling build "
+        "(builder = pll | pll-fast | greedy)",
+    ),
+    MetricSpec(
+        BUILD_PAIRS_PER_SECOND, "gauge", ("builder",),
+        "vertex pairs classified per second by the last hitting-set "
+        "build (builder = hitting-set)",
+    ),
+    MetricSpec(
+        CHAOS_INJECTIONS, "counter", ("kind",),
+        "per fault injected by chaos_sweep",
+    ),
+    MetricSpec(
+        CHAOS_DETECTED_AT_LOAD, "counter", ("kind",),
+        "per injection rejected by the artifact envelope at load time",
+    ),
+    MetricSpec(
+        CHAOS_FALLBACKS, "counter", ("kind",),
+        "per graded chaos query served by exact fallback",
+    ),
+    MetricSpec(
+        CHAOS_WRONG_ANSWERS, "counter", ("kind",),
+        "per graded chaos query answered wrong (must stay 0)",
+    ),
+    MetricSpec(
+        SPAN_DURATION_SECONDS, "histogram", ("span",),
+        "wall time of every completed tracing span, keyed by nested path",
+    ),
+    MetricSpec(
+        SPAN_COUNT, "counter", ("span",),
+        "completions of every tracing span, keyed by nested path",
+    ),
+    MetricSpec(
+        BENCH_SUITE_DURATION_SECONDS, "gauge", ("suite",),
+        "the exact timing each repro-bench suite wrote to "
+        "BENCH_perf.json (derived from the same span measurements)",
+    ),
+)
+
+#: name -> spec for every metric the instrumentation may emit.
+CATALOG: Dict[str, MetricSpec] = {spec.name: spec for spec in _SPECS}
+
+
+def catalog_names() -> Tuple[str, ...]:
+    """Every catalogued metric name, sorted (the committed schema)."""
+    return tuple(sorted(CATALOG))

@@ -1,0 +1,157 @@
+"""Exporters: human table, JSON snapshot files, Prometheus exposition.
+
+Everything renders from a registry *snapshot* (the JSON-serializable
+dict built by :meth:`Registry.snapshot`), never from live instruments,
+so ``repro stats`` can show the registry of the current process or one
+dumped earlier with ``--metrics-out FILE`` through the same code path.
+"""
+
+from __future__ import annotations
+
+import json
+from math import inf
+from typing import Dict, List, Optional
+
+from .registry import Registry
+
+__all__ = [
+    "render_table",
+    "render_prometheus",
+    "write_snapshot",
+    "load_snapshot",
+    "snapshot_names",
+]
+
+#: Exposition name prefix: ``oracle.queries`` -> ``repro_oracle_queries``.
+PROM_PREFIX = "repro_"
+
+
+def _labels_suffix(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:.6g}"
+    return str(int(value))
+
+
+def render_table(snapshot: Dict[str, object]) -> str:
+    """A fixed-width human view of a snapshot, grouped by type."""
+    metrics = snapshot.get("metrics", [])
+    if not metrics:
+        return "(no metrics recorded)"
+    rows: List[tuple] = []
+    for metric in metrics:
+        ident = metric["name"] + _labels_suffix(metric.get("labels", {}))
+        if metric["type"] == "histogram":
+            detail = (
+                f"count={metric['count']} "
+                f"sum={_format_value(metric['sum'])} "
+                f"min={_format_value(metric['min'])} "
+                f"p50={_format_value(metric['p50'])} "
+                f"p95={_format_value(metric['p95'])} "
+                f"p99={_format_value(metric['p99'])} "
+                f"max={_format_value(metric['max'])}"
+            )
+        else:
+            detail = _format_value(metric["value"])
+        rows.append((metric["type"], ident, detail))
+    width_type = max(len(row[0]) for row in rows)
+    width_ident = max(len(row[1]) for row in rows)
+    header = f"{'type':<{width_type}}  {'metric':<{width_ident}}  value"
+    lines = [header, "-" * len(header)]
+    for kind, ident, detail in rows:
+        lines.append(f"{kind:<{width_type}}  {ident:<{width_ident}}  {detail}")
+    return "\n".join(lines)
+
+
+def _prom_name(name: str) -> str:
+    return PROM_PREFIX + name.replace(".", "_").replace("-", "_")
+
+
+def _prom_labels(labels: Dict[str, str], extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in sorted(labels.items())]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def _prom_number(value: float) -> str:
+    if value == inf:
+        return "+Inf"
+    if value == -inf:
+        return "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def render_prometheus(snapshot: Dict[str, object]) -> str:
+    """Prometheus text exposition (type comments + samples).
+
+    Counters get the conventional ``_total`` suffix; histograms expand
+    into cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.
+    """
+    by_name: Dict[str, List[dict]] = {}
+    for metric in snapshot.get("metrics", []):
+        by_name.setdefault(metric["name"], []).append(metric)
+    lines: List[str] = []
+    for name in sorted(by_name):
+        group = by_name[name]
+        kind = group[0]["type"]
+        base = _prom_name(name)
+        if kind == "counter":
+            base += "_total"
+        lines.append(f"# TYPE {base} {kind}")
+        for metric in group:
+            labels = metric.get("labels", {})
+            if kind == "histogram":
+                cumulative = 0
+                for edge, count in metric["buckets"]:
+                    cumulative += count
+                    le = "+Inf" if edge is None else _prom_number(edge)
+                    label_part = _prom_labels(labels, f'le="{le}"')
+                    lines.append(f"{base}_bucket{label_part} {cumulative}")
+                lines.append(
+                    f"{base}_sum{_prom_labels(labels)} "
+                    f"{_prom_number(metric['sum'])}"
+                )
+                lines.append(
+                    f"{base}_count{_prom_labels(labels)} {metric['count']}"
+                )
+            else:
+                lines.append(
+                    f"{base}{_prom_labels(labels)} "
+                    f"{_prom_number(metric['value'])}"
+                )
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_snapshot(registry: Registry, path: str) -> Dict[str, object]:
+    """Dump ``registry.snapshot()`` as JSON at ``path``; returns it."""
+    snapshot = registry.snapshot()
+    with open(path, "w") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return snapshot
+
+
+def load_snapshot(path: str) -> Dict[str, object]:
+    """Load a snapshot written by :func:`write_snapshot` (version-checked)."""
+    with open(path) as handle:
+        snapshot = json.load(handle)
+    if not isinstance(snapshot, dict) or "metrics" not in snapshot:
+        raise ValueError(f"{path}: not a metrics snapshot")
+    version = snapshot.get("version")
+    if version != 1:
+        raise ValueError(f"{path}: unsupported snapshot version {version!r}")
+    return snapshot
+
+
+def snapshot_names(snapshot: Dict[str, object]) -> List[str]:
+    """The sorted distinct metric names a snapshot carries."""
+    return sorted({m["name"] for m in snapshot.get("metrics", [])})

@@ -1,0 +1,102 @@
+"""Lightweight tracing spans: nested wall-time scopes.
+
+A span is a named context manager timing one phase of work::
+
+    with span("pll.build"):
+        with span("pll.sweeps"):
+            ...
+
+Spans nest through a thread-local stack: the inner span's *path* is
+``"pll.build/pll.sweeps"``, so a phase keeps its identity wherever it is
+invoked from.  On exit each span reports to the active registry
+(resolved at exit time, so a registry swapped mid-span still receives
+the record):
+
+* histogram ``span.duration_seconds{span=<path>}`` -- one observation
+  per completed span (min/max/percentiles come for free);
+* counter ``span.count{span=<path>}``;
+* the registry's bounded trace log (:meth:`Registry.traces`) as
+  ``(path, depth, duration)``.
+
+Under a disabled registry (:class:`~repro.obs.registry.NullRegistry`)
+spans still measure -- ``sp.duration`` stays usable for callers that
+feed gauges from it -- but record nothing.
+"""
+
+from __future__ import annotations
+
+import threading
+from time import perf_counter
+from typing import List, Optional
+
+from .catalog import SPAN_COUNT, SPAN_DURATION_SECONDS
+from .registry import get_registry
+
+__all__ = ["Span", "span", "current_span"]
+
+_local = threading.local()
+
+
+def _stack() -> List["Span"]:
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    return stack
+
+
+def current_span() -> Optional["Span"]:
+    """The innermost span open on this thread, or None."""
+    stack = _stack()
+    return stack[-1] if stack else None
+
+
+class Span:
+    """One timed scope.  ``duration`` is set when the block exits."""
+
+    __slots__ = ("name", "path", "depth", "duration", "_start")
+
+    def __init__(self, name: str) -> None:
+        if not name or "/" in name:
+            raise ValueError(
+                "span names are single segments; nesting builds the path"
+            )
+        self.name = name
+        self.path = name
+        self.depth = 0
+        self.duration: Optional[float] = None
+        self._start = 0.0
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        if stack:
+            parent = stack[-1]
+            self.path = f"{parent.path}/{self.name}"
+            self.depth = parent.depth + 1
+        stack.append(self)
+        self._start = perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration = perf_counter() - self._start
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        registry = get_registry()
+        if registry.enabled:
+            registry.histogram(
+                SPAN_DURATION_SECONDS, span=self.path
+            ).observe(self.duration)
+            registry.counter(SPAN_COUNT, span=self.path).value += 1
+            registry.record_trace(self.path, self.depth, self.duration)
+        return False
+
+    def __repr__(self) -> str:
+        state = (
+            f"{self.duration:.6f}s" if self.duration is not None else "open"
+        )
+        return f"Span({self.path!r}, {state})"
+
+
+def span(name: str) -> Span:
+    """A new unstarted :class:`Span`; use as a context manager."""
+    return Span(name)

@@ -22,11 +22,19 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from ..core.hublabel import HubLabeling
 from ..graphs.graph import Graph
 from ..graphs.traversal import INF, shortest_path_distances
+from ..obs.catalog import (
+    ORACLE_BATCHES,
+    ORACLE_BATCH_LATENCY_SECONDS,
+    ORACLE_QUERIES,
+    ORACLE_QUERY_LATENCY_SECONDS,
+)
+from ..obs.registry import get_registry as _get_registry
 from ..runtime.errors import DomainError
 
 __all__ = [
@@ -34,7 +42,14 @@ __all__ = [
     "MatrixOracle",
     "HubLabelOracle",
     "LandmarkOracle",
+    "LATENCY_SAMPLE",
 ]
+
+#: Scalar queries are timed deterministically 1-in-``LATENCY_SAMPLE``
+#: (the ``oracle.queries`` counter stays exact); full per-query timing
+#: would cost two clock reads per microsecond-scale merge and blow the
+#: <= 10% instrumentation-overhead budget the bench gate enforces.
+LATENCY_SAMPLE = 16
 
 
 @dataclass(frozen=True)
@@ -108,6 +123,29 @@ class HubLabelOracle:
             labeling = labeling.to_labeling()
         self._labeling = labeling
         self._backend = backend
+        # Metrics bind lazily against the active registry and rebind if
+        # it is swapped (tests isolate themselves that way); under a
+        # disabled registry the query path skips all metric work.
+        self._obs_registry = None
+        self._obs: Optional[tuple] = None
+
+    def _rebind_obs(self, registry) -> Optional[tuple]:
+        self._obs_registry = registry
+        if registry.enabled:
+            backend = self._backend
+            self._obs = (
+                registry.counter(ORACLE_QUERIES, backend=backend),
+                registry.histogram(
+                    ORACLE_QUERY_LATENCY_SECONDS, backend=backend
+                ),
+                registry.counter(ORACLE_BATCHES, backend=backend),
+                registry.histogram(
+                    ORACLE_BATCH_LATENCY_SECONDS, backend=backend
+                ),
+            )
+        else:
+            self._obs = None
+        return self._obs
 
     @property
     def backend(self) -> str:
@@ -123,6 +161,31 @@ class HubLabelOracle:
         return 2 * self._labeling.total_size()
 
     def query(self, u: int, v: int) -> QueryOutcome:
+        """:meth:`_serve` plus metrics: an exact per-backend query
+        counter and a 1-in-``LATENCY_SAMPLE`` latency histogram sample
+        (see the module constant for why sampling)."""
+        registry = _get_registry()
+        obs = (
+            self._obs
+            if registry is self._obs_registry
+            else self._rebind_obs(registry)
+        )
+        if obs is None:
+            return self._serve(u, v)
+        queries = obs[0]
+        count = queries.value + 1
+        if count % LATENCY_SAMPLE:
+            outcome = self._serve(u, v)
+            queries.value = count
+            return outcome
+        start = perf_counter()
+        outcome = self._serve(u, v)
+        elapsed = perf_counter() - start
+        queries.value = count
+        obs[1].observe(elapsed)
+        return outcome
+
+    def _serve(self, u: int, v: int) -> QueryOutcome:
         _check_query_domain(self._labeling.num_vertices, u, v)
         operations = min(
             self._labeling.label_size(u), self._labeling.label_size(v)
@@ -137,7 +200,29 @@ class HubLabelOracle:
         The flat backend dispatches to its vectorized kernels; the dict
         backend loops the scalar query.  Answers are identical either
         way -- this is the oracle surface the benchmark gate compares.
+        Metrics: the query counter grows by ``len(pairs)``, the batch
+        latency histogram gets the batch wall time, and the scalar
+        latency histogram gets the batch's per-pair mean once.
         """
+        registry = _get_registry()
+        obs = (
+            self._obs
+            if registry is self._obs_registry
+            else self._rebind_obs(registry)
+        )
+        if obs is None:
+            return self._serve_batch(pairs)
+        start = perf_counter()
+        answers = self._serve_batch(pairs)
+        elapsed = perf_counter() - start
+        obs[0].value += len(answers)
+        obs[2].value += 1
+        obs[3].observe(elapsed)
+        if answers:
+            obs[1].observe(elapsed / len(answers))
+        return answers
+
+    def _serve_batch(self, pairs) -> List[float]:
         n = self._labeling.num_vertices
         if self._backend == "flat":
             return self._labeling.batch_query(pairs)

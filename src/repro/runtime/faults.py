@@ -19,7 +19,9 @@ load through the envelope, serve through
 against ground truth -- and reports, per fault, whether it was detected
 at load time, degraded to exact fallback, or (the one unacceptable
 outcome) silently answered wrong.  ``python -m repro.cli chaos`` and
-``tests/test_failure_injection.py`` both run it.
+``tests/test_failure_injection.py`` both run it.  Outcomes are also
+mirrored into per-kind ``chaos.*`` counters on the active metrics
+registry (``chaos.wrong_answers`` is the one that must stay 0).
 """
 
 from __future__ import annotations
@@ -31,6 +33,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from ..core.hublabel import HubLabeling
 from ..graphs.graph import Graph
 from ..graphs.traversal import shortest_path_distances
+from ..obs.catalog import (
+    CHAOS_DETECTED_AT_LOAD,
+    CHAOS_FALLBACKS,
+    CHAOS_INJECTIONS,
+    CHAOS_WRONG_ANSWERS,
+)
+from ..obs.registry import get_registry
 from .errors import ReproError
 from .resilient import ResilientOracle
 
@@ -239,6 +248,28 @@ def chaos_sweep(
     blob = labeling_to_bytes(labeling)
     n = graph.num_vertices
     report = ChaosReport()
+    registry = get_registry()
+
+    def record(outcome: ChaosOutcome) -> None:
+        # Appends to the report and mirrors it into per-kind counters
+        # (all four counters are created even while still zero, so the
+        # exposition shows `chaos.wrong_answers = 0` rather than
+        # nothing at all on a healthy run).
+        report.outcomes.append(outcome)
+        if not registry.enabled:
+            return
+        kind = outcome.kind
+        registry.counter(CHAOS_INJECTIONS, kind=kind).value += 1
+        registry.counter(CHAOS_DETECTED_AT_LOAD, kind=kind).value += int(
+            outcome.detected_at_load
+        )
+        registry.counter(
+            CHAOS_FALLBACKS, kind=kind
+        ).value += outcome.fallbacks
+        registry.counter(
+            CHAOS_WRONG_ANSWERS, kind=kind
+        ).value += outcome.wrong
+
     for kind in kinds:
         for trial in range(trials_per_kind):
             injector = FaultInjector(seed=f"{seed}:{kind}:{trial}")
@@ -248,7 +279,7 @@ def chaos_sweep(
                 try:
                     mangled = labeling_from_bytes(mangled_blob)
                 except ReproError as exc:
-                    report.outcomes.append(
+                    record(
                         ChaosOutcome(
                             kind=kind,
                             trial=trial,
@@ -264,7 +295,7 @@ def chaos_sweep(
                 mangled = injector.corrupt_labeling(kind, labeling)
                 detected = False
             if mangled.num_vertices != n:
-                report.outcomes.append(
+                record(
                     ChaosOutcome(kind=kind, trial=trial, detected_at_load=True)
                 )
                 continue
@@ -290,7 +321,7 @@ def chaos_sweep(
                     label_answers += 1
                 if outcome.distance != truth[u][v]:
                     wrong += 1
-            report.outcomes.append(
+            record(
                 ChaosOutcome(
                     kind=kind,
                     trial=trial,

@@ -27,6 +27,10 @@ The admission check is exhaustive when ``verify_sample >= n`` (then a
 wrong pair is *guaranteed* to be quarantined -- the chaos suite relies
 on this) and probabilistic below that (cheaper; corruption outside the
 sampled rows can slip through to label answers).
+
+Every :class:`HealthReport` event is mirrored into ``resilient.*``
+counters (and a quarantine-size gauge) on the active metrics registry
+-- see ``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -37,10 +41,49 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..core.hublabel import HubLabeling
 from ..graphs.graph import Graph
 from ..graphs.traversal import INF, bidirectional_distance
+from ..obs.catalog import (
+    RESILIENT_ADMISSION_VIOLATIONS,
+    RESILIENT_BUDGET_EXHAUSTIONS,
+    RESILIENT_FALLBACKS,
+    RESILIENT_INTEGRITY_FAILURES,
+    RESILIENT_LABEL_ANSWERS,
+    RESILIENT_QUARANTINED_VERTICES,
+    RESILIENT_QUERIES,
+)
+from ..obs.registry import get_registry as _get_registry
 from ..oracles.oracle import HubLabelOracle, QueryOutcome
 from .errors import DomainError, IntegrityError, QueryBudgetExceeded
 
 __all__ = ["HealthReport", "ResilientOracle"]
+
+
+class _ResilientInstruments:
+    """The degradation counters, pre-bound against one registry."""
+
+    __slots__ = (
+        "queries",
+        "label_answers",
+        "fallbacks",
+        "budget_exhaustions",
+        "integrity_failures",
+        "admission_violations",
+        "quarantined",
+    )
+
+    def __init__(self, registry) -> None:
+        self.queries = registry.counter(RESILIENT_QUERIES)
+        self.label_answers = registry.counter(RESILIENT_LABEL_ANSWERS)
+        self.fallbacks = registry.counter(RESILIENT_FALLBACKS)
+        self.budget_exhaustions = registry.counter(
+            RESILIENT_BUDGET_EXHAUSTIONS
+        )
+        self.integrity_failures = registry.counter(
+            RESILIENT_INTEGRITY_FAILURES
+        )
+        self.admission_violations = registry.counter(
+            RESILIENT_ADMISSION_VIOLATIONS
+        )
+        self.quarantined = registry.gauge(RESILIENT_QUARANTINED_VERTICES)
 
 
 @dataclass
@@ -116,8 +159,20 @@ class ResilientOracle:
         self._fallback = fallback
         self._budget = operation_budget
         self.health = HealthReport()
+        self._obs_registry = None
+        self._obs: Optional[_ResilientInstruments] = None
         if verify_sample > 0:
             self._admit(verify_sample, seed)
+
+    def _instruments(self) -> Optional[_ResilientInstruments]:
+        """Counters bound to the active registry (rebinds after swaps)."""
+        registry = _get_registry()
+        if registry is not self._obs_registry:
+            self._obs_registry = registry
+            self._obs = (
+                _ResilientInstruments(registry) if registry.enabled else None
+            )
+        return self._obs
 
     # ------------------------------------------------------------------
     # Admission
@@ -147,6 +202,9 @@ class ResilientOracle:
         if report.ok:
             return
         self.health.admission_violations += len(report.violations)
+        obs = self._instruments()
+        if obs is not None:
+            obs.admission_violations.value += len(report.violations)
         if not self._fallback:
             raise IntegrityError(
                 f"labeling failed admission: {len(report.violations)} "
@@ -155,6 +213,8 @@ class ResilientOracle:
         for u, v, _true, _est in report.violations:
             self.health.quarantined.add(u)
             self.health.quarantined.add(v)
+        if obs is not None:
+            obs.quarantined.set(len(self.health.quarantined))
 
     # ------------------------------------------------------------------
     # Queries
@@ -170,6 +230,9 @@ class ResilientOracle:
         """Manually mark a vertex as untrusted (all its queries degrade)."""
         self._check_vertex(vertex)
         self.health.quarantined.add(vertex)
+        obs = self._instruments()
+        if obs is not None:
+            obs.quarantined.set(len(self.health.quarantined))
 
     def _check_vertex(self, vertex: int) -> None:
         if not 0 <= vertex < self._graph.num_vertices:
@@ -179,6 +242,9 @@ class ResilientOracle:
 
     def _exact(self, u: int, v: int) -> QueryOutcome:
         self.health.fallbacks += 1
+        obs = self._instruments()
+        if obs is not None:
+            obs.fallbacks.value += 1
         distance = bidirectional_distance(self._graph, u, v)
         # The search's cost is not instrumented; charge the conservative
         # proxy n so trade-off accounting never undercounts a fallback.
@@ -193,8 +259,13 @@ class ResilientOracle:
         self._check_vertex(u)
         self._check_vertex(v)
         self.health.queries += 1
+        obs = self._instruments()
+        if obs is not None:
+            obs.queries.value += 1
         if u == v:
             self.health.label_answers += 1
+            if obs is not None:
+                obs.label_answers.value += 1
             return QueryOutcome(distance=0, operations=1, source="label")
         if u in self.health.quarantined or v in self.health.quarantined:
             if not self._fallback:
@@ -206,6 +277,8 @@ class ResilientOracle:
         cost = min(self._labeling.label_size(u), self._labeling.label_size(v))
         if self._budget is not None and cost > self._budget:
             self.health.budget_exhaustions += 1
+            if obs is not None:
+                obs.budget_exhaustions.value += 1
             if not self._fallback:
                 raise QueryBudgetExceeded(
                     f"query ({u}, {v}) needs {cost} operations, "
@@ -223,8 +296,13 @@ class ResilientOracle:
             if exact.distance != INF:
                 self.health.integrity_failures += 1
                 self.health.quarantined.update((u, v))
+                if obs is not None:
+                    obs.integrity_failures.value += 1
+                    obs.quarantined.set(len(self.health.quarantined))
             return exact
         self.health.label_answers += 1
+        if obs is not None:
+            obs.label_answers.value += 1
         return QueryOutcome(
             distance=outcome.distance,
             operations=outcome.operations,
@@ -269,6 +347,9 @@ class ResilientOracle:
                 [pairs[index] for index in trusted]
             )
             self.health.queries += len(trusted)
+            obs = self._instruments()
+            if obs is not None:
+                obs.queries.value += len(trusted)
             for index, distance in zip(trusted, answers):
                 if distance == INF and self._fallback:
                     u, v = pairs[index]
@@ -276,9 +357,16 @@ class ResilientOracle:
                     if exact.distance != INF:
                         self.health.integrity_failures += 1
                         self.health.quarantined.update((u, v))
+                        if obs is not None:
+                            obs.integrity_failures.value += 1
+                            obs.quarantined.set(
+                                len(self.health.quarantined)
+                            )
                     results[index] = exact.distance
                 else:
                     self.health.label_answers += 1
+                    if obs is not None:
+                        obs.label_answers.value += 1
                     results[index] = distance
         return results
 

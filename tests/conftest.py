@@ -1,4 +1,5 @@
-"""Shared fixtures: small graphs every test module reuses."""
+"""Shared fixtures: small graphs every test module reuses, plus a
+fresh metrics registry swapped in around every test."""
 
 from __future__ import annotations
 
@@ -13,6 +14,27 @@ from repro.graphs import (
     random_tree,
     star_graph,
 )
+from repro.obs.registry import Registry, get_registry, set_registry
+
+
+@pytest.fixture(autouse=True)
+def metrics_registry():
+    """Isolate every test behind its own metrics registry.
+
+    Tests observe whatever the code under test emits without seeing
+    counts from other tests, and a test that swaps the global registry
+    but forgets to restore it is caught at teardown.  (Module-scoped
+    fixtures run *before* this one -- code they run that should be
+    observed must isolate itself with ``use_registry``.)
+    """
+    fresh = Registry()
+    previous = set_registry(fresh)
+    yield fresh
+    assert get_registry() is fresh, (
+        "test left a swapped metrics registry behind "
+        "(use use_registry() or restore set_registry()'s return value)"
+    )
+    set_registry(previous)
 
 
 @pytest.fixture

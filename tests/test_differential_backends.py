@@ -1,0 +1,159 @@
+"""Differential testing: dict vs flat vs exact search, byte-identical.
+
+Hypothesis generates small sparse graphs (unweighted and integer
+weighted, connected or not); every ``(u, v)`` pair is answered by
+
+* the dict-backed :class:`HubLabelOracle` (scalar and batch),
+* the flat-backed :class:`HubLabelOracle` (scalar and batch), and
+* exact BFS/Dijkstra (:func:`shortest_path_distances`),
+
+and all five answers must agree *byte-identically* -- same value, same
+type (the flat store narrows integral doubles back to int), with
+disconnected pairs reported as the same ``inf``.  Hard instances
+``G_{b,l}`` from the paper's lower-bound construction go through the
+same comparison deterministically.
+
+A seed-pinned corpus under ``tests/data/`` replays the same contract on
+committed cases, so a behavioral change shows up as a reviewable diff
+even if hypothesis happens not to hit it.
+"""
+
+import json
+import math
+import pathlib
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import pruned_landmark_labeling
+from repro.graphs import Graph
+from repro.graphs.traversal import shortest_path_distances
+from repro.lowerbound import build_degree3_instance
+from repro.oracles.oracle import HubLabelOracle
+
+DATA_DIR = pathlib.Path(__file__).parent / "data"
+CORPUS_PATH = DATA_DIR / "differential_corpus.json"
+
+
+def _exact_row(graph: Graph, source: int):
+    return shortest_path_distances(graph, source)[0]
+
+
+def _assert_identical(expected, got, context):
+    """Equal value AND equal type: 2 is not 2.0 for this contract."""
+    assert type(expected) is type(got), (context, expected, got)
+    if isinstance(expected, float) and math.isinf(expected):
+        assert math.isinf(got), (context, expected, got)
+    else:
+        assert expected == got, (context, expected, got)
+
+
+def _check_graph(graph: Graph, pairs=None):
+    labeling = pruned_landmark_labeling(graph)
+    dict_oracle = HubLabelOracle(labeling, backend="dict")
+    flat_oracle = HubLabelOracle(labeling, backend="flat")
+    n = graph.num_vertices
+    if pairs is None:
+        pairs = [(u, v) for u in range(n) for v in range(n)]
+    exact_rows = {}
+    dict_batch = dict_oracle.batch_query(pairs)
+    flat_batch = flat_oracle.batch_query(pairs)
+    for index, (u, v) in enumerate(pairs):
+        if u not in exact_rows:
+            exact_rows[u] = _exact_row(graph, u)
+        expected = exact_rows[u][v]
+        dict_scalar = dict_oracle.query(u, v).distance
+        flat_scalar = flat_oracle.query(u, v).distance
+        # Exact search returns floats (INF-capable rows); the oracles
+        # answer ints on unweighted/integer graphs.  Values must agree
+        # exactly; the four oracle answers must be byte-identical.
+        assert dict_scalar == expected or (
+            math.isinf(expected) and math.isinf(dict_scalar)
+        ), (u, v, dict_scalar, expected)
+        _assert_identical(dict_scalar, flat_scalar, ("scalar", u, v))
+        _assert_identical(dict_scalar, dict_batch[index], ("dict-batch", u, v))
+        _assert_identical(dict_scalar, flat_batch[index], ("flat-batch", u, v))
+
+
+@st.composite
+def sparse_graphs(draw, weighted):
+    n = draw(st.integers(min_value=2, max_value=12))
+    possible = [(u, v) for u in range(n) for v in range(u + 1, n)]
+    edges = draw(
+        st.lists(
+            st.sampled_from(possible),
+            unique=True,
+            max_size=min(len(possible), 2 * n),
+        )
+    )
+    graph = Graph(n)
+    for u, v in edges:
+        weight = draw(st.integers(1, 9)) if weighted else 1
+        graph.add_edge(u, v, weight)
+    return graph
+
+
+class TestHypothesisDifferential:
+    @settings(max_examples=120, deadline=None)
+    @given(graph=sparse_graphs(weighted=False))
+    def test_unweighted_graphs(self, graph):
+        _check_graph(graph)
+
+    @settings(max_examples=80, deadline=None)
+    @given(graph=sparse_graphs(weighted=True))
+    def test_weighted_graphs(self, graph):
+        _check_graph(graph)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(min_value=2, max_value=10),
+        data=st.data(),
+    )
+    def test_forests_with_disconnection(self, n, data):
+        # Forests guarantee INF pairs whenever there are >= 2 trees.
+        graph = Graph(n)
+        for v in range(1, n):
+            parent = data.draw(
+                st.one_of(st.none(), st.integers(0, v - 1)), label=f"p{v}"
+            )
+            if parent is not None:
+                graph.add_edge(parent, v)
+        _check_graph(graph)
+
+
+class TestHardInstanceDifferential:
+    def test_g11_full(self):
+        graph = build_degree3_instance(1, 1).graph
+        n = graph.num_vertices
+        sources = list(range(0, n, max(1, n // 12)))
+        pairs = [(s, t) for s in sources for t in range(0, n, 7)]
+        _check_graph(graph, pairs=pairs)
+
+
+class TestPinnedCorpus:
+    def test_corpus_exists_and_is_seed_pinned(self):
+        corpus = json.loads(CORPUS_PATH.read_text())
+        assert corpus["version"] == 1
+        assert corpus["cases"], "corpus must not be empty"
+        for case in corpus["cases"]:
+            assert case["seed"] is not None
+
+    def test_corpus_cases_replay_identically(self):
+        corpus = json.loads(CORPUS_PATH.read_text())
+        for case in corpus["cases"]:
+            graph = Graph(case["n"])
+            for u, v, w in case["edges"]:
+                graph.add_edge(u, v, w)
+            labeling = pruned_landmark_labeling(graph)
+            dict_oracle = HubLabelOracle(labeling, backend="dict")
+            flat_oracle = HubLabelOracle(labeling, backend="flat")
+            pairs = [tuple(pair) for pair in case["pairs"]]
+            flat_batch = flat_oracle.batch_query(pairs)
+            for index, (u, v) in enumerate(pairs):
+                expected = case["expected"][index]
+                expected = math.inf if expected is None else expected
+                got = dict_oracle.query(u, v).distance
+                assert got == expected, (case["name"], u, v, got, expected)
+                _assert_identical(
+                    got, flat_batch[index], (case["name"], u, v)
+                )

@@ -1,0 +1,334 @@
+"""Unit tests for the observability primitives (``repro.obs``).
+
+Registry semantics (interning, type conflicts, swapping), histogram
+bucket edges and percentile estimates, span nesting, and the exporters
+(table, Prometheus exposition, snapshot files).
+"""
+
+import math
+
+import pytest
+
+from repro.obs import (
+    CATALOG,
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    NullRegistry,
+    Registry,
+    catalog_names,
+    current_span,
+    get_registry,
+    load_snapshot,
+    render_prometheus,
+    render_table,
+    set_registry,
+    snapshot_names,
+    span,
+    use_registry,
+    write_snapshot,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_counts(self):
+        registry = Registry()
+        counter = registry.counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(3)
+        counter.value += 2  # hot-path form
+        assert counter.value == 6
+
+    def test_counters_only_go_up(self):
+        with pytest.raises(ValueError):
+            Registry().counter("c").inc(-1)
+
+    def test_snapshot(self):
+        registry = Registry()
+        registry.counter("c", backend="dict").inc(4)
+        snap = registry.counter("c", backend="dict").snapshot()
+        assert snap == {
+            "name": "c",
+            "type": "counter",
+            "labels": {"backend": "dict"},
+            "value": 4,
+        }
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Registry().gauge("g")
+        gauge.set(10)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == 11.5
+
+
+class TestHistogram:
+    def test_edges_are_inclusive_upper_bounds(self):
+        # The Prometheus `le` convention: x lands in the first bucket
+        # with x <= edge, so an observation exactly on an edge belongs
+        # to that edge's bucket.
+        hist = Histogram("h", (), buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.0, 1.5, 2.0, 4.0, 99.0):
+            hist.observe(value)
+        assert hist.counts == [2, 2, 1, 1]  # <=1, <=2, <=4, +inf
+        assert hist.count == 6
+        assert hist.sum == pytest.approx(108.0)
+        assert hist.min == 0.5
+        assert hist.max == 99.0
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (), buckets=())
+        with pytest.raises(ValueError):
+            Histogram("h", (), buckets=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", (), buckets=(2.0, 1.0))
+
+    def test_percentiles_interpolate_within_buckets(self):
+        hist = Histogram("h", (), buckets=(10.0, 20.0))
+        for value in (1.0, 2.0, 3.0, 15.0):
+            hist.observe(value)
+        # p50 -> rank 2 of 4, inside the first bucket [min=1, 10].
+        p50 = hist.percentile(0.50)
+        assert 1.0 <= p50 <= 10.0
+        # p99 -> rank 4, inside the second bucket, clamped to max=15.
+        assert hist.percentile(0.99) == pytest.approx(15.0)
+
+    def test_percentiles_clamped_to_observed_range(self):
+        hist = Histogram("h", (), buckets=tuple(DEFAULT_LATENCY_BUCKETS))
+        hist.observe(3e-6)
+        assert hist.percentile(0.0) == pytest.approx(3e-6)
+        assert hist.percentile(1.0) == pytest.approx(3e-6)
+        assert hist.percentile(0.5) == pytest.approx(3e-6)
+
+    def test_empty_percentile_is_none(self):
+        hist = Histogram("h", ())
+        assert hist.percentile(0.5) is None
+        assert hist.mean is None
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+    def test_snapshot_buckets(self):
+        hist = Histogram("h", (), buckets=(1.0,))
+        hist.observe(0.5)
+        hist.observe(2.0)
+        snap = hist.snapshot()
+        assert snap["buckets"] == [[1.0, 1], [None, 1]]
+        assert snap["count"] == 2
+        assert snap["min"] == 0.5 and snap["max"] == 2.0
+
+
+class TestRegistry:
+    def test_interns_by_name_and_labels(self):
+        registry = Registry()
+        a = registry.counter("c", backend="dict")
+        b = registry.counter("c", backend="dict")
+        c = registry.counter("c", backend="flat")
+        assert a is b
+        assert a is not c
+        assert len(registry) == 2
+
+    def test_label_order_does_not_matter(self):
+        registry = Registry()
+        a = registry.counter("c", x="1", y="2")
+        b = registry.counter("c", y="2", x="1")
+        assert a is b
+
+    def test_type_conflict_raises(self):
+        registry = Registry()
+        registry.counter("m")
+        with pytest.raises(TypeError):
+            registry.gauge("m")
+        with pytest.raises(TypeError):
+            registry.histogram("m")
+
+    def test_histogram_bucket_conflict_raises(self):
+        registry = Registry()
+        registry.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            registry.histogram("h", buckets=(1.0, 3.0))
+        # Same edges are fine and intern to the same instrument.
+        assert registry.histogram("h", buckets=(1.0, 2.0)) is registry.get(
+            "h"
+        )
+
+    def test_get_returns_none_for_unknown(self):
+        assert Registry().get("nope") is None
+
+    def test_metric_names_and_metrics_sorted(self):
+        registry = Registry()
+        registry.counter("b")
+        registry.counter("a", z="1")
+        registry.counter("a", a="1")
+        assert registry.metric_names() == ["a", "b"]
+        names = [m.labels for m in registry.metrics()]
+        assert names == [(("a", "1"),), (("z", "1"),), ()]
+
+    def test_trace_log_is_bounded(self):
+        registry = Registry()
+        for i in range(registry.MAX_TRACES + 10):
+            registry.record_trace("t", 0, float(i))
+        traces = registry.traces()
+        assert len(traces) == registry.MAX_TRACES
+        assert traces[-1] == ("t", 0, float(registry.MAX_TRACES + 9))
+
+
+class TestGlobalSwap:
+    def test_use_registry_swaps_and_restores(self):
+        outer = get_registry()
+        with use_registry() as fresh:
+            assert get_registry() is fresh
+            assert fresh is not outer
+        assert get_registry() is outer
+
+    def test_use_registry_restores_on_raise(self):
+        outer = get_registry()
+        with pytest.raises(RuntimeError):
+            with use_registry():
+                raise RuntimeError("boom")
+        assert get_registry() is outer
+
+    def test_set_registry_returns_previous(self):
+        outer = get_registry()
+        fresh = Registry()
+        assert set_registry(fresh) is outer
+        assert set_registry(outer) is fresh
+
+    def test_set_registry_rejects_non_registry(self):
+        with pytest.raises(TypeError):
+            set_registry(object())
+
+    def test_null_registry_is_disabled(self):
+        assert NullRegistry().enabled is False
+        assert Registry().enabled is True
+
+
+class TestSpans:
+    def test_nesting_builds_paths_and_depths(self):
+        with use_registry() as registry:
+            with span("outer") as outer:
+                assert current_span() is outer
+                with span("inner") as inner:
+                    assert inner.path == "outer/inner"
+                    assert inner.depth == 1
+                assert current_span() is outer
+            assert current_span() is None
+            assert outer.path == "outer"
+            assert outer.depth == 0
+        assert outer.duration is not None and outer.duration >= 0
+        assert inner.duration <= outer.duration
+        assert [path for path, _, _ in registry.traces()] == [
+            "outer/inner",
+            "outer",
+        ]
+
+    def test_exit_reports_histogram_and_counter(self):
+        with use_registry() as registry:
+            with span("work"):
+                pass
+            with span("work"):
+                pass
+        hist = registry.get("span.duration_seconds", span="work")
+        count = registry.get("span.count", span="work")
+        assert hist.count == 2
+        assert count.value == 2
+
+    def test_rejects_multi_segment_names(self):
+        with pytest.raises(ValueError):
+            span("a/b")
+        with pytest.raises(ValueError):
+            span("")
+
+    def test_measures_under_null_registry_but_records_nothing(self):
+        null = NullRegistry()
+        with use_registry(null):
+            with span("quiet") as quiet:
+                pass
+        assert quiet.duration is not None
+        assert len(null) == 0
+        assert null.traces() == []
+
+    def test_exceptions_propagate_and_still_record(self):
+        with use_registry() as registry:
+            with pytest.raises(KeyError):
+                with span("fails"):
+                    raise KeyError("x")
+        assert registry.get("span.count", span="fails").value == 1
+        assert current_span() is None
+
+
+class TestExport:
+    def _sample_registry(self) -> Registry:
+        registry = Registry()
+        registry.counter("oracle.queries", backend="dict").inc(7)
+        registry.gauge("build.labels_per_second", builder="pll").set(123.5)
+        registry.histogram("lat", buckets=(1.0, 2.0)).observe(0.5)
+        registry.histogram("lat", buckets=(1.0, 2.0)).observe(5.0)
+        return registry
+
+    def test_render_table_lists_everything(self):
+        text = render_table(self._sample_registry().snapshot())
+        assert "oracle.queries{backend=dict}" in text
+        assert "build.labels_per_second{builder=pll}" in text
+        assert "count=2" in text
+
+    def test_render_table_empty(self):
+        assert "no metrics" in render_table(Registry().snapshot())
+
+    def test_prometheus_exposition(self):
+        text = render_prometheus(self._sample_registry().snapshot())
+        assert "# TYPE repro_oracle_queries_total counter" in text
+        assert 'repro_oracle_queries_total{backend="dict"} 7' in text
+        assert "repro_build_labels_per_second" in text
+        # Cumulative buckets with the implicit +Inf edge.
+        assert 'repro_lat_bucket{le="1.0"} 1' in text
+        assert 'repro_lat_bucket{le="2.0"} 1' in text
+        assert 'repro_lat_bucket{le="+Inf"} 2' in text
+        assert "repro_lat_count 2" in text
+
+    def test_snapshot_round_trip(self, tmp_path):
+        registry = self._sample_registry()
+        path = tmp_path / "snap.json"
+        written = write_snapshot(registry, str(path))
+        loaded = load_snapshot(str(path))
+        assert loaded == written == registry.snapshot()
+        assert snapshot_names(loaded) == [
+            "build.labels_per_second",
+            "lat",
+            "oracle.queries",
+        ]
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]\n")
+        with pytest.raises(ValueError):
+            load_snapshot(str(path))
+        path.write_text('{"version": 99, "metrics": []}\n')
+        with pytest.raises(ValueError):
+            load_snapshot(str(path))
+
+
+class TestCatalog:
+    def test_names_are_unique_and_sorted(self):
+        names = catalog_names()
+        assert list(names) == sorted(set(names))
+        assert set(names) == set(CATALOG)
+
+    def test_specs_are_well_formed(self):
+        for name, spec in CATALOG.items():
+            assert spec.name == name
+            assert spec.kind in ("counter", "gauge", "histogram")
+            assert isinstance(spec.labels, tuple)
+            assert spec.fires
+
+
+class TestConftestIsolation:
+    def test_autouse_fixture_gives_fresh_registry(self, metrics_registry):
+        # The autouse fixture in conftest swapped this in; nothing else
+        # ran in this test, so it must be empty and active.
+        assert get_registry() is metrics_registry
+        assert len(metrics_registry) == 0

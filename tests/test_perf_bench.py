@@ -3,7 +3,9 @@
 Runs the real suites on the small pinned instance (tiny workload, one
 repeat) and checks the machine-readable contract: the JSON schema
 ``suite -> {metric, value, unit, instance, seed}``, backend consistency,
-and the gate's pass/fail/skip behavior that CI relies on.
+the gate's pass/fail/skip behavior that CI relies on, and that the
+timings written to JSON agree with the ``bench.*`` spans and gauges the
+run reports to the metrics registry (the no-drift guarantee).
 """
 
 import importlib.util
@@ -12,6 +14,11 @@ import pathlib
 
 import pytest
 
+from repro.obs.catalog import (
+    BENCH_SUITE_DURATION_SECONDS,
+    SPAN_DURATION_SECONDS,
+)
+from repro.obs.registry import Registry, use_registry
 from repro.perf.bench import render_results, run_bench, write_results
 
 ROOT = pathlib.Path(__file__).parent.parent
@@ -32,12 +39,34 @@ REQUIRED_SUITES = (
     "label_memory_dict",
     "label_memory_flat",
     "sssp_rows",
+    "obs_overhead",
+)
+
+#: Suites whose gauge records the duration behind a JSON value.
+TIMED_SUITES = (
+    "pll_construction",
+    "flat_conversion",
+    "batch_throughput_dict",
+    "batch_throughput_flat",
+    "sssp_rows",
+    "obs_overhead",
 )
 
 
 @pytest.fixture(scope="module")
-def results():
-    return run_bench(quick=True, num_sources=4, repeats=1)
+def bench_run():
+    # Module-scoped fixtures are created before the function-scoped
+    # autouse registry swap in conftest, so isolate explicitly here and
+    # hand the registry to the agreement tests alongside the results.
+    registry = Registry()
+    with use_registry(registry):
+        results = run_bench(quick=True, num_sources=4, repeats=1)
+    return results, registry
+
+
+@pytest.fixture(scope="module")
+def results(bench_run):
+    return bench_run[0]
 
 
 class TestBenchSchema:
@@ -110,14 +139,27 @@ class TestGateLogic:
 
     def test_backend_mismatch_fails(self):
         current = {"backend_consistency": _entry("mismatches", 3)}
-        assert bench_gate.compare(current, {}, 0.20)
+        assert bench_gate.self_check(current, 0.10)
+
+    def test_overhead_within_budget_passes(self):
+        current = {"obs_overhead": _entry("overhead", 1.07)}
+        assert bench_gate.self_check(current, 0.10) == []
+
+    def test_overhead_above_budget_fails(self):
+        current = {"obs_overhead": _entry("overhead", 1.23)}
+        failures = bench_gate.self_check(current, 0.10)
+        assert len(failures) == 1
+        assert "obs_overhead" in failures[0]
+
+    def test_real_run_overhead_within_gate(self, results):
+        assert bench_gate.self_check(results, 0.10) == []
 
     def test_speedup_is_gated(self):
         current = {"s": _entry("speedup", 2.0)}
         baseline = {"s": _entry("speedup", 3.0)}
         assert bench_gate.compare(current, baseline, 0.20)
 
-    def test_missing_baseline_file_skips(self, tmp_path, capsys):
+    def test_missing_baseline_runs_self_checks_only(self, tmp_path, capsys):
         current = tmp_path / "cur.json"
         current.write_text("{}")
         code = bench_gate.main(
@@ -126,6 +168,31 @@ class TestGateLogic:
                 str(current),
                 "--baseline",
                 str(tmp_path / "missing.json"),
+            ]
+        )
+        assert code == 0
+        assert "self-checks only" in capsys.readouterr().out
+
+    def test_missing_baseline_still_gates_overhead(self, tmp_path):
+        current = tmp_path / "cur.json"
+        current.write_text(json.dumps({"obs_overhead": _entry("overhead", 1.5)}))
+        code = bench_gate.main(
+            [
+                "--current",
+                str(current),
+                "--baseline",
+                str(tmp_path / "missing.json"),
+            ]
+        )
+        assert code == 1
+
+    def test_missing_current_file_skips(self, tmp_path, capsys):
+        code = bench_gate.main(
+            [
+                "--current",
+                str(tmp_path / "missing.json"),
+                "--baseline",
+                str(tmp_path / "also-missing.json"),
             ]
         )
         assert code == 0
@@ -156,3 +223,57 @@ class TestGateLogic:
         baseline = json.loads(path.read_text())
         for suite, row in baseline.items():
             assert row["unit"] in ("x", "pairs"), suite
+
+
+class TestMetricsAgreement:
+    """BENCH_perf.json and the registry must report the same timings."""
+
+    def test_every_timed_suite_has_a_duration_gauge(self, bench_run):
+        _, registry = bench_run
+        for suite in TIMED_SUITES:
+            gauge = registry.get(BENCH_SUITE_DURATION_SECONDS, suite=suite)
+            assert gauge is not None, suite
+            assert gauge.value > 0, suite
+
+    def test_gauge_is_the_best_span_duration(self, bench_run):
+        # The gauge is set to the exact float returned by the timing
+        # loop, which is the minimum of the per-repeat span durations --
+        # identity, not approximation.
+        _, registry = bench_run
+        for suite in TIMED_SUITES:
+            if suite == "pll_construction":
+                continue  # timed by a single span, checked below
+            gauge = registry.get(BENCH_SUITE_DURATION_SECONDS, suite=suite)
+            hist = registry.get(
+                SPAN_DURATION_SECONDS, span=f"bench.{suite}"
+            )
+            assert hist is not None, suite
+            assert hist.count >= 1
+            assert gauge.value == hist.min
+
+    def test_pll_construction_gauge_matches_span(self, bench_run):
+        _, registry = bench_run
+        gauge = registry.get(
+            BENCH_SUITE_DURATION_SECONDS, suite="pll_construction"
+        )
+        hist = registry.get(
+            SPAN_DURATION_SECONDS, span="bench.pll_construction"
+        )
+        assert hist is not None and hist.count == 1
+        assert gauge.value == hist.min == hist.max
+
+    def test_json_values_derive_from_gauge_durations(self, bench_run):
+        results, registry = bench_run
+        checks = {
+            "pll_construction": lambda row, d: row["value"]
+            == round(d, 6),
+            "batch_throughput_dict": lambda row, d: row["value"]
+            == round(row["pairs"] / d, 1),
+            "batch_throughput_flat": lambda row, d: row["value"]
+            == round(row["pairs"] / d, 1),
+            "sssp_rows": lambda row, d: row["value"]
+            == round(row["roots"] / d, 3),
+        }
+        for suite, check in checks.items():
+            gauge = registry.get(BENCH_SUITE_DURATION_SECONDS, suite=suite)
+            assert check(results[suite], gauge.value), suite

@@ -9,12 +9,17 @@ value, unit, instance, seed}``) and exits non-zero when:
   (default 20%) relative to the baseline, or
 * the ``backend_consistency`` suite reports mismatches (the flat and
   dict stores must answer identically -- a fast wrong answer is not a
-  performance win).
+  performance win), or
+* the ``obs_overhead`` suite reports an instrumented/uninstrumented
+  ratio above ``1 + --max-overhead`` (default 10%): the observability
+  layer must stay out of the dict-backend query path's way.
 
-Suites present on only one side are reported but never fail the gate
-(so the suite list can grow without re-baselining), and a missing
-baseline file skips the comparison entirely with exit 0 -- that is how
-the very first CI run bootstraps.
+The consistency and overhead checks are *self-checks* on the current
+file alone and run even without a baseline.  Suites present on only
+one side are reported but never fail the gate (so the suite list can
+grow without re-baselining), and a missing baseline file skips only
+the regression comparison -- that is how the very first CI run
+bootstraps.
 
 Usage::
 
@@ -41,10 +46,8 @@ def load(path: str) -> dict:
     return data
 
 
-def compare(
-    current: dict, baseline: dict, max_regression: float
-) -> list:
-    """Return a list of human-readable failure strings."""
+def self_check(current: dict, max_overhead: float) -> list:
+    """Checks needing only the current file (no baseline)."""
     failures = []
     consistency = current.get("backend_consistency")
     if consistency and consistency.get("value"):
@@ -52,6 +55,23 @@ def compare(
             f"backend_consistency: {consistency['value']} mismatching "
             "pair(s) between flat and dict backends"
         )
+    overhead = current.get("obs_overhead")
+    if overhead is not None:
+        ratio = float(overhead.get("value") or 0.0)
+        ceiling = 1.0 + max_overhead
+        if ratio > ceiling:
+            failures.append(
+                f"obs_overhead: instrumented query path is {ratio:.4f}x "
+                f"the uninstrumented one (allowed {ceiling:.2f}x)"
+            )
+    return failures
+
+
+def compare(
+    current: dict, baseline: dict, max_regression: float
+) -> list:
+    """Return a list of human-readable regression strings."""
+    failures = []
     for suite in sorted(set(current) & set(baseline)):
         cur, base = current[suite], baseline[suite]
         if cur.get("metric") not in THROUGHPUT_METRICS:
@@ -93,26 +113,40 @@ def main(argv=None) -> int:
         default=0.20,
         help="allowed fractional throughput drop (default 0.20)",
     )
+    parser.add_argument(
+        "--max-overhead",
+        type=float,
+        default=0.10,
+        help="allowed fractional instrumentation overhead (default 0.10)",
+    )
     args = parser.parse_args(argv)
-    if not os.path.exists(args.baseline):
-        print(f"bench gate: no baseline at {args.baseline}; skipping")
+    if not os.path.exists(args.current):
+        print(f"bench gate: no current results at {args.current}; skipping")
         return 0
     current = load(args.current)
-    baseline = load(args.baseline)
-    failures = compare(current, baseline, args.max_regression)
-    for suite in sorted(set(current) ^ set(baseline)):
-        side = "baseline" if suite in baseline else "current"
-        print(f"note: suite {suite!r} only in {side}; not gated")
+    failures = self_check(current, args.max_overhead)
+    gated = 0
+    if os.path.exists(args.baseline):
+        baseline = load(args.baseline)
+        failures.extend(compare(current, baseline, args.max_regression))
+        for suite in sorted(set(current) ^ set(baseline)):
+            side = "baseline" if suite in baseline else "current"
+            print(f"note: suite {suite!r} only in {side}; not gated")
+        gated = sum(
+            1
+            for suite in set(current) & set(baseline)
+            if current[suite].get("metric") in THROUGHPUT_METRICS
+        )
+    else:
+        print(
+            f"bench gate: no baseline at {args.baseline}; "
+            "self-checks only"
+        )
     if failures:
         print("bench gate FAILED:")
         for failure in failures:
             print(f"  - {failure}")
         return 1
-    gated = sum(
-        1
-        for suite in set(current) & set(baseline)
-        if current[suite].get("metric") in THROUGHPUT_METRICS
-    )
     print(f"bench gate OK ({gated} throughput suite(s) within bounds)")
     return 0
 

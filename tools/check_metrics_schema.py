@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Gate against metric-name drift: catalogue vs schema vs emission.
+
+Three checks, any failure exits non-zero:
+
+1. the in-code catalogue (``repro.obs.catalog.CATALOG``) matches the
+   committed ``docs/metrics_schema.json`` -- names, instrument kinds,
+   and label keys (rename a metric without regenerating the schema and
+   CI fails);
+2. a workload touching every instrumented subsystem (labeling builds,
+   both oracle backends, the resilient runtime, a chaos sweep) emits
+   only catalogued names -- stray string literals cannot sneak in;
+3. every catalogued name is actually emitted by that workload, except
+   for an explicit allowlist of bench-only metrics -- the catalogue
+   cannot grow dead entries.
+
+Regenerate the schema after an intentional catalogue change with::
+
+    python tools/check_metrics_schema.py --write
+
+CI's bench job and ``tests/test_obs_integration.py`` both run this.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+SCHEMA_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "..",
+    "docs",
+    "metrics_schema.json",
+)
+
+#: Catalogued names the check workload does not emit (bench-only).
+BENCH_ONLY = {"bench.suite_duration_seconds"}
+
+
+def build_schema() -> dict:
+    """The schema document derived from the in-code catalogue."""
+    from repro.obs.catalog import CATALOG
+
+    return {
+        "version": 1,
+        "metrics": {
+            name: {"kind": spec.kind, "labels": list(spec.labels)}
+            for name, spec in sorted(CATALOG.items())
+        },
+    }
+
+
+def run_workload() -> set:
+    """Emit metrics from every instrumented subsystem; return the names."""
+    from repro.core import pruned_landmark_labeling
+    from repro.core.hitting import build_hitting_set
+    from repro.graphs import random_sparse_graph
+    from repro.obs.registry import Registry, use_registry
+    from repro.oracles.oracle import HubLabelOracle
+    from repro.runtime import ResilientOracle, chaos_sweep
+
+    registry = Registry()
+    with use_registry(registry):
+        graph = random_sparse_graph(24, seed=3)
+        labeling = pruned_landmark_labeling(graph)
+        build_hitting_set(graph, 3)
+        pairs = [(u, v) for u in range(8) for v in range(8)]
+        for backend in ("dict", "flat"):
+            oracle = HubLabelOracle(labeling, backend=backend)
+            for u, v in pairs[:20]:
+                oracle.query(u, v)
+            oracle.batch_query(pairs)
+        resilient = ResilientOracle(
+            graph, labeling, fallback=True, verify_sample=4
+        )
+        resilient.query(0, 5)
+        resilient.batch_query(pairs[:6])
+        chaos_sweep(
+            graph, labeling, trials_per_kind=1, queries_per_trial=2, seed=0
+        )
+    return {metric.name for metric in registry.metrics()}
+
+
+def check(schema_path: str = SCHEMA_PATH) -> list:
+    """Return a list of human-readable failure strings."""
+    from repro.obs.catalog import CATALOG
+
+    failures = []
+    expected = build_schema()
+    try:
+        with open(schema_path) as handle:
+            committed = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"cannot read {schema_path}: {exc}"]
+    if committed != expected:
+        committed_names = set(committed.get("metrics", {}))
+        catalog_names_set = set(expected["metrics"])
+        for name in sorted(catalog_names_set - committed_names):
+            failures.append(f"catalogued but missing from schema: {name}")
+        for name in sorted(committed_names - catalog_names_set):
+            failures.append(f"in schema but not catalogued: {name}")
+        for name in sorted(committed_names & catalog_names_set):
+            if committed["metrics"][name] != expected["metrics"][name]:
+                failures.append(
+                    f"schema disagrees with catalogue for {name}: "
+                    f"{committed['metrics'][name]} != "
+                    f"{expected['metrics'][name]}"
+                )
+        if not failures:
+            failures.append(
+                "schema file differs from the catalogue "
+                "(regenerate with --write)"
+            )
+    emitted = run_workload()
+    for name in sorted(emitted - set(CATALOG)):
+        failures.append(f"emitted but not catalogued: {name}")
+    silent = set(CATALOG) - emitted - BENCH_ONLY
+    for name in sorted(silent):
+        failures.append(
+            f"catalogued but never emitted by the check workload: {name}"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="regenerate docs/metrics_schema.json from the catalogue",
+    )
+    parser.add_argument("--schema", default=SCHEMA_PATH)
+    args = parser.parse_args(argv)
+    if args.write:
+        with open(args.schema, "w") as handle:
+            json.dump(build_schema(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.schema}")
+        return 0
+    failures = check(args.schema)
+    if failures:
+        print("metrics schema check FAILED:")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print(
+        "metrics schema check OK "
+        f"({len(json.load(open(args.schema))['metrics'])} metrics)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,135 @@
+#!/usr/bin/env python3
+"""Regenerate the seed-pinned differential corpus (``tests/data/``).
+
+Each case is a small graph drawn from a pinned seed (sparse, tree,
+forest, weighted, and one hard-instance slice), its query pairs, and
+the ground-truth distances from exact BFS/Dijkstra with ``null``
+standing in for +inf.  ``tests/test_differential_backends.py`` replays
+every case through both oracle backends and asserts byte-identical
+answers -- the corpus makes a backend behavior change show up as a
+reviewable test diff even when property testing misses it.
+
+The corpus is committed; rerun this script only when the case list
+itself is meant to change::
+
+    python tools/gen_differential_corpus.py
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import random
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+OUT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "..",
+    "tests",
+    "data",
+    "differential_corpus.json",
+)
+
+
+def _sparse_case(name, n, extra_edges, seed, weighted=False):
+    from repro.graphs import Graph
+
+    rng = random.Random(seed)
+    graph = Graph(n)
+    # A random spanning tree keeps most cases connected...
+    for v in range(1, n):
+        graph.add_edge(rng.randrange(v), v, rng.randint(1, 9) if weighted else 1)
+    for _ in range(extra_edges):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            graph.add_edge(u, v, rng.randint(1, 9) if weighted else 1)
+    return name, seed, graph
+
+
+def _forest_case(name, n, seed):
+    from repro.graphs import Graph
+
+    rng = random.Random(seed)
+    graph = Graph(n)
+    # ...and dropping edges with probability 1/3 guarantees INF pairs.
+    for v in range(1, n):
+        if rng.random() < 2 / 3:
+            graph.add_edge(rng.randrange(v), v)
+    return name, seed, graph
+
+
+def _hard_case(name, b, ell, seed):
+    from repro.lowerbound import build_degree3_instance
+
+    return name, seed, build_degree3_instance(b, ell).graph
+
+
+def build_cases():
+    cases = []
+    specs = [
+        _sparse_case("sparse-12", 12, 6, seed=101),
+        _sparse_case("sparse-20", 20, 12, seed=202),
+        _sparse_case("weighted-10", 10, 8, seed=303, weighted=True),
+        _sparse_case("weighted-16", 16, 10, seed=404, weighted=True),
+        _forest_case("forest-14", 14, seed=505),
+        _forest_case("forest-9", 9, seed=606),
+        _hard_case("degree3-G11", 1, 1, seed=707),
+    ]
+    from repro.graphs.traversal import shortest_path_distances
+
+    for name, seed, graph in specs:
+        n = graph.num_vertices
+        rng = random.Random(seed)
+        if n <= 20:
+            pairs = [(u, v) for u in range(n) for v in range(n)]
+        else:
+            pairs = [
+                (rng.randrange(n), rng.randrange(n)) for _ in range(200)
+            ]
+        rows = {}
+        expected = []
+        for u, v in pairs:
+            if u not in rows:
+                rows[u] = shortest_path_distances(graph, u)[0]
+            d = rows[u][v]
+            expected.append(None if math.isinf(d) else d)
+        edges = sorted(
+            (u, v, w)
+            for u in range(n)
+            for v, w in graph.neighbors(u)
+            if u < v
+        )
+        cases.append(
+            {
+                "name": name,
+                "seed": seed,
+                "n": n,
+                "edges": edges,
+                "pairs": [list(pair) for pair in pairs],
+                "expected": expected,
+            }
+        )
+    return cases
+
+
+def main() -> int:
+    corpus = {"version": 1, "cases": build_cases()}
+    os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
+    with open(OUT_PATH, "w") as handle:
+        json.dump(corpus, handle, indent=1)
+        handle.write("\n")
+    total_pairs = sum(len(case["pairs"]) for case in corpus["cases"])
+    print(
+        f"wrote {OUT_PATH}: {len(corpus['cases'])} cases, "
+        f"{total_pairs} pinned pairs"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
