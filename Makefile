@@ -1,7 +1,7 @@
 # Convenience targets.  The environment is offline: editable installs go
 # through setup.cfg (legacy path), never an isolated PEP-517 build.
 
-.PHONY: install test bench bench-full bench-tables experiments examples coverage chaos stats schema clean
+.PHONY: install test bench bench-full bench-tables build-bench experiments examples coverage chaos stats schema clean
 
 install:
 	pip install -e .
@@ -18,6 +18,12 @@ bench:
 
 bench-full:
 	python -m repro bench
+
+build-bench:
+	python -m repro build --generator sparse:200 --cache-dir .labelcache
+	python -m repro build --generator sparse:200 --cache-dir .labelcache | tee build-warm.log
+	grep -q "cache: hit" build-warm.log
+	rm -f build-warm.log
 
 bench-tables:
 	pytest benchmarks/ --benchmark-only

@@ -6,6 +6,10 @@ Commands:
   (``--only E1,E4`` to filter; ``--fast`` to skip the heavy ones);
 * ``label``       -- build a hub labeling for a graph given as an
   edge-list file (or a named generator) and report sizes / save it;
+* ``build``       -- run the fast flat-label builder
+  (:func:`repro.perf.build.build_flat_labels`) and report throughput;
+  with ``--cache-dir DIR`` the result is persisted and later runs are
+  served from the cache (the line ``cache: hit|miss|off`` says which);
 * ``query``       -- load a saved labeling and answer distance queries,
   optionally through the resilient runtime (``--graph`` +
   ``--fallback`` / ``--verify-sample``);
@@ -29,6 +33,8 @@ Examples::
 
     python -m repro.cli experiments --only E1,E8
     python -m repro.cli label --generator sparse:200 --method pll --save labels.bin
+    python -m repro.cli build --generator sparse:200 --cache-dir .labelcache
+    python -m repro.cli query 0 42 --generator sparse:200 --cache-dir .labelcache
     python -m repro.cli query labels.bin 0 42 7 199
     python -m repro.cli query labels.bin 0 42 --graph g.txt --verify-sample 8
     python -m repro.cli instance --b 2 --l 1
@@ -133,11 +139,62 @@ def _cmd_label(args) -> int:
 
 
 def _cmd_query(args) -> int:
-    with open(args.labeling, "rb") as handle:
-        labeling = labeling_from_bytes(handle.read())
-    if len(args.vertices) % 2:
+    vertices = list(args.vertices)
+    cached_flat = None
+    if args.cache_dir:
+        if not (args.graph or args.generator):
+            raise SystemExit(
+                "--cache-dir needs the graph: add --graph FILE or "
+                "--generator KIND:N"
+            )
+        if args.labeling is not None:
+            # The labeling comes from the cache, so every positional
+            # argument is a query vertex.
+            try:
+                vertices.insert(0, int(args.labeling))
+            except ValueError:
+                raise SystemExit(
+                    "--cache-dir builds the labeling from the graph; "
+                    f"drop the labeling file argument {args.labeling!r}"
+                )
+        from .perf.cache import LabelCache
+
+        graph = _load_graph(args)
+        cached_flat = LabelCache(args.cache_dir).load_or_build(graph)
+        labeling = cached_flat
+    else:
+        if args.labeling is None:
+            raise SystemExit(
+                "provide a labeling file (or --cache-dir DIR with a "
+                "graph source)"
+            )
+        with open(args.labeling, "rb") as handle:
+            labeling = labeling_from_bytes(handle.read())
+    if not vertices:
+        raise SystemExit("provide query vertices: u1 v1 u2 v2 ...")
+    if len(vertices) % 2:
         raise SystemExit("provide an even number of vertices (pairs)")
-    pairs = list(zip(args.vertices[::2], args.vertices[1::2]))
+    pairs = list(zip(vertices[::2], vertices[1::2]))
+    if cached_flat is not None:
+        wants_runtime = bool(args.fallback) or bool(args.verify_sample)
+        if not wants_runtime:
+            # Serve straight from the flat store: a warm cache run does
+            # no construction at all (no build.flat span is emitted).
+            from .oracles.oracle import HubLabelOracle
+
+            oracle = HubLabelOracle(cached_flat, backend="flat")
+            for u, v in pairs:
+                for vertex in (u, v):
+                    if not 0 <= vertex < cached_flat.num_vertices:
+                        raise DomainError(
+                            f"vertex {vertex} outside "
+                            f"0..{cached_flat.num_vertices - 1}"
+                        )
+                print(f"dist({u}, {v}) = {oracle.query(u, v).distance}")
+            _maybe_write_metrics(args)
+            return 0
+        # The resilient runtime consumes the dict store.
+        labeling = cached_flat.to_labeling()
     has_graph = bool(args.graph or args.generator)
     if not has_graph:
         if args.fallback:
@@ -184,9 +241,69 @@ def _cmd_query(args) -> int:
     return 0
 
 
+def _cmd_build(args) -> int:
+    import time
+
+    from .core.orders import degree_order
+    from .perf.build import build_flat_labels
+
+    graph = _load_graph(args)
+    order = degree_order(graph)
+    start = time.perf_counter()
+    if args.cache_dir:
+        from .perf.cache import LabelCache, cache_key
+
+        cache = LabelCache(args.cache_dir)
+        flat = cache.load(graph, order)
+        if flat is None:
+            status = "miss"
+            flat = build_flat_labels(graph, order)
+            artifact = cache.store(graph, order, flat)
+        else:
+            status = "hit"
+            artifact = cache.path_for(cache_key(graph, order))
+    else:
+        status = "off"
+        artifact = None
+        flat = build_flat_labels(graph, order)
+    elapsed = time.perf_counter() - start
+    print(f"graph:    {graph}")
+    print(f"labeling: {flat}")
+    print(
+        f"built {flat.total_size()} label entries in {elapsed:.3f}s "
+        f"({flat.total_size() / elapsed:,.0f} entries/s)"
+        if elapsed > 0
+        else f"built {flat.total_size()} label entries"
+    )
+    print(f"cache: {status}")
+    if artifact is not None:
+        print(f"artifact: {artifact}")
+    if args.save:
+        from .core.io import flat_labeling_to_bytes
+
+        blob = flat_labeling_to_bytes(flat)
+        with open(args.save, "wb") as handle:
+            handle.write(blob)
+        print(f"saved {len(blob)} bytes to {args.save}")
+    _maybe_write_metrics(args)
+    return 0
+
+
 def _cmd_chaos(args) -> int:
     graph = _load_graph(args)
-    labeling = _build_labeling(graph, args.method, args.seed)
+    if args.cache_dir:
+        if args.method != "pll":
+            raise SystemExit(
+                "--cache-dir caches the canonical PLL labeling; "
+                f"it cannot serve --method {args.method}"
+            )
+        from .perf.cache import LabelCache
+
+        labeling = LabelCache(args.cache_dir).load_or_build(
+            graph
+        ).to_labeling()
+    else:
+        labeling = _build_labeling(graph, args.method, args.seed)
     kinds = args.faults.split(",") if args.faults else list(FAULT_KINDS)
     for kind in kinds:
         if kind not in FAULT_KINDS:
@@ -234,6 +351,7 @@ def _cmd_bench(args) -> int:
         num_sources=args.sources,
         repeats=args.repeats,
         workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     print(render_results(results))
     write_results(results, args.out)
@@ -405,10 +523,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_label.set_defaults(func=_cmd_label)
 
+    p_build = sub.add_parser(
+        "build", help="fast flat-label build (optionally cached)"
+    )
+    p_build.add_argument("--graph", help="edge-list file (n m, then u v w)")
+    p_build.add_argument(
+        "--generator", help="KIND:N with KIND in sparse|tree|grid|degree3"
+    )
+    p_build.add_argument("--seed", type=int, default=0)
+    p_build.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="persist the labels; later runs reload instead of building",
+    )
+    p_build.add_argument(
+        "--save", help="also write the flat artifact to this file"
+    )
+    p_build.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="dump the final metrics registry snapshot as JSON",
+    )
+    p_build.set_defaults(func=_cmd_build)
+
     p_query = sub.add_parser("query", help="query a saved labeling")
-    p_query.add_argument("labeling", help="binary labeling file")
     p_query.add_argument(
-        "vertices", nargs="+", type=int, help="pairs: u1 v1 u2 v2 ..."
+        "labeling",
+        nargs="?",
+        help="binary labeling file (omit when --cache-dir builds the "
+        "labels from a graph source)",
+    )
+    p_query.add_argument(
+        "vertices", nargs="*", type=int, help="pairs: u1 v1 u2 v2 ..."
     )
     p_query.add_argument(
         "--graph", help="edge-list file (enables the resilient runtime)"
@@ -432,6 +578,12 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="admission-check the labeling from N sampled sources "
         "(N >= n verifies exhaustively) before answering",
+    )
+    p_query.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="serve labels from this cache (needs a graph source); "
+        "builds and persists them on the first run",
     )
     p_query.add_argument(
         "--metrics-out",
@@ -471,6 +623,11 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"comma-separated subset of {','.join(FAULT_KINDS)}",
     )
     p_chaos.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="reuse cached canonical labels (--method pll only)",
+    )
+    p_chaos.add_argument(
         "--metrics-out",
         metavar="FILE",
         help="dump the final metrics registry snapshot as JSON",
@@ -506,6 +663,11 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="process-pool size for the traversal fan-out suite",
+    )
+    p_bench.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="directory for the cache suites (default: a temp dir)",
     )
     p_bench.add_argument(
         "--metrics-out",

@@ -63,6 +63,8 @@ from .fastquery import QueryStats, SortedHubIndex
 from .pruning import prune_labeling
 from .highway import HighwayEstimate, estimate_highway_dimension
 from .io import (
+    flat_labeling_from_bytes,
+    flat_labeling_to_bytes,
     graph_from_edgelist,
     graph_to_edgelist,
     labeling_from_bytes,
@@ -137,6 +139,8 @@ __all__ = [
     "QueryStats",
     "SortedHubIndex",
     "prune_labeling",
+    "flat_labeling_from_bytes",
+    "flat_labeling_to_bytes",
     "graph_from_edgelist",
     "graph_to_edgelist",
     "labeling_from_bytes",

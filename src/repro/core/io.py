@@ -22,47 +22,75 @@ garbage.  Envelope layout, all integers big-endian::
 
     offset  size  field
     0       4     magic  b"RHL\\x01"  (format marker)
-    4       1     format version      (currently 1)
+    4       1     format version      (1 = bit stream, 2 = flat arrays)
     5       8     num_vertices        (redundant with payload; checked)
     13      8     payload length in bytes
     21      4     CRC32 of payload
-    25      ...   payload = legacy bit stream (8-byte bit count + bits)
+    25      ...   payload
+
+Version-1 payloads are the legacy bit stream (8-byte bit count + bits).
+Version-2 payloads (:func:`flat_labeling_to_bytes` /
+:func:`flat_labeling_from_bytes`) carry a
+:class:`~repro.perf.flat.FlatHubLabeling` as raw little-endian arrays::
+
+    8                 total entry count T  (big-endian, like the header)
+    8 * (n + 1)       offsets  (int64)
+    8 * T             hub ids  (int64)
+    8 * T             distances (float64)
+
+which serialize and load in milliseconds even for multi-million-entry
+labelings -- the format behind the persistent label cache
+(:mod:`repro.perf.cache`).  Loaded flat payloads are structurally
+validated (offsets monotone, hub ids in range and ascending per run)
+before use.
 
 Legacy (pre-envelope) blobs start with the payload directly; since
 their leading 8-byte bit count never reaches ``2**56``, the first byte
 of a legacy blob is always ``0x00`` and the two formats cannot be
-confused.  :func:`labeling_from_bytes` reads both.  Malformed input of
-either flavor raises :class:`~repro.runtime.errors.ArtifactCorruptError`
-with the offset where decoding failed; malformed edge-list text raises
+confused.  :func:`labeling_from_bytes` and
+:func:`flat_labeling_from_bytes` each read every flavor, converting
+between stores as needed.  Malformed input of any flavor raises
+:class:`~repro.runtime.errors.ArtifactCorruptError` with the offset
+where decoding failed; malformed edge-list text raises
 :class:`~repro.runtime.errors.FormatError` naming the offending line.
 """
 
 from __future__ import annotations
 
 import json
+import sys
 import zlib
-from typing import List
+from array import array
+from typing import TYPE_CHECKING, List, Tuple
 
 from ..graphs.graph import Graph
 from ..labeling.bits import BitReader, BitWriter
 from ..runtime.errors import ArtifactCorruptError, FormatError
 from .hublabel import HubLabeling
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..perf.flat import FlatHubLabeling
+
 __all__ = [
     "ARTIFACT_MAGIC",
     "ARTIFACT_VERSION",
+    "FLAT_ARTIFACT_VERSION",
     "labeling_to_json",
     "labeling_from_json",
     "labeling_to_bytes",
     "labeling_from_bytes",
+    "flat_labeling_to_bytes",
+    "flat_labeling_from_bytes",
     "graph_to_edgelist",
     "graph_from_edgelist",
 ]
 
 #: Leading bytes of an enveloped labeling artifact.
 ARTIFACT_MAGIC = b"RHL\x01"
-#: Current envelope format version.
+#: Envelope format version of the gap+gamma bit-stream payload.
 ARTIFACT_VERSION = 1
+#: Envelope format version of the flat-array payload.
+FLAT_ARTIFACT_VERSION = 2
 #: Envelope header size: magic + version + n + payload length + CRC32.
 _HEADER_SIZE = 4 + 1 + 8 + 8 + 4
 
@@ -201,47 +229,66 @@ def _decode_payload(payload: bytes, *, base_offset: int = 0) -> HubLabeling:
     return labeling
 
 
+def _open_envelope(blob: bytes) -> Tuple[int, int, bytes]:
+    """Validate an enveloped blob; return (version, declared_n, payload).
+
+    Checks the header size, payload length and CRC32 -- everything but
+    the version-specific payload decode.
+    """
+    if len(blob) < _HEADER_SIZE:
+        raise ArtifactCorruptError(
+            f"envelope header truncated ({len(blob)} of "
+            f"{_HEADER_SIZE} bytes)",
+            offset=len(blob),
+        )
+    version = blob[4]
+    declared_n = int.from_bytes(blob[5:13], "big")
+    payload_len = int.from_bytes(blob[13:21], "big")
+    checksum = int.from_bytes(blob[21:25], "big")
+    payload = blob[_HEADER_SIZE:]
+    if len(payload) != payload_len:
+        raise ArtifactCorruptError(
+            f"payload is {len(payload)} bytes, header declares "
+            f"{payload_len}",
+            offset=_HEADER_SIZE + min(len(payload), payload_len),
+        )
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != checksum:
+        raise ArtifactCorruptError(
+            "payload CRC32 mismatch (artifact bytes were altered)",
+            offset=_HEADER_SIZE,
+        )
+    return version, declared_n, payload
+
+
+def _decode_v1_envelope(declared_n: int, payload: bytes) -> HubLabeling:
+    labeling = _decode_payload(payload, base_offset=_HEADER_SIZE)
+    if labeling.num_vertices != declared_n:
+        raise ArtifactCorruptError(
+            f"header declares {declared_n} vertices, payload decodes "
+            f"{labeling.num_vertices}",
+            offset=5,
+        )
+    return labeling
+
+
 def labeling_from_bytes(blob: bytes) -> HubLabeling:
     """Deserialize a labeling from envelope or legacy bytes.
 
-    Raises :class:`ArtifactCorruptError` (with the failing offset) on
-    truncated, bit-flipped, or otherwise malformed input.
+    Accepts every format this module writes -- version-1 bit streams,
+    version-2 flat arrays (thawed into the dict store), and legacy
+    pre-envelope blobs.  Raises :class:`ArtifactCorruptError` (with the
+    failing offset) on truncated, bit-flipped, or otherwise malformed
+    input.
     """
     if blob[:4] == ARTIFACT_MAGIC:
-        if len(blob) < _HEADER_SIZE:
-            raise ArtifactCorruptError(
-                f"envelope header truncated ({len(blob)} of "
-                f"{_HEADER_SIZE} bytes)",
-                offset=len(blob),
-            )
-        version = blob[4]
-        if version != ARTIFACT_VERSION:
-            raise ArtifactCorruptError(
-                f"unsupported artifact version {version}", offset=4
-            )
-        declared_n = int.from_bytes(blob[5:13], "big")
-        payload_len = int.from_bytes(blob[13:21], "big")
-        checksum = int.from_bytes(blob[21:25], "big")
-        payload = blob[_HEADER_SIZE:]
-        if len(payload) != payload_len:
-            raise ArtifactCorruptError(
-                f"payload is {len(payload)} bytes, header declares "
-                f"{payload_len}",
-                offset=_HEADER_SIZE + min(len(payload), payload_len),
-            )
-        if (zlib.crc32(payload) & 0xFFFFFFFF) != checksum:
-            raise ArtifactCorruptError(
-                "payload CRC32 mismatch (artifact bytes were altered)",
-                offset=_HEADER_SIZE,
-            )
-        labeling = _decode_payload(payload, base_offset=_HEADER_SIZE)
-        if labeling.num_vertices != declared_n:
-            raise ArtifactCorruptError(
-                f"header declares {declared_n} vertices, payload decodes "
-                f"{labeling.num_vertices}",
-                offset=5,
-            )
-        return labeling
+        version, declared_n, payload = _open_envelope(blob)
+        if version == ARTIFACT_VERSION:
+            return _decode_v1_envelope(declared_n, payload)
+        if version == FLAT_ARTIFACT_VERSION:
+            return _decode_v2_envelope(declared_n, payload).to_labeling()
+        raise ArtifactCorruptError(
+            f"unsupported artifact version {version}", offset=4
+        )
     if not blob:
         raise ArtifactCorruptError("empty artifact", offset=0)
     if blob[0] != 0:
@@ -251,6 +298,112 @@ def labeling_from_bytes(blob: bytes) -> HubLabeling:
             offset=0,
         )
     return _decode_payload(blob)
+
+
+# ----------------------------------------------------------------------
+# Flat-array payload (envelope version 2)
+# ----------------------------------------------------------------------
+def _le_bytes(values: array) -> bytes:
+    """The array's raw bytes, little-endian, widened to 8-byte items."""
+    if values.itemsize != 8:  # pragma: no cover - exotic platforms
+        values = array("q" if values.typecode != "d" else "d", values)
+    if sys.byteorder == "big":  # pragma: no cover - exotic platforms
+        values = array(values.typecode, values)
+        values.byteswap()
+    return values.tobytes()
+
+
+def _le_array(typecode: str, raw: bytes) -> array:
+    """Inverse of :func:`_le_bytes` into an ``array(typecode)``."""
+    out = array(typecode)
+    if out.itemsize == 8:
+        out.frombytes(raw)
+        if sys.byteorder == "big":  # pragma: no cover - exotic platforms
+            out.byteswap()
+        return out
+    wide = array("q" if typecode != "d" else "d")  # pragma: no cover
+    wide.frombytes(raw)  # pragma: no cover
+    if sys.byteorder == "big":  # pragma: no cover
+        wide.byteswap()
+    out.extend(wide)  # pragma: no cover
+    return out  # pragma: no cover
+
+
+def flat_labeling_to_bytes(flat: "FlatHubLabeling") -> bytes:
+    """Serialize a flat labeling as a version-2 enveloped artifact.
+
+    The payload is the store's CSR arrays verbatim (little-endian), so
+    both directions are O(bytes) copies -- no per-entry coding.  The
+    result round-trips through :func:`flat_labeling_from_bytes` and is
+    also readable by :func:`labeling_from_bytes`.
+    """
+    payload = bytearray()
+    payload += flat.total_size().to_bytes(8, "big")
+    payload += _le_bytes(flat._offsets)
+    payload += _le_bytes(flat._hubs)
+    payload += _le_bytes(flat._dists)
+    header = bytearray()
+    header += ARTIFACT_MAGIC
+    header.append(FLAT_ARTIFACT_VERSION)
+    header += flat.num_vertices.to_bytes(8, "big")
+    header += len(payload).to_bytes(8, "big")
+    header += (zlib.crc32(payload) & 0xFFFFFFFF).to_bytes(4, "big")
+    return bytes(header) + bytes(payload)
+
+
+def _decode_v2_envelope(declared_n: int, payload: bytes) -> "FlatHubLabeling":
+    from ..perf.flat import FlatHubLabeling
+
+    if len(payload) < 8:
+        raise ArtifactCorruptError(
+            "flat payload shorter than its 8-byte entry count",
+            offset=_HEADER_SIZE + len(payload),
+        )
+    total = int.from_bytes(payload[:8], "big")
+    expected = 8 + 8 * (declared_n + 1) + 16 * total
+    if len(payload) != expected:
+        raise ArtifactCorruptError(
+            f"flat payload is {len(payload)} bytes, {expected} expected "
+            f"for {declared_n} vertices and {total} entries",
+            offset=_HEADER_SIZE + min(len(payload), expected),
+        )
+    cut_offsets = 8 + 8 * (declared_n + 1)
+    cut_hubs = cut_offsets + 8 * total
+    offsets = _le_array("l", payload[8:cut_offsets])
+    hubs = _le_array("l", payload[cut_offsets:cut_hubs])
+    dists = _le_array("d", payload[cut_hubs:])
+    try:
+        return FlatHubLabeling.from_arrays(offsets, hubs, dists)
+    except ValueError as exc:
+        raise ArtifactCorruptError(
+            f"flat payload failed structural validation ({exc})",
+            offset=_HEADER_SIZE + 8,
+        ) from None
+
+
+def flat_labeling_from_bytes(blob: bytes) -> "FlatHubLabeling":
+    """Deserialize a :class:`FlatHubLabeling` from any artifact flavor.
+
+    Version-2 blobs load by array adoption (plus structural
+    validation); version-1 and legacy bit streams are decoded and
+    frozen, so existing artifacts keep working.  Raises
+    :class:`ArtifactCorruptError` exactly like
+    :func:`labeling_from_bytes`.
+    """
+    from ..perf.flat import FlatHubLabeling
+
+    if blob[:4] == ARTIFACT_MAGIC:
+        version, declared_n, payload = _open_envelope(blob)
+        if version == FLAT_ARTIFACT_VERSION:
+            return _decode_v2_envelope(declared_n, payload)
+        if version == ARTIFACT_VERSION:
+            return FlatHubLabeling.from_labeling(
+                _decode_v1_envelope(declared_n, payload)
+            )
+        raise ArtifactCorruptError(
+            f"unsupported artifact version {version}", offset=4
+        )
+    return FlatHubLabeling.from_labeling(labeling_from_bytes(blob))
 
 
 # ----------------------------------------------------------------------

@@ -41,6 +41,11 @@ RESILIENT_QUARANTINED_VERTICES = "resilient.quarantined_vertices"
 
 BUILD_LABELS_PER_SECOND = "build.labels_per_second"
 BUILD_PAIRS_PER_SECOND = "build.pairs_per_second"
+BUILD_DURATION_SECONDS = "build.duration_seconds"
+BUILD_BITPARALLEL_PASSES = "build.bitparallel_passes"
+BUILD_CACHE_HITS = "build.cache_hits"
+BUILD_CACHE_MISSES = "build.cache_misses"
+BUILD_CACHE_INVALIDATIONS = "build.cache_invalidations"
 
 CHAOS_INJECTIONS = "chaos.injections"
 CHAOS_DETECTED_AT_LOAD = "chaos.detected_at_load"
@@ -112,12 +117,36 @@ _SPECS = (
     MetricSpec(
         BUILD_LABELS_PER_SECOND, "gauge", ("builder",),
         "label entries produced per second by the last labeling build "
-        "(builder = pll | pll-fast | greedy)",
+        "(builder = pll | pll-fast | greedy | flat-bitparallel | "
+        "flat-fallback)",
     ),
     MetricSpec(
         BUILD_PAIRS_PER_SECOND, "gauge", ("builder",),
         "vertex pairs classified per second by the last hitting-set "
         "build (builder = hitting-set)",
+    ),
+    MetricSpec(
+        BUILD_DURATION_SECONDS, "gauge", ("builder",),
+        "wall time of the last flat-label construction "
+        "(builder = bitparallel | fallback)",
+    ),
+    MetricSpec(
+        BUILD_BITPARALLEL_PASSES, "counter", (),
+        "per multi-root batch pass of the bit-parallel builder "
+        "(created at 0 when the pure-Python fallback runs instead)",
+    ),
+    MetricSpec(
+        BUILD_CACHE_HITS, "counter", (),
+        "per label-cache lookup answered from a stored artifact",
+    ),
+    MetricSpec(
+        BUILD_CACHE_MISSES, "counter", (),
+        "per label-cache lookup that found no stored artifact",
+    ),
+    MetricSpec(
+        BUILD_CACHE_INVALIDATIONS, "counter", (),
+        "per stored artifact discarded as corrupt or mismatched "
+        "(the entry is deleted and rebuilt)",
     ),
     MetricSpec(
         CHAOS_INJECTIONS, "counter", ("kind",),

@@ -129,6 +129,36 @@ class HubLabelOracle:
         self._obs_registry = None
         self._obs: Optional[tuple] = None
 
+    @classmethod
+    def from_graph(
+        cls,
+        graph: Graph,
+        *,
+        order: Optional[List[int]] = None,
+        backend: str = "flat",
+        cache_dir=None,
+    ) -> "HubLabelOracle":
+        """Build an oracle straight from a graph, labels included.
+
+        The construction end-to-end path: the canonical hierarchical
+        labeling is produced by the bit-parallel direct-to-flat builder
+        (:func:`repro.perf.build.build_flat_labels`) -- no dict
+        intermediate, no conversion pass -- and served through the
+        requested ``backend``.  With ``cache_dir`` the labels go
+        through :class:`repro.perf.cache.LabelCache`, so repeat runs
+        skip construction entirely.
+        """
+        # Imported lazily: repro.perf sits above the oracles layer.
+        if cache_dir is not None:
+            from ..perf.cache import LabelCache
+
+            flat = LabelCache(cache_dir).load_or_build(graph, order)
+        else:
+            from ..perf.build import build_flat_labels
+
+            flat = build_flat_labels(graph, order)
+        return cls(flat, backend=backend)
+
     def _rebind_obs(self, registry) -> Optional[tuple]:
         self._obs_registry = registry
         if registry.enabled:

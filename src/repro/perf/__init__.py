@@ -1,11 +1,17 @@
-"""Performance layer: flat-array labels, parallel sweeps, benchmarks.
+"""Performance layer: flat labels, fast construction, caching, benches.
 
-Three pieces (see docs/performance.md):
+The pieces (see docs/performance.md):
 
 * :class:`~repro.perf.flat.FlatHubLabeling` -- immutable CSR-style
   label store with pointer-merge queries and a vectorized
   ``batch_query`` (:mod:`repro.perf.kernels`), selectable on the
   oracles via ``backend="flat"``;
+* :func:`~repro.perf.build.build_flat_labels` -- the bit-parallel
+  multi-root PLL builder emitting the canonical labeling straight to
+  the flat layout (no dict intermediate, no conversion pass);
+* :class:`~repro.perf.cache.LabelCache` -- persistent on-disk label
+  cache keyed by (graph, order, builder version), behind ``repro
+  build`` and the ``--cache-dir`` CLI flag;
 * :mod:`repro.perf.parallel` -- process-pool fan-out for per-root
   BFS/Dijkstra sweeps, behind the ``workers=`` knob on
   ``build_hitting_set`` / ``LandmarkOracle`` / ``verify_cover_sampled``;
@@ -14,13 +20,20 @@ Three pieces (see docs/performance.md):
   a library dependency).
 """
 
+from .build import BUILDER_VERSION, bitparallel_available, build_flat_labels
+from .cache import LabelCache, cache_key
 from .flat import FlatHubLabeling
 from .kernels import HAVE_NUMPY
 from .parallel import resolve_workers, shortest_path_rows
 
 __all__ = [
+    "BUILDER_VERSION",
     "FlatHubLabeling",
     "HAVE_NUMPY",
+    "LabelCache",
+    "bitparallel_available",
+    "build_flat_labels",
+    "cache_key",
     "resolve_workers",
     "shortest_path_rows",
 ]

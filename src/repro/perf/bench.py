@@ -6,7 +6,20 @@ Runs a fixed set of performance suites on a pinned hard instance
 instance, seed}``.  The suites:
 
 * ``pll_construction``      -- PLL build time on the pinned instance;
-* ``flat_conversion``       -- dict -> :class:`FlatHubLabeling` time;
+* ``build_throughput``      -- label entries/s of the direct-to-flat
+  bit-parallel builder (:func:`repro.perf.build.build_flat_labels`);
+* ``build_speedup``         -- reference PLL build time / direct build
+  time (the acceptance gate wants >= 3.0x on ``G(2,2)``);
+* ``build_consistency``     -- vertices whose direct-built label rows
+  differ from the reference labeling's (must be 0: the fast builder
+  reproduces the canonical hierarchical labeling exactly);
+* ``flat_conversion``       -- dict -> :class:`FlatHubLabeling` time
+  (the entry also carries ``direct_s``, the direct-to-flat build time,
+  so the conversion detour and the direct path can be compared);
+* ``cache_store`` / ``cache_hit_latency`` -- persisting a built
+  labeling through :class:`repro.perf.cache.LabelCache` and reloading
+  it on a warm hit (``cache_dir`` pins the directory; default is a
+  temp dir);
 * ``batch_throughput_dict`` -- scalar ``query`` loop throughput on a
   subsample of the workload (the dict store has no batch engine to
   amortize with -- that is the point of the comparison);
@@ -43,6 +56,7 @@ from __future__ import annotations
 
 import json
 import random
+import tempfile
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -102,17 +116,22 @@ def run_bench(
     num_sources: int = 64,
     repeats: int = 3,
     workers: Optional[int] = None,
+    cache_dir: Optional[str] = None,
 ) -> Dict[str, Dict[str, object]]:
     """Run every suite and return ``suite -> entry`` (the JSON schema).
 
     ``quick`` swaps the acceptance instance ``G(2,2)`` for the small
     ``G(2,1)`` (seconds instead of minutes -- what CI runs).  ``seed``
     pins the workload sample; ``workers`` is forwarded to the traversal
-    fan-out suite only.
+    fan-out suite only; ``cache_dir`` pins where the cache suites
+    store their artifact (default: a throwaway temp directory).
     """
     from ..core import pruned_landmark_labeling
+    from ..core.orders import degree_order
     from ..lowerbound import build_degree3_instance
     from ..oracles.oracle import HubLabelOracle
+    from .build import build_flat_labels
+    from .cache import LabelCache
     from .flat import FlatHubLabeling
     from .parallel import shortest_path_rows
 
@@ -142,6 +161,31 @@ def run_bench(
         "build_time", round(build_time, 6), "s", n=n
     )
 
+    # Direct-to-flat construction: the bit-parallel builder emits the
+    # same canonical labeling straight into CSR arrays.
+    order = degree_order(graph)
+    direct_holder: Dict[str, FlatHubLabeling] = {}
+
+    def direct_build():
+        direct_holder["flat"] = build_flat_labels(graph, order)
+
+    direct_time = _best_time(direct_build, repeats, suite="build_throughput")
+    direct_flat = direct_holder["flat"]
+    direct_rate = (
+        direct_flat.total_size() / direct_time if direct_time > 0 else 0.0
+    )
+    results["build_throughput"] = entry(
+        "throughput",
+        round(direct_rate, 1),
+        "labels/s",
+        entries=direct_flat.total_size(),
+    )
+    results["build_speedup"] = entry(
+        "speedup",
+        round(build_time / direct_time, 2) if direct_time > 0 else 0.0,
+        "x",
+    )
+
     convert_time = _best_time(
         lambda: FlatHubLabeling.from_labeling(labeling),
         repeats,
@@ -149,7 +193,50 @@ def run_bench(
     )
     flat = FlatHubLabeling.from_labeling(labeling)
     results["flat_conversion"] = entry(
-        "convert_time", round(convert_time, 6), "s", entries=flat.total_size()
+        "convert_time",
+        round(convert_time, 6),
+        "s",
+        entries=flat.total_size(),
+        direct_s=round(direct_time, 6),
+    )
+
+    # Exact agreement with the reference labeling, per vertex: the
+    # direct builder must reproduce the canonical hierarchical label
+    # rows byte for byte.
+    mismatch_vertices = sum(
+        1 for v in range(n) if direct_flat.hubs(v) != flat.hubs(v)
+    )
+    results["build_consistency"] = entry(
+        "mismatches", mismatch_vertices, "vertices", vertices=n
+    )
+
+    # Persistent cache round trip: store the built labeling, then time
+    # a warm hit (load + checksum + array adoption, no construction).
+    tmp_ctx = None
+    cache_root = cache_dir
+    if cache_root is None:
+        tmp_ctx = tempfile.TemporaryDirectory(prefix="repro-bench-cache-")
+        cache_root = tmp_ctx.name
+    try:
+        cache = LabelCache(cache_root)
+        store_time = _best_time(
+            lambda: cache.store(graph, order, direct_flat),
+            repeats,
+            suite="cache_store",
+        )
+        hit_holder: Dict[str, Optional[FlatHubLabeling]] = {}
+
+        def cache_hit():
+            hit_holder["flat"] = cache.load(graph, order)
+
+        hit_time = _best_time(cache_hit, repeats, suite="cache_hit_latency")
+        hit_ok = hit_holder["flat"] is not None
+    finally:
+        if tmp_ctx is not None:
+            tmp_ctx.cleanup()
+    results["cache_store"] = entry("time", round(store_time, 6), "s")
+    results["cache_hit_latency"] = entry(
+        "time", round(hit_time, 6), "s", hit=int(hit_ok)
     )
 
     dict_oracle = HubLabelOracle(labeling, backend="dict")
@@ -267,7 +354,10 @@ def run_bench(
     if registry.enabled:
         durations = {
             "pll_construction": build_time,
+            "build_throughput": direct_time,
             "flat_conversion": convert_time,
+            "cache_store": store_time,
+            "cache_hit_latency": hit_time,
             "batch_throughput_dict": dict_time,
             "batch_throughput_flat": flat_time,
             "sssp_rows": rows_time,

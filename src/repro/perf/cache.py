@@ -1,0 +1,179 @@
+"""Persistent label cache: build once, reload in milliseconds.
+
+Constructing labels dominates every CLI invocation now that queries are
+served from flat arrays -- and the labels for a fixed (graph, order)
+never change, so rebuilding them per process is pure waste.
+:class:`LabelCache` persists finished
+:class:`~repro.perf.flat.FlatHubLabeling` stores on disk, keyed by a
+fingerprint of everything the labeling depends on:
+
+* the **graph** (vertex count, weightedness, the sorted edge multiset);
+* the **order** (the exact rank permutation used);
+* the **builder version** (:data:`repro.perf.build.BUILDER_VERSION`)
+  and the artifact format version, so algorithm or format changes
+  invalidate old entries instead of serving stale labels.
+
+Artifacts are the checksummed version-2 envelope of
+:mod:`repro.core.io` (raw little-endian CSR arrays), written atomically
+(temp file + ``os.replace``) so a crashed writer can never leave a
+half-written entry behind.  A corrupt or truncated artifact is detected
+at load (:class:`~repro.runtime.errors.ArtifactCorruptError`), counted,
+deleted, and transparently rebuilt -- the cache can only ever make runs
+faster, never wrong.
+
+Observability: every lookup increments ``build.cache_hits`` or
+``build.cache_misses``; every discarded artifact increments
+``build.cache_invalidations``.  A cache hit performs **no**
+construction, so the ``build.flat`` tracing span is absent from hit
+paths -- tests and the CI smoke step use exactly that to prove the warm
+run skipped the build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from pathlib import Path
+from typing import List, Optional, Union
+
+from ..graphs.graph import Graph
+from ..obs.catalog import (
+    BUILD_CACHE_HITS,
+    BUILD_CACHE_INVALIDATIONS,
+    BUILD_CACHE_MISSES,
+)
+from ..obs.registry import get_registry
+from ..runtime.errors import ArtifactCorruptError
+from .build import BUILDER_VERSION, build_flat_labels
+from .flat import FlatHubLabeling
+
+__all__ = ["LabelCache", "cache_key"]
+
+
+def cache_key(graph: Graph, order: List[int]) -> str:
+    """The sha256 hex fingerprint naming a (graph, order) cache entry.
+
+    Hashes the canonical edge list (sorted endpoint pairs plus
+    weights), the order permutation, and the builder/format versions.
+    Any difference in any of them yields a different key, so entries
+    are immutable once written.
+    """
+    from ..core.io import FLAT_ARTIFACT_VERSION
+
+    hasher = hashlib.sha256()
+    hasher.update(
+        f"v{BUILDER_VERSION}:f{FLAT_ARTIFACT_VERSION}:"
+        f"n{graph.num_vertices}:m{graph.num_edges}:"
+        f"w{int(graph.is_weighted)}".encode()
+    )
+    for u, v, w in sorted(
+        (min(u, v), max(u, v), w) for u, v, w in graph.edges()
+    ):
+        hasher.update(f";{u},{v},{w}".encode())
+    hasher.update(b"|order|")
+    hasher.update(",".join(map(str, order)).encode())
+    return hasher.hexdigest()
+
+
+class LabelCache:
+    """A directory of persisted flat labelings, one file per key.
+
+    ``load`` / ``store`` are the primitive halves; ``load_or_build``
+    is the everyday entry point (and what ``--cache-dir`` wires into
+    the CLI): return the cached labeling when present and intact,
+    otherwise build, persist, and return it.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        registry = get_registry()
+        if registry.enabled:
+            # Create the counters at 0 up front so snapshots always
+            # carry all three, hit or miss.
+            self._hits = registry.counter(BUILD_CACHE_HITS)
+            self._misses = registry.counter(BUILD_CACHE_MISSES)
+            self._invalidations = registry.counter(BUILD_CACHE_INVALIDATIONS)
+        else:
+            self._hits = self._misses = self._invalidations = None
+
+    def path_for(self, key: str) -> Path:
+        """Where the artifact for ``key`` lives (whether or not it exists)."""
+        return self.directory / f"labels-{key[:40]}.rhl"
+
+    # ------------------------------------------------------------------
+    def load(
+        self, graph: Graph, order: List[int]
+    ) -> Optional[FlatHubLabeling]:
+        """The cached labeling for (graph, order), or None.
+
+        Counts a hit or a miss; a corrupt artifact counts an
+        invalidation, is deleted, and reports as a miss (the caller
+        rebuilds).
+        """
+        from ..core.io import flat_labeling_from_bytes
+
+        path = self.path_for(cache_key(graph, order))
+        try:
+            blob = path.read_bytes()
+        except FileNotFoundError:
+            if self._misses is not None:
+                self._misses.inc()
+            return None
+        try:
+            flat = flat_labeling_from_bytes(blob)
+        except ArtifactCorruptError:
+            if self._invalidations is not None:
+                self._invalidations.inc()
+            path.unlink(missing_ok=True)
+            if self._misses is not None:
+                self._misses.inc()
+            return None
+        if flat.num_vertices != graph.num_vertices:
+            # A key collision this drastic means the entry is garbage.
+            if self._invalidations is not None:
+                self._invalidations.inc()
+            path.unlink(missing_ok=True)
+            if self._misses is not None:
+                self._misses.inc()
+            return None
+        if self._hits is not None:
+            self._hits.inc()
+        return flat
+
+    def store(
+        self, graph: Graph, order: List[int], flat: FlatHubLabeling
+    ) -> Path:
+        """Persist ``flat`` for (graph, order); returns the artifact path.
+
+        Atomic: the envelope is written to a temp file in the same
+        directory and moved into place with ``os.replace``, so readers
+        only ever see absent or complete artifacts.
+        """
+        from ..core.io import flat_labeling_to_bytes
+
+        path = self.path_for(cache_key(graph, order))
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_bytes(flat_labeling_to_bytes(flat))
+        os.replace(tmp, path)
+        return path
+
+    def load_or_build(
+        self, graph: Graph, order: Optional[List[int]] = None
+    ) -> FlatHubLabeling:
+        """Serve from the cache, building and persisting on a miss.
+
+        ``order=None`` resolves to the canonical degree order first so
+        the key always names the order actually used.  On a hit no
+        construction runs at all (no ``build.flat`` span is emitted).
+        """
+        if order is None:
+            from ..core.orders import degree_order
+
+            order = degree_order(graph)
+        flat = self.load(graph, order)
+        if flat is not None:
+            return flat
+        flat = build_flat_labels(graph, order)
+        self.store(graph, order, flat)
+        return flat

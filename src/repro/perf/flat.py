@@ -78,6 +78,80 @@ class FlatHubLabeling:
     # Conversion
     # ------------------------------------------------------------------
     @classmethod
+    def from_arrays(
+        cls,
+        offsets: Sequence[int],
+        hubs: Sequence[int],
+        dists: Sequence[float],
+        *,
+        validate: bool = True,
+    ) -> "FlatHubLabeling":
+        """Adopt already-flat CSR arrays without the per-entry loop.
+
+        The fast-construction entry point: NumPy arrays are adopted via
+        a single buffer copy, so a multi-million-entry labeling loads in
+        milliseconds (``__init__`` walks every run in Python).  With
+        ``validate=True`` the structural invariants -- offsets start at
+        0 and are non-decreasing, lengths agree, hub ids in range and
+        strictly ascending within each run -- are still checked
+        (vectorized when NumPy is available); trusted producers such as
+        :func:`repro.perf.build.build_flat_labels` pass ``False``.
+        """
+        flat = cls.__new__(cls)
+        flat._offsets = _as_array("l", offsets)
+        flat._hubs = _as_array("l", hubs)
+        flat._dists = _as_array("d", dists)
+        flat._accel = None
+        if validate:
+            flat._validate()
+        return flat
+
+    def _validate(self) -> None:
+        offsets, hubs, dists = self._offsets, self._hubs, self._dists
+        if len(offsets) < 1 or offsets[0] != 0:
+            raise ValueError("offsets must start at 0")
+        if offsets[-1] != len(hubs) or len(hubs) != len(dists):
+            raise ValueError("offsets/hubs/dists lengths are inconsistent")
+        n = len(offsets) - 1
+        try:
+            import numpy as np
+        except ImportError:
+            np = None
+        if np is not None:
+            int_kind = np.dtype(f"i{offsets.itemsize}")
+            off = np.frombuffer(memoryview(offsets), dtype=int_kind)
+            if off.size > 1 and (np.diff(off) < 0).any():
+                raise ValueError("offsets must be non-decreasing")
+            run = np.frombuffer(memoryview(hubs), dtype=int_kind)
+            if run.size:
+                if int(run.min()) < 0 or int(run.max()) >= n:
+                    raise ValueError(f"hub id out of range for {n} vertices")
+                starts = np.zeros(run.size, dtype=bool)
+                interior = off[:-1][off[:-1] < run.size]
+                starts[interior] = True
+                bad = (run[1:] <= run[:-1]) & ~starts[1:]
+                if bad.any():
+                    at = int(np.flatnonzero(bad)[0]) + 1
+                    v = int(np.searchsorted(off, at, side="right")) - 1
+                    raise ValueError(
+                        f"hub ids of vertex {v} are not strictly ascending"
+                    )
+            return
+        previous = 0
+        for v in range(n):
+            start, end = offsets[v], offsets[v + 1]
+            if start < previous:
+                raise ValueError("offsets must be non-decreasing")
+            previous = start
+            for i in range(start, end):
+                if not 0 <= hubs[i] < n:
+                    raise ValueError(f"hub id out of range for {n} vertices")
+                if i > start and hubs[i - 1] >= hubs[i]:
+                    raise ValueError(
+                        f"hub ids of vertex {v} are not strictly ascending"
+                    )
+
+    @classmethod
     def from_labeling(cls, labeling: HubLabeling) -> "FlatHubLabeling":
         """Freeze a dict-based labeling into the flat layout.
 
@@ -353,6 +427,32 @@ class FlatHubLabeling:
             f"FlatHubLabeling(n={self.num_vertices}, "
             f"total={self.total_size()}, avg={self.average_size():.2f})"
         )
+
+
+def _as_array(typecode: str, values) -> array:
+    """Coerce ``values`` to ``array(typecode)``, by buffer copy if flat.
+
+    NumPy arrays of the matching width are adopted via ``frombytes``
+    (one memcpy); anything else goes through the element-wise
+    constructor.
+    """
+    if isinstance(values, array) and values.typecode == typecode:
+        return values
+    out = array(typecode)
+    try:
+        import numpy as np
+    except ImportError:
+        np = None
+    if np is not None and isinstance(values, np.ndarray):
+        wanted = (
+            np.dtype(f"i{out.itemsize}") if typecode == "l" else np.float64
+        )
+        out.frombytes(
+            np.ascontiguousarray(values, dtype=wanted).tobytes()
+        )
+        return out
+    out.extend(int(v) if typecode == "l" else float(v) for v in values)
+    return out
 
 
 def _dedouble(value: float) -> float:

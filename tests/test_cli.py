@@ -89,6 +89,165 @@ class TestLabelAndQuery:
         assert "valid 2-hop cover: True" in capsys.readouterr().out
 
 
+class TestBuildCommand:
+    def test_build_without_cache(self, capsys):
+        assert main(["build", "--generator", "grid:36"]) == 0
+        out = capsys.readouterr().out
+        assert "cache: off" in out
+        assert "label entries" in out
+
+    def test_build_miss_then_hit(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(
+            ["build", "--generator", "grid:36", "--cache-dir", cache]
+        ) == 0
+        assert "cache: miss" in capsys.readouterr().out
+        assert main(
+            ["build", "--generator", "grid:36", "--cache-dir", cache]
+        ) == 0
+        assert "cache: hit" in capsys.readouterr().out
+
+    def test_build_save_artifact(self, tmp_path, capsys):
+        target = tmp_path / "labels.rhl"
+        assert main(
+            ["build", "--generator", "tree:12", "--save", str(target)]
+        ) == 0
+        assert target.exists()
+        capsys.readouterr()
+        # The saved flat artifact is queryable like any labeling file.
+        assert main(["query", str(target), "0", "0"]) == 0
+        assert "dist(0, 0) = 0" in capsys.readouterr().out
+
+    def test_build_needs_graph_source(self):
+        with pytest.raises(SystemExit):
+            main(["build"])
+
+
+class TestQueryFromCache:
+    def test_warm_query_skips_construction(self, tmp_path, capsys):
+        import json
+
+        from repro.obs.registry import Registry, use_registry
+
+        cache = str(tmp_path / "cache")
+        # Run the cold build under a throwaway registry so the warm
+        # query's snapshot below starts clean.
+        with use_registry(Registry()):
+            assert main(
+                ["build", "--generator", "grid:36", "--cache-dir", cache]
+            ) == 0
+        capsys.readouterr()
+        metrics = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "query",
+                    "0",
+                    "35",
+                    "--generator",
+                    "grid:36",
+                    "--cache-dir",
+                    cache,
+                    "--metrics-out",
+                    str(metrics),
+                ]
+            )
+            == 0
+        )
+        assert "dist(0, 35) = 10" in capsys.readouterr().out
+        snapshot = json.loads(metrics.read_text())
+        by_name = {}
+        for metric in snapshot["metrics"]:
+            by_name.setdefault(metric["name"], []).append(metric)
+        assert by_name["build.cache_hits"][0]["value"] == 1
+        assert by_name["build.cache_misses"][0]["value"] == 0
+        # The warm run did no construction: no build.flat span at all.
+        spans = {
+            tuple(sorted(m.get("labels", {}).items()))
+            for m in by_name.get("span.duration_seconds", [])
+        }
+        assert (("span", "build.flat"),) not in spans
+
+    def test_cache_dir_needs_graph(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["query", "0", "1", "--cache-dir", str(tmp_path)])
+
+    def test_cache_dir_rejects_labeling_file(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query",
+                    "labels.bin",
+                    "0",
+                    "1",
+                    "--generator",
+                    "grid:36",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+
+    def test_query_without_labeling_or_cache(self, capsys):
+        # Without --cache-dir the first positional is the labeling file.
+        assert main(["query", "0", "1"]) == 74
+        assert "error:" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["query"])
+
+    def test_cached_query_through_runtime(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert (
+            main(
+                [
+                    "query",
+                    "0",
+                    "35",
+                    "--generator",
+                    "grid:36",
+                    "--cache-dir",
+                    cache,
+                    "--verify-sample",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        assert "dist(0, 35) = 10" in capsys.readouterr().out
+
+
+class TestChaosFromCache:
+    def test_chaos_reuses_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = [
+            "chaos",
+            "--generator",
+            "tree:15",
+            "--trials",
+            "2",
+            "--queries",
+            "3",
+            "--cache-dir",
+            cache,
+        ]
+        assert main(args) == 0
+        assert main(args) == 0
+        assert "zero wrong answers" in capsys.readouterr().out
+
+    def test_chaos_cache_requires_pll(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "chaos",
+                    "--generator",
+                    "tree:15",
+                    "--method",
+                    "greedy",
+                    "--cache-dir",
+                    str(tmp_path),
+                ]
+            )
+
+
 class TestExperiments:
     def test_fast_subset(self, capsys):
         assert main(["experiments", "--only", "E1,E8", "--fast"]) == 0

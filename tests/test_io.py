@@ -66,6 +66,80 @@ class TestBinary:
         assert labelings_equal(labeling, labeling_from_bytes(blob))
 
 
+class TestFlatArtifact:
+    """The version-2 flat envelope: exact arrays, v1/v2 interop."""
+
+    def _flat(self, n=30, seed=2):
+        from repro.perf.flat import FlatHubLabeling
+
+        g = random_sparse_graph(n, seed=seed)
+        return FlatHubLabeling.from_labeling(pruned_landmark_labeling(g))
+
+    def test_v2_round_trip_is_exact(self):
+        from repro.core.io import (
+            flat_labeling_from_bytes,
+            flat_labeling_to_bytes,
+        )
+
+        flat = self._flat()
+        back = flat_labeling_from_bytes(flat_labeling_to_bytes(flat))
+        assert list(back._offsets) == list(flat._offsets)
+        assert list(back._hubs) == list(flat._hubs)
+        assert list(back._dists) == list(flat._dists)
+
+    def test_v2_readable_as_dict_labeling(self):
+        from repro.core.io import flat_labeling_to_bytes
+
+        flat = self._flat(seed=5)
+        labeling = labeling_from_bytes(flat_labeling_to_bytes(flat))
+        for v in range(flat.num_vertices):
+            assert dict(labeling.hubs(v)) == dict(flat.hubs(v))
+
+    def test_v1_blob_readable_as_flat(self):
+        from repro.core.io import flat_labeling_from_bytes
+
+        g = random_sparse_graph(20, seed=7)
+        labeling = pruned_landmark_labeling(g)
+        flat = flat_labeling_from_bytes(labeling_to_bytes(labeling))
+        for v in range(g.num_vertices):
+            assert dict(flat.hubs(v)) == dict(labeling.hubs(v))
+
+    def test_corruption_detected(self):
+        from repro.core.io import (
+            flat_labeling_from_bytes,
+            flat_labeling_to_bytes,
+        )
+        from repro.runtime.errors import ArtifactCorruptError
+
+        blob = bytearray(flat_labeling_to_bytes(self._flat(seed=9)))
+        blob[len(blob) // 2] ^= 0xFF
+        with pytest.raises(ArtifactCorruptError):
+            flat_labeling_from_bytes(bytes(blob))
+
+    def test_truncation_detected(self):
+        from repro.core.io import (
+            flat_labeling_from_bytes,
+            flat_labeling_to_bytes,
+        )
+        from repro.runtime.errors import ArtifactCorruptError
+
+        blob = flat_labeling_to_bytes(self._flat(seed=3))
+        with pytest.raises(ArtifactCorruptError):
+            flat_labeling_from_bytes(blob[: len(blob) - 7])
+
+    def test_empty_labeling_round_trips(self):
+        from repro.core.io import (
+            flat_labeling_from_bytes,
+            flat_labeling_to_bytes,
+        )
+        from repro.perf.flat import FlatHubLabeling
+
+        flat = FlatHubLabeling.from_labeling(HubLabeling(0))
+        back = flat_labeling_from_bytes(flat_labeling_to_bytes(flat))
+        assert back.num_vertices == 0
+        assert back.total_size() == 0
+
+
 class TestEdgeList:
     def test_round_trip(self):
         g = random_weighted_graph(20, 40, seed=4)

@@ -31,7 +31,12 @@ _spec.loader.exec_module(bench_gate)
 
 REQUIRED_SUITES = (
     "pll_construction",
+    "build_throughput",
+    "build_speedup",
+    "build_consistency",
     "flat_conversion",
+    "cache_store",
+    "cache_hit_latency",
     "batch_throughput_dict",
     "batch_throughput_flat",
     "batch_speedup",
@@ -45,7 +50,10 @@ REQUIRED_SUITES = (
 #: Suites whose gauge records the duration behind a JSON value.
 TIMED_SUITES = (
     "pll_construction",
+    "build_throughput",
     "flat_conversion",
+    "cache_store",
+    "cache_hit_latency",
     "batch_throughput_dict",
     "batch_throughput_flat",
     "sssp_rows",
@@ -85,6 +93,20 @@ class TestBenchSchema:
     def test_backends_consistent(self, results):
         assert results["backend_consistency"]["value"] == 0
         assert results["backend_consistency"]["pairs"] > 0
+
+    def test_direct_builder_consistent(self, results):
+        assert results["build_consistency"]["value"] == 0
+        assert results["build_consistency"]["vertices"] > 0
+
+    def test_build_suites(self, results):
+        assert results["build_throughput"]["value"] > 0
+        assert results["build_speedup"]["value"] > 0
+        assert results["flat_conversion"]["direct_s"] > 0
+
+    def test_cache_suites(self, results):
+        assert results["cache_store"]["value"] > 0
+        assert results["cache_hit_latency"]["value"] > 0
+        assert results["cache_hit_latency"]["hit"] == 1
 
     def test_throughputs_positive(self, results):
         assert results["batch_throughput_dict"]["value"] > 0
@@ -140,6 +162,16 @@ class TestGateLogic:
     def test_backend_mismatch_fails(self):
         current = {"backend_consistency": _entry("mismatches", 3)}
         assert bench_gate.self_check(current, 0.10)
+
+    def test_build_mismatch_fails(self):
+        current = {"build_consistency": _entry("mismatches", 2)}
+        failures = bench_gate.self_check(current, 0.10)
+        assert len(failures) == 1
+        assert "build_consistency" in failures[0]
+
+    def test_build_consistency_zero_passes(self):
+        current = {"build_consistency": _entry("mismatches", 0)}
+        assert bench_gate.self_check(current, 0.10) == []
 
     def test_overhead_within_budget_passes(self):
         current = {"obs_overhead": _entry("overhead", 1.07)}
@@ -222,7 +254,7 @@ class TestGateLogic:
         path = ROOT / "benchmarks" / "baselines" / "BENCH_quick.json"
         baseline = json.loads(path.read_text())
         for suite, row in baseline.items():
-            assert row["unit"] in ("x", "pairs"), suite
+            assert row["unit"] in ("x", "pairs", "vertices"), suite
 
 
 class TestMetricsAgreement:

@@ -6,10 +6,16 @@ against a committed baseline with the same schema (``suite -> {metric,
 value, unit, instance, seed}``) and exits non-zero when:
 
 * any throughput suite regressed by more than ``--max-regression``
-  (default 20%) relative to the baseline, or
+  (default 20%) relative to the baseline -- this covers the query-side
+  rates *and* the construction-side ``build_throughput`` /
+  ``build_speedup`` suites, so a slower builder fails the gate exactly
+  like a slower query path, or
 * the ``backend_consistency`` suite reports mismatches (the flat and
   dict stores must answer identically -- a fast wrong answer is not a
   performance win), or
+* the ``build_consistency`` suite reports mismatching vertices (the
+  fast direct-to-flat builder must reproduce the reference labeling
+  exactly), or
 * the ``obs_overhead`` suite reports an instrumented/uninstrumented
   ratio above ``1 + --max-overhead`` (default 10%): the observability
   layer must stay out of the dict-backend query path's way.
@@ -54,6 +60,12 @@ def self_check(current: dict, max_overhead: float) -> list:
         failures.append(
             f"backend_consistency: {consistency['value']} mismatching "
             "pair(s) between flat and dict backends"
+        )
+    build = current.get("build_consistency")
+    if build and build.get("value"):
+        failures.append(
+            f"build_consistency: {build['value']} vertex label row(s) "
+            "differ between the direct builder and the reference"
         )
     overhead = current.get("obs_overhead")
     if overhead is not None:

@@ -58,11 +58,15 @@ def build_schema() -> dict:
 
 def run_workload() -> set:
     """Emit metrics from every instrumented subsystem; return the names."""
+    import tempfile
+
     from repro.core import pruned_landmark_labeling
     from repro.core.hitting import build_hitting_set
+    from repro.core.orders import degree_order
     from repro.graphs import random_sparse_graph
     from repro.obs.registry import Registry, use_registry
     from repro.oracles.oracle import HubLabelOracle
+    from repro.perf.cache import LabelCache, cache_key
     from repro.runtime import ResilientOracle, chaos_sweep
 
     registry = Registry()
@@ -70,6 +74,17 @@ def run_workload() -> set:
         graph = random_sparse_graph(24, seed=3)
         labeling = pruned_landmark_labeling(graph)
         build_hitting_set(graph, 3)
+        # Fast builder + persistent cache: cold miss (build + store),
+        # warm hit, then a corrupted artifact (invalidation + rebuild).
+        with tempfile.TemporaryDirectory() as tmp:
+            cache = LabelCache(tmp)
+            cache.load_or_build(graph)
+            cache.load_or_build(graph)
+            artifact = cache.path_for(cache_key(graph, degree_order(graph)))
+            blob = bytearray(artifact.read_bytes())
+            blob[-1] ^= 0xFF
+            artifact.write_bytes(bytes(blob))
+            cache.load_or_build(graph)
         pairs = [(u, v) for u in range(8) for v in range(8)]
         for backend in ("dict", "flat"):
             oracle = HubLabelOracle(labeling, backend=backend)
