@@ -1,7 +1,7 @@
 # Convenience targets.  The environment is offline: editable installs go
 # through setup.cfg (legacy path), never an isolated PEP-517 build.
 
-.PHONY: install test bench bench-full bench-tables build-bench experiments examples coverage chaos stats schema clean
+.PHONY: install test test-slow soak bench bench-full bench-tables build-bench serve-smoke experiments examples coverage chaos stats schema clean
 
 install:
 	pip install -e .
@@ -11,6 +11,13 @@ test:
 
 test-slow:
 	pytest tests/ --run-slow
+
+# Long-running mixed-load soak against a chaos-corrupted resilient
+# oracle behind the query server; excluded from tier-1.  Trim the
+# budget with REPRO_SOAK_SECONDS=5 for a quick pass.
+REPRO_SOAK_SECONDS ?= 60
+soak:
+	REPRO_SOAK_SECONDS=$(REPRO_SOAK_SECONDS) pytest tests/test_soak.py --run-soak
 
 bench:
 	python -m repro bench --quick
@@ -25,6 +32,10 @@ build-bench:
 	grep -q "cache: hit" build-warm.log
 	rm -f build-warm.log
 
+serve-smoke:
+	python -m repro serve --generator sparse:200 --clients 8 --requests 100
+	python -m repro loadgen --generator sparse:200 --clients 4 --requests 500 --validate
+
 bench-tables:
 	pytest benchmarks/ --benchmark-only
 
@@ -35,7 +46,7 @@ chaos:
 	python -m repro chaos --generator sparse:40 --trials 50
 
 coverage:
-	pytest tests/ --cov=repro --cov-report=term-missing --cov-fail-under=70
+	pytest tests/ --cov=repro --cov-report=term-missing --cov-fail-under=75
 
 stats:
 	python -m repro stats --generator sparse:100 --pairs 10000

@@ -21,13 +21,22 @@ Commands:
   flat vs dict batch throughput, label memory, traversal fan-out,
   instrumentation overhead) and write machine-readable
   ``BENCH_perf.json``;
+* ``serve``       -- self-test the concurrent serving layer: stand up
+  a :class:`~repro.serve.server.QueryServer` over the flat oracle (or
+  the resilient runtime with ``--resilient``), fire a threaded
+  workload at it, and grade **every** answer against the dict-backend
+  ground truth; exits non-zero on any wrong, dropped, or errored
+  request;
+* ``loadgen``     -- throughput-focused load generation against the
+  same serving stack (``--clients`` / ``--requests`` / ``--duration``
+  knobs; ``--validate`` opts into grading);
 * ``stats``       -- run an instrumented query workload (or load a
   snapshot written by ``--metrics-out``) and print the metrics
   registry as a table, JSON, or Prometheus text exposition.
 
-The ``query``, ``chaos``, and ``bench`` commands accept
-``--metrics-out FILE`` to dump the final registry snapshot as JSON --
-the file ``stats`` can read back.
+The ``query``, ``chaos``, ``bench``, ``serve``, and ``loadgen``
+commands accept ``--metrics-out FILE`` to dump the final registry
+snapshot as JSON -- the file ``stats`` can read back.
 
 Examples::
 
@@ -39,6 +48,8 @@ Examples::
     python -m repro.cli query labels.bin 0 42 --graph g.txt --verify-sample 8
     python -m repro.cli instance --b 2 --l 1
     python -m repro.cli chaos --generator sparse:30 --trials 25
+    python -m repro.cli serve --generator sparse:200 --clients 8
+    python -m repro.cli loadgen --generator sparse:500 --duration 2
     python -m repro.cli bench --quick --out BENCH_perf.json
     python -m repro.cli stats --generator sparse:100 --pairs 10000 --json
     python -m repro.cli stats snapshot.json --prom
@@ -320,6 +331,117 @@ def _cmd_chaos(args) -> int:
         seed=args.seed,
     )
     print(report.render())
+    _maybe_write_metrics(args)
+    return 0 if report.ok else 1
+
+
+def _serve_labels(args):
+    """The (graph, flat labeling) pair the serving commands run over.
+
+    ``--cache-dir`` reuses (or seeds) the persistent label cache, so a
+    warm run skips construction entirely -- the same contract as the
+    ``build`` and ``query`` commands.
+    """
+    from .core.orders import degree_order
+    from .perf.build import build_flat_labels
+
+    graph = _load_graph(args)
+    if args.cache_dir:
+        from .perf.cache import LabelCache
+
+        flat = LabelCache(args.cache_dir).load_or_build(graph)
+    else:
+        flat = build_flat_labels(graph, degree_order(graph))
+    return graph, flat
+
+
+def _make_server(args, graph, flat):
+    from .oracles.oracle import HubLabelOracle
+    from .serve import QueryServer
+
+    if getattr(args, "resilient", False):
+        oracle = ResilientOracle(
+            graph,
+            flat.to_labeling(),
+            fallback=True,
+            verify_sample=getattr(args, "verify_sample", 0),
+            seed=args.seed,
+        )
+    else:
+        oracle = HubLabelOracle(flat, backend="flat")
+    return QueryServer(
+        oracle,
+        max_queue=args.max_queue,
+        max_batch=args.max_batch,
+        max_delay=args.max_delay,
+        cache_size=args.cache_size,
+    )
+
+
+def _print_server_summary(server, report) -> None:
+    stats = server.stats()
+    print(report.render())
+    print(
+        f"batches:    {stats.batches} "
+        f"(mean width {stats.mean_batch_width:.1f})"
+    )
+    print(f"cache hits: {stats.cache_hits}")
+    print(f"overloads:  {stats.overloads}")
+
+
+def _cmd_serve(args) -> int:
+    """Self-test mode: every served answer graded against ground truth."""
+    from .oracles.oracle import HubLabelOracle
+    from .serve import run_loadgen
+
+    graph, flat = _serve_labels(args)
+    ground = HubLabelOracle(flat.to_labeling(), backend="dict")
+    server = _make_server(args, graph, flat)
+    print(f"graph:    {graph}")
+    print(f"labeling: {flat}")
+    print(
+        f"server:   {type(server.oracle).__name__}, "
+        f"queue<={args.max_queue}, batch<={args.max_batch}, "
+        f"delay<={args.max_delay * 1e3:g}ms, cache={args.cache_size}"
+    )
+    with server:
+        report = run_loadgen(
+            server,
+            graph.num_vertices,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            duration=args.duration,
+            seed=args.seed,
+            expected=lambda u, v: ground.query(u, v).distance,
+        )
+    _print_server_summary(server, report)
+    _maybe_write_metrics(args)
+    return 0 if report.ok else 1
+
+
+def _cmd_loadgen(args) -> int:
+    """Throughput mode: grading is opt-in (``--validate``)."""
+    from .oracles.oracle import HubLabelOracle
+    from .serve import run_loadgen
+
+    graph, flat = _serve_labels(args)
+    expected = None
+    if args.validate:
+        ground = HubLabelOracle(flat.to_labeling(), backend="dict")
+        expected = lambda u, v: ground.query(u, v).distance  # noqa: E731
+    server = _make_server(args, graph, flat)
+    print(f"graph:    {graph}")
+    with server:
+        report = run_loadgen(
+            server,
+            graph.num_vertices,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            duration=args.duration,
+            seed=args.seed,
+            expected=expected,
+        )
+    _print_server_summary(server, report)
     _maybe_write_metrics(args)
     return 0 if report.ok else 1
 
@@ -633,6 +755,87 @@ def build_parser() -> argparse.ArgumentParser:
         help="dump the final metrics registry snapshot as JSON",
     )
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    def add_serving_args(p, *, clients, requests):
+        p.add_argument("--graph", help="edge-list file (n m, then u v w)")
+        p.add_argument(
+            "--generator",
+            default="sparse:200",
+            help="KIND:N graph source (default sparse:200)",
+        )
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument(
+            "--cache-dir",
+            metavar="DIR",
+            help="serve labels from this cache; builds and persists "
+            "them on the first run",
+        )
+        p.add_argument(
+            "--clients", type=int, default=clients,
+            help=f"worker threads firing queries (default {clients})",
+        )
+        p.add_argument(
+            "--requests", type=int, default=requests, metavar="N",
+            help=f"queries per client (default {requests})",
+        )
+        p.add_argument(
+            "--duration", type=float, default=None, metavar="SECONDS",
+            help="run each client for this long instead of a fixed "
+            "request count",
+        )
+        p.add_argument(
+            "--max-queue", type=int, default=1024,
+            help="admission-queue bound; beyond it requests are "
+            "rejected with ServerOverloadError (default 1024)",
+        )
+        p.add_argument(
+            "--max-batch", type=int, default=64,
+            help="micro-batch size trigger (default 64)",
+        )
+        p.add_argument(
+            "--max-delay", type=float, default=0.002,
+            help="micro-batch deadline trigger, seconds (default 0.002)",
+        )
+        p.add_argument(
+            "--cache-size", type=int, default=4096,
+            help="LRU result-cache capacity; 0 disables (default 4096)",
+        )
+        p.add_argument(
+            "--metrics-out",
+            metavar="FILE",
+            help="dump the final metrics registry snapshot as JSON",
+        )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="self-test the concurrent serving layer (graded workload)",
+    )
+    add_serving_args(p_serve, clients=8, requests=250)
+    p_serve.add_argument(
+        "--resilient",
+        action="store_true",
+        help="serve through the resilient runtime instead of the raw "
+        "flat oracle",
+    )
+    p_serve.add_argument(
+        "--verify-sample",
+        type=int,
+        default=0,
+        metavar="N",
+        help="with --resilient: admission-check from N sampled sources",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen", help="throughput-focused load generation"
+    )
+    add_serving_args(p_loadgen, clients=4, requests=2000)
+    p_loadgen.add_argument(
+        "--validate",
+        action="store_true",
+        help="also grade every answer against dict-backend ground truth",
+    )
+    p_loadgen.set_defaults(func=_cmd_loadgen)
 
     p_bench = sub.add_parser(
         "bench", help="run the pinned performance suites"

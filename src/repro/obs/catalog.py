@@ -52,6 +52,15 @@ CHAOS_DETECTED_AT_LOAD = "chaos.detected_at_load"
 CHAOS_FALLBACKS = "chaos.fallbacks"
 CHAOS_WRONG_ANSWERS = "chaos.wrong_answers"
 
+SERVE_REQUESTS = "serve.requests"
+SERVE_REQUEST_LATENCY_SECONDS = "serve.request_latency_seconds"
+SERVE_QUEUE_DEPTH = "serve.queue_depth"
+SERVE_BATCHES = "serve.batches"
+SERVE_COALESCE_WIDTH = "serve.coalesce_width"
+SERVE_CACHE_HITS = "serve.cache_hits"
+SERVE_CACHE_MISSES = "serve.cache_misses"
+SERVE_OVERLOADS = "serve.overloads"
+
 SPAN_DURATION_SECONDS = "span.duration_seconds"
 SPAN_COUNT = "span.count"
 
@@ -163,6 +172,40 @@ _SPECS = (
     MetricSpec(
         CHAOS_WRONG_ANSWERS, "counter", ("kind",),
         "per graded chaos query answered wrong (must stay 0)",
+    ),
+    MetricSpec(
+        SERVE_REQUESTS, "counter", (),
+        "per request accepted by QueryServer.submit (cache hits "
+        "included; overload rejections are not)",
+    ),
+    MetricSpec(
+        SERVE_REQUEST_LATENCY_SECONDS, "histogram", (),
+        "submit-to-response wall time of every coalesced request "
+        "(cache hits answer inline and are not timed)",
+    ),
+    MetricSpec(
+        SERVE_QUEUE_DEPTH, "gauge", (),
+        "admission-queue depth, updated on every enqueue and flush",
+    ),
+    MetricSpec(
+        SERVE_BATCHES, "counter", (),
+        "per micro-batch the dispatcher flushed to the oracle",
+    ),
+    MetricSpec(
+        SERVE_COALESCE_WIDTH, "histogram", (),
+        "requests per flushed micro-batch (width buckets, not seconds)",
+    ),
+    MetricSpec(
+        SERVE_CACHE_HITS, "counter", (),
+        "per request answered from the LRU result cache",
+    ),
+    MetricSpec(
+        SERVE_CACHE_MISSES, "counter", (),
+        "per request that missed the result cache and was enqueued",
+    ),
+    MetricSpec(
+        SERVE_OVERLOADS, "counter", (),
+        "per request rejected with ServerOverloadError (queue full)",
     ),
     MetricSpec(
         SPAN_DURATION_SECONDS, "histogram", ("span",),

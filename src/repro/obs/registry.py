@@ -16,9 +16,16 @@ above all -- pay nanoseconds, not microseconds:
   in a fresh :class:`Registry` (see :func:`use_registry` and the autouse
   fixture in ``tests/conftest.py``).
 
-Instrument updates rely on the GIL for atomicity (single bytecode-level
-attribute writes); instrument *creation* takes a lock.  Process pools do
-not share a registry -- workers observe into their own (empty) one.
+Thread-safety: a plain ``counter.value += 1`` is a read-modify-write
+that the GIL does *not* make atomic, so every mutation path is safe by
+construction instead.  :class:`Counter` shards its count per thread
+(lock-free striped cells; :meth:`Counter.inc` is exact under any
+concurrency, and hot paths can inline a cell bump -- see the class
+docstring); :class:`Gauge` and :class:`Histogram` mutate under a
+per-instrument lock.  Direct attribute writes (``counter.value = 7``)
+remain legal only on paths that are single-threaded by construction.
+Instrument *creation* takes the registry lock.  Process pools do not
+share a registry -- workers observe into their own (empty) one.
 """
 
 from __future__ import annotations
@@ -62,24 +69,64 @@ def _label_key(labels: Dict[str, str]) -> LabelItems:
 
 
 class Counter:
-    """A monotonically increasing count.
+    """A monotonically increasing count, exact under concurrency.
 
-    Hot paths may bump :attr:`value` directly (``counter.value += 1``)
-    to skip the method-call overhead; :meth:`inc` is the readable form.
+    The count is sharded per thread: every thread owns one mutable
+    *cell* (a one-element list) and bumps only that, so concurrent
+    :meth:`inc` calls never race on shared state and never need a lock
+    -- the classic striped-counter design, at Python speed.  Reading
+    :attr:`value` sums the cells; after writer threads are joined the
+    sum is exact (mid-flight it is a consistent monotone approximation).
+
+    Hot paths that bump the same counter millions of times can skip the
+    method-call overhead entirely: fetch the calling thread's cell once
+    with :meth:`cell` and do ``cell[0] += 1`` inline -- single-writer,
+    still exact, and as cheap as a bare attribute bump.  A cell must
+    never be shared across threads.
+
+    Assigning :attr:`value` directly (``counter.value = 7``,
+    ``counter.value += 2``) resets the shards and is legal only on
+    single-threaded paths -- tests and legacy call sites.
     """
 
-    __slots__ = ("name", "labels", "value")
+    __slots__ = ("name", "labels", "_cells", "_base")
     kind = "counter"
 
     def __init__(self, name: str, labels: LabelItems) -> None:
         self.name = name
         self.labels = labels
-        self.value = 0
+        self._cells: Dict[int, List[int]] = {}
+        self._base = 0
+
+    def cell(self) -> List[int]:
+        """The calling thread's count cell (created on first use)."""
+        ident = threading.get_ident()
+        found = self._cells.get(ident)
+        if found is None:
+            # Only this thread inserts this key: no lock needed.
+            found = self._cells[ident] = [0]
+        return found
 
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError("counters only go up")
-        self.value += amount
+        self.cell()[0] += amount
+
+    @property
+    def value(self) -> int:
+        base = self._base
+        while True:
+            try:
+                return base + sum(cell[0] for cell in self._cells.values())
+            except RuntimeError:
+                # A new thread registered its cell mid-sum; retry (the
+                # sum is only exact after writers are joined anyway).
+                continue
+
+    @value.setter
+    def value(self, total: int) -> None:
+        self._cells.clear()
+        self._base = total
 
     def snapshot(self) -> Dict[str, object]:
         return {
@@ -91,24 +138,31 @@ class Counter:
 
 
 class Gauge:
-    """A value that can go up and down (a rate, a set size, ...)."""
+    """A value that can go up and down (a rate, a set size, ...).
 
-    __slots__ = ("name", "labels", "value")
+    ``set`` / ``inc`` / ``dec`` are atomic; see :class:`Counter`.
+    """
+
+    __slots__ = ("name", "labels", "value", "_lock")
     kind = "gauge"
 
     def __init__(self, name: str, labels: LabelItems) -> None:
         self.name = name
         self.labels = labels
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, amount: float = 1) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
     def snapshot(self) -> Dict[str, object]:
         return {
@@ -134,7 +188,7 @@ class Histogram:
     """
 
     __slots__ = ("name", "labels", "buckets", "counts", "count", "sum",
-                 "min", "max")
+                 "min", "max", "_lock")
     kind = "histogram"
 
     def __init__(
@@ -156,15 +210,19 @@ class Histogram:
         self.sum = 0.0
         self.min = inf
         self.max = -inf
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
-        self.counts[bisect_left(self.buckets, value)] += 1
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
+        # One lock guards the five correlated fields: concurrent
+        # observers must never leave count and counts disagreeing.
+        with self._lock:
+            self.counts[bisect_left(self.buckets, value)] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
 
     def percentile(self, p: float) -> Optional[float]:
         """The estimated ``p``-quantile (``p`` in ``[0, 1]``), or None."""
@@ -279,14 +337,18 @@ class Registry:
     MAX_TRACES = 4096
 
     def record_trace(self, path: str, depth: int, duration: float) -> None:
-        traces = self._traces
-        traces.append((path, depth, duration))
-        if len(traces) > self.MAX_TRACES:
-            del traces[: len(traces) - self.MAX_TRACES]
+        # Spans complete on whatever thread ran them; the rotation is a
+        # read-modify-write, so it shares the registry lock.
+        with self._lock:
+            traces = self._traces
+            traces.append((path, depth, duration))
+            if len(traces) > self.MAX_TRACES:
+                del traces[: len(traces) - self.MAX_TRACES]
 
     def traces(self) -> List[Tuple[str, int, float]]:
         """Completed spans as ``(path, depth, duration)``, oldest first."""
-        return list(self._traces)
+        with self._lock:
+            return list(self._traces)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -86,7 +86,7 @@ class Span:
             registry.histogram(
                 SPAN_DURATION_SECONDS, span=self.path
             ).observe(self.duration)
-            registry.counter(SPAN_COUNT, span=self.path).value += 1
+            registry.counter(SPAN_COUNT, span=self.path).inc()
             registry.record_trace(self.path, self.depth, self.duration)
         return False
 

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import heapq
 import random
+import threading
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, List, Optional, Tuple
@@ -125,9 +126,14 @@ class HubLabelOracle:
         self._backend = backend
         # Metrics bind lazily against the active registry and rebind if
         # it is swapped (tests isolate themselves that way); under a
-        # disabled registry the query path skips all metric work.
+        # disabled registry the query path skips all metric work.  The
+        # scalar path additionally caches per-thread state (the calling
+        # thread's counter cell + the latency histogram) in a
+        # threading.local, so concurrent clients count exactly without
+        # a lock on the hottest line in the codebase.
         self._obs_registry = None
         self._obs: Optional[tuple] = None
+        self._tlocal = threading.local()
 
     @classmethod
     def from_graph(
@@ -160,10 +166,9 @@ class HubLabelOracle:
         return cls(flat, backend=backend)
 
     def _rebind_obs(self, registry) -> Optional[tuple]:
-        self._obs_registry = registry
         if registry.enabled:
             backend = self._backend
-            self._obs = (
+            obs = (
                 registry.counter(ORACLE_QUERIES, backend=backend),
                 registry.histogram(
                     ORACLE_QUERY_LATENCY_SECONDS, backend=backend
@@ -174,8 +179,13 @@ class HubLabelOracle:
                 ),
             )
         else:
-            self._obs = None
-        return self._obs
+            obs = None
+        # Publish the tuple before the registry marker: a concurrent
+        # reader that sees the marker match must never pick up a stale
+        # (possibly None) tuple and silently skip counting.
+        self._obs = obs
+        self._obs_registry = registry
+        return obs
 
     @property
     def backend(self) -> str:
@@ -190,29 +200,50 @@ class HubLabelOracle:
         # One (hub, distance) pair per entry.
         return 2 * self._labeling.total_size()
 
-    def query(self, u: int, v: int) -> QueryOutcome:
-        """:meth:`_serve` plus metrics: an exact per-backend query
-        counter and a 1-in-``LATENCY_SAMPLE`` latency histogram sample
-        (see the module constant for why sampling)."""
-        registry = _get_registry()
+    def _bind_thread_obs(self, registry) -> tuple:
+        """The calling thread's cached scalar-path instrumentation:
+        ``(registry, counter cell, latency histogram)`` -- or ``(registry,
+        None, None)`` under a disabled registry."""
         obs = (
             self._obs
             if registry is self._obs_registry
             else self._rebind_obs(registry)
         )
         if obs is None:
+            state = (registry, None, None)
+        else:
+            state = (registry, obs[0].cell(), obs[1])
+        self._tlocal.state = state
+        return state
+
+    def query(self, u: int, v: int) -> QueryOutcome:
+        """:meth:`_serve` plus metrics: an exact per-backend query
+        counter and a 1-in-``LATENCY_SAMPLE`` latency histogram sample
+        (see the module constant for why sampling)."""
+        registry = _get_registry()
+        state = getattr(self._tlocal, "state", None)
+        if state is None or state[0] is not registry:
+            state = self._bind_thread_obs(registry)
+        cell = state[1]
+        if cell is None:
             return self._serve(u, v)
-        queries = obs[0]
-        count = queries.value + 1
+        # The cell is this thread's shard of the query counter: bumping
+        # it inline is exact under any concurrency (single writer) and
+        # as cheap as the attribute write it replaces.  The sampling
+        # cadence keys off the same per-thread count, so each thread
+        # times 1-in-LATENCY_SAMPLE of its own queries -- exactly the
+        # global cadence when single-threaded, the same sampling *rate*
+        # when not.  A query that raises is never counted.
+        count = cell[0] + 1
         if count % LATENCY_SAMPLE:
             outcome = self._serve(u, v)
-            queries.value = count
+            cell[0] = count
             return outcome
         start = perf_counter()
         outcome = self._serve(u, v)
         elapsed = perf_counter() - start
-        queries.value = count
-        obs[1].observe(elapsed)
+        cell[0] = count
+        state[2].observe(elapsed)
         return outcome
 
     def _serve(self, u: int, v: int) -> QueryOutcome:
@@ -245,8 +276,8 @@ class HubLabelOracle:
         start = perf_counter()
         answers = self._serve_batch(pairs)
         elapsed = perf_counter() - start
-        obs[0].value += len(answers)
-        obs[2].value += 1
+        obs[0].inc(len(answers))
+        obs[2].inc()
         obs[3].observe(elapsed)
         if answers:
             obs[1].observe(elapsed / len(answers))

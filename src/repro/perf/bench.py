@@ -28,6 +28,14 @@ instance, seed}``.  The suites:
 * ``batch_speedup``         -- flat / dict throughput ratio;
 * ``backend_consistency``   -- mismatching answers between the two
   backends over the *full* workload (must be 0);
+* ``serving_throughput``    -- the subsampled workload fired through a
+  :class:`~repro.serve.server.QueryServer` by concurrent client
+  threads (admission + coalescing + batch dispatch, result cache off);
+* ``serving_speedup``       -- served concurrent throughput / dict
+  scalar-loop throughput (the ratio committed to the baseline);
+* ``serving_consistency``   -- served answers graded against the dict
+  store, value AND type (must be 0; ``tools/bench_gate.py`` fails on
+  any mismatch);
 * ``label_memory_dict`` / ``label_memory_flat`` -- store sizes in words;
 * ``sssp_rows``             -- per-root traversal throughput through
   :func:`repro.perf.parallel.shortest_path_rows` (exercises the
@@ -57,6 +65,7 @@ from __future__ import annotations
 import json
 import random
 import tempfile
+import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -298,6 +307,77 @@ def run_bench(
         "mismatches", mismatches, "pairs", pairs=len(pairs)
     )
 
+    # Serving throughput: the same subsampled workload fired through
+    # the QueryServer by concurrent client threads -- admission,
+    # coalescing, and batch dispatch included, result cache disabled so
+    # every request pays the full path.  Clients submit in bounded
+    # windows (well under max_queue) so the benchmark measures
+    # throughput, not backpressure.
+    from ..serve import QueryServer
+
+    serve_clients = 4
+    serve_window = 256
+    serve_slices = [dict_pairs[i::serve_clients] for i in range(serve_clients)]
+    serve_holder: Dict[str, List[List[float]]] = {}
+
+    def serving_round():
+        collected: List[List[float]] = [[] for _ in range(serve_clients)]
+
+        def client(index: int) -> None:
+            chunk = serve_slices[index]
+            out = collected[index]
+            for begin in range(0, len(chunk), serve_window):
+                futures = [
+                    server.submit(u, v)
+                    for u, v in chunk[begin : begin + serve_window]
+                ]
+                out.extend(future.result() for future in futures)
+
+        with QueryServer(
+            flat_oracle,
+            max_queue=4 * serve_clients * serve_window,
+            max_batch=serve_window,
+            max_delay=0.001,
+            cache_size=0,
+        ) as server:
+            threads = [
+                threading.Thread(target=client, args=(index,))
+                for index in range(serve_clients)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        serve_holder["answers"] = collected
+
+    serve_time = _best_time(serving_round, repeats, suite="serving_throughput")
+    serve_qps = len(dict_pairs) / serve_time if serve_time > 0 else 0.0
+    results["serving_throughput"] = entry(
+        "throughput",
+        round(serve_qps, 1),
+        "queries/s",
+        pairs=len(dict_pairs),
+        clients=serve_clients,
+    )
+    results["serving_speedup"] = entry(
+        "speedup",
+        round(serve_qps / dict_qps, 2) if dict_qps > 0 else 0.0,
+        "x",
+    )
+
+    # Consistency: every answer of the last round, graded against the
+    # dict store serially (value AND type -- the byte-identical
+    # contract survives the concurrent path or the gate fails).
+    served_wrong = 0
+    for index, chunk in enumerate(serve_slices):
+        for (u, v), got in zip(chunk, serve_holder["answers"][index]):
+            want = query(u, v)
+            if got != want or type(got) is not type(want):
+                served_wrong += 1
+    results["serving_consistency"] = entry(
+        "mismatches", served_wrong, "pairs", pairs=len(dict_pairs)
+    )
+
     roots = sources[: max(1, min(len(sources), 8 if quick else 16))]
     rows_time = _best_time(
         lambda: shortest_path_rows(graph, roots, workers=workers),
@@ -360,6 +440,7 @@ def run_bench(
             "cache_hit_latency": hit_time,
             "batch_throughput_dict": dict_time,
             "batch_throughput_flat": flat_time,
+            "serving_throughput": serve_time,
             "sssp_rows": rows_time,
             "obs_overhead": instrumented_time,
         }

@@ -26,6 +26,7 @@ from .errors import (
     IntegrityError,
     QueryBudgetExceeded,
     ReproError,
+    ServerOverloadError,
 )
 from .resilient import HealthReport, ResilientOracle
 from .faults import (
@@ -43,6 +44,7 @@ __all__ = [
     "IntegrityError",
     "QueryBudgetExceeded",
     "DomainError",
+    "ServerOverloadError",
     "ResilientOracle",
     "HealthReport",
     "FAULT_KINDS",

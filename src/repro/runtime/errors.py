@@ -15,7 +15,10 @@ wrong* without parsing message strings:
 * :class:`QueryBudgetExceeded` -- a query would exceed its per-query
   operation budget;
 * :class:`DomainError` -- arguments outside the structure's domain
-  (vertex ids out of range, bad parameters).
+  (vertex ids out of range, bad parameters);
+* :class:`ServerOverloadError` -- the serving layer's bounded admission
+  queue is full and the request was rejected (backpressure, not a
+  crash; carries the queue capacity so clients can size their retry).
 
 The classes that signal *bad data or bad arguments* also subclass
 :class:`ValueError` so pre-taxonomy call sites (``except ValueError``)
@@ -35,6 +38,7 @@ __all__ = [
     "IntegrityError",
     "QueryBudgetExceeded",
     "DomainError",
+    "ServerOverloadError",
 ]
 
 
@@ -105,3 +109,18 @@ class DomainError(ReproError, ValueError):
     """Arguments outside the structure's domain (bad vertex ids etc.)."""
 
     exit_code = 69
+
+
+class ServerOverloadError(ReproError):
+    """The query server's admission queue is full; the request was
+    rejected so the caller can back off and retry (backpressure)."""
+
+    exit_code = 70
+
+    def __init__(
+        self, message: str, *, capacity: Optional[int] = None
+    ) -> None:
+        if capacity is not None:
+            message = f"{message} (queue capacity {capacity})"
+        super().__init__(message)
+        self.capacity = capacity

@@ -259,16 +259,12 @@ def chaos_sweep(
         if not registry.enabled:
             return
         kind = outcome.kind
-        registry.counter(CHAOS_INJECTIONS, kind=kind).value += 1
-        registry.counter(CHAOS_DETECTED_AT_LOAD, kind=kind).value += int(
-            outcome.detected_at_load
+        registry.counter(CHAOS_INJECTIONS, kind=kind).inc()
+        registry.counter(CHAOS_DETECTED_AT_LOAD, kind=kind).inc(
+            int(outcome.detected_at_load)
         )
-        registry.counter(
-            CHAOS_FALLBACKS, kind=kind
-        ).value += outcome.fallbacks
-        registry.counter(
-            CHAOS_WRONG_ANSWERS, kind=kind
-        ).value += outcome.wrong
+        registry.counter(CHAOS_FALLBACKS, kind=kind).inc(outcome.fallbacks)
+        registry.counter(CHAOS_WRONG_ANSWERS, kind=kind).inc(outcome.wrong)
 
     for kind in kinds:
         for trial in range(trials_per_kind):

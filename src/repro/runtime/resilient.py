@@ -204,7 +204,7 @@ class ResilientOracle:
         self.health.admission_violations += len(report.violations)
         obs = self._instruments()
         if obs is not None:
-            obs.admission_violations.value += len(report.violations)
+            obs.admission_violations.inc(len(report.violations))
         if not self._fallback:
             raise IntegrityError(
                 f"labeling failed admission: {len(report.violations)} "
@@ -221,6 +221,11 @@ class ResilientOracle:
     # ------------------------------------------------------------------
     def space_words(self) -> int:
         return self._oracle.space_words()
+
+    @property
+    def labeling(self) -> HubLabeling:
+        """The labeling being served (what the admission gate verified)."""
+        return self._labeling
 
     @property
     def quarantined(self) -> Set[int]:
@@ -244,7 +249,7 @@ class ResilientOracle:
         self.health.fallbacks += 1
         obs = self._instruments()
         if obs is not None:
-            obs.fallbacks.value += 1
+            obs.fallbacks.inc()
         distance = bidirectional_distance(self._graph, u, v)
         # The search's cost is not instrumented; charge the conservative
         # proxy n so trade-off accounting never undercounts a fallback.
@@ -261,11 +266,11 @@ class ResilientOracle:
         self.health.queries += 1
         obs = self._instruments()
         if obs is not None:
-            obs.queries.value += 1
+            obs.queries.inc()
         if u == v:
             self.health.label_answers += 1
             if obs is not None:
-                obs.label_answers.value += 1
+                obs.label_answers.inc()
             return QueryOutcome(distance=0, operations=1, source="label")
         if u in self.health.quarantined or v in self.health.quarantined:
             if not self._fallback:
@@ -278,7 +283,7 @@ class ResilientOracle:
         if self._budget is not None and cost > self._budget:
             self.health.budget_exhaustions += 1
             if obs is not None:
-                obs.budget_exhaustions.value += 1
+                obs.budget_exhaustions.inc()
             if not self._fallback:
                 raise QueryBudgetExceeded(
                     f"query ({u}, {v}) needs {cost} operations, "
@@ -297,12 +302,12 @@ class ResilientOracle:
                 self.health.integrity_failures += 1
                 self.health.quarantined.update((u, v))
                 if obs is not None:
-                    obs.integrity_failures.value += 1
+                    obs.integrity_failures.inc()
                     obs.quarantined.set(len(self.health.quarantined))
             return exact
         self.health.label_answers += 1
         if obs is not None:
-            obs.label_answers.value += 1
+            obs.label_answers.inc()
         return QueryOutcome(
             distance=outcome.distance,
             operations=outcome.operations,
@@ -349,7 +354,7 @@ class ResilientOracle:
             self.health.queries += len(trusted)
             obs = self._instruments()
             if obs is not None:
-                obs.queries.value += len(trusted)
+                obs.queries.inc(len(trusted))
             for index, distance in zip(trusted, answers):
                 if distance == INF and self._fallback:
                     u, v = pairs[index]
@@ -358,7 +363,7 @@ class ResilientOracle:
                         self.health.integrity_failures += 1
                         self.health.quarantined.update((u, v))
                         if obs is not None:
-                            obs.integrity_failures.value += 1
+                            obs.integrity_failures.inc()
                             obs.quarantined.set(
                                 len(self.health.quarantined)
                             )
@@ -366,7 +371,7 @@ class ResilientOracle:
                 else:
                     self.health.label_answers += 1
                     if obs is not None:
-                        obs.label_answers.value += 1
+                        obs.label_answers.inc()
                     results[index] = distance
         return results
 

@@ -1,0 +1,29 @@
+"""Concurrent serving layer over the distance oracles.
+
+The oracles answer one caller at a time; this package puts them behind
+a thread-based :class:`~repro.serve.server.QueryServer` that admits
+concurrent requests through a bounded queue, coalesces them into the
+micro-batches the flat backend is fast at, caches repeat answers in a
+generation-keyed LRU, and rejects overload loudly
+(:class:`~repro.runtime.errors.ServerOverloadError`) instead of
+degrading silently.  ``python -m repro serve`` runs a self-test server;
+``python -m repro loadgen`` drives one for throughput numbers.
+
+See ``docs/serving.md`` for the architecture walk-through.
+"""
+
+from .cache import MISS, ResultCache, labeling_digest
+from .coalesce import MicroBatcher
+from .loadgen import LoadReport, run_loadgen
+from .server import QueryServer, ServerStats
+
+__all__ = [
+    "MISS",
+    "LoadReport",
+    "MicroBatcher",
+    "QueryServer",
+    "ResultCache",
+    "ServerStats",
+    "labeling_digest",
+    "run_loadgen",
+]

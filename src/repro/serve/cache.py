@@ -1,0 +1,135 @@
+"""Thread-safe LRU result cache, scoped to one label generation.
+
+Distance answers are immutable for a fixed labeling, so repeat queries
+are pure cache fodder -- but *only* for a fixed labeling.  The cache is
+therefore keyed by a **generation token** derived from the labeling's
+content digest (:func:`labeling_digest`):
+
+* :meth:`ResultCache.put` carries the generation the answer was
+  computed under and is dropped silently if the server has re-keyed in
+  the meantime -- an in-flight batch from the previous oracle can never
+  poison the cache after :meth:`~repro.serve.server.QueryServer.set_oracle`;
+* :meth:`ResultCache.rekey` clears everything when the generation
+  actually changed, and keeps the warm entries when a swap re-installed
+  a labeling with the identical digest (dict vs flat backends answer
+  byte-identically, so the digest deliberately covers label *content*,
+  not store layout).
+
+Everything mutates under one lock; ``get`` / ``put`` are O(1) via
+``OrderedDict`` recency moves.  ``capacity == 0`` disables caching
+entirely (every ``get`` misses, every ``put`` is dropped) -- what the
+benchmarks use to measure the uncached serving path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Hashable, Optional, Tuple
+
+__all__ = ["ResultCache", "labeling_digest", "MISS"]
+
+#: Sentinel distinguishing "not cached" from a cached ``None``.
+MISS = object()
+
+
+def labeling_digest(store) -> str:
+    """A sha256 hex digest of a label store's *content*.
+
+    Accepts either label store (:class:`~repro.core.hublabel.HubLabeling`
+    dicts or :class:`~repro.perf.flat.FlatHubLabeling` CSR arrays) and
+    hashes the same canonical byte stream for both -- per-vertex hub
+    runs in ascending hub order -- so the two layouts of one labeling
+    share a digest, mirroring their byte-identical query contract.
+    """
+    hasher = hashlib.sha256()
+    hasher.update(f"n{store.num_vertices}".encode())
+    offsets = getattr(store, "_offsets", None)
+    if offsets is not None:
+        # Flat store: walk the CSR runs (hubs already ascend per run).
+        hubs, dists = store._hubs, store._dists
+        for vertex in range(len(offsets) - 1):
+            hasher.update(f"|{vertex}".encode())
+            for index in range(offsets[vertex], offsets[vertex + 1]):
+                hasher.update(f";{hubs[index]}:{dists[index]!r}".encode())
+        return hasher.hexdigest()
+    for vertex in range(store.num_vertices):
+        hasher.update(f"|{vertex}".encode())
+        for hub, dist in sorted(store.hubs(vertex).items()):
+            # Distances normalize to float: the flat store keeps
+            # doubles, and the two layouts must share a digest.
+            hasher.update(f";{hub}:{float(dist)!r}".encode())
+    return hasher.hexdigest()
+
+
+class ResultCache:
+    """A bounded, generation-scoped LRU map of query results."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("capacity must be non-negative")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, object]" = OrderedDict()
+        self._generation: Optional[str] = None
+        self._lock = threading.Lock()
+
+    @property
+    def generation(self) -> Optional[str]:
+        return self._generation
+
+    def rekey(self, generation: str) -> bool:
+        """Adopt ``generation``; clear if it differs.  True if cleared."""
+        with self._lock:
+            changed = generation != self._generation
+            self._generation = generation
+            if changed:
+                self._entries.clear()
+            return changed
+
+    def get(self, key: Hashable):
+        """The cached value for ``key`` (freshened), or :data:`MISS`."""
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                return MISS
+            self._entries.move_to_end(key)
+            return value
+
+    def put(self, key: Hashable, value, generation: Optional[str] = None) -> bool:
+        """Store ``key -> value``; True if it was accepted.
+
+        A ``generation`` that no longer matches the cache's (the oracle
+        was swapped while the answer was in flight) drops the put --
+        that is the staleness guard, not an error.
+        """
+        with self._lock:
+            if self.capacity == 0:
+                return False
+            if generation is not None and generation != self._generation:
+                return False
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def keys(self) -> Tuple[Hashable, ...]:
+        """Current keys, least- to most-recently used (for tests)."""
+        with self._lock:
+            return tuple(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __repr__(self) -> str:
+        return (
+            f"ResultCache(size={len(self)}, capacity={self.capacity}, "
+            f"generation={str(self._generation)[:12]!r})"
+        )

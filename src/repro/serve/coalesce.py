@@ -1,0 +1,89 @@
+"""Micro-batch coalescing: turn a request stream into batch_query calls.
+
+Hub labelings make the online query side cheap, and the flat backend
+makes it cheaper still -- but only when queries arrive in batches wide
+enough to amortize the kernel dispatch.  A serving layer therefore
+wants to *coalesce*: hold an individual ``(u, v)`` request for at most
+a flush deadline, and ship everything accumulated so far the moment
+either trigger fires:
+
+* **size** -- the batch reached ``max_batch`` requests, or
+* **deadline** -- the oldest pending request has waited ``max_delay``
+  seconds.
+
+:class:`MicroBatcher` is that policy as a pure data structure: no
+threads, no clocks of its own -- callers pass ``now`` explicitly, which
+is what makes the property-based tests in ``tests/test_serve_properties.py``
+able to drive arbitrary interleavings deterministically.  The
+dispatcher thread of :class:`~repro.serve.server.QueryServer` owns one
+instance; the class itself is deliberately not thread-safe.
+
+The invariant the tests hammer: every item added is returned by exactly
+one flush, in arrival order -- the coalescer never loses, duplicates,
+or reorders a request.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TypeVar
+
+__all__ = ["MicroBatcher"]
+
+T = TypeVar("T")
+
+
+class MicroBatcher:
+    """Size- and deadline-triggered batch former (single-owner)."""
+
+    __slots__ = ("max_batch", "max_delay", "_pending", "_deadline")
+
+    def __init__(self, max_batch: int, max_delay: float) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._pending: List[T] = []
+        self._deadline: Optional[float] = None
+
+    def add(self, item: T, now: float) -> Optional[List[T]]:
+        """Accept ``item``; return the full batch if that filled it.
+
+        The flush deadline is anchored to the *first* item of the
+        forming batch -- a steady trickle cannot postpone the flush
+        forever.
+        """
+        if not self._pending:
+            self._deadline = now + self.max_delay
+        self._pending.append(item)
+        if len(self._pending) >= self.max_batch:
+            return self.flush()
+        return None
+
+    def poll(self, now: float) -> Optional[List[T]]:
+        """The pending batch if its deadline has passed, else None."""
+        if self._pending and self._deadline is not None and now >= self._deadline:
+            return self.flush()
+        return None
+
+    def flush(self) -> List[T]:
+        """Unconditionally take whatever is pending (may be empty)."""
+        batch = self._pending
+        self._pending = []
+        self._deadline = None
+        return batch
+
+    @property
+    def deadline(self) -> Optional[float]:
+        """When the pending batch must flush, or None when empty."""
+        return self._deadline
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def __repr__(self) -> str:
+        return (
+            f"MicroBatcher(pending={len(self._pending)}, "
+            f"max_batch={self.max_batch}, max_delay={self.max_delay})"
+        )

@@ -1,0 +1,160 @@
+"""Multi-threaded load generation against a :class:`QueryServer`.
+
+The serving layer's correctness claims are concurrency claims, so they
+need a concurrent workload to mean anything.  :func:`run_loadgen`
+spawns ``clients`` threads, each with its own seeded RNG, firing random
+``(u, v)`` queries through :meth:`QueryServer.query`:
+
+* **overloads** are handled the way a well-behaved client would --
+  back off briefly and retry (up to ``max_retries``); a request that
+  still cannot be admitted is tallied as *dropped*, which the soak test
+  requires to be zero;
+* with ``expected`` (a ``(u, v) -> distance`` callable), every answer
+  is graded against ground truth -- value *and* type, matching the
+  byte-identical contract the differential tests enforce -- and
+  mismatches are tallied as *wrong*;
+* ``requests_per_client`` runs a fixed-size workload (benchmarks),
+  ``duration`` runs a wall-clock-bounded one (the soak test).
+
+Everything lands in a :class:`LoadReport`; ``report.ok`` is the single
+bit CI cares about: no wrong answers, no drops, no unexpected errors.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from ..runtime.errors import ServerOverloadError
+from .server import QueryServer
+
+__all__ = ["LoadReport", "run_loadgen"]
+
+
+@dataclass
+class LoadReport:
+    """Aggregated outcome of one load-generation run."""
+
+    clients: int = 0
+    requests: int = 0          # answers received
+    wrong: int = 0             # answers disagreeing with ground truth
+    dropped: int = 0           # requests rejected even after retries
+    retries: int = 0           # overload retries that eventually succeeded
+    errors: int = 0            # queries resolved with an exception
+    duration_s: float = 0.0
+    mismatches: List[Tuple[int, int, object, object]] = field(
+        default_factory=list
+    )
+
+    @property
+    def throughput(self) -> float:
+        """Answered requests per second of wall time."""
+        return self.requests / self.duration_s if self.duration_s else 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True iff nothing was wrong, dropped, or errored."""
+        return not (self.wrong or self.dropped or self.errors)
+
+    def render(self) -> str:
+        lines = [
+            f"clients:    {self.clients}",
+            f"requests:   {self.requests}",
+            f"throughput: {self.throughput:,.0f} req/s",
+            f"duration:   {self.duration_s:.3f}s",
+            f"retries:    {self.retries}",
+            f"dropped:    {self.dropped}",
+            f"errors:     {self.errors}",
+            f"wrong:      {self.wrong}",
+            f"verdict:    {'OK' if self.ok else 'FAILED'}",
+        ]
+        for u, v, got, want in self.mismatches[:5]:
+            lines.append(f"  mismatch: dist({u},{v}) = {got!r}, want {want!r}")
+        return "\n".join(lines)
+
+
+def run_loadgen(
+    server: QueryServer,
+    num_vertices: int,
+    *,
+    clients: int = 4,
+    requests_per_client: int = 250,
+    duration: Optional[float] = None,
+    seed: int = 0,
+    expected: Optional[Callable[[int, int], object]] = None,
+    max_retries: int = 50,
+    backoff: float = 0.002,
+) -> LoadReport:
+    """Fire a concurrent random-pair workload at ``server``.
+
+    With ``duration`` set, every client loops until the deadline
+    instead of counting to ``requests_per_client``.  ``expected`` turns
+    the run into a graded sweep (value AND type must match).
+    """
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be positive")
+    report = LoadReport(clients=clients)
+    lock = threading.Lock()
+
+    def client(index: int) -> None:
+        rng = random.Random(seed * 1_000_003 + index)
+        answered = wrong = dropped = retries = errors = 0
+        mismatches: List[Tuple[int, int, object, object]] = []
+        deadline = (
+            time.perf_counter() + duration if duration is not None else None
+        )
+        count = 0
+        while True:
+            if deadline is not None:
+                if time.perf_counter() >= deadline:
+                    break
+            elif count >= requests_per_client:
+                break
+            count += 1
+            u = rng.randrange(num_vertices)
+            v = rng.randrange(num_vertices)
+            future = None
+            for attempt in range(max_retries + 1):
+                try:
+                    future = server.submit(u, v)
+                    retries += attempt
+                    break
+                except ServerOverloadError:
+                    time.sleep(backoff * (1 + (attempt % 8)))
+            if future is None:
+                dropped += 1
+                continue
+            try:
+                got = future.result()
+            except Exception:
+                errors += 1
+                continue
+            answered += 1
+            if expected is not None:
+                want = expected(u, v)
+                if got != want or type(got) is not type(want):
+                    wrong += 1
+                    if len(mismatches) < 5:
+                        mismatches.append((u, v, got, want))
+        with lock:
+            report.requests += answered
+            report.wrong += wrong
+            report.dropped += dropped
+            report.retries += retries
+            report.errors += errors
+            report.mismatches.extend(mismatches)
+
+    threads = [
+        threading.Thread(target=client, args=(i,), name=f"loadgen-{i}")
+        for i in range(clients)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    report.duration_s = time.perf_counter() - start
+    return report

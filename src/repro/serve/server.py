@@ -1,0 +1,482 @@
+"""``QueryServer``: concurrent request serving over any distance oracle.
+
+Every oracle in this repository answers one caller at a time; the
+ROADMAP's north star is a system serving heavy traffic.  This module is
+the bridge: a thread-based server that accepts a stream of concurrent
+``(u, v)`` requests and turns them into the shapes the oracles are fast
+at, while degrading *predictably* -- never silently -- under load.
+
+The pipeline, request by request:
+
+1. **Admission** -- :meth:`QueryServer.submit` consults the LRU result
+   cache (:class:`~repro.serve.cache.ResultCache`, keyed by the
+   labeling's content digest); a hit resolves inline.  A miss enqueues
+   onto a *bounded* queue; when the queue is full the request is
+   rejected with :class:`~repro.runtime.errors.ServerOverloadError`
+   (backpressure -- the caller backs off, nothing is dropped silently).
+2. **Coalescing** -- a single dispatcher thread packs queued requests
+   into micro-batches (:class:`~repro.serve.coalesce.MicroBatcher`),
+   flushing on size (``max_batch``) or deadline (``max_delay``), so a
+   flood of scalar requests is served through the flat backend's
+   vectorized ``batch_query`` kernels instead of one merge at a time.
+3. **Dispatch** -- duplicate pairs inside one batch collapse to a
+   single backend query; oracles without a batch engine fall back to
+   the scalar path.  A failing batch is retried pair-by-pair so one bad
+   request cannot poison its batch-mates; per-request errors travel
+   through the request's future.
+4. **Shutdown** -- :meth:`stop` (or leaving the context manager) stops
+   admissions, then *drains*: everything already accepted is served
+   before the dispatcher exits.  ``drain=False`` cancels the backlog
+   instead (every pending future reports cancelled -- still never
+   silent).
+
+The oracle is only ever invoked from the dispatcher thread (under the
+swap lock), so stateful oracles such as
+:class:`~repro.runtime.resilient.ResilientOracle` need no internal
+locking.  :meth:`set_oracle` swaps the oracle atomically and re-keys
+the result cache by the new labeling's digest -- in-flight answers from
+the old generation are discarded by the cache, never served stale.
+
+Metrics (``serve.*`` in ``repro.obs.catalog``): request/overload/cache
+counters, a queue-depth gauge, a coalesce-width histogram, and a
+submit-to-response latency histogram.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..obs.catalog import (
+    SERVE_BATCHES,
+    SERVE_CACHE_HITS,
+    SERVE_CACHE_MISSES,
+    SERVE_COALESCE_WIDTH,
+    SERVE_OVERLOADS,
+    SERVE_QUEUE_DEPTH,
+    SERVE_REQUESTS,
+    SERVE_REQUEST_LATENCY_SECONDS,
+)
+from ..obs.registry import get_registry as _get_registry
+from ..runtime.errors import ServerOverloadError
+from .cache import MISS, ResultCache, labeling_digest
+from .coalesce import MicroBatcher
+
+__all__ = ["QueryServer", "ServerStats", "WIDTH_BUCKETS"]
+
+#: Bucket upper edges for the coalesce-width histogram (requests per
+#: flushed micro-batch, not seconds).
+WIDTH_BUCKETS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
+)
+
+#: Sentinel the dispatcher recognizes as "stop after draining".
+_STOP = object()
+
+#: Distinguishes oracles without a labeling digest; each swap of such
+#: an oracle gets a fresh generation token (cache always cold).
+_ANON = itertools.count()
+
+
+class _Request:
+    __slots__ = ("u", "v", "future", "enqueued")
+
+    def __init__(self, u: int, v: int, enqueued: float) -> None:
+        self.u = u
+        self.v = v
+        self.future: Future = Future()
+        self.enqueued = enqueued
+
+
+@dataclass(frozen=True)
+class ServerStats:
+    """A consistent snapshot of the server's own tallies.
+
+    ``responses`` counts resolved futures (cache hits included);
+    ``requests - responses - errors`` pending requests.  ``coalesced``
+    is the number of requests served through micro-batches, so
+    ``coalesced / batches`` is the realized mean batch width.
+    """
+
+    requests: int = 0
+    responses: int = 0
+    errors: int = 0
+    cache_hits: int = 0
+    overloads: int = 0
+    batches: int = 0
+    coalesced: int = 0
+
+    @property
+    def mean_batch_width(self) -> float:
+        return self.coalesced / self.batches if self.batches else 0.0
+
+
+def _generation_for(oracle) -> str:
+    """The cache-generation token for ``oracle``.
+
+    Labeling-backed oracles key by class name + content digest, so two
+    oracles of the same kind serving byte-identical labels share a warm
+    cache across :meth:`QueryServer.set_oracle`.  Oracles without an
+    exposed labeling get a unique token per swap (cold cache, safe).
+    """
+    store = getattr(oracle, "labeling", None)
+    if store is not None:
+        return f"{type(oracle).__name__}:{labeling_digest(store)}"
+    return f"{type(oracle).__name__}:anon-{next(_ANON)}"
+
+
+class QueryServer:
+    """A bounded, coalescing, caching front-end over a distance oracle.
+
+    ``oracle`` needs ``query(u, v)`` returning an outcome with a
+    ``.distance`` (or the distance itself); a ``batch_query(pairs)``
+    method is used when present.  Answers are exactly the oracle's --
+    the server adds concurrency, never arithmetic.
+    """
+
+    def __init__(
+        self,
+        oracle,
+        *,
+        max_queue: int = 1024,
+        max_batch: int = 64,
+        max_delay: float = 0.002,
+        cache_size: int = 4096,
+    ) -> None:
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
+        self.max_queue = max_queue
+        self.max_batch = max_batch
+        self.max_delay = max_delay
+        self._oracle = oracle
+        self._oracle_lock = threading.Lock()
+        self._generation = _generation_for(oracle)
+        self._cache = ResultCache(cache_size)
+        self._cache.rekey(self._generation)
+        self._accepting = False
+        self._thread: Optional[threading.Thread] = None
+        self._lifecycle = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._stats: Dict[str, int] = {
+            "requests": 0,
+            "responses": 0,
+            "errors": 0,
+            "cache_hits": 0,
+            "overloads": 0,
+            "batches": 0,
+            "coalesced": 0,
+        }
+        self._obs_registry = None
+        self._obs: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "QueryServer":
+        with self._lifecycle:
+            if self._thread is not None:
+                return self
+            self._accepting = True
+            self._thread = threading.Thread(
+                target=self._run, name="repro-query-server", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self, *, drain: bool = True) -> None:
+        """Stop admissions, then drain (default) or cancel the backlog.
+
+        Idempotent.  After it returns every accepted request has been
+        resolved (``drain=True``) or cancelled (``drain=False``).
+        """
+        with self._lifecycle:
+            self._accepting = False
+            thread = self._thread
+            if thread is not None:
+                self._drain_requested = drain
+                self._queue.put(_STOP)  # blocking put: always lands
+                thread.join()
+                self._thread = None
+            # Catch submits that raced the accepting flag: with the
+            # dispatcher gone, serve (or cancel) them inline.
+            leftovers = self._take_all()
+            if leftovers:
+                if drain:
+                    self._serve_batch(leftovers)
+                else:
+                    for request in leftovers:
+                        request.future.cancel()
+
+    @property
+    def running(self) -> bool:
+        return self._accepting and self._thread is not None
+
+    def __enter__(self) -> "QueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, u: int, v: int) -> Future:
+        """Enqueue one query; returns a future resolving to its distance.
+
+        Raises :class:`ServerOverloadError` when the admission queue is
+        full -- the request was *not* accepted, back off and retry.
+        Raises :class:`RuntimeError` when the server is not running.
+        """
+        if not self._accepting:
+            raise RuntimeError("QueryServer is not running (call start())")
+        obs = self._bind_obs()
+        key = (u, v)
+        hit = self._cache.get(key)
+        if hit is not MISS:
+            future: Future = Future()
+            future.set_result(hit)
+            with self._stats_lock:
+                self._stats["requests"] += 1
+                self._stats["cache_hits"] += 1
+                self._stats["responses"] += 1
+            if obs is not None:
+                obs.requests.inc()
+                obs.cache_hits.inc()
+            return future
+        request = _Request(u, v, perf_counter())
+        try:
+            self._queue.put_nowait(request)
+        except queue.Full:
+            with self._stats_lock:
+                self._stats["overloads"] += 1
+            if obs is not None:
+                obs.overloads.inc()
+            raise ServerOverloadError(
+                f"admission queue is full; request ({u}, {v}) rejected",
+                capacity=self.max_queue,
+            )
+        with self._stats_lock:
+            self._stats["requests"] += 1
+        if obs is not None:
+            obs.requests.inc()
+            obs.cache_misses.inc()
+            obs.queue_depth.set(self._queue.qsize())
+        return request.future
+
+    def query(self, u: int, v: int, timeout: Optional[float] = None):
+        """Blocking convenience: submit and wait for the distance."""
+        return self.submit(u, v).result(timeout=timeout)
+
+    def batch(
+        self, pairs: Sequence[Tuple[int, int]], timeout: Optional[float] = None
+    ) -> List[float]:
+        """Submit many pairs and gather their answers, in order."""
+        futures = [self.submit(u, v) for u, v in pairs]
+        return [future.result(timeout=timeout) for future in futures]
+
+    # ------------------------------------------------------------------
+    # Oracle management
+    # ------------------------------------------------------------------
+    @property
+    def oracle(self):
+        return self._oracle
+
+    @property
+    def generation(self) -> str:
+        """The result cache's current generation token."""
+        return self._generation
+
+    def set_oracle(self, oracle) -> bool:
+        """Swap the serving oracle; True if the result cache was cleared.
+
+        The cache survives the swap only when the new oracle serves a
+        labeling with the identical content digest; any other swap
+        re-keys it, and answers still in flight from the old oracle are
+        dropped by the generation guard rather than cached stale.
+        """
+        generation = _generation_for(oracle)
+        with self._oracle_lock:
+            self._oracle = oracle
+            self._generation = generation
+            return self._cache.rekey(generation)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> ServerStats:
+        with self._stats_lock:
+            return ServerStats(**self._stats)
+
+    @property
+    def cache(self) -> ResultCache:
+        return self._cache
+
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return (
+            f"QueryServer({state}, oracle={type(self._oracle).__name__}, "
+            f"queue={self._queue.qsize()}/{self.max_queue}, "
+            f"max_batch={self.max_batch})"
+        )
+
+    # ------------------------------------------------------------------
+    # Dispatcher internals
+    # ------------------------------------------------------------------
+    def _bind_obs(self) -> Optional["_ServeInstruments"]:
+        registry = _get_registry()
+        if registry is not self._obs_registry:
+            obs = _ServeInstruments(registry) if registry.enabled else None
+            # Publish instruments before the registry marker (submit is
+            # called concurrently; a reader seeing the marker match must
+            # never pick up a stale instrument set).
+            self._obs = obs
+            self._obs_registry = registry
+            return obs
+        return self._obs
+
+    def _run(self) -> None:
+        batcher: MicroBatcher = MicroBatcher(self.max_batch, self.max_delay)
+        while True:
+            if len(batcher):
+                timeout = max(0.0, batcher.deadline - perf_counter())
+            else:
+                timeout = None  # park until a request or _STOP arrives
+            try:
+                item = self._queue.get(timeout=timeout)
+            except queue.Empty:
+                batch = batcher.poll(perf_counter())
+                if batch:
+                    self._serve_batch(batch)
+                continue
+            if item is _STOP:
+                batch = batcher.flush()
+                if batch:
+                    self._serve_batch(batch)
+                drain = getattr(self, "_drain_requested", True)
+                leftovers = self._take_all()
+                if leftovers:
+                    if drain:
+                        self._serve_batch(leftovers)
+                    else:
+                        for request in leftovers:
+                            request.future.cancel()
+                return
+            batch = batcher.add(item, perf_counter())
+            if batch:
+                self._serve_batch(batch)
+
+    def _take_all(self) -> List[_Request]:
+        requests: List[_Request] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return requests
+            if item is not _STOP:
+                requests.append(item)
+
+    def _serve_batch(self, requests: List[_Request]) -> None:
+        obs = self._bind_obs()
+        # Collapse duplicate pairs: one backend query answers them all.
+        order: List[Tuple[int, int]] = []
+        groups: Dict[Tuple[int, int], List[_Request]] = {}
+        for request in requests:
+            key = (request.u, request.v)
+            if key not in groups:
+                groups[key] = []
+                order.append(key)
+            groups[key].append(request)
+        answers: Dict[Tuple[int, int], object] = {}
+        failures: Dict[Tuple[int, int], BaseException] = {}
+        with self._oracle_lock:
+            oracle = self._oracle
+            generation = self._generation
+            batch_fn = getattr(oracle, "batch_query", None)
+            if batch_fn is not None:
+                try:
+                    values = batch_fn(order)
+                    answers = dict(zip(order, values))
+                except Exception:
+                    # One bad pair fails a whole batch call; isolate it
+                    # below so its batch-mates still get answers.
+                    batch_fn = None
+            if batch_fn is None:
+                for key in order:
+                    try:
+                        outcome = oracle.query(*key)
+                        answers[key] = getattr(outcome, "distance", outcome)
+                    except Exception as exc:
+                        failures[key] = exc
+        done = perf_counter()
+        errors = 0
+        for key in order:
+            if key in failures:
+                exc = failures[key]
+                errors += len(groups[key])
+                for request in groups[key]:
+                    _resolve(request.future, exc=exc)
+            else:
+                value = answers[key]
+                self._cache.put(key, value, generation)
+                for request in groups[key]:
+                    _resolve(request.future, value=value)
+        with self._stats_lock:
+            self._stats["batches"] += 1
+            self._stats["coalesced"] += len(requests)
+            self._stats["responses"] += len(requests) - errors
+            self._stats["errors"] += errors
+        if obs is not None:
+            obs.batches.inc()
+            obs.coalesce_width.observe(float(len(requests)))
+            obs.queue_depth.set(self._queue.qsize())
+            for request in requests:
+                obs.request_latency.observe(done - request.enqueued)
+
+
+class _ServeInstruments:
+    """The ``serve.*`` instruments, pre-bound against one registry."""
+
+    __slots__ = (
+        "requests",
+        "request_latency",
+        "queue_depth",
+        "batches",
+        "coalesce_width",
+        "cache_hits",
+        "cache_misses",
+        "overloads",
+    )
+
+    def __init__(self, registry) -> None:
+        self.requests = registry.counter(SERVE_REQUESTS)
+        self.request_latency = registry.histogram(
+            SERVE_REQUEST_LATENCY_SECONDS
+        )
+        self.queue_depth = registry.gauge(SERVE_QUEUE_DEPTH)
+        self.batches = registry.counter(SERVE_BATCHES)
+        self.coalesce_width = registry.histogram(
+            SERVE_COALESCE_WIDTH, buckets=WIDTH_BUCKETS
+        )
+        self.cache_hits = registry.counter(SERVE_CACHE_HITS)
+        self.cache_misses = registry.counter(SERVE_CACHE_MISSES)
+        self.overloads = registry.counter(SERVE_OVERLOADS)
+
+
+def _resolve(future: Future, value=None, exc=None) -> None:
+    """Resolve a future, tolerating a concurrent cancellation."""
+    try:
+        if exc is not None:
+            future.set_exception(exc)
+        else:
+            future.set_result(value)
+    except Exception:
+        pass  # cancelled by a non-draining stop; nothing to deliver

@@ -83,16 +83,29 @@ def pytest_addoption(parser):
         default=False,
         help="run tests marked slow (larger hard instances)",
     )
+    parser.addoption(
+        "--run-soak",
+        action="store_true",
+        default=False,
+        help="run tests marked soak (long chaos+load endurance runs; "
+        "budget via REPRO_SOAK_SECONDS)",
+    )
 
 
 def pytest_configure(config):
     config.addinivalue_line("markers", "slow: long-running test")
+    config.addinivalue_line(
+        "markers", "soak: endurance test excluded from tier-1 (make soak)"
+    )
 
 
 def pytest_collection_modifyitems(config, items):
-    if config.getoption("--run-slow"):
-        return
-    skip_slow = pytest.mark.skip(reason="needs --run-slow")
+    skips = []
+    if not config.getoption("--run-slow"):
+        skips.append(("slow", pytest.mark.skip(reason="needs --run-slow")))
+    if not config.getoption("--run-soak"):
+        skips.append(("soak", pytest.mark.skip(reason="needs --run-soak")))
     for item in items:
-        if "slow" in item.keywords:
-            item.add_marker(skip_slow)
+        for keyword, marker in skips:
+            if keyword in item.keywords:
+                item.add_marker(marker)

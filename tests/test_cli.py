@@ -436,3 +436,130 @@ class TestBench:
             assert {"metric", "value", "unit", "instance", "seed"} <= set(
                 row
             )
+
+
+class TestServeCommand:
+    def test_serve_self_test_grades_clean(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--generator",
+                    "sparse:60",
+                    "--clients",
+                    "4",
+                    "--requests",
+                    "50",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wrong:      0" in out
+        assert "verdict:    OK" in out
+        assert "batches:" in out
+
+    def test_serve_resilient_path(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--generator",
+                    "sparse:40",
+                    "--clients",
+                    "2",
+                    "--requests",
+                    "25",
+                    "--resilient",
+                    "--verify-sample",
+                    "8",
+                ]
+            )
+            == 0
+        )
+        assert "ResilientOracle" in capsys.readouterr().out
+
+    def test_serve_reuses_label_cache(self, tmp_path, capsys):
+        cache_dir = str(tmp_path / "labels")
+        assert main(["build", "--generator", "sparse:60", "--cache-dir", cache_dir]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "serve",
+                    "--generator",
+                    "sparse:60",
+                    "--cache-dir",
+                    cache_dir,
+                    "--clients",
+                    "2",
+                    "--requests",
+                    "20",
+                ]
+            )
+            == 0
+        )
+        assert "verdict:    OK" in capsys.readouterr().out
+
+    def test_serve_writes_metrics_dump(self, tmp_path, capsys):
+        import json
+
+        dump = tmp_path / "serve_metrics.json"
+        assert (
+            main(
+                [
+                    "serve",
+                    "--generator",
+                    "sparse:40",
+                    "--clients",
+                    "2",
+                    "--requests",
+                    "20",
+                    "--metrics-out",
+                    str(dump),
+                ]
+            )
+            == 0
+        )
+        names = {m["name"] for m in json.loads(dump.read_text())["metrics"]}
+        assert "serve.requests" in names
+        assert "serve.batches" in names
+
+
+class TestLoadgenCommand:
+    def test_loadgen_throughput_mode(self, capsys):
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--generator",
+                    "sparse:60",
+                    "--clients",
+                    "2",
+                    "--requests",
+                    "100",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "throughput:" in out
+        assert "verdict:    OK" in out
+
+    def test_loadgen_validate_grades(self, capsys):
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--generator",
+                    "sparse:40",
+                    "--clients",
+                    "2",
+                    "--requests",
+                    "50",
+                    "--validate",
+                ]
+            )
+            == 0
+        )
+        assert "wrong:      0" in capsys.readouterr().out

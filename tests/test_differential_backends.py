@@ -16,11 +16,19 @@ same comparison deterministically.
 A seed-pinned corpus under ``tests/data/`` replays the same contract on
 committed cases, so a behavioral change shows up as a reviewable diff
 even if hypothesis happens not to hit it.
+
+The serving layer joins the same contract: every corpus answer must
+come back byte-identical when fired through a :class:`QueryServer`
+from many client threads at once -- concurrency, coalescing, and
+caching must be invisible in the answers.
 """
 
 import json
 import math
 import pathlib
+import random
+import sys
+import threading
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -30,6 +38,7 @@ from repro.graphs import Graph
 from repro.graphs.traversal import shortest_path_distances
 from repro.lowerbound import build_degree3_instance
 from repro.oracles.oracle import HubLabelOracle
+from repro.serve import QueryServer
 
 DATA_DIR = pathlib.Path(__file__).parent / "data"
 CORPUS_PATH = DATA_DIR / "differential_corpus.json"
@@ -137,6 +146,115 @@ class TestPinnedCorpus:
         assert corpus["cases"], "corpus must not be empty"
         for case in corpus["cases"]:
             assert case["seed"] is not None
+
+    def test_corpus_cases_replay_identically_through_server(self):
+        """The corpus fired through QueryServer by 8 threads at once.
+
+        Ground truth is the serial dict-backend answer; every response
+        out of every client thread must match it byte-identically
+        (value AND type, INF included) -- across coalescing, the result
+        cache, and duplicate-pair collapsing.
+        """
+        corpus = json.loads(CORPUS_PATH.read_text())
+        switch = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)
+        try:
+            for case in corpus["cases"]:
+                graph = Graph(case["n"])
+                for u, v, w in case["edges"]:
+                    graph.add_edge(u, v, w)
+                labeling = pruned_landmark_labeling(graph)
+                dict_oracle = HubLabelOracle(labeling, backend="dict")
+                flat_oracle = HubLabelOracle(labeling, backend="flat")
+                pairs = [tuple(pair) for pair in case["pairs"]]
+                truth = {
+                    pair: dict_oracle.query(*pair).distance
+                    for pair in pairs
+                }
+                failures = []
+
+                def client(index, server=None, truth=truth, pairs=pairs,
+                           name=case["name"]):
+                    rng = random.Random(1000 + index)
+                    shuffled = list(pairs)
+                    rng.shuffle(shuffled)
+                    futures = [
+                        (pair, server.submit(*pair)) for pair in shuffled
+                    ]
+                    for pair, future in futures:
+                        got = future.result(timeout=30)
+                        want = truth[pair]
+                        if type(got) is not type(want) or not (
+                            got == want
+                            or (math.isinf(want) and math.isinf(got))
+                        ):
+                            failures.append((name, index, pair, got, want))
+
+                # Deep queue: this sweep tests answer fidelity, and the
+                # clients fire their whole workload without waiting
+                # (backpressure has its own tests in test_serve.py).
+                with QueryServer(
+                    flat_oracle,
+                    max_queue=100_000,
+                    max_batch=8,
+                    max_delay=0.001,
+                ) as server:
+                    threads = [
+                        threading.Thread(target=client, args=(i, server))
+                        for i in range(8)
+                    ]
+                    for thread in threads:
+                        thread.start()
+                    for thread in threads:
+                        thread.join()
+                assert not failures, failures[:5]
+        finally:
+            sys.setswitchinterval(switch)
+
+    def test_hard_instance_served_concurrently(self):
+        """G(2,1) through the server: sampled pairs, 8 threads."""
+        from repro.perf.build import build_flat_labels
+        from repro.core.orders import degree_order
+
+        graph = build_degree3_instance(2, 1).graph
+        flat = build_flat_labels(graph, degree_order(graph))
+        dict_oracle = HubLabelOracle(flat.to_labeling(), backend="dict")
+        n = graph.num_vertices
+        rng = random.Random(42)
+        pairs = [
+            (rng.randrange(n), rng.randrange(n)) for _ in range(400)
+        ]
+        truth = {
+            pair: dict_oracle.query(*pair).distance for pair in pairs
+        }
+        failures = []
+
+        def client(index):
+            local = list(pairs)
+            random.Random(index).shuffle(local)
+            for pair in local:
+                got = server.query(*pair, timeout=30)
+                want = truth[pair]
+                if type(got) is not type(want) or not (
+                    got == want
+                    or (math.isinf(want) and math.isinf(got))
+                ):
+                    failures.append((index, pair, got, want))
+
+        with QueryServer(
+            HubLabelOracle(flat, backend="flat"),
+            max_batch=32,
+            max_delay=0.001,
+        ) as server:
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        assert not failures, failures[:5]
 
     def test_corpus_cases_replay_identically(self):
         corpus = json.loads(CORPUS_PATH.read_text())

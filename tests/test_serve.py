@@ -1,0 +1,433 @@
+"""The serving layer: coalescer, result cache, and QueryServer.
+
+The concurrency contract under test is the one the whole repo is built
+around: the server adds threads, queues, batching, and caching -- and
+changes **nothing** about the answers.  Every distance that comes back
+through a future must be byte-identical (value and type, ``inf``
+included) to what the dict-backend oracle says serially.
+"""
+
+import math
+import sys
+import threading
+import time
+from concurrent.futures import Future
+
+import pytest
+
+from repro.core import pruned_landmark_labeling
+from repro.graphs import Graph, random_sparse_graph
+from repro.obs.catalog import (
+    SERVE_BATCHES,
+    SERVE_CACHE_HITS,
+    SERVE_CACHE_MISSES,
+    SERVE_OVERLOADS,
+    SERVE_REQUESTS,
+)
+from repro.oracles.oracle import HubLabelOracle
+from repro.perf.flat import FlatHubLabeling
+from repro.runtime import DomainError, ResilientOracle, ServerOverloadError
+from repro.serve import (
+    MISS,
+    MicroBatcher,
+    QueryServer,
+    ResultCache,
+    labeling_digest,
+    run_loadgen,
+)
+
+
+@pytest.fixture
+def served_graph():
+    return random_sparse_graph(60, seed=5)
+
+
+@pytest.fixture
+def served_labeling(served_graph):
+    return pruned_landmark_labeling(served_graph)
+
+
+@pytest.fixture
+def flat_oracle(served_labeling):
+    flat = FlatHubLabeling.from_labeling(served_labeling)
+    return HubLabelOracle(flat, backend="flat")
+
+
+@pytest.fixture
+def ground(served_labeling):
+    oracle = HubLabelOracle(served_labeling, backend="dict")
+    return lambda u, v: oracle.query(u, v).distance
+
+
+class _StallOracle:
+    """Blocks every query until released -- fills queues on demand."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.served = []
+
+    def query(self, u, v):
+        self.release.wait()
+        self.served.append((u, v))
+        return float(u + v)
+
+    def batch_query(self, pairs):
+        self.release.wait()
+        self.served.extend(pairs)
+        return [float(u + v) for u, v in pairs]
+
+
+class TestMicroBatcher:
+    def test_size_trigger(self):
+        batcher = MicroBatcher(3, 10.0)
+        assert batcher.add("a", 0.0) is None
+        assert batcher.add("b", 0.0) is None
+        assert batcher.add("c", 0.0) == ["a", "b", "c"]
+        assert len(batcher) == 0
+        assert batcher.deadline is None
+
+    def test_deadline_anchored_to_first_item(self):
+        batcher = MicroBatcher(100, 1.0)
+        batcher.add("a", 5.0)
+        batcher.add("b", 5.9)  # trickle must not postpone the flush
+        assert batcher.deadline == 6.0
+        assert batcher.poll(5.99) is None
+        assert batcher.poll(6.0) == ["a", "b"]
+
+    def test_flush_takes_everything(self):
+        batcher = MicroBatcher(10, 1.0)
+        batcher.add(1, 0.0)
+        batcher.add(2, 0.0)
+        assert batcher.flush() == [1, 2]
+        assert batcher.flush() == []
+
+    def test_poll_empty_is_none(self):
+        assert MicroBatcher(4, 0.5).poll(1e9) is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(0, 1.0)
+        with pytest.raises(ValueError):
+            MicroBatcher(1, -0.1)
+
+    def test_zero_delay_flushes_on_first_poll(self):
+        batcher = MicroBatcher(100, 0.0)
+        batcher.add("x", 7.0)
+        assert batcher.poll(7.0) == ["x"]
+
+
+class TestResultCache:
+    def test_lru_eviction_order(self):
+        cache = ResultCache(2)
+        cache.rekey("g")
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")  # freshen: "b" is now LRU
+        cache.put("c", 3)
+        assert cache.get("b") is MISS
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_miss_sentinel_distinguishes_cached_none(self):
+        cache = ResultCache(4)
+        cache.put("k", None)
+        assert cache.get("k") is None
+        assert cache.get("absent") is MISS
+
+    def test_zero_capacity_disables(self):
+        cache = ResultCache(0)
+        assert not cache.put("k", 1)
+        assert cache.get("k") is MISS
+
+    def test_rekey_clears_only_on_change(self):
+        cache = ResultCache(4)
+        cache.rekey("g1")
+        cache.put("k", 1)
+        assert not cache.rekey("g1")  # same generation: keep warm
+        assert cache.get("k") == 1
+        assert cache.rekey("g2")  # new generation: cold
+        assert cache.get("k") is MISS
+
+    def test_stale_generation_put_dropped(self):
+        cache = ResultCache(4)
+        cache.rekey("new")
+        assert not cache.put("k", 1, generation="old")
+        assert cache.get("k") is MISS
+        assert cache.put("k", 2, generation="new")
+        assert cache.get("k") == 2
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(-1)
+
+
+class TestLabelingDigest:
+    def test_dict_and_flat_layouts_share_digest(self, served_labeling):
+        flat = FlatHubLabeling.from_labeling(served_labeling)
+        assert labeling_digest(served_labeling) == labeling_digest(flat)
+
+    def test_different_labelings_differ(self, served_labeling):
+        other = pruned_landmark_labeling(random_sparse_graph(60, seed=6))
+        assert labeling_digest(served_labeling) != labeling_digest(other)
+
+
+class TestQueryServer:
+    def test_answers_match_ground_truth(self, flat_oracle, ground):
+        n = 60
+        pairs = [(u, v) for u in range(0, n, 3) for v in range(0, n, 4)]
+        with QueryServer(flat_oracle, max_batch=8, max_delay=0.001) as server:
+            got = server.batch(pairs)
+        for (u, v), answer in zip(pairs, got):
+            want = ground(u, v)
+            assert type(answer) is type(want), (u, v, answer, want)
+            if isinstance(want, float) and math.isinf(want):
+                assert math.isinf(answer)
+            else:
+                assert answer == want
+
+    def test_submit_requires_running_server(self, flat_oracle):
+        server = QueryServer(flat_oracle)
+        with pytest.raises(RuntimeError):
+            server.submit(0, 1)
+        server.start()
+        assert server.query(0, 1) == server.query(0, 1)
+        server.stop()
+        with pytest.raises(RuntimeError):
+            server.submit(0, 1)
+
+    def test_stop_drains_pending_requests(self, flat_oracle):
+        # A huge delay parks requests in the batcher; stop() must still
+        # flush and answer every accepted future.
+        server = QueryServer(flat_oracle, max_batch=10_000, max_delay=30.0)
+        with server:
+            futures = [server.submit(0, v) for v in range(25)]
+        assert all(f.done() for f in futures)
+        assert [f.exception() for f in futures] == [None] * 25
+
+    def test_stop_without_drain_cancels(self):
+        stalled = _StallOracle()
+        server = QueryServer(stalled, max_batch=1, max_delay=0.0)
+        server.start()
+        # The dispatcher blocks inside the first query; the rest queue.
+        first = server.submit(1, 2)
+        backlog = [server.submit(3, v) for v in range(5)]
+        time.sleep(0.05)
+        stopper = threading.Thread(
+            target=server.stop, kwargs={"drain": False}
+        )
+        stopper.start()
+        time.sleep(0.05)
+        stalled.release.set()
+        stopper.join(timeout=5)
+        assert not stopper.is_alive()
+        assert first.result(timeout=1) == 3.0
+        for future in backlog:
+            assert future.cancelled() or future.done()
+
+    def test_overload_raises_typed_error(self, metrics_registry):
+        stalled = _StallOracle()
+        server = QueryServer(stalled, max_queue=2, max_batch=1, max_delay=0.0)
+        server.start()
+        try:
+            overloaded = None
+            futures = []
+            # Distinct pairs so the cache can never absorb a submit.
+            for k in range(16):
+                try:
+                    futures.append(server.submit(k, k + 1))
+                except ServerOverloadError as exc:
+                    overloaded = exc
+                    break
+            assert overloaded is not None, "queue of 2 never overflowed"
+            assert overloaded.exit_code == 70
+            assert "capacity 2" in str(overloaded)
+            counter = metrics_registry.get(SERVE_OVERLOADS)
+            assert counter is not None and counter.value == 1
+            assert server.stats().overloads == 1
+        finally:
+            stalled.release.set()
+            server.stop()
+        for future in futures:
+            assert future.exception(timeout=1) is None
+
+    def test_cache_serves_repeats_without_oracle(self, flat_oracle, ground):
+        with QueryServer(flat_oracle, max_batch=4, max_delay=0.0) as server:
+            first = server.query(1, 2)
+            baseline = server.stats()
+            again = [server.query(1, 2) for _ in range(5)]
+            stats = server.stats()
+        assert again == [first] * 5
+        assert first == ground(1, 2)
+        assert stats.cache_hits - baseline.cache_hits == 5
+        # Cache hits resolve inline: no extra batches were dispatched.
+        assert stats.batches == baseline.batches
+
+    def test_cache_disabled_with_zero_capacity(self, flat_oracle):
+        with QueryServer(flat_oracle, cache_size=0) as server:
+            server.query(1, 2)
+            server.query(1, 2)
+            assert server.stats().cache_hits == 0
+
+    def test_duplicate_pairs_coalesce_to_one_backend_query(self):
+        stalled = _StallOracle()
+        server = QueryServer(stalled, max_batch=64, max_delay=10.0,
+                             cache_size=0)
+        server.start()
+        futures = [server.submit(4, 5) for _ in range(8)]
+        stalled.release.set()
+        server.stop()
+        assert [f.result() for f in futures] == [9.0] * 8
+        assert stalled.served.count((4, 5)) == 1
+
+    def test_scalar_only_oracle_is_served(self, served_labeling, ground):
+        class ScalarOnly:
+            def __init__(self, labeling):
+                self._labeling = labeling
+
+            def query(self, u, v):
+                return self._labeling.query(u, v)
+
+        with QueryServer(ScalarOnly(served_labeling)) as server:
+            assert server.query(0, 7) == ground(0, 7)
+
+    def test_per_pair_error_isolation(self, flat_oracle, ground):
+        # One out-of-domain pair fails the batch call; its batch-mates
+        # must still get answers, and only it carries the error.
+        with QueryServer(
+            flat_oracle, max_batch=10_000, max_delay=30.0
+        ) as server:
+            good = [server.submit(v, v + 1) for v in range(6)]
+            bad = server.submit(0, 10_000)
+        for v, future in enumerate(good):
+            assert future.result(timeout=1) == ground(v, v + 1)
+        with pytest.raises(DomainError):
+            bad.result(timeout=1)
+
+    def test_set_oracle_rekeys_cache(self, flat_oracle):
+        other = pruned_landmark_labeling(random_sparse_graph(60, seed=6))
+        with QueryServer(flat_oracle) as server:
+            server.query(2, 3)
+            assert len(server.cache) >= 1
+            cleared = server.set_oracle(
+                HubLabelOracle(other, backend="dict")
+            )
+        assert cleared
+        assert len(server.cache) == 0
+
+    def test_set_oracle_same_labels_keeps_cache(
+        self, served_labeling, flat_oracle
+    ):
+        # dict and flat are two layouts of one labeling: answers are
+        # byte-identical, so the warm cache survives the swap.
+        with QueryServer(flat_oracle) as server:
+            server.query(2, 3)
+            warm = len(server.cache)
+            cleared = server.set_oracle(
+                HubLabelOracle(served_labeling, backend="dict")
+            )
+            assert not cleared
+            assert len(server.cache) == warm
+
+    def test_resilient_oracle_swap_changes_generation(
+        self, served_graph, served_labeling, flat_oracle
+    ):
+        # Same labels behind a different wrapper class: the generation
+        # token includes the class, so the cache goes cold.
+        resilient = ResilientOracle(served_graph, served_labeling)
+        with QueryServer(flat_oracle) as server:
+            before = server.generation
+            assert server.set_oracle(resilient)
+            assert server.generation != before
+
+    def test_request_counters_add_up(self, flat_oracle, metrics_registry):
+        with QueryServer(flat_oracle, max_batch=4, max_delay=0.0) as server:
+            pairs = [(u, u + 1) for u in range(10)]
+            server.batch(pairs)  # cold round: all misses, all answered
+            server.batch(pairs)  # two warm rounds: 20 guaranteed hits
+            server.batch(pairs)
+        requests = metrics_registry.get(SERVE_REQUESTS).value
+        hits = metrics_registry.get(SERVE_CACHE_HITS).value
+        misses = metrics_registry.get(SERVE_CACHE_MISSES).value
+        batches = metrics_registry.get(SERVE_BATCHES).value
+        assert requests == 30
+        assert hits + misses == requests
+        assert hits >= 20  # every repeat lands after its first answer
+        assert batches == server.stats().batches >= 1
+
+    def test_context_manager_restarts(self, flat_oracle):
+        server = QueryServer(flat_oracle)
+        with server:
+            a = server.query(0, 1)
+        with server:
+            assert server.query(0, 1) == a
+
+    def test_repr_mentions_state(self, flat_oracle):
+        server = QueryServer(flat_oracle)
+        assert "stopped" in repr(server)
+        with server:
+            assert "running" in repr(server)
+
+    def test_invalid_queue_bound_rejected(self, flat_oracle):
+        with pytest.raises(ValueError):
+            QueryServer(flat_oracle, max_queue=0)
+
+
+class TestThreadedSweep:
+    """N worker threads, every answer graded against serial truth."""
+
+    @pytest.mark.parametrize("threads", [8, 16])
+    def test_concurrent_clients_get_exact_answers(
+        self, served_graph, flat_oracle, ground, threads
+    ):
+        switch = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)  # provoke interleavings
+        try:
+            with QueryServer(
+                flat_oracle, max_batch=16, max_delay=0.001
+            ) as server:
+                report = run_loadgen(
+                    server,
+                    served_graph.num_vertices,
+                    clients=threads,
+                    requests_per_client=150,
+                    seed=23,
+                    expected=ground,
+                )
+        finally:
+            sys.setswitchinterval(switch)
+        assert report.ok, report.render()
+        assert report.requests == threads * 150
+
+    def test_resilient_oracle_behind_server(
+        self, served_graph, served_labeling, ground
+    ):
+        oracle = ResilientOracle(
+            served_graph, served_labeling, fallback=True, verify_sample=8
+        )
+        with QueryServer(oracle, max_batch=8, max_delay=0.001) as server:
+            report = run_loadgen(
+                server,
+                served_graph.num_vertices,
+                clients=6,
+                requests_per_client=100,
+                seed=31,
+                expected=ground,
+            )
+        assert report.ok, report.render()
+        assert oracle.health.healthy
+
+
+class TestLoadReport:
+    def test_render_mentions_verdict(self):
+        from repro.serve import LoadReport
+
+        report = LoadReport(clients=2, requests=10, duration_s=1.0)
+        text = report.render()
+        assert "OK" in text and "10 req/s" in text
+        report.wrong = 1
+        assert "FAILED" in report.render()
+
+    def test_loadgen_validates_num_vertices(self, flat_oracle):
+        with QueryServer(flat_oracle) as server:
+            with pytest.raises(ValueError):
+                run_loadgen(server, 0)

@@ -1,0 +1,194 @@
+"""Property-based tests for the serving layer's pure data structures.
+
+The coalescer and the result cache are the two pieces the dispatcher's
+correctness leans on, and both are deliberately clock-free / pure so
+hypothesis can drive *arbitrary* interleavings deterministically:
+
+* :class:`MicroBatcher` -- any sequence of ``add`` / ``poll`` / ``flush``
+  events at any (monotone) timestamps partitions the item stream: no
+  item is lost, duplicated, or reordered, no batch exceeds
+  ``max_batch``, and no item waits past its deadline unobserved;
+* :class:`ResultCache` -- behaves exactly like a capacity-bounded model
+  dict under any operation sequence, and a generation mismatch can
+  never smuggle a stale answer in (the ``set_oracle`` guard).
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve import MISS, MicroBatcher, ResultCache
+
+# ---------------------------------------------------------------------------
+# MicroBatcher
+# ---------------------------------------------------------------------------
+
+#: One abstract event: ("add",) consumes the next item from a counter,
+#: ("poll",) checks the deadline, ("tick", dt) advances the clock.
+_events = st.lists(
+    st.one_of(
+        st.just(("add",)),
+        st.just(("poll",)),
+        st.just(("flush",)),
+        st.tuples(st.just("tick"), st.floats(0.0, 2.0, allow_nan=False)),
+    ),
+    max_size=60,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    events=_events,
+    max_batch=st.integers(1, 7),
+    max_delay=st.floats(0.0, 1.0, allow_nan=False),
+)
+def test_batcher_partitions_the_stream(events, max_batch, max_delay):
+    batcher = MicroBatcher(max_batch, max_delay)
+    counter = itertools.count()
+    now = 0.0
+    submitted = []
+    flushed = []
+
+    def take(batch):
+        if batch:
+            assert 0 < len(batch) <= max_batch
+            flushed.extend(batch)
+
+    for event in events:
+        if event[0] == "tick":
+            now += event[1]
+        elif event[0] == "add":
+            item = next(counter)
+            submitted.append(item)
+            take(batcher.add(item, now))
+        elif event[0] == "poll":
+            take(batcher.poll(now))
+        else:
+            take(batcher.flush())
+        # Size trigger: the pending batch never reaches max_batch.
+        assert len(batcher) < max_batch
+    take(batcher.flush())
+    # Every item added came back exactly once, in arrival order.
+    assert flushed == submitted
+    assert len(batcher) == 0 and batcher.deadline is None
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    gaps=st.lists(st.floats(0.0, 0.4, allow_nan=False), max_size=30),
+    max_delay=st.floats(0.0, 1.0, allow_nan=False),
+)
+def test_batcher_deadline_is_anchored_to_oldest_item(gaps, max_delay):
+    """A steady trickle cannot postpone the flush past first+max_delay."""
+    batcher = MicroBatcher(10_000, max_delay)  # size never triggers
+    now = 0.0
+    anchor = None
+    for index, gap in enumerate(gaps):
+        now += gap
+        if anchor is None:
+            anchor = now
+        batcher.add(index, now)
+        assert batcher.deadline == anchor + max_delay
+        batch = batcher.poll(now)
+        if batch is not None:
+            # poll only fires at/after the anchored deadline.
+            assert now >= anchor + max_delay
+            anchor = None
+
+
+# ---------------------------------------------------------------------------
+# ResultCache vs a model
+# ---------------------------------------------------------------------------
+
+_keys = st.integers(0, 9)
+_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("get"), _keys),
+        st.tuples(st.just("put"), _keys, st.integers(0, 99)),
+        st.tuples(st.just("rekey"), st.sampled_from(["g1", "g2", "g3"])),
+        st.tuples(
+            st.just("stale_put"),
+            _keys,
+            st.integers(0, 99),
+            st.sampled_from(["g1", "g2", "g3"]),
+        ),
+        st.just(("clear",)),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(ops=_ops, capacity=st.integers(0, 6))
+def test_cache_matches_model(ops, capacity):
+    cache = ResultCache(capacity)
+    cache.rekey("g1")
+    generation = "g1"
+    model = {}  # insertion order tracks recency (dicts are ordered)
+
+    def touch(key):
+        model[key] = model.pop(key)
+
+    for op in ops:
+        if op[0] == "get":
+            got = cache.get(op[1])
+            if op[1] in model:
+                assert got == model[op[1]]
+                touch(op[1])
+            else:
+                assert got is MISS
+        elif op[0] == "put":
+            accepted = cache.put(op[1], op[2], generation)
+            assert accepted == (capacity > 0)
+            if accepted:
+                model[op[1]] = op[2]
+                touch(op[1])
+                while len(model) > capacity:
+                    del model[next(iter(model))]  # evict true LRU
+        elif op[0] == "rekey":
+            cleared = cache.rekey(op[1])
+            assert cleared == (op[1] != generation)
+            if cleared:
+                model.clear()
+            generation = op[1]
+        elif op[0] == "stale_put":
+            accepted = cache.put(op[1], op[2], op[3])
+            if op[3] != generation:
+                # The staleness guard: a put tagged with any *other*
+                # generation must be dropped, never served later.
+                assert not accepted
+            elif accepted:
+                model[op[1]] = op[2]
+                touch(op[1])
+                while len(model) > capacity:
+                    del model[next(iter(model))]
+        else:
+            cache.clear()
+            model.clear()
+        assert len(cache) == len(model)
+        assert set(cache.keys()) == set(model)
+    # Final recency order must agree exactly (LRU -> MRU).
+    assert list(cache.keys()) == list(model)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    warm=st.lists(st.tuples(_keys, st.integers(0, 99)), max_size=20),
+    generations=st.lists(st.sampled_from(["a", "b", "c"]), max_size=10),
+)
+def test_rebuild_never_serves_stale(warm, generations):
+    """After any rekey chain, entries from an older generation are gone."""
+    cache = ResultCache(32)
+    cache.rekey("initial")
+    for key, value in warm:
+        cache.put(key, value, "initial")
+    current = "initial"
+    for generation in generations:
+        changed = cache.rekey(generation)
+        if generation != current:
+            assert changed
+            assert len(cache) == 0  # nothing survives a real swap
+        current = generation
+        cache.put(0, 42, current)
+        assert cache.get(0) == 42

@@ -1,0 +1,80 @@
+"""Soak test: sustained mixed load against a chaos-damaged oracle.
+
+Excluded from tier-1 (``soak`` marker, run via ``make soak`` or
+``pytest --run-soak``); CI runs it with a small time budget through
+``REPRO_SOAK_SECONDS``.
+
+The scenario stacks every resilience layer this repo has and leans on
+it for a wall-clock-bounded barrage:
+
+* labels are **corrupted** by the seeded fault injector (``drop-hub``
+  and ``perturb`` -- the kinds the artifact envelope cannot catch, so
+  the runtime itself must);
+* a :class:`ResilientOracle` with exhaustive admission verification
+  and exact fallback serves them;
+* a :class:`QueryServer` coalesces concurrent clients on top;
+* :func:`run_loadgen` fires mixed duration-mode load, grading every
+  answer against the pristine labeling.
+
+Pass criterion is absolute: **zero wrong answers, zero dropped
+requests** -- resilience may cost throughput (fallback searches), but
+never correctness and never silent loss.
+"""
+
+import os
+
+import pytest
+
+from repro.core import pruned_landmark_labeling
+from repro.graphs import random_sparse_graph
+from repro.oracles.oracle import HubLabelOracle
+from repro.runtime import ResilientOracle
+from repro.runtime.faults import FaultInjector
+from repro.serve import QueryServer, run_loadgen
+
+#: Wall-clock budget per corruption kind; CI sets a small value.
+SOAK_SECONDS = float(os.environ.get("REPRO_SOAK_SECONDS", "60"))
+
+
+@pytest.mark.soak
+@pytest.mark.parametrize("kind", ["drop-hub", "perturb"])
+def test_soak_chaos_load_zero_wrong_zero_dropped(kind):
+    graph = random_sparse_graph(150, seed=17)
+    pristine = pruned_landmark_labeling(graph)
+    ground_oracle = HubLabelOracle(pristine, backend="dict")
+
+    corrupted = FaultInjector(seed=23).corrupt_labeling(kind, pristine)
+    oracle = ResilientOracle(
+        graph,
+        corrupted,
+        fallback=True,
+        verify_sample=graph.num_vertices,  # exhaustive admission check
+        seed=23,
+    )
+
+    with QueryServer(
+        oracle, max_queue=4096, max_batch=32, max_delay=0.002
+    ) as server:
+        report = run_loadgen(
+            server,
+            graph.num_vertices,
+            clients=8,
+            duration=SOAK_SECONDS / 2,  # two kinds share the budget
+            seed=29,
+            expected=lambda u, v: ground_oracle.query(u, v).distance,
+        )
+        stats = server.stats()
+
+    assert report.wrong == 0, report.render()
+    assert report.dropped == 0, report.render()
+    assert report.errors == 0, report.render()
+    assert report.requests > 0
+    assert stats.responses >= report.requests
+    # The damaged labels must have actually exercised the resilience
+    # machinery -- otherwise this soak proves nothing.
+    health = oracle.health
+    assert (
+        len(health.quarantined) > 0
+        or health.fallbacks > 0
+        or health.admission_violations > 0
+    ), "corruption was a no-op; the soak exercised nothing"

@@ -16,6 +16,9 @@ value, unit, instance, seed}``) and exits non-zero when:
 * the ``build_consistency`` suite reports mismatching vertices (the
   fast direct-to-flat builder must reproduce the reference labeling
   exactly), or
+* the ``serving_consistency`` suite reports mismatches (answers that
+  crossed the concurrent QueryServer -- queueing, coalescing,
+  deduplication -- must stay byte-identical to the dict store's), or
 * the ``obs_overhead`` suite reports an instrumented/uninstrumented
   ratio above ``1 + --max-overhead`` (default 10%): the observability
   layer must stay out of the dict-backend query path's way.
@@ -66,6 +69,12 @@ def self_check(current: dict, max_overhead: float) -> list:
         failures.append(
             f"build_consistency: {build['value']} vertex label row(s) "
             "differ between the direct builder and the reference"
+        )
+    serving = current.get("serving_consistency")
+    if serving and serving.get("value"):
+        failures.append(
+            f"serving_consistency: {serving['value']} answer(s) served "
+            "through QueryServer differ from the dict store"
         )
     overhead = current.get("obs_overhead")
     if overhead is not None:

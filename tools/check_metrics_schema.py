@@ -8,8 +8,9 @@ Three checks, any failure exits non-zero:
    and label keys (rename a metric without regenerating the schema and
    CI fails);
 2. a workload touching every instrumented subsystem (labeling builds,
-   both oracle backends, the resilient runtime, a chaos sweep) emits
-   only catalogued names -- stray string literals cannot sneak in;
+   both oracle backends, the resilient runtime, a chaos sweep, the
+   concurrent query server) emits only catalogued names -- stray
+   string literals cannot sneak in;
 3. every catalogued name is actually emitted by that workload, except
    for an explicit allowlist of bench-only metrics -- the catalogue
    cannot grow dead entries.
@@ -59,6 +60,7 @@ def build_schema() -> dict:
 def run_workload() -> set:
     """Emit metrics from every instrumented subsystem; return the names."""
     import tempfile
+    import threading
 
     from repro.core import pruned_landmark_labeling
     from repro.core.hitting import build_hitting_set
@@ -68,6 +70,8 @@ def run_workload() -> set:
     from repro.oracles.oracle import HubLabelOracle
     from repro.perf.cache import LabelCache, cache_key
     from repro.runtime import ResilientOracle, chaos_sweep
+    from repro.runtime.errors import ServerOverloadError
+    from repro.serve import QueryServer
 
     registry = Registry()
     with use_registry(registry):
@@ -99,6 +103,44 @@ def run_workload() -> set:
         chaos_sweep(
             graph, labeling, trials_per_kind=1, queries_per_trial=2, seed=0
         )
+
+        # Serving layer: stall the oracle so submissions back the tiny
+        # admission queue up until one overflows (serve.overloads),
+        # then release the gate so the drain emits the batch / latency
+        # metrics and a repeated pair scores a cache hit.
+        class _Stall:
+            def __init__(self, inner):
+                self.inner = inner
+                self.gate = threading.Event()
+
+            @property
+            def labeling(self):
+                return self.inner.labeling
+
+            def query(self, u, v):
+                self.gate.wait()
+                return self.inner.query(u, v)
+
+        stalled = _Stall(HubLabelOracle(labeling))
+        server = QueryServer(stalled, max_queue=2, max_batch=1)
+        server.start()
+        futures = []
+        try:
+            for u in range(16):
+                try:
+                    futures.append(server.submit(u, (u + 1) % 24))
+                except ServerOverloadError:
+                    break
+            else:
+                raise RuntimeError(
+                    "serve workload never overflowed the admission queue"
+                )
+        finally:
+            stalled.gate.set()
+        for future in futures:
+            future.result(timeout=10)
+        server.query(0, 1)  # already cached -> serve.cache_hits
+        server.stop()
     return {metric.name for metric in registry.metrics()}
 
 
