@@ -375,6 +375,8 @@ def _make_server(args, graph, flat):
         max_batch=args.max_batch,
         max_delay=args.max_delay,
         cache_size=args.cache_size,
+        shards=getattr(args, "shards", None),
+        dispatchers=getattr(args, "dispatchers", 1) or 1,
     )
 
 
@@ -383,7 +385,8 @@ def _print_server_summary(server, report) -> None:
     print(report.render())
     print(
         f"batches:    {stats.batches} "
-        f"(mean width {stats.mean_batch_width:.1f})"
+        f"(mean width {stats.mean_batch_width:.1f}, "
+        f"p50 {stats.batch_width_p50:.0f}, p95 {stats.batch_width_p95:.0f})"
     )
     print(f"cache hits: {stats.cache_hits}")
     print(f"overloads:  {stats.overloads}")
@@ -402,7 +405,8 @@ def _cmd_serve(args) -> int:
     print(
         f"server:   {type(server.oracle).__name__}, "
         f"queue<={args.max_queue}, batch<={args.max_batch}, "
-        f"delay<={args.max_delay * 1e3:g}ms, cache={args.cache_size}"
+        f"delay<={args.max_delay * 1e3:g}ms, cache={args.cache_size}, "
+        f"shards={server.shards}x{server.dispatchers}"
     )
     with server:
         report = run_loadgen(
@@ -413,6 +417,7 @@ def _cmd_serve(args) -> int:
             duration=args.duration,
             seed=args.seed,
             expected=lambda u, v: ground.query(u, v).distance,
+            batch_size=args.batch or None,
         )
     _print_server_summary(server, report)
     _maybe_write_metrics(args)
@@ -440,6 +445,7 @@ def _cmd_loadgen(args) -> int:
             duration=args.duration,
             seed=args.seed,
             expected=expected,
+            batch_size=args.batch or None,
         )
     _print_server_summary(server, report)
     _maybe_write_metrics(args)
@@ -799,6 +805,19 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--cache-size", type=int, default=4096,
             help="LRU result-cache capacity; 0 disables (default 4096)",
+        )
+        p.add_argument(
+            "--batch", type=int, default=64, metavar="WIDTH",
+            help="pairs per submit_batch ticket; 0 switches the "
+            "clients back to per-pair submit (default 64)",
+        )
+        p.add_argument(
+            "--shards", type=int, default=None,
+            help="admission-queue stripes (default: min(4, max-queue))",
+        )
+        p.add_argument(
+            "--dispatchers", type=int, default=1,
+            help="dispatcher threads partitioning the shards (default 1)",
         )
         p.add_argument(
             "--metrics-out",

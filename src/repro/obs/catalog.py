@@ -55,7 +55,9 @@ CHAOS_WRONG_ANSWERS = "chaos.wrong_answers"
 SERVE_REQUESTS = "serve.requests"
 SERVE_REQUEST_LATENCY_SECONDS = "serve.request_latency_seconds"
 SERVE_QUEUE_DEPTH = "serve.queue_depth"
+SERVE_SHARD_DEPTH = "serve.shard_depth"
 SERVE_BATCHES = "serve.batches"
+SERVE_BATCH_SUBMISSIONS = "serve.batch_submissions"
 SERVE_COALESCE_WIDTH = "serve.coalesce_width"
 SERVE_CACHE_HITS = "serve.cache_hits"
 SERVE_CACHE_MISSES = "serve.cache_misses"
@@ -175,21 +177,33 @@ _SPECS = (
     ),
     MetricSpec(
         SERVE_REQUESTS, "counter", (),
-        "per request accepted by QueryServer.submit (cache hits "
-        "included; overload rejections are not)",
+        "per pair accepted by QueryServer.submit / submit_batch "
+        "(cache hits included; overload rejections are not)",
     ),
     MetricSpec(
         SERVE_REQUEST_LATENCY_SECONDS, "histogram", (),
-        "submit-to-response wall time of every coalesced request "
-        "(cache hits answer inline and are not timed)",
+        "submit-to-response wall time, one amortized observation per "
+        "flushed micro-batch or served batch ticket (the oldest "
+        "waiter's; cache hits answer inline and are not timed)",
     ),
     MetricSpec(
         SERVE_QUEUE_DEPTH, "gauge", (),
-        "admission-queue depth, updated on every enqueue and flush",
+        "queued pairs across every admission shard, updated on every "
+        "enqueue and flush",
+    ),
+    MetricSpec(
+        SERVE_SHARD_DEPTH, "gauge", ("shard",),
+        "queued pairs in one admission shard, updated when that shard "
+        "admits (shard = stripe index)",
     ),
     MetricSpec(
         SERVE_BATCHES, "counter", (),
-        "per micro-batch the dispatcher flushed to the oracle",
+        "per micro-batch or batch ticket flushed to the oracle",
+    ),
+    MetricSpec(
+        SERVE_BATCH_SUBMISSIONS, "counter", (),
+        "per QueryServer.submit_batch call admitted to a shard "
+        "(all-cache-hit batches resolve inline and are not counted)",
     ),
     MetricSpec(
         SERVE_COALESCE_WIDTH, "histogram", (),

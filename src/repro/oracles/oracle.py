@@ -196,6 +196,16 @@ class HubLabelOracle:
         """The underlying label store (dict or flat, per ``backend``)."""
         return self._labeling
 
+    @property
+    def accepts_pair_arrays(self) -> bool:
+        """True when :meth:`batch_query` natively consumes an ``(m, 2)``
+        int64 ndarray (the flat backend's kernels do; the dict backend
+        would only iterate it slowly).  Batch producers such as
+        :class:`~repro.serve.server.QueryServer` use this to skip the
+        array -> tuple-list -> array round trip on the hot path --
+        answers are byte-identical either way."""
+        return self._backend == "flat"
+
     def space_words(self) -> int:
         # One (hub, distance) pair per entry.
         return 2 * self._labeling.total_size()

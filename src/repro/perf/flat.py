@@ -53,6 +53,10 @@ class FlatHubLabeling:
 
     __slots__ = ("_offsets", "_hubs", "_dists", "_accel")
 
+    #: ``batch_query`` natively consumes an ``(m, 2)`` int64 ndarray --
+    #: batch producers (the serving layer) may skip tuple-list packing.
+    accepts_pair_arrays = True
+
     def __init__(
         self,
         offsets: Sequence[int],

@@ -15,10 +15,11 @@ See ``docs/serving.md`` for the architecture walk-through.
 from .cache import MISS, ResultCache, labeling_digest
 from .coalesce import MicroBatcher
 from .loadgen import LoadReport, run_loadgen
-from .server import QueryServer, ServerStats
+from .server import BatchTicket, QueryServer, ServerStats
 
 __all__ = [
     "MISS",
+    "BatchTicket",
     "LoadReport",
     "MicroBatcher",
     "QueryServer",

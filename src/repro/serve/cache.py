@@ -25,8 +25,9 @@ from __future__ import annotations
 
 import hashlib
 import threading
+from array import array
 from collections import OrderedDict
-from typing import Hashable, Optional, Tuple
+from typing import Hashable, List, Optional, Sequence, Tuple
 
 __all__ = ["ResultCache", "labeling_digest", "MISS"]
 
@@ -39,27 +40,34 @@ def labeling_digest(store) -> str:
 
     Accepts either label store (:class:`~repro.core.hublabel.HubLabeling`
     dicts or :class:`~repro.perf.flat.FlatHubLabeling` CSR arrays) and
-    hashes the same canonical byte stream for both -- per-vertex hub
-    runs in ascending hub order -- so the two layouts of one labeling
-    share a digest, mirroring their byte-identical query contract.
+    hashes the same canonical byte stream for both -- the CSR triple
+    ``offsets | hubs | dists`` with hubs ascending per run and distances
+    as doubles -- so the two layouts of one labeling share a digest,
+    mirroring their byte-identical query contract.  The flat store's
+    arrays are hashed as raw buffers (three ``update`` calls total);
+    the dict store is canonicalized into the same triple first, which
+    keeps a server swap O(labels) in C rather than O(labels) in Python
+    string formatting.
     """
-    hasher = hashlib.sha256()
-    hasher.update(f"n{store.num_vertices}".encode())
     offsets = getattr(store, "_offsets", None)
-    if offsets is not None:
-        # Flat store: walk the CSR runs (hubs already ascend per run).
+    if offsets is None:
+        # Dict store: build the canonical CSR triple the flat layout
+        # already holds, then hash the identical bytes.
+        offsets = array("l", [0])
+        hubs = array("l")
+        dists = array("d")
+        for vertex in range(store.num_vertices):
+            entries = sorted(store.hubs(vertex).items())
+            hubs.extend(entry[0] for entry in entries)
+            dists.extend(float(entry[1]) for entry in entries)
+            offsets.append(len(hubs))
+    else:
         hubs, dists = store._hubs, store._dists
-        for vertex in range(len(offsets) - 1):
-            hasher.update(f"|{vertex}".encode())
-            for index in range(offsets[vertex], offsets[vertex + 1]):
-                hasher.update(f";{hubs[index]}:{dists[index]!r}".encode())
-        return hasher.hexdigest()
-    for vertex in range(store.num_vertices):
-        hasher.update(f"|{vertex}".encode())
-        for hub, dist in sorted(store.hubs(vertex).items()):
-            # Distances normalize to float: the flat store keeps
-            # doubles, and the two layouts must share a digest.
-            hasher.update(f";{hub}:{float(dist)!r}".encode())
+    hasher = hashlib.sha256()
+    hasher.update(f"csr1:n{store.num_vertices}:".encode())
+    hasher.update(offsets.tobytes())
+    hasher.update(hubs.tobytes())
+    hasher.update(dists.tobytes())
     return hasher.hexdigest()
 
 
@@ -113,6 +121,51 @@ class ResultCache:
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+            return True
+
+    def get_many(self, keys: Sequence[Hashable]) -> List[object]:
+        """Cached values for ``keys`` under one lock; :data:`MISS` gaps.
+
+        The batch-path counterpart of :meth:`get`: one lock round-trip
+        probes a whole submitted batch.  Hits are freshened exactly as
+        single gets are.
+        """
+        with self._lock:
+            entries = self._entries
+            out = []
+            for key in keys:
+                try:
+                    value = entries[key]
+                except KeyError:
+                    out.append(MISS)
+                else:
+                    entries.move_to_end(key)
+                    out.append(value)
+            return out
+
+    def put_many(
+        self,
+        keys: Sequence[Hashable],
+        values: Sequence[object],
+        generation: Optional[str] = None,
+    ) -> bool:
+        """Store ``keys[i] -> values[i]`` under one lock; True if accepted.
+
+        The whole batch shares one generation check (the answers were
+        computed under one oracle hold), so a swap mid-flight drops the
+        batch atomically -- never a half-stale cache.
+        """
+        with self._lock:
+            if self.capacity == 0:
+                return False
+            if generation is not None and generation != self._generation:
+                return False
+            entries = self._entries
+            for key, value in zip(keys, values):
+                entries[key] = value
+                entries.move_to_end(key)
+            while len(entries) > self.capacity:
+                entries.popitem(last=False)
             return True
 
     def clear(self) -> None:

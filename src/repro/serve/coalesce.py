@@ -61,6 +61,25 @@ class MicroBatcher:
             return self.flush()
         return None
 
+    def add_many(self, items: List[T], now: float) -> List[List[T]]:
+        """Accept many items at once; return every full batch formed.
+
+        Exactly equivalent to calling :meth:`add` per item with the
+        same ``now`` (each batch's deadline still anchors to its first
+        item), but with the loop kept tight for the dispatcher's bulk
+        shard drains.
+        """
+        full: List[List[T]] = []
+        max_batch = self.max_batch
+        for item in items:
+            pending = self._pending
+            if not pending:
+                self._deadline = now + self.max_delay
+            pending.append(item)
+            if len(pending) >= max_batch:
+                full.append(self.flush())
+        return full
+
     def poll(self, now: float) -> Optional[List[T]]:
         """The pending batch if its deadline has passed, else None."""
         if self._pending and self._deadline is not None and now >= self._deadline:

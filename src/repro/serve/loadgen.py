@@ -3,7 +3,9 @@
 The serving layer's correctness claims are concurrency claims, so they
 need a concurrent workload to mean anything.  :func:`run_loadgen`
 spawns ``clients`` threads, each with its own seeded RNG, firing random
-``(u, v)`` queries through :meth:`QueryServer.query`:
+``(u, v)`` queries through :meth:`QueryServer.submit` -- or, with
+``batch_size`` set, through the batch-native
+:meth:`QueryServer.submit_batch` fast path, one ticket per window:
 
 * **overloads** are handled the way a well-behaved client would --
   back off briefly and retry (up to ``max_retries``); a request that
@@ -87,15 +89,25 @@ def run_loadgen(
     expected: Optional[Callable[[int, int], object]] = None,
     max_retries: int = 50,
     backoff: float = 0.002,
+    batch_size: Optional[int] = None,
 ) -> LoadReport:
     """Fire a concurrent random-pair workload at ``server``.
 
     With ``duration`` set, every client loops until the deadline
     instead of counting to ``requests_per_client``.  ``expected`` turns
     the run into a graded sweep (value AND type must match).
+
+    ``batch_size`` switches the clients from per-pair
+    :meth:`QueryServer.submit` to the batch-native
+    :meth:`QueryServer.submit_batch` door, firing that many pairs per
+    ticket (the final window of a fixed-size run may be narrower).
+    Overload, grading, and tally semantics are identical -- a rejected
+    or failed ticket tallies every pair it carried.
     """
     if num_vertices < 1:
         raise ValueError("num_vertices must be positive")
+    if batch_size is not None and batch_size < 1:
+        raise ValueError("batch_size must be positive when set")
     report = LoadReport(clients=clients)
     lock = threading.Lock()
 
@@ -113,32 +125,64 @@ def run_loadgen(
                     break
             elif count >= requests_per_client:
                 break
-            count += 1
-            u = rng.randrange(num_vertices)
-            v = rng.randrange(num_vertices)
-            future = None
+            if batch_size is None:
+                count += 1
+                u = rng.randrange(num_vertices)
+                v = rng.randrange(num_vertices)
+                future = None
+                for attempt in range(max_retries + 1):
+                    try:
+                        future = server.submit(u, v)
+                        retries += attempt
+                        break
+                    except ServerOverloadError:
+                        time.sleep(backoff * (1 + (attempt % 8)))
+                if future is None:
+                    dropped += 1
+                    continue
+                try:
+                    got = future.result()
+                except Exception:
+                    errors += 1
+                    continue
+                answered += 1
+                if expected is not None:
+                    want = expected(u, v)
+                    if got != want or type(got) is not type(want):
+                        wrong += 1
+                        if len(mismatches) < 5:
+                            mismatches.append((u, v, got, want))
+                continue
+            width = batch_size
+            if deadline is None:
+                width = min(width, requests_per_client - count)
+            count += width
+            us = [rng.randrange(num_vertices) for _ in range(width)]
+            vs = [rng.randrange(num_vertices) for _ in range(width)]
+            ticket = None
             for attempt in range(max_retries + 1):
                 try:
-                    future = server.submit(u, v)
+                    ticket = server.submit_batch(us, vs)
                     retries += attempt
                     break
                 except ServerOverloadError:
                     time.sleep(backoff * (1 + (attempt % 8)))
-            if future is None:
-                dropped += 1
+            if ticket is None:
+                dropped += width
                 continue
             try:
-                got = future.result()
+                got_all = ticket.result()
             except Exception:
-                errors += 1
+                errors += width
                 continue
-            answered += 1
+            answered += width
             if expected is not None:
-                want = expected(u, v)
-                if got != want or type(got) is not type(want):
-                    wrong += 1
-                    if len(mismatches) < 5:
-                        mismatches.append((u, v, got, want))
+                for u, v, got in zip(us, vs, got_all):
+                    want = expected(u, v)
+                    if got != want or type(got) is not type(want):
+                        wrong += 1
+                        if len(mismatches) < 5:
+                            mismatches.append((u, v, got, want))
         with lock:
             report.requests += answered
             report.wrong += wrong

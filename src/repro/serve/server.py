@@ -3,56 +3,78 @@
 Every oracle in this repository answers one caller at a time; the
 ROADMAP's north star is a system serving heavy traffic.  This module is
 the bridge: a thread-based server that accepts a stream of concurrent
-``(u, v)`` requests and turns them into the shapes the oracles are fast
-at, while degrading *predictably* -- never silently -- under load.
+requests and turns them into the shapes the oracles are fast at, while
+degrading *predictably* -- never silently -- under load.
 
-The pipeline, request by request:
+Two front doors share one pipeline:
 
-1. **Admission** -- :meth:`QueryServer.submit` consults the LRU result
-   cache (:class:`~repro.serve.cache.ResultCache`, keyed by the
-   labeling's content digest); a hit resolves inline.  A miss enqueues
-   onto a *bounded* queue; when the queue is full the request is
-   rejected with :class:`~repro.runtime.errors.ServerOverloadError`
-   (backpressure -- the caller backs off, nothing is dropped silently).
-2. **Coalescing** -- a single dispatcher thread packs queued requests
-   into micro-batches (:class:`~repro.serve.coalesce.MicroBatcher`),
-   flushing on size (``max_batch``) or deadline (``max_delay``), so a
-   flood of scalar requests is served through the flat backend's
-   vectorized ``batch_query`` kernels instead of one merge at a time.
-3. **Dispatch** -- duplicate pairs inside one batch collapse to a
-   single backend query; oracles without a batch engine fall back to
-   the scalar path.  A failing batch is retried pair-by-pair so one bad
-   request cannot poison its batch-mates; per-request errors travel
-   through the request's future.
+* :meth:`QueryServer.submit` -- one ``(u, v)`` pair, one
+  ``concurrent.futures.Future``.  Misses are coalesced into
+  micro-batches (:class:`~repro.serve.coalesce.MicroBatcher`) by the
+  dispatcher, so a flood of scalar requests still reaches the flat
+  backend's vectorized kernels.
+* :meth:`QueryServer.submit_batch` -- whole ``us`` / ``vs`` pair
+  arrays, one :class:`BatchTicket`.  The batch is deduplicated and
+  cache-probed *vectorized* at submit time, travels the admission path
+  as a single item, is served by one kernel call, and completes with
+  one event -- results scatter back through a fancy-indexed inverse
+  map, never through per-pair ``Future.set_result``.  This is the fast
+  path ``run_loadgen``, the CLIs, and the serving benchmarks use.
+
+The pipeline, item by item:
+
+1. **Admission** -- the bounded queue is *sharded*: ``shards`` striped
+   deques, each with its own lock and capacity slice of ``max_queue``,
+   and per-thread shard affinity so concurrent clients rarely contend
+   on the same lock.  A full shard rejects with
+   :class:`~repro.runtime.errors.ServerOverloadError` (backpressure --
+   the caller backs off, nothing is dropped silently).  Cache hits
+   resolve inline and never enqueue.
+2. **Dispatch** -- ``dispatchers`` threads (default one) partition the
+   shards and drain them in bulk: scalar requests feed a
+   :class:`MicroBatcher`; tickets are served directly (they are already
+   batch-shaped).  Duplicate pairs collapse to one backend query; a
+   failing batch call is retried pair-by-pair so one bad request cannot
+   poison its batch-mates.
+3. **Completion** -- one event per micro-batch / ticket; answers are
+   cached in bulk (``put_many``) under the generation captured with the
+   oracle, so a swap mid-flight can never publish stale entries.
 4. **Shutdown** -- :meth:`stop` (or leaving the context manager) stops
    admissions, then *drains*: everything already accepted is served
-   before the dispatcher exits.  ``drain=False`` cancels the backlog
-   instead (every pending future reports cancelled -- still never
-   silent).
+   before the dispatchers exit.  ``drain=False`` cancels the backlog
+   instead (pending futures report cancelled, pending tickets raise
+   ``CancelledError`` -- still never silent).
 
-The oracle is only ever invoked from the dispatcher thread (under the
-swap lock), so stateful oracles such as
-:class:`~repro.runtime.resilient.ResilientOracle` need no internal
-locking.  :meth:`set_oracle` swaps the oracle atomically and re-keys
-the result cache by the new labeling's digest -- in-flight answers from
-the old generation are discarded by the cache, never served stale.
+The oracle is only ever invoked under the swap lock, so stateful
+oracles such as :class:`~repro.runtime.resilient.ResilientOracle` need
+no internal locking even with several dispatchers.  :meth:`set_oracle`
+swaps the oracle atomically; the cache generation is computed *once
+per swap* (content digest when the cache is enabled, a throwaway token
+when it is off) and cache keys are packed integers ``u * n + v`` --
+cheap to compute vectorized and cheap to hash.
 
-Metrics (``serve.*`` in ``repro.obs.catalog``): request/overload/cache
-counters, a queue-depth gauge, a coalesce-width histogram, and a
-submit-to-response latency histogram.
+Metrics (``serve.*`` in ``repro.obs.catalog``): request / overload /
+cache / batch-submission counters, queue-depth and per-shard depth
+gauges, a coalesce-width histogram, and a submit-to-response latency
+histogram (one observation per micro-batch or ticket).
 """
 
 from __future__ import annotations
 
 import itertools
-import queue
 import threading
-from concurrent.futures import Future
+from concurrent.futures import CancelledError, Future
 from dataclasses import dataclass
 from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
+try:  # pragma: no cover - exercised via both import paths in CI images
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
 from ..obs.catalog import (
+    SERVE_BATCH_SUBMISSIONS,
     SERVE_BATCHES,
     SERVE_CACHE_HITS,
     SERVE_CACHE_MISSES,
@@ -61,13 +83,21 @@ from ..obs.catalog import (
     SERVE_QUEUE_DEPTH,
     SERVE_REQUESTS,
     SERVE_REQUEST_LATENCY_SECONDS,
+    SERVE_SHARD_DEPTH,
 )
+from ..obs.registry import Histogram
 from ..obs.registry import get_registry as _get_registry
-from ..runtime.errors import ServerOverloadError
+from ..runtime.errors import DomainError, ServerOverloadError
 from .cache import MISS, ResultCache, labeling_digest
 from .coalesce import MicroBatcher
 
-__all__ = ["QueryServer", "ServerStats", "WIDTH_BUCKETS"]
+__all__ = [
+    "BatchTicket",
+    "QueryServer",
+    "ServerStats",
+    "DEFAULT_SHARDS",
+    "WIDTH_BUCKETS",
+]
 
 #: Bucket upper edges for the coalesce-width histogram (requests per
 #: flushed micro-batch, not seconds).
@@ -75,32 +105,115 @@ WIDTH_BUCKETS: Tuple[float, ...] = (
     1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0, 1024.0,
 )
 
-#: Sentinel the dispatcher recognizes as "stop after draining".
-_STOP = object()
+#: Admission shards when the caller does not choose (capped at
+#: ``max_queue`` so every shard keeps a positive capacity slice).
+DEFAULT_SHARDS = 4
 
-#: Distinguishes oracles without a labeling digest; each swap of such
-#: an oracle gets a fresh generation token (cache always cold).
+#: Distinguishes oracles without a content generation; each swap of
+#: such an oracle gets a fresh token (cache always cold, never stale).
 _ANON = itertools.count()
 
 
 class _Request:
-    __slots__ = ("u", "v", "future", "enqueued")
+    __slots__ = ("u", "v", "key", "future", "enqueued")
 
-    def __init__(self, u: int, v: int, enqueued: float) -> None:
+    def __init__(self, u: int, v: int, key, enqueued: float) -> None:
         self.u = u
         self.v = v
+        self.key = key
         self.future: Future = Future()
         self.enqueued = enqueued
+
+
+class BatchTicket:
+    """One waitable unit for a whole submitted pair batch.
+
+    Returned by :meth:`QueryServer.submit_batch`; :meth:`result` blocks
+    on a single event and returns the distances in submission order
+    (duplicates included -- deduplication is internal).  Error
+    granularity is the ticket: an oracle failure fails the whole batch
+    (use :meth:`QueryServer.submit` when per-pair isolation matters),
+    and a non-draining stop raises ``CancelledError``.
+    """
+
+    __slots__ = (
+        "width", "enqueued",
+        "_event", "_results", "_error",
+        "_keys", "_pairs", "_values", "_need", "_scatter",
+    )
+
+    def __init__(self, width, enqueued, keys, pairs, values, need, scatter):
+        self.width = width
+        self.enqueued = enqueued
+        self._event = threading.Event()
+        self._results: Optional[List[object]] = None
+        self._error: Optional[BaseException] = None
+        self._keys = keys        # cache keys, one per unique pair
+        self._pairs = pairs      # unique (u, v) tuples
+        self._values = values    # per-unique answers (MISS = pending)
+        self._need = need        # unique indices the oracle must answer
+        self._scatter = scatter  # submission index -> unique index
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> List[object]:
+        """The distances, in submission order (blocks until served)."""
+        if not self._event.wait(timeout):
+            raise TimeoutError("BatchTicket not resolved in time")
+        if self._error is not None:
+            raise self._error
+        return self._results
+
+    def _resolve(self, results: List[object]) -> None:
+        self._results = results
+        self._event.set()
+
+    def _fail(self, exc: BaseException) -> None:
+        self._error = exc
+        self._event.set()
+
+    def _scatter_and_resolve(self) -> None:
+        values = self._values
+        scatter = self._scatter
+        if np is not None and isinstance(scatter, np.ndarray):
+            # Fancy-indexed scatter over an object array keeps every
+            # answer's Python type intact (int vs float, inf included).
+            results = np.asarray(values, dtype=object)[scatter].tolist()
+        else:
+            results = [values[j] for j in scatter]
+        self._resolve(results)
+
+    def __repr__(self) -> str:
+        state = "done" if self.done() else "pending"
+        return f"BatchTicket(width={self.width}, {state})"
+
+
+class _Shard:
+    """One admission stripe: a lock, a swap-out list, a pair count."""
+
+    __slots__ = ("index", "lock", "items", "pairs", "capacity", "event")
+
+    def __init__(self, index: int, capacity: int, event) -> None:
+        self.index = index
+        self.lock = threading.Lock()
+        self.items: List[object] = []
+        self.pairs = 0
+        self.capacity = capacity
+        self.event = event
 
 
 @dataclass(frozen=True)
 class ServerStats:
     """A consistent snapshot of the server's own tallies.
 
-    ``responses`` counts resolved futures (cache hits included);
-    ``requests - responses - errors`` pending requests.  ``coalesced``
-    is the number of requests served through micro-batches, so
-    ``coalesced / batches`` is the realized mean batch width.
+    ``responses`` counts answered pairs (cache hits included);
+    ``requests - responses - errors`` pending pairs.  ``coalesced`` is
+    the number of pairs served through micro-batches or tickets, so
+    ``coalesced / batches`` is the realized mean batch width --
+    ``batch_width_p50`` / ``batch_width_p95`` report the width
+    *distribution* from the server's own histogram, which a mean alone
+    cannot (one giant ticket hides a thousand singleton flushes).
     """
 
     requests: int = 0
@@ -110,24 +223,35 @@ class ServerStats:
     overloads: int = 0
     batches: int = 0
     coalesced: int = 0
+    batch_width_p50: float = 0.0
+    batch_width_p95: float = 0.0
 
     @property
     def mean_batch_width(self) -> float:
         return self.coalesced / self.batches if self.batches else 0.0
 
 
-def _generation_for(oracle) -> str:
-    """The cache-generation token for ``oracle``.
+def _generation_for(oracle, *, content: bool) -> str:
+    """The cache-generation token for ``oracle``, computed once per swap.
 
-    Labeling-backed oracles key by class name + content digest, so two
-    oracles of the same kind serving byte-identical labels share a warm
-    cache across :meth:`QueryServer.set_oracle`.  Oracles without an
-    exposed labeling get a unique token per swap (cold cache, safe).
+    With ``content`` (the result cache is enabled), labeling-backed
+    oracles key by class name + content digest, so two oracles of the
+    same kind serving byte-identical labels share a warm cache across
+    :meth:`QueryServer.set_oracle`.  With the cache disabled, staleness
+    is moot and the digest pass is skipped entirely -- a throwaway
+    token keeps swaps O(1) instead of O(labels).
     """
     store = getattr(oracle, "labeling", None)
-    if store is not None:
+    if content and store is not None:
         return f"{type(oracle).__name__}:{labeling_digest(store)}"
     return f"{type(oracle).__name__}:anon-{next(_ANON)}"
+
+
+def _key_base_for(oracle) -> Optional[int]:
+    """``n`` for packed ``u * n + v`` cache keys, or None (tuple keys)."""
+    store = getattr(oracle, "labeling", None)
+    n = getattr(store, "num_vertices", None) if store is not None else None
+    return n if isinstance(n, int) and n > 0 else None
 
 
 class QueryServer:
@@ -137,6 +261,11 @@ class QueryServer:
     ``.distance`` (or the distance itself); a ``batch_query(pairs)``
     method is used when present.  Answers are exactly the oracle's --
     the server adds concurrency, never arithmetic.
+
+    ``shards`` stripes the admission queue (default ``min(4,
+    max_queue)``); ``dispatchers`` fans the stripes out over that many
+    dispatcher threads (default 1 -- oracle calls are serialized under
+    the swap lock either way).
     """
 
     def __init__(
@@ -147,20 +276,48 @@ class QueryServer:
         max_batch: int = 64,
         max_delay: float = 0.002,
         cache_size: int = 4096,
+        shards: Optional[int] = None,
+        dispatchers: int = 1,
     ) -> None:
         if max_queue < 1:
             raise ValueError("max_queue must be at least 1")
-        self._queue: "queue.Queue" = queue.Queue(maxsize=max_queue)
+        if shards is not None and shards < 1:
+            raise ValueError("shards must be at least 1")
+        if dispatchers < 1:
+            raise ValueError("dispatchers must be at least 1")
         self.max_queue = max_queue
         self.max_batch = max_batch
         self.max_delay = max_delay
-        self._oracle = oracle
+        # Every shard must own a positive slice of max_queue, or a
+        # thread pinned to a zero-capacity stripe could never submit.
+        self.shards = min(shards or DEFAULT_SHARDS, max_queue)
+        self.dispatchers = min(dispatchers, self.shards)
+        self._events = [threading.Event() for _ in range(self.dispatchers)]
+        base, extra = divmod(max_queue, self.shards)
+        self._shards = [
+            _Shard(
+                index,
+                base + (1 if index < extra else 0),
+                self._events[index % self.dispatchers],
+            )
+            for index in range(self.shards)
+        ]
+        self._local = threading.local()
+        self._spin = itertools.count()
         self._oracle_lock = threading.Lock()
-        self._generation = _generation_for(oracle)
         self._cache = ResultCache(cache_size)
+        self._cache_on = cache_size > 0
+        self._oracle = oracle
+        self._generation = _generation_for(oracle, content=self._cache_on)
+        self._key_base = _key_base_for(oracle)
+        self._pairs_native = np is not None and bool(
+            getattr(oracle, "accepts_pair_arrays", False)
+        )
         self._cache.rekey(self._generation)
         self._accepting = False
-        self._thread: Optional[threading.Thread] = None
+        self._stopping = False
+        self._drain_requested = True
+        self._threads: Optional[List[threading.Thread]] = None
         self._lifecycle = threading.Lock()
         self._stats_lock = threading.Lock()
         self._stats: Dict[str, int] = {
@@ -172,21 +329,30 @@ class QueryServer:
             "batches": 0,
             "coalesced": 0,
         }
+        self._width_hist = Histogram(SERVE_COALESCE_WIDTH, (), WIDTH_BUCKETS)
         self._obs_registry = None
-        self._obs: Optional[tuple] = None
+        self._obs: Optional["_ServeInstruments"] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "QueryServer":
         with self._lifecycle:
-            if self._thread is not None:
+            if self._threads is not None:
                 return self
             self._accepting = True
-            self._thread = threading.Thread(
-                target=self._run, name="repro-query-server", daemon=True
-            )
-            self._thread.start()
+            self._stopping = False
+            self._threads = [
+                threading.Thread(
+                    target=self._run,
+                    args=(index,),
+                    name=f"repro-query-server-{index}",
+                    daemon=True,
+                )
+                for index in range(self.dispatchers)
+            ]
+            for thread in self._threads:
+                thread.start()
         return self
 
     def stop(self, *, drain: bool = True) -> None:
@@ -197,25 +363,36 @@ class QueryServer:
         """
         with self._lifecycle:
             self._accepting = False
-            thread = self._thread
-            if thread is not None:
+            threads = self._threads
+            if threads is not None:
                 self._drain_requested = drain
-                self._queue.put(_STOP)  # blocking put: always lands
-                thread.join()
-                self._thread = None
+                self._stopping = True
+                for event in self._events:
+                    event.set()
+                for thread in threads:
+                    thread.join()
+                self._threads = None
+                self._stopping = False
             # Catch submits that raced the accepting flag: with the
-            # dispatcher gone, serve (or cancel) them inline.
+            # dispatchers gone, serve (or cancel) them inline.
             leftovers = self._take_all()
             if leftovers:
+                requests = [x for x in leftovers if type(x) is _Request]
+                tickets = [x for x in leftovers if type(x) is not _Request]
                 if drain:
-                    self._serve_batch(leftovers)
+                    if requests:
+                        self._serve_batch(requests)
+                    for ticket in tickets:
+                        self._serve_ticket(ticket)
                 else:
-                    for request in leftovers:
+                    for request in requests:
                         request.future.cancel()
+                    for ticket in tickets:
+                        ticket._fail(CancelledError())
 
     @property
     def running(self) -> bool:
-        return self._accepting and self._thread is not None
+        return self._accepting and self._threads is not None
 
     def __enter__(self) -> "QueryServer":
         return self.start()
@@ -226,33 +403,75 @@ class QueryServer:
     # ------------------------------------------------------------------
     # Submission
     # ------------------------------------------------------------------
+    def _key(self, u: int, v: int):
+        """The cache key for one pair: packed int in-domain, else tuple.
+
+        Out-of-domain coordinates must never pack (they could alias a
+        valid pair's integer); they keep tuple keys, which are only
+        ever probed, never stored (the oracle rejects the pair).
+        """
+        base = self._key_base
+        if base is not None and 0 <= u < base and 0 <= v < base:
+            return u * base + v
+        return (u, v)
+
+    def _shard_for_thread(self) -> _Shard:
+        try:
+            return self._local.shard
+        except AttributeError:
+            shard = self._shards[next(self._spin) % self.shards]
+            self._local.shard = shard
+            return shard
+
+    def _admit(self, item, pairs: int) -> Optional[_Shard]:
+        """Enqueue ``item`` (``pairs`` queued pairs) on the caller's
+        home shard, overflowing to the other stripes when it is full --
+        a submit is rejected only when *every* shard is at capacity, so
+        total admission capacity stays ``max_queue`` under any client
+        mix (a single bursty client is not confined to one stripe).
+        """
+        home = self._shard_for_thread().index
+        shards = self._shards
+        for attempt in range(self.shards):
+            shard = shards[(home + attempt) % self.shards]
+            with shard.lock:
+                if shard.pairs < shard.capacity:
+                    shard.items.append(item)
+                    shard.pairs += pairs
+                    event = shard.event
+                    if not event.is_set():
+                        event.set()
+                    return shard
+        return None
+
     def submit(self, u: int, v: int) -> Future:
         """Enqueue one query; returns a future resolving to its distance.
 
-        Raises :class:`ServerOverloadError` when the admission queue is
-        full -- the request was *not* accepted, back off and retry.
-        Raises :class:`RuntimeError` when the server is not running.
+        Raises :class:`ServerOverloadError` when the caller's admission
+        shard is full -- the request was *not* accepted, back off and
+        retry.  Raises :class:`RuntimeError` when the server is not
+        running.
         """
         if not self._accepting:
             raise RuntimeError("QueryServer is not running (call start())")
         obs = self._bind_obs()
-        key = (u, v)
-        hit = self._cache.get(key)
-        if hit is not MISS:
-            future: Future = Future()
-            future.set_result(hit)
-            with self._stats_lock:
-                self._stats["requests"] += 1
-                self._stats["cache_hits"] += 1
-                self._stats["responses"] += 1
-            if obs is not None:
-                obs.requests.inc()
-                obs.cache_hits.inc()
-            return future
-        request = _Request(u, v, perf_counter())
-        try:
-            self._queue.put_nowait(request)
-        except queue.Full:
+        key = self._key(u, v)
+        if self._cache_on:
+            hit = self._cache.get(key)
+            if hit is not MISS:
+                future: Future = Future()
+                future.set_result(hit)
+                with self._stats_lock:
+                    self._stats["requests"] += 1
+                    self._stats["cache_hits"] += 1
+                    self._stats["responses"] += 1
+                if obs is not None:
+                    obs.requests.inc()
+                    obs.cache_hits.inc()
+                return future
+        request = _Request(u, v, key, perf_counter())
+        shard = self._admit(request, 1)
+        if shard is None:
             with self._stats_lock:
                 self._stats["overloads"] += 1
             if obs is not None:
@@ -266,8 +485,144 @@ class QueryServer:
         if obs is not None:
             obs.requests.inc()
             obs.cache_misses.inc()
-            obs.queue_depth.set(self._queue.qsize())
+            obs.queue_depth.set(self.queue_depth())
+            obs.shard_depth(shard.index).set(shard.pairs)
         return request.future
+
+    def submit_batch(self, us, vs) -> BatchTicket:
+        """Enqueue a whole pair batch; returns one :class:`BatchTicket`.
+
+        ``us`` / ``vs`` are equal-length sequences (numpy arrays ride
+        the vectorized path: packed-key dedup, bulk cache probe, fancy
+        -indexed result scatter).  The batch is admitted whole or
+        rejected whole with :class:`ServerOverloadError`; out-of-domain
+        vertices are rejected up front with :class:`DomainError` when
+        the oracle's vertex count is known.
+        """
+        if not self._accepting:
+            raise RuntimeError("QueryServer is not running (call start())")
+        obs = self._bind_obs()
+        keys, pairs, scatter = self._dedup_pairs(us, vs)
+        width = len(scatter)
+        enqueued = perf_counter()
+        if width == 0:
+            ticket = BatchTicket(0, enqueued, keys, pairs, [], [], scatter)
+            ticket._resolve([])
+            return ticket
+        values: List[object] = [MISS] * len(pairs)
+        if self._cache_on:
+            need = []
+            for index, value in enumerate(self._cache.get_many(keys)):
+                if value is MISS:
+                    need.append(index)
+                else:
+                    values[index] = value
+        else:
+            need = list(range(len(pairs)))
+        ticket = BatchTicket(width, enqueued, keys, pairs, values, need, scatter)
+        if not need:
+            # Fully answered from cache: resolve inline, never enqueue.
+            ticket._scatter_and_resolve()
+            with self._stats_lock:
+                self._stats["requests"] += width
+                self._stats["cache_hits"] += width
+                self._stats["responses"] += width
+            if obs is not None:
+                obs.requests.inc(width)
+                obs.cache_hits.inc(width)
+            return ticket
+        hit_pairs = 0
+        if len(need) < len(pairs):
+            needed = set(need)
+            hit_pairs = sum(
+                1
+                for unique_index in (
+                    scatter.tolist()
+                    if np is not None and isinstance(scatter, np.ndarray)
+                    else scatter
+                )
+                if unique_index not in needed
+            )
+        shard = self._admit(ticket, len(need))
+        if shard is None:
+            with self._stats_lock:
+                self._stats["overloads"] += 1
+            if obs is not None:
+                obs.overloads.inc()
+            raise ServerOverloadError(
+                f"admission queue is full; batch of {width} pair(s) rejected",
+                capacity=self.max_queue,
+            )
+        with self._stats_lock:
+            self._stats["requests"] += width
+            self._stats["cache_hits"] += hit_pairs
+        if obs is not None:
+            obs.requests.inc(width)
+            obs.batch_submissions.inc()
+            if hit_pairs:
+                obs.cache_hits.inc(hit_pairs)
+            obs.cache_misses.inc(width - hit_pairs)
+            obs.queue_depth.set(self.queue_depth())
+            obs.shard_depth(shard.index).set(shard.pairs)
+        return ticket
+
+    def _dedup_pairs(self, us, vs):
+        """Unique cache keys + pairs and the submission->unique scatter map."""
+        base = self._key_base
+        if np is not None:
+            us_arr = np.asarray(us, dtype=np.int64).reshape(-1)
+            vs_arr = np.asarray(vs, dtype=np.int64).reshape(-1)
+            if us_arr.shape != vs_arr.shape:
+                raise ValueError("us and vs must be the same length")
+            if base is not None:
+                if us_arr.size and (
+                    int(us_arr.min()) < 0
+                    or int(us_arr.max()) >= base
+                    or int(vs_arr.min()) < 0
+                    or int(vs_arr.max()) >= base
+                ):
+                    raise DomainError(
+                        f"batch contains a vertex outside [0, {base})"
+                    )
+                packed = us_arr * base + vs_arr
+                unique, first, scatter = np.unique(
+                    packed, return_index=True, return_inverse=True
+                )
+                if self._pairs_native:
+                    # The oracle consumes (m, 2) arrays directly: skip
+                    # the tuple-list round trip on the hot path.
+                    pairs = np.column_stack((us_arr[first], vs_arr[first]))
+                else:
+                    pairs = list(
+                        zip(us_arr[first].tolist(), vs_arr[first].tolist())
+                    )
+                return unique.tolist(), pairs, scatter.reshape(-1)
+            us_list, vs_list = us_arr.tolist(), vs_arr.tolist()
+        else:
+            us_list = [int(u) for u in us]
+            vs_list = [int(v) for v in vs]
+            if len(us_list) != len(vs_list):
+                raise ValueError("us and vs must be the same length")
+            if base is not None:
+                for u, v in zip(us_list, vs_list):
+                    if not (0 <= u < base and 0 <= v < base):
+                        raise DomainError(
+                            f"batch contains a vertex outside [0, {base})"
+                        )
+        slots: Dict[object, int] = {}
+        keys: List[object] = []
+        pairs = []
+        scatter = []
+        for u, v in zip(us_list, vs_list):
+            key = u * base + v if base is not None else (u, v)
+            slot = slots.get(key)
+            if slot is None:
+                slot = len(keys)
+                slots[key] = slot
+                keys.append(key)
+                pairs.append((u, v))
+            scatter.append(slot)
+        return keys, pairs, scatter
 
     def query(self, u: int, v: int, timeout: Optional[float] = None):
         """Blocking convenience: submit and wait for the distance."""
@@ -298,12 +653,19 @@ class QueryServer:
         The cache survives the swap only when the new oracle serves a
         labeling with the identical content digest; any other swap
         re-keys it, and answers still in flight from the old oracle are
-        dropped by the generation guard rather than cached stale.
+        dropped by the generation guard rather than cached stale.  The
+        generation token is computed here, once, outside the swap lock.
         """
-        generation = _generation_for(oracle)
+        generation = _generation_for(oracle, content=self._cache_on)
+        key_base = _key_base_for(oracle)
+        pairs_native = np is not None and bool(
+            getattr(oracle, "accepts_pair_arrays", False)
+        )
         with self._oracle_lock:
             self._oracle = oracle
             self._generation = generation
+            self._key_base = key_base
+            self._pairs_native = pairs_native
             return self._cache.rekey(generation)
 
     # ------------------------------------------------------------------
@@ -311,21 +673,33 @@ class QueryServer:
     # ------------------------------------------------------------------
     def stats(self) -> ServerStats:
         with self._stats_lock:
-            return ServerStats(**self._stats)
+            snapshot = dict(self._stats)
+        hist = self._width_hist
+        return ServerStats(
+            batch_width_p50=hist.percentile(0.50) or 0.0,
+            batch_width_p95=hist.percentile(0.95) or 0.0,
+            **snapshot,
+        )
 
     @property
     def cache(self) -> ResultCache:
         return self._cache
 
     def queue_depth(self) -> int:
-        return self._queue.qsize()
+        """Queued pairs across every admission shard."""
+        return sum(shard.pairs for shard in self._shards)
+
+    def shard_depths(self) -> Tuple[int, ...]:
+        """Per-shard queued pair counts, in shard order."""
+        return tuple(shard.pairs for shard in self._shards)
 
     def __repr__(self) -> str:
         state = "running" if self.running else "stopped"
         return (
             f"QueryServer({state}, oracle={type(self._oracle).__name__}, "
-            f"queue={self._queue.qsize()}/{self.max_queue}, "
-            f"max_batch={self.max_batch})"
+            f"queue={self.queue_depth()}/{self.max_queue}, "
+            f"shards={list(self.shard_depths())}, "
+            f"dispatchers={self.dispatchers}, max_batch={self.max_batch})"
         )
 
     # ------------------------------------------------------------------
@@ -334,7 +708,11 @@ class QueryServer:
     def _bind_obs(self) -> Optional["_ServeInstruments"]:
         registry = _get_registry()
         if registry is not self._obs_registry:
-            obs = _ServeInstruments(registry) if registry.enabled else None
+            obs = (
+                _ServeInstruments(registry, self.shards)
+                if registry.enabled
+                else None
+            )
             # Publish instruments before the registry marker (submit is
             # called concurrently; a reader seeing the marker match must
             # never pick up a stale instrument set).
@@ -343,82 +721,175 @@ class QueryServer:
             return obs
         return self._obs
 
-    def _run(self) -> None:
+    def _run(self, index: int) -> None:
         batcher: MicroBatcher = MicroBatcher(self.max_batch, self.max_delay)
+        event = self._events[index]
+        shards = self._shards[index :: self.dispatchers]
         while True:
-            if len(batcher):
-                timeout = max(0.0, batcher.deadline - perf_counter())
-            else:
-                timeout = None  # park until a request or _STOP arrives
-            try:
-                item = self._queue.get(timeout=timeout)
-            except queue.Empty:
-                batch = batcher.poll(perf_counter())
-                if batch:
-                    self._serve_batch(batch)
-                continue
-            if item is _STOP:
-                batch = batcher.flush()
-                if batch:
-                    self._serve_batch(batch)
-                drain = getattr(self, "_drain_requested", True)
-                leftovers = self._take_all()
-                if leftovers:
-                    if drain:
-                        self._serve_batch(leftovers)
+            event.clear()
+            stopping = self._stopping
+            drain = self._drain_requested if stopping else True
+            progressed = False
+            for shard in shards:
+                if not shard.items:
+                    continue
+                with shard.lock:
+                    items = shard.items
+                    shard.items = []
+                    shard.pairs = 0
+                progressed = True
+                requests: List[_Request] = []
+                for item in items:
+                    if type(item) is _Request:
+                        if drain:
+                            requests.append(item)
+                        else:
+                            item.future.cancel()
+                    elif drain:
+                        self._serve_ticket(item)
                     else:
-                        for request in leftovers:
+                        item._fail(CancelledError())
+                if requests:
+                    for full in batcher.add_many(requests, perf_counter()):
+                        self._serve_batch(full)
+            if progressed:
+                continue  # new work may have landed while serving
+            if stopping:
+                final = batcher.flush()
+                if final:
+                    if drain:
+                        self._serve_batch(final)
+                    else:
+                        for request in final:
                             request.future.cancel()
                 return
-            batch = batcher.add(item, perf_counter())
-            if batch:
-                self._serve_batch(batch)
+            if len(batcher):
+                remaining = batcher.deadline - perf_counter()
+                if remaining <= 0 or not event.wait(remaining):
+                    batch = batcher.poll(perf_counter())
+                    if batch:
+                        self._serve_batch(batch)
+            else:
+                event.wait()  # park until a submit or stop() wakes us
 
-    def _take_all(self) -> List[_Request]:
-        requests: List[_Request] = []
-        while True:
-            try:
-                item = self._queue.get_nowait()
-            except queue.Empty:
-                return requests
-            if item is not _STOP:
-                requests.append(item)
+    def _take_all(self) -> List[object]:
+        items: List[object] = []
+        for shard in self._shards:
+            with shard.lock:
+                if shard.items:
+                    items.extend(shard.items)
+                    shard.items = []
+                    shard.pairs = 0
+        return items
+
+    def _serve_ticket(self, ticket: BatchTicket) -> None:
+        """Serve one batch ticket: one kernel call, one completion event."""
+        obs = self._bind_obs()
+        need = ticket._need
+        pairs = ticket._pairs
+        is_array = np is not None and isinstance(pairs, np.ndarray)
+        if len(need) == len(pairs):
+            keys = ticket._keys
+        else:
+            pairs = pairs[need] if is_array else [pairs[i] for i in need]
+            keys = [ticket._keys[i] for i in need]
+        answers: List[object] = []
+        error: Optional[BaseException] = None
+        with self._oracle_lock:
+            oracle = self._oracle
+            generation = self._generation
+            if is_array and not getattr(oracle, "accepts_pair_arrays", False):
+                # A swap installed an oracle without the array fast
+                # path while this ticket was in flight: down-convert.
+                pairs = list(zip(pairs[:, 0].tolist(), pairs[:, 1].tolist()))
+                is_array = False
+            batch_fn = getattr(oracle, "batch_query", None)
+            if batch_fn is not None:
+                try:
+                    answers = batch_fn(pairs)
+                except Exception:
+                    batch_fn = None  # retry pair-by-pair below
+            if batch_fn is None:
+                answers = []
+                for u, v in pairs.tolist() if is_array else pairs:
+                    try:
+                        outcome = oracle.query(u, v)
+                    except Exception as exc:
+                        error = exc
+                        break
+                    answers.append(getattr(outcome, "distance", outcome))
+        done = perf_counter()
+        if error is not None:
+            ticket._fail(error)
+            with self._stats_lock:
+                self._stats["errors"] += ticket.width
+            return
+        values = ticket._values
+        for unique_index, value in zip(need, answers):
+            values[unique_index] = value
+        if self._cache_on:
+            self._cache.put_many(keys, answers, generation)
+        ticket._scatter_and_resolve()
+        self._width_hist.observe(float(ticket.width))
+        with self._stats_lock:
+            self._stats["batches"] += 1
+            self._stats["coalesced"] += ticket.width
+            self._stats["responses"] += ticket.width
+        if obs is not None:
+            obs.batches.inc()
+            obs.coalesce_width.observe(float(ticket.width))
+            obs.request_latency.observe(done - ticket.enqueued)
+            obs.queue_depth.set(self.queue_depth())
 
     def _serve_batch(self, requests: List[_Request]) -> None:
         obs = self._bind_obs()
         # Collapse duplicate pairs: one backend query answers them all.
         order: List[Tuple[int, int]] = []
-        groups: Dict[Tuple[int, int], List[_Request]] = {}
+        keys: List[object] = []
+        groups: Dict[object, List[_Request]] = {}
         for request in requests:
-            key = (request.u, request.v)
-            if key not in groups:
-                groups[key] = []
-                order.append(key)
-            groups[key].append(request)
-        answers: Dict[Tuple[int, int], object] = {}
-        failures: Dict[Tuple[int, int], BaseException] = {}
+            group = groups.get(request.key)
+            if group is None:
+                groups[request.key] = [request]
+                order.append((request.u, request.v))
+                keys.append(request.key)
+            else:
+                group.append(request)
+        answers: Dict[object, object] = {}
+        failures: Dict[object, BaseException] = {}
         with self._oracle_lock:
             oracle = self._oracle
             generation = self._generation
             batch_fn = getattr(oracle, "batch_query", None)
             if batch_fn is not None:
                 try:
-                    values = batch_fn(order)
-                    answers = dict(zip(order, values))
+                    call_pairs = order
+                    if (
+                        np is not None
+                        and len(order) >= 32
+                        and getattr(oracle, "accepts_pair_arrays", False)
+                    ):
+                        call_pairs = np.asarray(order, dtype=np.int64)
+                    values = batch_fn(call_pairs)
+                    answers = dict(zip(keys, values))
                 except Exception:
                     # One bad pair fails a whole batch call; isolate it
                     # below so its batch-mates still get answers.
                     batch_fn = None
             if batch_fn is None:
-                for key in order:
+                for key, pair in zip(keys, order):
                     try:
-                        outcome = oracle.query(*key)
+                        outcome = oracle.query(*pair)
                         answers[key] = getattr(outcome, "distance", outcome)
                     except Exception as exc:
                         failures[key] = exc
         done = perf_counter()
+        if self._cache_on and answers:
+            self._cache.put_many(
+                list(answers.keys()), list(answers.values()), generation
+            )
         errors = 0
-        for key in order:
+        for key in keys:
             if key in failures:
                 exc = failures[key]
                 errors += len(groups[key])
@@ -426,9 +897,9 @@ class QueryServer:
                     _resolve(request.future, exc=exc)
             else:
                 value = answers[key]
-                self._cache.put(key, value, generation)
                 for request in groups[key]:
                     _resolve(request.future, value=value)
+        self._width_hist.observe(float(len(requests)))
         with self._stats_lock:
             self._stats["batches"] += 1
             self._stats["coalesced"] += len(requests)
@@ -437,9 +908,11 @@ class QueryServer:
         if obs is not None:
             obs.batches.inc()
             obs.coalesce_width.observe(float(len(requests)))
-            obs.queue_depth.set(self._queue.qsize())
-            for request in requests:
-                obs.request_latency.observe(done - request.enqueued)
+            obs.queue_depth.set(self.queue_depth())
+            # One amortized observation per micro-batch: the oldest
+            # waiter's submit-to-response time bounds its batch-mates'.
+            oldest = min(request.enqueued for request in requests)
+            obs.request_latency.observe(done - oldest)
 
 
 class _ServeInstruments:
@@ -450,25 +923,35 @@ class _ServeInstruments:
         "request_latency",
         "queue_depth",
         "batches",
+        "batch_submissions",
         "coalesce_width",
         "cache_hits",
         "cache_misses",
         "overloads",
+        "_shard_gauges",
     )
 
-    def __init__(self, registry) -> None:
+    def __init__(self, registry, num_shards: int) -> None:
         self.requests = registry.counter(SERVE_REQUESTS)
         self.request_latency = registry.histogram(
             SERVE_REQUEST_LATENCY_SECONDS
         )
         self.queue_depth = registry.gauge(SERVE_QUEUE_DEPTH)
         self.batches = registry.counter(SERVE_BATCHES)
+        self.batch_submissions = registry.counter(SERVE_BATCH_SUBMISSIONS)
         self.coalesce_width = registry.histogram(
             SERVE_COALESCE_WIDTH, buckets=WIDTH_BUCKETS
         )
         self.cache_hits = registry.counter(SERVE_CACHE_HITS)
         self.cache_misses = registry.counter(SERVE_CACHE_MISSES)
         self.overloads = registry.counter(SERVE_OVERLOADS)
+        self._shard_gauges = tuple(
+            registry.gauge(SERVE_SHARD_DEPTH, shard=str(index))
+            for index in range(num_shards)
+        )
+
+    def shard_depth(self, index: int):
+        return self._shard_gauges[index]
 
 
 def _resolve(future: Future, value=None, exc=None) -> None:

@@ -18,6 +18,8 @@ from repro.core import pruned_landmark_labeling
 from repro.graphs import random_sparse_graph
 from repro.obs.registry import Registry
 from repro.oracles.oracle import HubLabelOracle
+from repro.runtime import ServerOverloadError
+from repro.serve import QueryServer
 
 THREADS = 16
 BUMPS = 2_000
@@ -184,3 +186,99 @@ class TestInstrumentedOracleConcurrency:
         _hammer(worker, threads=8)
         queries = metrics_registry.get("oracle.queries", backend="dict")
         assert queries.value == 8 * per_thread
+
+
+class _GatedOracle:
+    """Stalls every query behind an event so admission queues stay full."""
+
+    def __init__(self):
+        self.release = threading.Event()
+
+    def query(self, u, v):
+        self.release.wait()
+        return float(u + v)
+
+    def batch_query(self, pairs):
+        self.release.wait()
+        return [float(u + v) for u, v in pairs]
+
+
+class TestShardedAdmissionConcurrency:
+    def test_sixteen_threads_exact_admission_accounting(
+        self, metrics_registry
+    ):
+        # 16 threads flood a tiny sharded admission queue while the
+        # dispatchers are stalled behind a gate.  No retries: every
+        # submit either lands (tallied locally as accepted pairs) or
+        # raises ServerOverloadError (tallied as one rejection).  The
+        # server's books must agree with the threads' books *exactly* --
+        # a single double-count or lost bump under preemption fails.
+        oracle = _GatedOracle()
+        server = QueryServer(
+            oracle,
+            max_queue=48,
+            max_batch=8,
+            max_delay=0.0005,
+            cache_size=0,
+            shards=4,
+            dispatchers=2,
+        )
+        server.start()
+        rounds = 60
+        accepted = [0] * THREADS
+        rejected = [0] * THREADS
+        handles = [[] for _ in range(THREADS)]
+
+        def worker(index):
+            for k in range(rounds):
+                base = (index * rounds + k) * 8
+                try:
+                    if k % 2:
+                        ticket = server.submit_batch(
+                            [base, base + 1, base + 2],
+                            [base + 3, base + 4, base + 5],
+                        )
+                        handles[index].append(
+                            (ticket, [base + base + 3 + 2 * j for j in range(3)])
+                        )
+                        accepted[index] += 3
+                    else:
+                        future = server.submit(base, base + 1)
+                        handles[index].append((future, base + base + 1))
+                        accepted[index] += 1
+                except ServerOverloadError:
+                    rejected[index] += 1
+
+        try:
+            _hammer(worker)
+        finally:
+            oracle.release.set()
+            server.stop(drain=True)
+
+        total_accepted = sum(accepted)
+        total_rejected = sum(rejected)
+        # The gate keeps the dispatchers stuck, so the flood must both
+        # land some work and overflow the 48-slot queue.
+        assert total_accepted > 0
+        assert total_rejected > 0
+
+        stats = server.stats()
+        assert stats.requests == total_accepted
+        assert stats.overloads == total_rejected
+        assert stats.responses == total_accepted
+        assert stats.errors == 0
+
+        requests = metrics_registry.get("serve.requests")
+        overloads = metrics_registry.get("serve.overloads")
+        assert requests.value == total_accepted
+        assert overloads.value == total_rejected
+
+        # drain=True promised an answer for everything admitted.
+        for per_thread in handles:
+            for handle, want in per_thread:
+                if isinstance(want, list):
+                    assert handle.result(timeout=5) == [
+                        float(value) for value in want
+                    ]
+                else:
+                    assert handle.result(timeout=5) == float(want)

@@ -43,6 +43,10 @@ REQUIRED_SUITES = (
     "backend_consistency",
     "label_memory_dict",
     "label_memory_flat",
+    "serving_throughput",
+    "serving_batch_throughput",
+    "serving_speedup",
+    "serving_consistency",
     "sssp_rows",
     "obs_overhead",
 )

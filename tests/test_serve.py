@@ -431,3 +431,269 @@ class TestLoadReport:
         with QueryServer(flat_oracle) as server:
             with pytest.raises(ValueError):
                 run_loadgen(server, 0)
+
+
+class TestSubmitBatch:
+    """The batch-native door must answer exactly like per-pair submit."""
+
+    def test_results_match_per_pair_submit(self, flat_oracle, ground):
+        n = 60
+        pairs = [(u, v) for u in range(0, n, 3) for v in range(0, n, 4)]
+        us = [u for u, _ in pairs]
+        vs = [v for _, v in pairs]
+        with QueryServer(flat_oracle, max_batch=8, max_delay=0.001) as server:
+            scalar = server.batch(pairs)
+            batched = server.submit_batch(us, vs).result(timeout=30)
+        assert len(batched) == len(pairs)
+        for (u, v), one, many in zip(pairs, scalar, batched):
+            assert type(one) is type(many), (u, v, one, many)
+            assert one == many or (
+                isinstance(one, float)
+                and math.isinf(one)
+                and math.isinf(many)
+            ), (u, v, one, many)
+            want = ground(u, v)
+            assert type(many) is type(want)
+
+    def test_numpy_arrays_accepted(self, flat_oracle, ground):
+        np = pytest.importorskip("numpy")
+        us = np.arange(0, 40, 2, dtype=np.int64)
+        vs = np.arange(1, 41, 2, dtype=np.int64)
+        with QueryServer(flat_oracle, cache_size=0) as server:
+            got = server.submit_batch(us, vs).result(timeout=30)
+        for u, v, answer in zip(us.tolist(), vs.tolist(), got):
+            want = ground(u, v)
+            assert answer == want and type(answer) is type(want)
+
+    def test_infinite_distances_survive_scatter(self, flat_oracle):
+        # Two islands: every cross pair is unreachable (inf, a float).
+        graph = Graph(4)
+        graph.add_edge(0, 1)
+        graph.add_edge(2, 3)
+        labeling = pruned_landmark_labeling(graph)
+        flat = HubLabelOracle(
+            FlatHubLabeling.from_labeling(labeling), backend="flat"
+        )
+        with QueryServer(flat, cache_size=0) as server:
+            got = server.submit_batch([0, 0, 2], [1, 2, 3]).result(timeout=30)
+        assert got[0] == 1 and got[2] == 1
+        assert isinstance(got[1], float) and math.isinf(got[1])
+
+    def test_duplicates_collapse_to_one_backend_pair(self, served_labeling):
+        class _Recorder:
+            def __init__(self, inner):
+                self.inner = inner
+                self.pairs = []
+
+            @property
+            def labeling(self):
+                return self.inner.labeling
+
+            def batch_query(self, pairs):
+                self.pairs.extend(pairs)
+                return self.inner.batch_query(pairs)
+
+        recorder = _Recorder(HubLabelOracle(served_labeling, backend="dict"))
+        with QueryServer(recorder, cache_size=0) as server:
+            got = server.submit_batch(
+                [4, 4, 7, 4], [5, 5, 9, 5]
+            ).result(timeout=30)
+        assert recorder.pairs.count((4, 5)) == 1
+        assert got[0] == got[1] == got[3]
+
+    def test_empty_batch_resolves_immediately(self, flat_oracle):
+        with QueryServer(flat_oracle) as server:
+            ticket = server.submit_batch([], [])
+            assert ticket.done()
+            assert ticket.result(timeout=0) == []
+            assert ticket.width == 0
+
+    def test_mismatched_lengths_rejected(self, flat_oracle):
+        with QueryServer(flat_oracle) as server:
+            with pytest.raises(ValueError):
+                server.submit_batch([1, 2], [3])
+
+    def test_out_of_domain_vertex_rejected_at_submit(self, flat_oracle):
+        with QueryServer(flat_oracle) as server:
+            with pytest.raises(DomainError) as info:
+                server.submit_batch([0, 10_000], [1, 2])
+            assert info.value.exit_code == 69
+
+    def test_batch_overload_is_typed_and_counted(self, metrics_registry):
+        stalled = _StallOracle()
+        server = QueryServer(
+            stalled, max_queue=4, max_batch=1, max_delay=0.0, cache_size=0
+        )
+        server.start()
+        overloaded = None
+        tickets = []
+        try:
+            for k in range(16):
+                try:
+                    tickets.append(
+                        server.submit_batch([2 * k], [2 * k + 1])
+                    )
+                except ServerOverloadError as exc:
+                    overloaded = exc
+                    break
+        finally:
+            stalled.release.set()
+        assert overloaded is not None
+        assert overloaded.exit_code == 70
+        assert "capacity 4" in str(overloaded)
+        server.stop()
+        for ticket in tickets:
+            assert ticket.result(timeout=10) is not None
+        assert server.stats().overloads == 1
+
+    def test_stop_without_drain_fails_pending_tickets(self):
+        stalled = _StallOracle()
+        server = QueryServer(stalled, max_queue=64, max_batch=1, cache_size=0)
+        server.start()
+        first = server.submit_batch([1], [2])
+        time.sleep(0.05)  # dispatcher now blocked inside the oracle
+        backlog = [server.submit_batch([3, 4], [5, 6]) for _ in range(5)]
+        stalled.release.set()
+        server.stop(drain=False)
+        assert first.result(timeout=10) == [3.0]
+        from concurrent.futures import CancelledError
+
+        for ticket in backlog:
+            assert ticket.done()
+            try:
+                ticket.result(timeout=0)
+            except CancelledError:
+                pass
+
+    def test_warm_cache_resolves_inline(self, flat_oracle):
+        with QueryServer(flat_oracle, max_batch=4) as server:
+            server.submit_batch([1, 2, 3], [4, 5, 6]).result(timeout=30)
+            batches_before = server.stats().batches
+            ticket = server.submit_batch([1, 2, 3], [4, 5, 6])
+            assert ticket.done()  # all hits: resolved at submit time
+            ticket.result(timeout=0)
+            stats = server.stats()
+        assert stats.batches == batches_before
+        assert stats.cache_hits >= 3
+
+    def test_scalar_only_oracle_serves_batches(self, served_labeling, ground):
+        class _ScalarOnly:
+            def __init__(self, inner):
+                self.inner = inner
+
+            @property
+            def labeling(self):
+                return self.inner.labeling
+
+            def query(self, u, v):
+                return self.inner.query(u, v)
+
+        oracle = _ScalarOnly(HubLabelOracle(served_labeling, backend="dict"))
+        with QueryServer(oracle, cache_size=0) as server:
+            got = server.submit_batch([0, 5], [9, 14]).result(timeout=30)
+        for (u, v), answer in zip([(0, 9), (5, 14)], got):
+            want = ground(u, v)
+            assert answer == want and type(answer) is type(want)
+
+    def test_width_percentiles_populated(self, flat_oracle):
+        with QueryServer(flat_oracle, cache_size=0) as server:
+            server.submit_batch(list(range(8)), list(range(1, 9))).result(
+                timeout=30
+            )
+            stats = server.stats()
+        assert stats.batches >= 1
+        assert stats.batch_width_p50 > 0
+        assert stats.batch_width_p95 >= stats.batch_width_p50
+
+    def test_repr_mentions_shards_and_dispatchers(self, flat_oracle):
+        server = QueryServer(flat_oracle, shards=3, dispatchers=2)
+        text = repr(server)
+        assert "shards=[0, 0, 0]" in text
+        assert "dispatchers=2" in text
+        assert server.shard_depths() == (0, 0, 0)
+
+    def test_multi_dispatcher_smoke(self, flat_oracle, ground):
+        with QueryServer(
+            flat_oracle, shards=4, dispatchers=2, max_batch=8,
+            max_delay=0.001, cache_size=0,
+        ) as server:
+            report = run_loadgen(
+                server,
+                60,
+                clients=8,
+                requests_per_client=100,
+                seed=11,
+                expected=ground,
+                batch_size=16,
+            )
+        assert report.ok, report.render()
+        assert report.requests == 8 * 100
+
+    def test_invalid_knobs_rejected(self, flat_oracle):
+        with pytest.raises(ValueError):
+            QueryServer(flat_oracle, shards=0)
+        with pytest.raises(ValueError):
+            QueryServer(flat_oracle, dispatchers=0)
+
+    def test_single_thread_can_fill_whole_queue(self, flat_oracle):
+        # A bursty single client must see the full max_queue capacity,
+        # not one stripe's slice: admission overflows to other shards.
+        stalled = _StallOracle()
+        server = QueryServer(
+            stalled, max_queue=8, shards=4, max_batch=1, cache_size=0
+        )
+        server.start()
+        futures = []
+        try:
+            overloads = 0
+            for k in range(20):
+                try:
+                    futures.append(server.submit(3 * k, 3 * k + 1))
+                except ServerOverloadError:
+                    overloads += 1
+            assert len(futures) >= 8  # >= max_queue admitted
+            assert overloads > 0
+        finally:
+            stalled.release.set()
+        server.stop()
+
+
+class TestLoadgenBatchPath:
+    def test_batched_loadgen_matches_ground_truth(self, flat_oracle, ground):
+        with QueryServer(flat_oracle, max_batch=32, cache_size=0) as server:
+            report = run_loadgen(
+                server,
+                60,
+                clients=4,
+                requests_per_client=203,  # non-multiple: ragged tail
+                seed=13,
+                expected=ground,
+                batch_size=64,
+            )
+        assert report.ok, report.render()
+        assert report.requests == 4 * 203
+
+    def test_batch_size_validation(self, flat_oracle):
+        with QueryServer(flat_oracle) as server:
+            with pytest.raises(ValueError):
+                run_loadgen(server, 60, batch_size=0)
+
+
+class TestMicroBatcherAddMany:
+    def test_add_many_matches_repeated_add(self):
+        reference = MicroBatcher(3, 1.0)
+        bulk = MicroBatcher(3, 1.0)
+        items = list(range(8))
+        singles = []
+        for item in items:
+            batch = reference.add(item, 5.0)
+            if batch:
+                singles.append(batch)
+        assert bulk.add_many(items, 5.0) == singles
+        assert len(bulk) == len(reference)
+        assert bulk.deadline == reference.deadline
+
+    def test_add_many_anchors_deadline_to_first_item(self):
+        batcher = MicroBatcher(100, 1.0)
+        assert batcher.add_many([1, 2, 3], 7.0) == []
+        assert batcher.deadline == 8.0

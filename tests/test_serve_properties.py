@@ -192,3 +192,175 @@ def test_rebuild_never_serves_stale(warm, generations):
         current = generation
         cache.put(0, 42, current)
         assert cache.get(0) == 42
+
+
+# ---------------------------------------------------------------------------
+# get_many / put_many vs the scalar operations
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=150, deadline=None)
+@given(
+    puts=st.lists(st.tuples(_keys, st.integers(0, 99)), max_size=25),
+    probes=st.lists(_keys, max_size=25),
+    capacity=st.integers(0, 8),
+)
+def test_bulk_ops_match_scalar_ops(puts, probes, capacity):
+    """put_many/get_many behave exactly like a loop of put/get."""
+    bulk = ResultCache(capacity)
+    scalar = ResultCache(capacity)
+    bulk.rekey("g")
+    scalar.rekey("g")
+    accepted = bulk.put_many(
+        [key for key, _ in puts], [value for _, value in puts], "g"
+    )
+    for key, value in puts:
+        scalar_accepted = scalar.put(key, value, "g")
+    if puts:
+        assert accepted == (capacity > 0)
+    assert list(bulk.keys()) == list(scalar.keys())
+    got_bulk = bulk.get_many(probes)
+    got_scalar = [scalar.get(key) for key in probes]
+    assert got_bulk == got_scalar
+    # Bulk gets freshen recency identically to scalar gets.
+    assert list(bulk.keys()) == list(scalar.keys())
+
+
+def test_put_many_stale_generation_dropped_whole():
+    cache = ResultCache(8)
+    cache.rekey("new")
+    assert not cache.put_many([1, 2], [10, 20], "old")
+    assert len(cache) == 0
+
+
+# ---------------------------------------------------------------------------
+# submit_batch equals per-pair submit through a live server
+# ---------------------------------------------------------------------------
+
+import math
+import threading
+
+import pytest
+
+from repro.core import pruned_landmark_labeling
+from repro.graphs import Graph
+from repro.oracles.oracle import HubLabelOracle
+from repro.perf.flat import FlatHubLabeling
+from repro.serve import QueryServer
+
+
+def _two_island_setup():
+    """A 12-vertex graph with two components: finite AND inf answers."""
+    graph = Graph(12)
+    for u in range(5):
+        graph.add_edge(u, u + 1)
+    for u in range(6, 11):
+        graph.add_edge(u, u + 1)
+    labeling = pruned_landmark_labeling(graph)
+    flat = FlatHubLabeling.from_labeling(labeling)
+    return labeling, flat
+
+
+_ISLAND_LABELING, _ISLAND_FLAT = _two_island_setup()
+_pair_lists = st.lists(
+    st.tuples(st.integers(0, 11), st.integers(0, 11)), max_size=40
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(pairs=_pair_lists)
+def test_submit_batch_equals_per_pair_submit(pairs):
+    """Same pairs, both doors, byte-identical answers (INF included)."""
+    oracle = HubLabelOracle(_ISLAND_FLAT, backend="flat")
+    with QueryServer(oracle, max_batch=8, max_delay=0.001) as server:
+        scalar = [server.submit(u, v).result(timeout=30) for u, v in pairs]
+        batched = server.submit_batch(
+            [u for u, _ in pairs], [v for _, v in pairs]
+        ).result(timeout=30)
+    assert len(batched) == len(scalar)
+    for (u, v), one, many in zip(pairs, scalar, batched):
+        assert type(one) is type(many), (u, v, one, many)
+        if isinstance(one, float) and math.isinf(one):
+            assert math.isinf(many)
+        else:
+            assert one == many, (u, v, one, many)
+
+
+def _weighted_path_setup(weight):
+    graph = Graph(10)
+    for u in range(9):
+        graph.add_edge(u, u + 1, weight)
+    return pruned_landmark_labeling(graph)
+
+
+_PATH_A = _weighted_path_setup(1)   # distance(u, v) = |u - v|
+_PATH_B = _weighted_path_setup(3)   # distance(u, v) = 3|u - v|
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    pairs=st.lists(
+        st.tuples(st.integers(0, 9), st.integers(0, 9)).filter(
+            lambda p: p[0] != p[1]
+        ),
+        min_size=1,
+        max_size=12,
+    ),
+    swap_first=st.booleans(),
+)
+def test_set_oracle_between_batches_never_serves_stale(pairs, swap_first):
+    """Across a swap, every ticket answers from the *current* labeling."""
+    oracle_a = HubLabelOracle(_PATH_A, backend="dict")
+    oracle_b = HubLabelOracle(_PATH_B, backend="dict")
+    first, second = (
+        (oracle_b, oracle_a) if swap_first else (oracle_a, oracle_b)
+    )
+    us = [u for u, _ in pairs]
+    vs = [v for _, v in pairs]
+    with QueryServer(first, max_batch=4, max_delay=0.001) as server:
+        before = server.submit_batch(us, vs).result(timeout=30)
+        assert server.set_oracle(second)  # different digest: cache cleared
+        after = server.submit_batch(us, vs).result(timeout=30)
+    for (u, v), got_first, got_second in zip(pairs, before, after):
+        want_first = first.query(u, v).distance
+        want_second = second.query(u, v).distance
+        assert got_first == want_first and type(got_first) is type(want_first)
+        assert got_second == want_second
+        assert type(got_second) is type(want_second)
+        assert got_first != got_second  # the swap is observable
+
+
+def test_concurrent_swaps_yield_only_real_answers():
+    """A swap hammer mid-flight: answers are always one labeling's truth.
+
+    With the cache off, each ticket is served in one oracle hold, so
+    every ticket must be *entirely* A's answers or entirely B's --
+    never a blend, never garbage.
+    """
+    oracle_a = HubLabelOracle(_PATH_A, backend="dict")
+    oracle_b = HubLabelOracle(_PATH_B, backend="dict")
+    pairs = [(u, v) for u in range(10) for v in range(10) if u != v]
+    us = [u for u, _ in pairs]
+    vs = [v for _, v in pairs]
+    want_a = [oracle_a.query(u, v).distance for u, v in pairs]
+    want_b = [oracle_b.query(u, v).distance for u, v in pairs]
+    stop = threading.Event()
+    with QueryServer(
+        oracle_a, max_batch=16, max_delay=0.0005, cache_size=0
+    ) as server:
+
+        def swapper():
+            flip = False
+            while not stop.is_set():
+                server.set_oracle(oracle_b if flip else oracle_a)
+                flip = not flip
+
+        thread = threading.Thread(target=swapper)
+        thread.start()
+        try:
+            for _ in range(30):
+                got = server.submit_batch(us, vs).result(timeout=30)
+                assert got == want_a or got == want_b
+        finally:
+            stop.set()
+            thread.join()

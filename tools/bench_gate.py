@@ -19,6 +19,14 @@ value, unit, instance, seed}``) and exits non-zero when:
 * the ``serving_consistency`` suite reports mismatches (answers that
   crossed the concurrent QueryServer -- queueing, coalescing,
   deduplication -- must stay byte-identical to the dict store's), or
+* the ``serving_speedup`` suite measured on the full ``G(2,2)``
+  instance falls below the hard floor ``--min-serving-speedup``
+  (default 5.0): the batch-native serving path must beat the dict
+  scalar loop by that factor outright, not merely hold its ratio to
+  the previous baseline (quick-instance runs are exempt -- on
+  ``G(2,1)`` the kernel itself is only ~2.8x the dict loop, so the
+  floor would be unsatisfiable; they stay gated by the baseline
+  ratio), or
 * the ``obs_overhead`` suite reports an instrumented/uninstrumented
   ratio above ``1 + --max-overhead`` (default 10%): the observability
   layer must stay out of the dict-backend query path's way.
@@ -55,7 +63,13 @@ def load(path: str) -> dict:
     return data
 
 
-def self_check(current: dict, max_overhead: float) -> list:
+#: ``serving_speedup`` hard floor, applied only on this instance.
+FLOOR_INSTANCE = "G(2,2)"
+
+
+def self_check(
+    current: dict, max_overhead: float, min_serving_speedup: float = 5.0
+) -> list:
     """Checks needing only the current file (no baseline)."""
     failures = []
     consistency = current.get("backend_consistency")
@@ -76,6 +90,20 @@ def self_check(current: dict, max_overhead: float) -> list:
             f"serving_consistency: {serving['value']} answer(s) served "
             "through QueryServer differ from the dict store"
         )
+    speedup = current.get("serving_speedup")
+    if (
+        speedup is not None
+        and speedup.get("instance") == FLOOR_INSTANCE
+        and min_serving_speedup > 0
+    ):
+        value = float(speedup.get("value") or 0.0)
+        if value < min_serving_speedup:
+            failures.append(
+                f"serving_speedup: {value:.2f}x on {FLOOR_INSTANCE} is "
+                f"below the hard floor {min_serving_speedup:.1f}x (the "
+                "batch-native serving path must beat the dict scalar "
+                "loop outright)"
+            )
     overhead = current.get("obs_overhead")
     if overhead is not None:
         ratio = float(overhead.get("value") or 0.0)
@@ -140,12 +168,19 @@ def main(argv=None) -> int:
         default=0.10,
         help="allowed fractional instrumentation overhead (default 0.10)",
     )
+    parser.add_argument(
+        "--min-serving-speedup",
+        type=float,
+        default=5.0,
+        help="hard serving_speedup floor on the full instance "
+        f"({FLOOR_INSTANCE} only; 0 disables; default 5.0)",
+    )
     args = parser.parse_args(argv)
     if not os.path.exists(args.current):
         print(f"bench gate: no current results at {args.current}; skipping")
         return 0
     current = load(args.current)
-    failures = self_check(current, args.max_overhead)
+    failures = self_check(current, args.max_overhead, args.min_serving_speedup)
     gated = 0
     if os.path.exists(args.baseline):
         baseline = load(args.baseline)

@@ -140,6 +140,8 @@ def run_workload() -> set:
         for future in futures:
             future.result(timeout=10)
         server.query(0, 1)  # already cached -> serve.cache_hits
+        # The batch-native door: one ticket -> serve.batch_submissions.
+        server.submit_batch([0, 2], [2, 3]).result(timeout=10)
         server.stop()
     return {metric.name for metric in registry.metrics()}
 
