@@ -1,7 +1,7 @@
 # Convenience targets.  The environment is offline: editable installs go
 # through setup.cfg (legacy path), never an isolated PEP-517 build.
 
-.PHONY: install test test-slow soak bench bench-full bench-tables build-bench serve-smoke experiments examples coverage chaos stats schema clean
+.PHONY: install test test-slow soak bench bench-full bench-tables build-bench serve-smoke experiments examples coverage chaos stats schema corpus-check zoo-bench clean
 
 install:
 	pip install -e .
@@ -25,6 +25,17 @@ bench:
 
 bench-full:
 	python -m repro bench
+
+# Per-family graph-zoo sweep at the quick scale; merges into
+# BENCH_perf.json next to the core suites and re-runs the gate.
+zoo-bench:
+	python -m repro bench --quick --suite graph_zoo
+	python tools/bench_gate.py --current BENCH_perf.json
+
+# Full-scale zoo sweep (what the committed BENCH_perf.json carries).
+zoo-bench-full:
+	python -m repro bench --suite graph_zoo
+	python tools/bench_gate.py --current BENCH_perf.json
 
 build-bench:
 	python -m repro build --generator sparse:200 --cache-dir .labelcache
@@ -53,6 +64,10 @@ stats:
 
 schema:
 	python tools/check_metrics_schema.py
+
+# The committed differential corpus must match its generators exactly.
+corpus-check:
+	python tools/gen_differential_corpus.py --check
 
 examples:
 	python examples/quickstart.py

@@ -62,6 +62,7 @@ code (64-69; missing files exit 74).
 
 import argparse
 import json
+import os
 import random
 import sys
 from typing import List, Optional
@@ -78,10 +79,14 @@ from .core import (
 )
 from .graphs import (
     Graph,
+    barabasi_albert,
     grid_2d,
+    powerlaw_configuration,
     random_bounded_degree_graph,
     random_sparse_graph,
     random_tree,
+    road_network,
+    watts_strogatz,
 )
 from .runtime import FAULT_KINDS, DomainError, ReproError, ResilientOracle, chaos_sweep
 
@@ -101,6 +106,15 @@ def _load_graph(args) -> Graph:
             return grid_2d(side, side)
         if kind == "degree3":
             return random_bounded_degree_graph(n, 3, seed=args.seed)
+        if kind == "ba":
+            return barabasi_albert(n, 2, seed=args.seed)
+        if kind == "powerlaw":
+            return powerlaw_configuration(n, seed=args.seed)
+        if kind == "smallworld":
+            return watts_strogatz(n, 4, 0.1, seed=args.seed)
+        if kind == "road":
+            side = max(2, int(round(n ** 0.5)))
+            return road_network(side, side, seed=args.seed)
         raise SystemExit(f"unknown generator {kind!r}")
     if args.graph:
         with open(args.graph) as handle:
@@ -418,6 +432,10 @@ def _cmd_serve(args) -> int:
             seed=args.seed,
             expected=lambda u, v: ground.query(u, v).distance,
             batch_size=args.batch or None,
+            distribution=args.distribution,
+            zipf_s=args.zipf_s,
+            hot_pairs=args.hot_pairs,
+            hot_fraction=args.hot_fraction,
         )
     _print_server_summary(server, report)
     _maybe_write_metrics(args)
@@ -446,6 +464,10 @@ def _cmd_loadgen(args) -> int:
             seed=args.seed,
             expected=expected,
             batch_size=args.batch or None,
+            distribution=args.distribution,
+            zipf_s=args.zipf_s,
+            hot_pairs=args.hot_pairs,
+            hot_fraction=args.hot_fraction,
         )
     _print_server_summary(server, report)
     _maybe_write_metrics(args)
@@ -471,29 +493,79 @@ def _cmd_instance(args) -> int:
 
 
 def _cmd_bench(args) -> int:
-    from .perf.bench import render_results, run_bench, write_results
-
-    results = run_bench(
-        quick=args.quick,
-        seed=args.seed,
-        num_sources=args.sources,
-        repeats=args.repeats,
-        workers=args.workers,
-        cache_dir=args.cache_dir,
+    from .perf.bench import (
+        render_results,
+        run_bench,
+        run_zoo_bench,
+        write_results,
     )
+
+    results = {}
+    if args.suite in ("core", "all"):
+        results.update(
+            run_bench(
+                quick=args.quick,
+                seed=args.seed,
+                num_sources=args.sources,
+                repeats=args.repeats,
+                workers=args.workers,
+                cache_dir=args.cache_dir,
+            )
+        )
+    if args.suite in ("graph_zoo", "all"):
+        results.update(
+            run_zoo_bench(
+                quick=args.quick,
+                seed=args.seed,
+                num_sources=args.sources,
+                repeats=args.repeats,
+            )
+        )
     print(render_results(results))
-    write_results(results, args.out)
+    write_results(_merge_bench_results(args, results), args.out)
     print(f"\nwrote {args.out}")
     _maybe_write_metrics(args)
-    mismatches = results["backend_consistency"]["value"]
+    mismatches = sum(
+        int(row["value"])
+        for row in results.values()
+        if row.get("metric") == "mismatches" and row.get("value")
+    )
     if mismatches:
         print(
-            f"error: flat and dict backends disagree on {mismatches} "
-            "pair(s)",
+            f"error: backends disagree on {mismatches} answer(s) "
+            "across the consistency suites",
             file=sys.stderr,
         )
         return 1
     return 0
+
+
+def _merge_bench_results(args, results):
+    """Merge fresh bench entries over the out-file's other half.
+
+    A ``--suite graph_zoo`` run must not discard the committed core
+    ``G(b,l)`` rows (and vice versa), so the half that was *not* re-run
+    is carried over from the existing file; the re-run half is replaced
+    wholesale, so removed suites cannot linger as stale rows.
+    """
+    if args.suite == "all" or not os.path.exists(args.out):
+        return results
+    try:
+        with open(args.out) as handle:
+            previous = json.load(handle)
+    except (OSError, ValueError):
+        return results
+    if not isinstance(previous, dict):
+        return results
+    keep_zoo = args.suite == "core"
+    kept = {
+        name: row
+        for name, row in previous.items()
+        if isinstance(row, dict)
+        and name.startswith("graph_zoo.") == keep_zoo
+    }
+    kept.update(results)
+    return kept
 
 
 def _run_stats_workload(args) -> None:
@@ -637,7 +709,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_label = sub.add_parser("label", help="build a hub labeling")
     p_label.add_argument("--graph", help="edge-list file (n m, then u v w)")
     p_label.add_argument(
-        "--generator", help="KIND:N with KIND in sparse|tree|grid|degree3"
+        "--generator", help="KIND:N with KIND in sparse|tree|grid|degree3|ba|powerlaw|smallworld|road"
     )
     p_label.add_argument(
         "--method",
@@ -656,7 +728,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_build.add_argument("--graph", help="edge-list file (n m, then u v w)")
     p_build.add_argument(
-        "--generator", help="KIND:N with KIND in sparse|tree|grid|degree3"
+        "--generator", help="KIND:N with KIND in sparse|tree|grid|degree3|ba|powerlaw|smallworld|road"
     )
     p_build.add_argument("--seed", type=int, default=0)
     p_build.add_argument(
@@ -812,6 +884,26 @@ def build_parser() -> argparse.ArgumentParser:
             "clients back to per-pair submit (default 64)",
         )
         p.add_argument(
+            "--distribution",
+            default="uniform",
+            choices=["uniform", "zipf", "hotspot"],
+            help="query-pair skew: uniform endpoints, zipf-ranked "
+            "endpoints, or a few hot pairs (default uniform)",
+        )
+        p.add_argument(
+            "--zipf-s", type=float, default=1.1, metavar="S",
+            help="zipf exponent for --distribution zipf (default 1.1)",
+        )
+        p.add_argument(
+            "--hot-pairs", type=int, default=16, metavar="K",
+            help="hot-pair count for --distribution hotspot (default 16)",
+        )
+        p.add_argument(
+            "--hot-fraction", type=float, default=0.9, metavar="F",
+            help="traffic share of the hot pairs for --distribution "
+            "hotspot (default 0.9)",
+        )
+        p.add_argument(
             "--shards", type=int, default=None,
             help="admission-queue stripes (default: min(4, max-queue))",
         )
@@ -862,7 +954,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--quick",
         action="store_true",
-        help="benchmark G(2,1) instead of the acceptance instance G(2,2)",
+        help="benchmark G(2,1) instead of the acceptance instance G(2,2) "
+        "(and the small graph-zoo scale instead of the full one)",
+    )
+    p_bench.add_argument(
+        "--suite",
+        default="core",
+        choices=["core", "graph_zoo", "all"],
+        help="core runs the pinned G(b,l) suites, graph_zoo sweeps the "
+        "generator zoo per family; either half merges into --out "
+        "without disturbing the other (default core)",
     )
     p_bench.add_argument(
         "--out",

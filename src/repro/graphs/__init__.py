@@ -39,18 +39,24 @@ from .generators import (
     caterpillar,
     complete_bipartite_graph,
     complete_graph,
+    configuration_model,
     cycle_graph,
     gnm_random_graph,
     grid_2d,
     hypercube_graph,
+    is_graphical,
     path_graph,
+    powerlaw_configuration,
+    powerlaw_degree_sequence,
     random_bounded_degree_graph,
     random_sparse_graph,
     random_geometric,
     random_tree,
     random_weighted_graph,
+    road_network,
     star_graph,
     torus_2d,
+    watts_strogatz,
 )
 from .properties import (
     GraphStats,
@@ -99,18 +105,24 @@ __all__ = [
     "caterpillar",
     "complete_bipartite_graph",
     "complete_graph",
+    "configuration_model",
     "cycle_graph",
     "gnm_random_graph",
     "grid_2d",
     "hypercube_graph",
+    "is_graphical",
     "path_graph",
+    "powerlaw_configuration",
+    "powerlaw_degree_sequence",
     "random_bounded_degree_graph",
     "random_sparse_graph",
     "random_geometric",
     "random_tree",
     "random_weighted_graph",
+    "road_network",
     "star_graph",
     "torus_2d",
+    "watts_strogatz",
     "GraphStats",
     "connected_components",
     "degeneracy",

@@ -1,14 +1,27 @@
 """Graph generators used by tests, examples, and benchmarks.
 
 All generators return plain :class:`repro.graphs.Graph` objects with
-vertices ``0 .. n-1``.  Randomized generators take an explicit ``seed``
-so every experiment is reproducible.
+vertices ``0 .. n-1``.  Every randomized generator takes a
+**keyword-only** ``seed`` (default 0) and derives all of its randomness
+from one ``random.Random(seed)`` instance, so the same ``(arguments,
+seed)`` pair always produces the same graph -- no generator touches the
+global RNG.  ``tests/test_generators.py`` enforces the convention by
+enumerating this module.
+
+Beyond the paper-shaped families (trees, grids, bounded degree, the
+sparse ``m = O(n)`` stock graph), the module carries a small *graph
+zoo* of realistic topologies the benchmark and differential suites
+sweep: preferential attachment (:func:`barabasi_albert`), power-law
+degree sequences realized by a configuration model
+(:func:`powerlaw_degree_sequence` + :func:`configuration_model`),
+small-world rings (:func:`watts_strogatz`), and road-network-like
+grids with diagonals and deletions (:func:`road_network`).
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from .graph import Graph
 
@@ -30,6 +43,12 @@ __all__ = [
     "random_weighted_graph",
     "barabasi_albert",
     "random_geometric",
+    "is_graphical",
+    "powerlaw_degree_sequence",
+    "configuration_model",
+    "powerlaw_configuration",
+    "watts_strogatz",
+    "road_network",
 ]
 
 
@@ -118,8 +137,11 @@ def balanced_binary_tree(depth: int) -> Graph:
     return g
 
 
-def random_tree(n: int, seed: int = 0) -> Graph:
-    """A uniformly random labelled tree (random Prüfer sequence)."""
+def random_tree(n: int, *, seed: int = 0) -> Graph:
+    """A uniformly random labelled tree (random Prüfer sequence).
+
+    All randomness comes from ``random.Random(seed)``.
+    """
     if n <= 0:
         raise ValueError("tree needs at least one vertex")
     g = Graph(n)
@@ -163,8 +185,11 @@ def caterpillar(spine: int, legs_per_vertex: int) -> Graph:
     return g
 
 
-def gnm_random_graph(n: int, m: int, seed: int = 0) -> Graph:
-    """A uniformly random simple graph with ``n`` vertices and ``m`` edges."""
+def gnm_random_graph(n: int, m: int, *, seed: int = 0) -> Graph:
+    """A uniformly random simple graph with ``n`` vertices and ``m`` edges.
+
+    All randomness comes from ``random.Random(seed)``.
+    """
     max_edges = n * (n - 1) // 2
     if m > max_edges:
         raise ValueError(f"cannot place {m} edges on {n} vertices")
@@ -184,12 +209,14 @@ def gnm_random_graph(n: int, m: int, seed: int = 0) -> Graph:
     return g
 
 
-def random_sparse_graph(n: int, seed: int = 0, avg_degree: float = 3.0) -> Graph:
+def random_sparse_graph(
+    n: int, *, seed: int = 0, avg_degree: float = 3.0
+) -> Graph:
     """A *connected* sparse random graph with ~``avg_degree * n / 2`` edges.
 
     A random spanning tree guarantees connectivity; the remaining edges are
     sampled uniformly.  This is the stock "sparse graph" of the paper
-    (``m = O(n)``).
+    (``m = O(n)``).  All randomness comes from ``random.Random(seed)``.
     """
     g = random_tree(n, seed=seed)
     target_edges = max(n - 1, int(round(avg_degree * n / 2)))
@@ -206,12 +233,17 @@ def random_sparse_graph(n: int, seed: int = 0, avg_degree: float = 3.0) -> Graph
 
 
 def random_bounded_degree_graph(
-    n: int, max_degree: int, seed: int = 0, target_edges: Optional[int] = None
+    n: int,
+    max_degree: int,
+    *,
+    seed: int = 0,
+    target_edges: Optional[int] = None,
 ) -> Graph:
     """A connected random graph with maximum degree <= ``max_degree``.
 
     Starts from a path (degree <= 2) and adds random edges subject to the
-    degree cap.  ``max_degree`` must be at least 2.
+    degree cap.  ``max_degree`` must be at least 2.  All randomness
+    comes from ``random.Random(seed)``.
     """
     if max_degree < 2:
         raise ValueError("max_degree must be at least 2")
@@ -250,10 +282,14 @@ def hypercube_graph(dimension: int) -> Graph:
 def random_weighted_graph(
     n: int,
     m: int,
+    *,
     max_weight: int = 10,
     seed: int = 0,
 ) -> Graph:
-    """A connected random graph with integer weights in [1, max_weight]."""
+    """A connected random graph with integer weights in [1, max_weight].
+
+    All randomness comes from ``random.Random(seed)``.
+    """
     rng = random.Random(seed)
     g = random_tree(n, seed=seed)
     # Re-weight the tree edges.
@@ -272,14 +308,15 @@ def random_weighted_graph(
     return g2
 
 
-def barabasi_albert(n: int, attach: int = 2, seed: int = 0) -> Graph:
+def barabasi_albert(n: int, attach: int = 2, *, seed: int = 0) -> Graph:
     """Preferential attachment (Barabasi-Albert style).
 
     Starts from a small clique of ``attach + 1`` vertices; every new
     vertex attaches to ``attach`` existing vertices sampled with
     probability proportional to degree.  Produces the heavy-tailed
     degree distributions on which PLL-style hub labelings shine
-    (high-degree hubs cover most pairs).
+    (high-degree hubs cover most pairs).  All randomness comes from
+    ``random.Random(seed)``.
     """
     if attach < 1:
         raise ValueError("attach must be >= 1")
@@ -306,12 +343,13 @@ def barabasi_albert(n: int, attach: int = 2, seed: int = 0) -> Graph:
     return g
 
 
-def random_geometric(n: int, radius: float, seed: int = 0) -> Graph:
+def random_geometric(n: int, radius: float, *, seed: int = 0) -> Graph:
     """A random geometric graph on the unit square.
 
     Vertices get uniform coordinates; edges join pairs within
     ``radius``.  The planar-ish locality makes separator-based schemes
     competitive -- the other end of the spectrum from Barabasi-Albert.
+    All randomness comes from ``random.Random(seed)``.
     """
     if radius <= 0:
         raise ValueError("radius must be positive")
@@ -325,4 +363,316 @@ def random_geometric(n: int, radius: float, seed: int = 0) -> Graph:
             xv, yv = points[v]
             if (xu - xv) ** 2 + (yu - yv) ** 2 <= r2:
                 g.add_edge(u, v)
+    return g
+
+
+# ---------------------------------------------------------------------------
+# Graph zoo: power-law, small-world, and road-network-like families
+# ---------------------------------------------------------------------------
+
+
+def is_graphical(degrees: Sequence[int]) -> bool:
+    """Erdős–Gallai test: can ``degrees`` be realized by a simple graph?"""
+    if any(d < 0 for d in degrees):
+        return False
+    n = len(degrees)
+    if any(d >= n for d in degrees):
+        return False
+    if sum(degrees) % 2:
+        return False
+    ordered = sorted(degrees, reverse=True)
+    prefix = 0
+    for k in range(1, n + 1):
+        prefix += ordered[k - 1]
+        tail = sum(min(d, k) for d in ordered[k:])
+        if prefix > k * (k - 1) + tail:
+            return False
+    return True
+
+
+def powerlaw_degree_sequence(
+    n: int,
+    *,
+    exponent: float = 2.5,
+    min_degree: int = 1,
+    max_degree: Optional[int] = None,
+    seed: int = 0,
+) -> List[int]:
+    """A graphical power-law degree sequence: ``P(deg = k) ~ k^-exponent``.
+
+    Degrees are drawn i.i.d. from the truncated distribution on
+    ``[min_degree, max_degree]`` (default cap ``~2 * sqrt(n)``, the
+    usual structural-cutoff choice that keeps the sequence realizable
+    as a simple graph) using ``random.Random(seed)``, then repaired to
+    be graphical: the parity of the degree sum is fixed by bumping one
+    vertex, and while the Erdős–Gallai condition fails the largest
+    degree is decremented.  The result always satisfies
+    :func:`is_graphical`, so :func:`configuration_model` can realize it
+    exactly.
+    """
+    if n < 2:
+        raise ValueError("need at least 2 vertices")
+    if exponent <= 1.0:
+        raise ValueError("exponent must be > 1")
+    if min_degree < 1:
+        raise ValueError("min_degree must be >= 1")
+    if max_degree is None:
+        max_degree = max(min_degree, min(n - 1, int(2 * n ** 0.5)))
+    max_degree = min(max_degree, n - 1)
+    if max_degree < min_degree:
+        raise ValueError("max_degree must be >= min_degree")
+    rng = random.Random(seed)
+    support = list(range(min_degree, max_degree + 1))
+    weights = [k ** -exponent for k in support]
+    total = sum(weights)
+    cumulative = []
+    acc = 0.0
+    for w in weights:
+        acc += w
+        cumulative.append(acc / total)
+    import bisect
+
+    degrees = [
+        support[bisect.bisect_left(cumulative, rng.random())]
+        for _ in range(n)
+    ]
+    if sum(degrees) % 2:
+        # Bump the smallest degree that has headroom (parity repair).
+        index = min(range(n), key=lambda i: degrees[i])
+        degrees[index] += 1
+    while not is_graphical(degrees):
+        index = max(range(n), key=lambda i: degrees[i])
+        degrees[index] -= 2  # keep the sum even
+        if degrees[index] < 0:
+            raise ValueError("degree sequence cannot be repaired")
+    return degrees
+
+
+def configuration_model(
+    degrees: Sequence[int], *, seed: int = 0, swaps: Optional[int] = None
+) -> Graph:
+    """A uniform-ish simple graph realizing ``degrees`` **exactly**.
+
+    Unlike the textbook stub-matching construction (which produces
+    self-loops and multi-edges that would silently change the degree
+    sequence when erased), this realizes the sequence deterministically
+    with Havel–Hakimi and then randomizes it with ``swaps`` seeded
+    degree-preserving double-edge swaps (default ``10 * m`` attempts,
+    driven by ``random.Random(seed)``).  The result is always simple --
+    no self-loops, no multi-edges -- and its degree sequence equals
+    ``degrees`` entry for entry.  Raises :class:`ValueError` when the
+    sequence is not graphical.  Connectivity is *not* guaranteed.
+    """
+    if not is_graphical(degrees):
+        raise ValueError(f"degree sequence is not graphical: {list(degrees)}")
+    n = len(degrees)
+    # Havel–Hakimi: repeatedly connect the highest-degree vertex to the
+    # next-highest remainder.
+    remaining = sorted(
+        ((d, v) for v, d in enumerate(degrees)), reverse=True
+    )
+    adjacency = {v: set() for v in range(n)}
+    while remaining and remaining[0][0] > 0:
+        d, v = remaining[0]
+        rest = remaining[1:]
+        if d > len(rest):
+            raise ValueError("degree sequence is not graphical")
+        for i in range(d):
+            w_deg, w = rest[i]
+            adjacency[v].add(w)
+            adjacency[w].add(v)
+            rest[i] = (w_deg - 1, w)
+        remaining = sorted(rest, reverse=True)
+    edges = sorted(
+        (min(u, w), max(u, w))
+        for u in adjacency
+        for w in adjacency[u]
+        if u < w
+    )
+    # Degree-preserving double-edge swaps: (a,b),(c,d) -> (a,d),(c,b).
+    rng = random.Random(seed)
+    edge_set = set(edges)
+    edge_list = list(edges)
+    m = len(edge_list)
+    attempts = 10 * m if swaps is None else swaps
+    for _ in range(attempts):
+        if m < 2:
+            break
+        i = rng.randrange(m)
+        j = rng.randrange(m)
+        if i == j:
+            continue
+        a, b = edge_list[i]
+        c, d = edge_list[j]
+        if rng.random() < 0.5:
+            c, d = d, c
+        if a == d or c == b:
+            continue
+        new_one = (min(a, d), max(a, d))
+        new_two = (min(c, b), max(c, b))
+        if new_one in edge_set or new_two in edge_set:
+            continue
+        edge_set.discard(edge_list[i])
+        edge_set.discard(edge_list[j])
+        edge_set.add(new_one)
+        edge_set.add(new_two)
+        edge_list[i] = new_one
+        edge_list[j] = new_two
+    g = Graph(n)
+    for u, w in sorted(edge_set):
+        g.add_edge(u, w)
+    return g
+
+
+def powerlaw_configuration(
+    n: int,
+    *,
+    exponent: float = 2.5,
+    min_degree: int = 1,
+    max_degree: Optional[int] = None,
+    seed: int = 0,
+) -> Graph:
+    """Power-law graph: :func:`powerlaw_degree_sequence` realized by
+    :func:`configuration_model`.
+
+    Both stages derive their randomness from ``seed`` (the sequence
+    from ``random.Random(seed)``, the edge swaps from
+    ``random.Random(seed + 1)``), so the whole construction is pinned
+    by one integer.  Connectivity is not guaranteed -- power-law
+    graphs with ``min_degree=1`` routinely shed tiny components, which
+    is exactly the INF-pair coverage the differential suites want.
+    """
+    degrees = powerlaw_degree_sequence(
+        n,
+        exponent=exponent,
+        min_degree=min_degree,
+        max_degree=max_degree,
+        seed=seed,
+    )
+    return configuration_model(degrees, seed=seed + 1)
+
+
+def watts_strogatz(n: int, k: int = 4, beta: float = 0.1, *, seed: int = 0) -> Graph:
+    """A seeded Watts–Strogatz small-world ring.
+
+    Starts from the ring lattice where every vertex connects to its
+    ``k / 2`` nearest neighbors on each side (``k`` even, ``2 <= k <
+    n``), then rewires each edge of offset ``>= 2`` with probability
+    ``beta`` to a uniform non-adjacent target (``random.Random(seed)``
+    drives both coin and target).  The offset-1 ring is never rewired,
+    so the graph is **always connected**; rewiring replaces one edge
+    with one edge, so the graph has exactly ``n * k / 2`` edges and no
+    self-loops or multi-edges.
+    """
+    if k < 2 or k % 2:
+        raise ValueError("k must be even and >= 2")
+    if k >= n:
+        raise ValueError("k must be < n")
+    if not 0.0 <= beta <= 1.0:
+        raise ValueError("beta must be in [0, 1]")
+    rng = random.Random(seed)
+    g = Graph(n)
+    for v in range(n):
+        g.add_edge(v, (v + 1) % n)  # the never-rewired connectivity ring
+
+    def fresh_target(v: int) -> Optional[int]:
+        """A uniform vertex not yet adjacent to ``v`` (None if saturated)."""
+        for _ in range(8):
+            w = rng.randrange(n)
+            if w != v and not g.has_edge(v, w):
+                return w
+        candidates = [
+            w for w in range(n) if w != v and not g.has_edge(v, w)
+        ]
+        if not candidates:
+            return None
+        return candidates[rng.randrange(len(candidates))]
+
+    for offset in range(2, k // 2 + 1):
+        for v in range(n):
+            target: Optional[int] = (v + offset) % n
+            if rng.random() < beta or g.has_edge(v, target):
+                # Rewire (or dodge a collision with an earlier rewire);
+                # the replacement keeps the edge count exact unless the
+                # vertex is already adjacent to everyone.
+                target = fresh_target(v)
+            if target is not None:
+                g.add_edge(v, target)
+    return g
+
+
+def road_network(
+    rows: int,
+    cols: int,
+    *,
+    diagonal_prob: float = 0.15,
+    delete_prob: float = 0.1,
+    seed: int = 0,
+) -> Graph:
+    """A road-network-like graph: a sparse planar-ish grid with noise.
+
+    Starts from the ``rows x cols`` grid, adds one random diagonal per
+    cell with probability ``diagonal_prob``, then attempts to delete
+    each *grid* edge with probability ``delete_prob`` -- a deletion is
+    committed only if the graph stays connected, so the result is
+    **always connected** while losing the grid's regularity.  All
+    randomness comes from ``random.Random(seed)``.  Vertex ``(r, c)``
+    has index ``r * cols + c``, matching :func:`grid_2d`.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("road network needs both sides >= 2")
+    rng = random.Random(seed)
+    n = rows * cols
+    adjacency = {v: set() for v in range(n)}
+
+    def link(u: int, w: int) -> None:
+        adjacency[u].add(w)
+        adjacency[w].add(u)
+
+    grid_edges = []
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                link(v, v + 1)
+                grid_edges.append((v, v + 1))
+            if r + 1 < rows:
+                link(v, v + cols)
+                grid_edges.append((v, v + cols))
+    for r in range(rows - 1):
+        for c in range(cols - 1):
+            if rng.random() < diagonal_prob:
+                v = r * cols + c
+                if rng.random() < 0.5:
+                    link(v, v + cols + 1)  # \ diagonal
+                else:
+                    link(v + 1, v + cols)  # / diagonal
+
+    def connected_without(u: int, w: int) -> bool:
+        seen = {u}
+        stack = [u]
+        while stack:
+            x = stack.pop()
+            if x == w:
+                return True
+            for y in adjacency[x]:
+                if (x, y) in ((u, w), (w, u)):
+                    continue
+                if y not in seen:
+                    seen.add(y)
+                    stack.append(y)
+        return False
+
+    candidates = [e for e in grid_edges if rng.random() < delete_prob]
+    rng.shuffle(candidates)
+    for u, w in candidates:
+        if connected_without(u, w):
+            adjacency[u].discard(w)
+            adjacency[w].discard(u)
+
+    g = Graph(n)
+    for u in range(n):
+        for w in adjacency[u]:
+            if u < w:
+                g.add_edge(u, w)
     return g

@@ -64,6 +64,18 @@ the number written to BENCH_perf.json is copied into the
 ``bench.suite_duration_seconds{suite=...}`` gauge -- the JSON file and
 the metrics registry report the *same* measurement, so the two views
 cannot drift (``tests/test_perf_bench.py`` asserts it).
+
+:func:`run_zoo_bench` is the second suite family: instead of one
+pinned hard instance it sweeps the graph zoo (Barabasi-Albert,
+power-law configuration, Watts-Strogatz small-world, road-network
+grid, and the sparse reference family) and emits per-family entries
+keyed ``graph_zoo.<family>.<suite>`` -- ``label_memory``,
+``batch_speedup``, ``serving_batch_throughput``, and ``consistency``
+(dict vs flat vs served answers; must be 0) -- into the same result
+file, so ``tools/bench_gate.py`` ratio-gates each family
+independently.  ``python -m repro bench --suite graph_zoo`` merges
+these entries into an existing ``BENCH_perf.json`` without disturbing
+the core ``G(b,l)`` rows.
 """
 
 from __future__ import annotations
@@ -79,7 +91,14 @@ from ..obs.catalog import BENCH_SUITE_DURATION_SECONDS
 from ..obs.registry import NullRegistry, get_registry, set_registry
 from ..obs.spans import span
 
-__all__ = ["run_bench", "render_results", "write_results", "DEFAULT_OUT"]
+__all__ = [
+    "run_bench",
+    "run_zoo_bench",
+    "render_results",
+    "write_results",
+    "DEFAULT_OUT",
+    "ZOO_FAMILIES",
+]
 
 #: Default output path for the machine-readable results.
 DEFAULT_OUT = "BENCH_perf.json"
@@ -87,6 +106,13 @@ DEFAULT_OUT = "BENCH_perf.json"
 #: Pinned instances: the acceptance instance and the CI-sized one.
 FULL_INSTANCE = (2, 2)  # n = 24400
 QUICK_INSTANCE = (2, 1)  # n = 1516
+
+#: The zoo families ``run_zoo_bench`` sweeps, in emission order.
+ZOO_FAMILIES = ("ba", "powerlaw", "smallworld", "road", "sparse")
+
+#: Vertex-count targets for the zoo (road uses the nearest square).
+ZOO_FULL_SCALE = 2000
+ZOO_QUICK_SCALE = 240
 
 
 def _instance_name(b: int, ell: int) -> str:
@@ -531,6 +557,218 @@ def run_bench(
             registry.gauge(
                 BENCH_SUITE_DURATION_SECONDS, suite=suite_name
             ).set(duration)
+    return results
+
+
+def run_zoo_bench(
+    *,
+    quick: bool = False,
+    seed: int = 7,
+    num_sources: int = 64,
+    repeats: int = 3,
+    scale: Optional[int] = None,
+) -> Dict[str, Dict[str, object]]:
+    """Sweep the graph zoo; return ``graph_zoo.<family>.<suite>`` entries.
+
+    Each family in :data:`ZOO_FAMILIES` is generated at ``scale``
+    vertices (default :data:`ZOO_FULL_SCALE`, or :data:`ZOO_QUICK_SCALE`
+    with ``quick``; the road family rounds to the nearest square grid),
+    labeled with the reference PLL, and measured on the same
+    source-rooted workload shape as :func:`run_bench`:
+
+    * ``label_memory``  -- flat-store footprint in 8-byte words (the
+      entry also carries ``bytes``, ``dict_words``, and ``edges`` so
+      the family's sparsity can be read off the row);
+    * ``batch_speedup`` -- flat ``batch_query`` throughput over the
+      dict scalar loop (``dict_qps`` / ``flat_qps`` ride along);
+    * ``serving_batch_throughput`` -- the full workload through a
+      :class:`~repro.serve.server.QueryServer`'s batch-native
+      ``submit_batch`` door, concurrent clients, result cache off;
+    * ``consistency``   -- every flat batch answer AND every served
+      answer graded against the dict store, value and type (must be 0;
+      disconnected families make this exercise the ``inf`` contract).
+
+    Entries carry ``family`` and ``n`` fields and an instance name like
+    ``ba(n=2000)``, so :mod:`tools.bench_gate` ratio-compares each
+    family against its committed baseline and skips nothing silently.
+    Timings run through ``bench.graph_zoo.<family>.<suite>`` spans and
+    are mirrored into ``bench.suite_duration_seconds`` gauges exactly
+    like the core suites.
+    """
+    from math import isqrt
+
+    from ..core import pruned_landmark_labeling
+    from ..graphs import (
+        barabasi_albert,
+        powerlaw_configuration,
+        random_sparse_graph,
+        road_network,
+        watts_strogatz,
+    )
+    from ..oracles.oracle import HubLabelOracle
+    from ..serve import QueryServer
+    from .flat import FlatHubLabeling
+
+    if scale is None:
+        scale = ZOO_QUICK_SCALE if quick else ZOO_FULL_SCALE
+    if scale < 16:
+        raise ValueError("scale must be at least 16")
+    side = max(2, isqrt(scale))
+    builders = {
+        "ba": lambda: barabasi_albert(scale, 2, seed=seed),
+        "powerlaw": lambda: powerlaw_configuration(scale, seed=seed),
+        "smallworld": lambda: watts_strogatz(scale, 4, 0.1, seed=seed),
+        "road": lambda: road_network(side, side, seed=seed),
+        "sparse": lambda: random_sparse_graph(scale, seed=seed),
+    }
+
+    results: Dict[str, Dict[str, object]] = {}
+    registry = get_registry()
+    for family in ZOO_FAMILIES:
+        graph = builders[family]()
+        n = graph.num_vertices
+        instance = f"{family}(n={n})"
+
+        def entry(metric: str, value, unit: str, **extra):
+            row = {
+                "metric": metric,
+                "value": value,
+                "unit": unit,
+                "instance": instance,
+                "seed": seed,
+                "family": family,
+                "n": n,
+            }
+            row.update(extra)
+            return row
+
+        labeling = pruned_landmark_labeling(graph)
+        flat = FlatHubLabeling.from_labeling(labeling)
+        dict_oracle = HubLabelOracle(labeling, backend="dict")
+        flat_oracle = HubLabelOracle(labeling, backend="flat")
+        results[f"graph_zoo.{family}.label_memory"] = entry(
+            "space",
+            flat.space_bytes() // 8,
+            "words",
+            bytes=flat.space_bytes(),
+            dict_words=dict_oracle.space_words(),
+            edges=graph.num_edges,
+        )
+
+        _, pairs = _workload(n, num_sources, seed)
+        stride = max(1, len(pairs) // 20_000)
+        dict_pairs = pairs[::stride]
+
+        def dict_loop():
+            query = labeling.query
+            for u, v in dict_pairs:
+                query(u, v)
+
+        dict_time = _best_time(
+            dict_loop,
+            repeats,
+            suite=f"graph_zoo.{family}.batch_throughput_dict",
+        )
+        dict_qps = len(dict_pairs) / dict_time if dict_time > 0 else 0.0
+        flat_time = _best_time(
+            lambda: flat_oracle.batch_query(pairs),
+            repeats,
+            suite=f"graph_zoo.{family}.batch_throughput_flat",
+        )
+        flat_qps = len(pairs) / flat_time if flat_time > 0 else 0.0
+        results[f"graph_zoo.{family}.batch_speedup"] = entry(
+            "speedup",
+            round(flat_qps / dict_qps, 2) if dict_qps > 0 else 0.0,
+            "x",
+            dict_qps=round(dict_qps, 1),
+            flat_qps=round(flat_qps, 1),
+            pairs=len(pairs),
+        )
+
+        # Batch-native serving: the full workload split across client
+        # threads, one submit_batch ticket per window, cache off.
+        clients = 2
+        window = min(1024, max(1, len(pairs) // clients))
+        slices: List[List[List[Tuple[int, int]]]] = []
+        for index in range(clients):
+            chunk = pairs[index::clients]
+            slices.append(
+                [
+                    chunk[begin : begin + window]
+                    for begin in range(0, len(chunk), window)
+                ]
+            )
+        served_holder: Dict[str, List[List[float]]] = {}
+
+        def serving_batch_round():
+            collected: List[List[float]] = [[] for _ in range(clients)]
+
+            def client(index: int) -> None:
+                out = collected[index]
+                for part in slices[index]:
+                    us = [u for u, _ in part]
+                    vs = [v for _, v in part]
+                    out.extend(server.submit_batch(us, vs).result())
+
+            with QueryServer(
+                flat_oracle,
+                max_queue=4 * clients * window,
+                max_batch=256,
+                max_delay=0.001,
+                cache_size=0,
+            ) as server:
+                threads = [
+                    threading.Thread(target=client, args=(index,))
+                    for index in range(clients)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+            served_holder["answers"] = collected
+
+        serve_time = _best_time(
+            serving_batch_round,
+            repeats,
+            suite=f"graph_zoo.{family}.serving_batch_throughput",
+        )
+        serve_qps = len(pairs) / serve_time if serve_time > 0 else 0.0
+        results[f"graph_zoo.{family}.serving_batch_throughput"] = entry(
+            "throughput",
+            round(serve_qps, 1),
+            "queries/s",
+            pairs=len(pairs),
+            clients=clients,
+        )
+
+        # Consistency: the full flat batch AND the last served round,
+        # graded against the dict store -- value and type, inf included.
+        query = labeling.query
+        wrong = 0
+        for (u, v), got in zip(pairs, flat_oracle.batch_query(pairs)):
+            want = query(u, v)
+            if got != want or type(got) is not type(want):
+                wrong += 1
+        for index in range(clients):
+            answers = iter(served_holder["answers"][index])
+            for part in slices[index]:
+                for (u, v), got in zip(part, answers):
+                    want = query(u, v)
+                    if got != want or type(got) is not type(want):
+                        wrong += 1
+        results[f"graph_zoo.{family}.consistency"] = entry(
+            "mismatches", wrong, "pairs", pairs=2 * len(pairs)
+        )
+
+        if registry.enabled:
+            for suite_name, duration in (
+                (f"graph_zoo.{family}.batch_throughput_dict", dict_time),
+                (f"graph_zoo.{family}.batch_throughput_flat", flat_time),
+                (f"graph_zoo.{family}.serving_batch_throughput", serve_time),
+            ):
+                registry.gauge(
+                    BENCH_SUITE_DURATION_SECONDS, suite=suite_name
+                ).set(duration)
     return results
 
 

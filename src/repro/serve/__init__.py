@@ -14,11 +14,17 @@ See ``docs/serving.md`` for the architecture walk-through.
 
 from .cache import MISS, ResultCache, labeling_digest
 from .coalesce import MicroBatcher
-from .loadgen import LoadReport, run_loadgen
+from .loadgen import (
+    PAIR_DISTRIBUTIONS,
+    LoadReport,
+    make_pair_sampler,
+    run_loadgen,
+)
 from .server import BatchTicket, QueryServer, ServerStats
 
 __all__ = [
     "MISS",
+    "PAIR_DISTRIBUTIONS",
     "BatchTicket",
     "LoadReport",
     "MicroBatcher",
@@ -26,5 +32,6 @@ __all__ = [
     "ResultCache",
     "ServerStats",
     "labeling_digest",
+    "make_pair_sampler",
     "run_loadgen",
 ]

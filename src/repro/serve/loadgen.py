@@ -16,7 +16,14 @@ spawns ``clients`` threads, each with its own seeded RNG, firing random
   byte-identical contract the differential tests enforce -- and
   mismatches are tallied as *wrong*;
 * ``requests_per_client`` runs a fixed-size workload (benchmarks),
-  ``duration`` runs a wall-clock-bounded one (the soak test).
+  ``duration`` runs a wall-clock-bounded one (the soak test);
+* ``distribution`` shapes the query-pair stream: ``"uniform"``
+  (independent endpoints), ``"zipf"`` (endpoints drawn from a Zipf
+  popularity ranking -- the few-hot-vertices skew of real traffic), or
+  ``"hotspot"`` (a handful of hot *pairs* gets ``hot_fraction`` of all
+  requests -- the result cache's best case).  All three are built by
+  :func:`make_pair_sampler`, which is public so tests and benchmarks
+  can sample the same streams without a server.
 
 Everything lands in a :class:`LoadReport`; ``report.ok`` is the single
 bit CI cares about: no wrong answers, no drops, no unexpected errors.
@@ -24,6 +31,7 @@ bit CI cares about: no wrong answers, no drops, no unexpected errors.
 
 from __future__ import annotations
 
+import bisect
 import random
 import threading
 import time
@@ -33,7 +41,89 @@ from typing import Callable, List, Optional, Tuple
 from ..runtime.errors import ServerOverloadError
 from .server import QueryServer
 
-__all__ = ["LoadReport", "run_loadgen"]
+__all__ = ["LoadReport", "PAIR_DISTRIBUTIONS", "make_pair_sampler", "run_loadgen"]
+
+#: The query-pair distributions ``run_loadgen`` (and the CLIs) accept.
+PAIR_DISTRIBUTIONS = ("uniform", "zipf", "hotspot")
+
+
+def make_pair_sampler(
+    num_vertices: int,
+    distribution: str = "uniform",
+    *,
+    seed: int = 0,
+    zipf_s: float = 1.1,
+    hot_pairs: int = 16,
+    hot_fraction: float = 0.9,
+) -> Callable[[random.Random], Tuple[int, int]]:
+    """Build a ``sampler(rng) -> (u, v)`` for one workload shape.
+
+    The sampler's *shape* (the Zipf popularity ranking, the hot-pair
+    set) is pinned by ``seed`` via its own ``random.Random(seed)``, so
+    every client thread sees the same skew; the per-call randomness
+    comes from the ``rng`` each caller passes in, which keeps
+    multi-threaded runs deterministic per client.
+
+    * ``"uniform"``  -- both endpoints independent uniform;
+    * ``"zipf"``     -- each endpoint is the vertex of rank ``r`` with
+      probability proportional to ``r ** -zipf_s`` over a seeded
+      random ranking (``zipf_s > 0``);
+    * ``"hotspot"``  -- with probability ``hot_fraction`` the pair is
+      one of ``hot_pairs`` fixed hot pairs, otherwise uniform.
+    """
+    if num_vertices < 1:
+        raise ValueError("num_vertices must be positive")
+    if distribution == "uniform":
+
+        def uniform_sampler(rng: random.Random) -> Tuple[int, int]:
+            return rng.randrange(num_vertices), rng.randrange(num_vertices)
+
+        return uniform_sampler
+    shape_rng = random.Random(seed)
+    if distribution == "zipf":
+        if zipf_s <= 0:
+            raise ValueError("zipf_s must be positive")
+        ranking = list(range(num_vertices))
+        shape_rng.shuffle(ranking)
+        cumulative: List[float] = []
+        acc = 0.0
+        for rank in range(1, num_vertices + 1):
+            acc += rank ** -zipf_s
+            cumulative.append(acc)
+        total = cumulative[-1]
+
+        def pick(rng: random.Random) -> int:
+            return ranking[
+                bisect.bisect_left(cumulative, rng.random() * total)
+            ]
+
+        def zipf_sampler(rng: random.Random) -> Tuple[int, int]:
+            return pick(rng), pick(rng)
+
+        return zipf_sampler
+    if distribution == "hotspot":
+        if not 0.0 <= hot_fraction <= 1.0:
+            raise ValueError("hot_fraction must be in [0, 1]")
+        if hot_pairs < 1:
+            raise ValueError("hot_pairs must be positive")
+        hot = [
+            (
+                shape_rng.randrange(num_vertices),
+                shape_rng.randrange(num_vertices),
+            )
+            for _ in range(hot_pairs)
+        ]
+
+        def hotspot_sampler(rng: random.Random) -> Tuple[int, int]:
+            if rng.random() < hot_fraction:
+                return hot[rng.randrange(len(hot))]
+            return rng.randrange(num_vertices), rng.randrange(num_vertices)
+
+        return hotspot_sampler
+    raise ValueError(
+        f"unknown distribution {distribution!r}; pick from "
+        f"{', '.join(PAIR_DISTRIBUTIONS)}"
+    )
 
 
 @dataclass
@@ -90,6 +180,11 @@ def run_loadgen(
     max_retries: int = 50,
     backoff: float = 0.002,
     batch_size: Optional[int] = None,
+    distribution: str = "uniform",
+    sampler: Optional[Callable[[random.Random], Tuple[int, int]]] = None,
+    zipf_s: float = 1.1,
+    hot_pairs: int = 16,
+    hot_fraction: float = 0.9,
 ) -> LoadReport:
     """Fire a concurrent random-pair workload at ``server``.
 
@@ -103,11 +198,25 @@ def run_loadgen(
     ticket (the final window of a fixed-size run may be narrower).
     Overload, grading, and tally semantics are identical -- a rejected
     or failed ticket tallies every pair it carried.
+
+    ``distribution`` (with its ``zipf_s`` / ``hot_pairs`` /
+    ``hot_fraction`` knobs) selects the pair stream via
+    :func:`make_pair_sampler`; passing an explicit ``sampler`` callable
+    overrides it entirely.
     """
     if num_vertices < 1:
         raise ValueError("num_vertices must be positive")
     if batch_size is not None and batch_size < 1:
         raise ValueError("batch_size must be positive when set")
+    if sampler is None:
+        sampler = make_pair_sampler(
+            num_vertices,
+            distribution,
+            seed=seed,
+            zipf_s=zipf_s,
+            hot_pairs=hot_pairs,
+            hot_fraction=hot_fraction,
+        )
     report = LoadReport(clients=clients)
     lock = threading.Lock()
 
@@ -127,8 +236,7 @@ def run_loadgen(
                 break
             if batch_size is None:
                 count += 1
-                u = rng.randrange(num_vertices)
-                v = rng.randrange(num_vertices)
+                u, v = sampler(rng)
                 future = None
                 for attempt in range(max_retries + 1):
                     try:
@@ -157,8 +265,9 @@ def run_loadgen(
             if deadline is None:
                 width = min(width, requests_per_client - count)
             count += width
-            us = [rng.randrange(num_vertices) for _ in range(width)]
-            vs = [rng.randrange(num_vertices) for _ in range(width)]
+            window = [sampler(rng) for _ in range(width)]
+            us = [u for u, _ in window]
+            vs = [v for _, v in window]
             ticket = None
             for attempt in range(max_retries + 1):
                 try:

@@ -563,3 +563,126 @@ class TestLoadgenCommand:
             == 0
         )
         assert "wrong:      0" in capsys.readouterr().out
+
+
+class TestZooGeneratorKinds:
+    @pytest.mark.parametrize("kind", ["ba", "powerlaw", "smallworld", "road"])
+    def test_label_accepts_zoo_kind(self, kind, capsys):
+        assert (
+            main(
+                ["label", "--generator", f"{kind}:40", "--verify"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "valid 2-hop cover: True" in out
+
+    def test_unknown_kind_still_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["label", "--generator", "smallwrld:40"])
+
+
+class TestLoadgenDistributions:
+    @pytest.mark.parametrize("distribution", ["zipf", "hotspot"])
+    def test_skewed_loadgen_grades_clean(self, distribution, capsys):
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--generator",
+                    "sparse:50",
+                    "--clients",
+                    "2",
+                    "--requests",
+                    "40",
+                    "--distribution",
+                    distribution,
+                    "--validate",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "wrong:      0" in out
+        assert "verdict:    OK" in out
+
+    def test_hotspot_flags_accepted_by_serve(self, capsys):
+        assert (
+            main(
+                [
+                    "serve",
+                    "--generator",
+                    "smallworld:40",
+                    "--clients",
+                    "2",
+                    "--requests",
+                    "30",
+                    "--distribution",
+                    "hotspot",
+                    "--hot-pairs",
+                    "4",
+                    "--hot-fraction",
+                    "0.8",
+                ]
+            )
+            == 0
+        )
+        assert "verdict:    OK" in capsys.readouterr().out
+
+    def test_unknown_distribution_rejected(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "loadgen",
+                    "--generator",
+                    "sparse:30",
+                    "--distribution",
+                    "pareto",
+                ]
+            )
+
+
+class TestBenchZooSuite:
+    def test_zoo_suite_merges_without_clobbering_core(self, tmp_path,
+                                                      capsys):
+        import json
+
+        out = tmp_path / "BENCH_perf.json"
+        # Seed the file with a fake committed core entry...
+        core_row = {
+            "metric": "speedup",
+            "value": 2.8,
+            "unit": "x",
+            "instance": "G(2,1)",
+            "seed": 7,
+        }
+        out.write_text(json.dumps({"batch_speedup": core_row}))
+        assert (
+            main(
+                [
+                    "bench",
+                    "--quick",
+                    "--suite",
+                    "graph_zoo",
+                    "--sources",
+                    "2",
+                    "--repeats",
+                    "1",
+                    "--out",
+                    str(out),
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "graph_zoo.road.consistency" in text
+        results = json.loads(out.read_text())
+        # ...the zoo merge keeps it byte-identical.
+        assert results["batch_speedup"] == core_row
+        zoo = [k for k in results if k.startswith("graph_zoo.")]
+        assert len(zoo) >= 4 * 4  # >= 4 suites for >= 4 families
+        for name in zoo:
+            assert {"metric", "value", "unit", "instance", "seed",
+                    "family", "n"} <= set(results[name])
+        for family in ("ba", "powerlaw", "smallworld", "road"):
+            assert results[f"graph_zoo.{family}.consistency"]["value"] == 0

@@ -15,7 +15,11 @@ same comparison deterministically.
 
 A seed-pinned corpus under ``tests/data/`` replays the same contract on
 committed cases, so a behavioral change shows up as a reviewable diff
-even if hypothesis happens not to hit it.
+even if hypothesis happens not to hit it.  Since version 2 the corpus
+is organized by graph family: the original hand-picked cases plus 30
+seed-swept cases from each zoo family (Barabasi-Albert, power-law
+configuration, small-world, road-network), regenerated and
+drift-checked by ``tools/gen_differential_corpus.py``.
 
 The serving layer joins the same contract: every corpus answer must
 come back byte-identical when fired through a :class:`QueryServer`
@@ -139,23 +143,64 @@ class TestHardInstanceDifferential:
         _check_graph(graph, pairs=pairs)
 
 
+#: Families the version-2 corpus must cover, with their case floors.
+ZOO_FAMILY_FLOOR = 30
+ZOO_FAMILIES = ("ba", "powerlaw", "smallworld", "road")
+
+
+def _cases_by_family(corpus):
+    grouped = {}
+    for case in corpus["cases"]:
+        grouped.setdefault(case["family"], []).append(case)
+    return grouped
+
+
 class TestPinnedCorpus:
     def test_corpus_exists_and_is_seed_pinned(self):
         corpus = json.loads(CORPUS_PATH.read_text())
-        assert corpus["version"] == 1
+        assert corpus["version"] == 2
         assert corpus["cases"], "corpus must not be empty"
         for case in corpus["cases"]:
             assert case["seed"] is not None
+            assert case["family"], case["name"]
+
+    def test_corpus_covers_every_zoo_family(self):
+        """Each zoo family contributes at least its case floor, and the
+        power-law configuration family (no connectivity guarantee) must
+        pin some disconnected pairs so the INF contract stays covered.
+        """
+        corpus = json.loads(CORPUS_PATH.read_text())
+        grouped = _cases_by_family(corpus)
+        for family in ZOO_FAMILIES:
+            assert len(grouped.get(family, [])) >= ZOO_FAMILY_FLOOR, family
+        for family in ("sparse", "weighted", "forest", "degree3"):
+            assert grouped.get(family), family
+        inf_pairs = sum(
+            1
+            for case in grouped["powerlaw"]
+            for value in case["expected"]
+            if value is None
+        )
+        assert inf_pairs > 0
 
     def test_corpus_cases_replay_identically_through_server(self):
-        """The corpus fired through QueryServer by 8 threads at once.
+        """Corpus cases fired through QueryServer by 8 threads at once.
 
         Ground truth is the serial dict-backend answer; every response
         out of every client thread must match it byte-identically
         (value AND type, INF included) -- across coalescing, the result
-        cache, and duplicate-pair collapsing.
+        cache, and duplicate-pair collapsing.  Two cases per family
+        keep the sweep representative without multiplying server
+        spin-ups by the full 100+-case corpus.
         """
         corpus = json.loads(CORPUS_PATH.read_text())
+        corpus = {
+            "cases": [
+                case
+                for cases in _cases_by_family(corpus).values()
+                for case in cases[:2]
+            ]
+        }
         switch = sys.getswitchinterval()
         sys.setswitchinterval(1e-5)
         try:

@@ -25,7 +25,15 @@ from repro.core import (
     verify_cover_sampled,
 )
 from repro.core.io import ARTIFACT_MAGIC
-from repro.graphs import all_pairs_distances, grid_2d, random_sparse_graph
+from repro.graphs import (
+    all_pairs_distances,
+    barabasi_albert,
+    grid_2d,
+    powerlaw_configuration,
+    random_sparse_graph,
+    road_network,
+    watts_strogatz,
+)
 from repro.labeling import BitReader, DistanceRowScheme, HubEncodedScheme
 from repro.runtime import (
     FAULT_KINDS,
@@ -514,3 +522,59 @@ class TestChaosSweep:
     def test_empty_report_is_ok(self):
         assert ChaosReport().ok
         assert ChaosReport().num_injections == 0
+
+
+class TestChaosAcrossTheZoo:
+    """The sweep holds on every zoo family, not just the sparse stock.
+
+    Each family stresses a different code path: BA's high-degree hubs
+    dominate labels, the configuration model is (often) disconnected so
+    fallback must reproduce INF, small-world rings have fat girth,
+    road grids are near-planar.  Zero silent wrong answers everywhere.
+    """
+
+    @pytest.mark.parametrize(
+        "family,build",
+        [
+            ("ba", lambda: barabasi_albert(24, 2, seed=13)),
+            ("powerlaw", lambda: powerlaw_configuration(24, seed=13)),
+            ("smallworld", lambda: watts_strogatz(24, 4, 0.2, seed=13)),
+            ("road", lambda: road_network(5, 5, seed=13)),
+        ],
+    )
+    def test_zoo_family_sweeps_clean(self, family, build):
+        graph = build()
+        labeling = pruned_landmark_labeling(graph)
+        assert is_valid_cover(graph, labeling)
+        report = chaos_sweep(
+            graph,
+            labeling,
+            trials_per_kind=8,
+            queries_per_trial=4,
+            seed=2026,
+        )
+        assert report.ok, (family, report.by_kind())
+        assert set(report.by_kind()) == set(FAULT_KINDS)
+        assert all(outcome.wrong == 0 for outcome in report.outcomes)
+
+    def test_disconnected_family_grades_inf_correctly(self):
+        """A multi-component configuration graph: INF pairs must survive
+        quarantine + fallback without being absorbed into finite lies."""
+        from repro.graphs import connected_components
+
+        graph = None
+        for seed in range(40):
+            candidate = powerlaw_configuration(20, seed=seed)
+            if len(connected_components(candidate)) > 1:
+                graph = candidate
+                break
+        assert graph is not None, "no disconnected powerlaw draw in 40 seeds"
+        labeling = pruned_landmark_labeling(graph)
+        report = chaos_sweep(
+            graph,
+            labeling,
+            trials_per_kind=6,
+            queries_per_trial=6,
+            seed=77,
+        )
+        assert report.ok

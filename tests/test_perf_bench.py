@@ -19,7 +19,13 @@ from repro.obs.catalog import (
     SPAN_DURATION_SECONDS,
 )
 from repro.obs.registry import Registry, use_registry
-from repro.perf.bench import render_results, run_bench, write_results
+from repro.perf.bench import (
+    ZOO_FAMILIES,
+    render_results,
+    run_bench,
+    run_zoo_bench,
+    write_results,
+)
 
 ROOT = pathlib.Path(__file__).parent.parent
 
@@ -313,3 +319,91 @@ class TestMetricsAgreement:
         for suite, check in checks.items():
             gauge = registry.get(BENCH_SUITE_DURATION_SECONDS, suite=suite)
             assert check(results[suite], gauge.value), suite
+
+
+class TestZooBench:
+    """The per-family zoo sweep: schema, agreement, gate acceptance."""
+
+    ZOO_METRIC_SUITES = (
+        "label_memory",
+        "batch_speedup",
+        "serving_batch_throughput",
+        "consistency",
+    )
+
+    @pytest.fixture(scope="class")
+    def zoo_run(self):
+        registry = Registry()
+        with use_registry(registry):
+            results = run_zoo_bench(
+                quick=True, num_sources=4, repeats=1, scale=64
+            )
+        return results, registry
+
+    @pytest.fixture(scope="class")
+    def zoo_results(self, zoo_run):
+        return zoo_run[0]
+
+    def test_every_family_emits_every_suite(self, zoo_results):
+        for family in ZOO_FAMILIES:
+            for metric_suite in self.ZOO_METRIC_SUITES:
+                assert f"graph_zoo.{family}.{metric_suite}" in zoo_results
+
+    def test_entry_schema_carries_family(self, zoo_results):
+        for suite, row in zoo_results.items():
+            assert suite.startswith("graph_zoo.")
+            for key in ("metric", "value", "unit", "instance", "seed",
+                        "family", "n"):
+                assert key in row, (suite, key)
+            assert row["instance"] == f"{row['family']}(n={row['n']})"
+            assert isinstance(row["value"], (int, float))
+
+    def test_all_families_consistent(self, zoo_results):
+        for family in ZOO_FAMILIES:
+            row = zoo_results[f"graph_zoo.{family}.consistency"]
+            assert row["value"] == 0, family
+            assert row["pairs"] > 0
+
+    def test_memory_and_throughput_positive(self, zoo_results):
+        for family in ZOO_FAMILIES:
+            assert zoo_results[f"graph_zoo.{family}.label_memory"]["value"] > 0
+            serving = zoo_results[
+                f"graph_zoo.{family}.serving_batch_throughput"
+            ]
+            assert serving["value"] > 0
+            assert serving["pairs"] > 0
+
+    def test_gate_accepts_a_clean_zoo_run(self, zoo_results):
+        assert bench_gate.self_check(zoo_results, 0.10) == []
+
+    def test_gate_fails_any_family_mismatch(self, zoo_results):
+        poisoned = json.loads(json.dumps(zoo_results))
+        poisoned["graph_zoo.road.consistency"]["value"] = 2
+        failures = bench_gate.self_check(poisoned, 0.10)
+        assert len(failures) == 1
+        assert "graph_zoo.road.consistency" in failures[0]
+        assert "road" in failures[0]
+
+    def test_zoo_timings_mirrored_into_gauges(self, zoo_run):
+        zoo_results, registry = zoo_run
+        for family in ZOO_FAMILIES:
+            suite = f"graph_zoo.{family}.serving_batch_throughput"
+            gauge = registry.get(BENCH_SUITE_DURATION_SECONDS, suite=suite)
+            hist = registry.get(SPAN_DURATION_SECONDS, span=f"bench.{suite}")
+            assert gauge is not None and hist is not None, suite
+            assert gauge.value == hist.min
+            row = zoo_results[suite]
+            assert row["value"] == round(row["pairs"] / gauge.value, 1)
+
+    def test_ratio_gate_compares_per_family(self):
+        current = {
+            "graph_zoo.ba.batch_speedup": {
+                "metric": "speedup", "value": 1.0, "unit": "x",
+                "instance": "ba(n=64)", "seed": 7, "family": "ba", "n": 64,
+            }
+        }
+        baseline = json.loads(json.dumps(current))
+        baseline["graph_zoo.ba.batch_speedup"]["value"] = 2.0
+        failures = bench_gate.compare(current, baseline, 0.20)
+        assert len(failures) == 1
+        assert "graph_zoo.ba.batch_speedup" in failures[0]

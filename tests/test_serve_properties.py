@@ -364,3 +364,139 @@ def test_concurrent_swaps_yield_only_real_answers():
         finally:
             stop.set()
             thread.join()
+
+
+# ---------------------------------------------------------------------------
+# Skewed workloads: Zipf / hotspot streams through both serving doors
+# ---------------------------------------------------------------------------
+
+import random
+
+from repro.graphs import random_sparse_graph
+from repro.serve import make_pair_sampler, run_loadgen
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    num_vertices=st.integers(1, 50),
+    distribution=st.sampled_from(["uniform", "zipf", "hotspot"]),
+    shape_seed=st.integers(0, 2**31),
+    draw_seed=st.integers(0, 2**31),
+)
+def test_sampler_in_range_and_shape_deterministic(
+    num_vertices, distribution, shape_seed, draw_seed
+):
+    """Any sampler yields valid vertex pairs, and the same (shape seed,
+    draw seed) pair replays the identical stream."""
+    sampler = make_pair_sampler(
+        num_vertices, distribution, seed=shape_seed
+    )
+    rng = random.Random(draw_seed)
+    stream = [sampler(rng) for _ in range(30)]
+    for u, v in stream:
+        assert 0 <= u < num_vertices
+        assert 0 <= v < num_vertices
+    again = make_pair_sampler(num_vertices, distribution, seed=shape_seed)
+    rng = random.Random(draw_seed)
+    assert [again(rng) for _ in range(30)] == stream
+
+
+def test_zipf_sampler_is_actually_skewed():
+    """The most popular endpoint dominates a uniform endpoint's share."""
+    sampler = make_pair_sampler(100, "zipf", seed=3, zipf_s=1.2)
+    rng = random.Random(1)
+    counts = {}
+    draws = 4000
+    for _ in range(draws):
+        u, v = sampler(rng)
+        counts[u] = counts.get(u, 0) + 1
+        counts[v] = counts.get(v, 0) + 1
+    top = max(counts.values())
+    assert top > 5 * (2 * draws) / 100  # >5x the uniform share
+
+
+def test_hotspot_sampler_concentrates_on_hot_pairs():
+    sampler = make_pair_sampler(
+        1000, "hotspot", seed=4, hot_pairs=8, hot_fraction=0.9
+    )
+    rng = random.Random(2)
+    draws = [sampler(rng) for _ in range(2000)]
+    hot = {pair for pair, count in
+           {p: draws.count(p) for p in set(draws)}.items() if count > 20}
+    assert 0 < len(hot) <= 8
+    hot_share = sum(1 for pair in draws if pair in hot) / len(draws)
+    assert hot_share > 0.8
+
+
+def test_unknown_distribution_rejected():
+    with pytest.raises(ValueError):
+        make_pair_sampler(10, "pareto")
+    with pytest.raises(ValueError):
+        make_pair_sampler(10, "zipf", zipf_s=0.0)
+    with pytest.raises(ValueError):
+        make_pair_sampler(10, "hotspot", hot_fraction=1.5)
+
+
+class TestSkewedWorkloadsThroughBothDoors:
+    """Zipf and hotspot streams, graded against the dict oracle.
+
+    ``batch_size=None`` drives per-pair ``submit`` (the ``--batch 0``
+    door); ``batch_size=16`` drives batch-native ``submit_batch``.
+    Either way every answer must match ground truth -- skew changes the
+    cache and coalescing behavior, never the answers.
+    """
+
+    def _setup(self, n=80):
+        graph = random_sparse_graph(n, seed=9)
+        labeling = pruned_landmark_labeling(graph)
+        flat = HubLabelOracle(
+            FlatHubLabeling.from_labeling(labeling), backend="flat"
+        )
+        ground = HubLabelOracle(labeling, backend="dict")
+        return graph, flat, ground
+
+    @pytest.mark.parametrize("distribution", ["zipf", "hotspot"])
+    @pytest.mark.parametrize("batch_size", [None, 16])
+    def test_skewed_answers_match_oracle(self, distribution, batch_size):
+        graph, flat, ground = self._setup()
+        with QueryServer(flat, max_batch=32, max_delay=0.001) as server:
+            report = run_loadgen(
+                server,
+                graph.num_vertices,
+                clients=4,
+                requests_per_client=120,
+                seed=5,
+                expected=lambda u, v: ground.query(u, v).distance,
+                batch_size=batch_size,
+                distribution=distribution,
+            )
+        assert report.ok, report.render()
+        assert report.requests == 4 * 120
+
+    def test_hotspot_raises_cache_hit_rate(self):
+        """The hotspot stream is the result cache's best case: its hit
+        rate must clearly beat the uniform stream's on the same server
+        configuration."""
+        graph, flat, ground = self._setup()
+        rates = {}
+        for distribution in ("uniform", "hotspot"):
+            with QueryServer(
+                flat, max_batch=32, max_delay=0.001, cache_size=4096
+            ) as server:
+                report = run_loadgen(
+                    server,
+                    graph.num_vertices,
+                    clients=4,
+                    requests_per_client=200,
+                    seed=6,
+                    expected=lambda u, v: ground.query(u, v).distance,
+                    distribution=distribution,
+                    hot_pairs=8,
+                    hot_fraction=0.9,
+                )
+                stats = server.stats()
+            assert report.ok, report.render()
+            rates[distribution] = stats.cache_hits / stats.responses
+        assert rates["hotspot"] > rates["uniform"] + 0.3
+        # ~90% of hotspot traffic is 8 pairs: nearly all of it hits.
+        assert rates["hotspot"] > 0.7

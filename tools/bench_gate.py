@@ -19,6 +19,10 @@ value, unit, instance, seed}``) and exits non-zero when:
 * the ``serving_consistency`` suite reports mismatches (answers that
   crossed the concurrent QueryServer -- queueing, coalescing,
   deduplication -- must stay byte-identical to the dict store's), or
+* any ``graph_zoo.<family>.consistency`` suite reports mismatches --
+  the per-family zoo sweep (``python -m repro bench --suite
+  graph_zoo``) holds every family to the same dict-vs-flat-vs-served
+  agreement contract as the pinned instance, or
 * the ``serving_speedup`` suite measured on the full ``G(2,2)``
   instance falls below the hard floor ``--min-serving-speedup``
   (default 5.0): the batch-native serving path must beat the dict
@@ -90,6 +94,16 @@ def self_check(
             f"serving_consistency: {serving['value']} answer(s) served "
             "through QueryServer differ from the dict store"
         )
+    for suite in sorted(current):
+        if not suite.startswith("graph_zoo."):
+            continue
+        row = current[suite]
+        if row.get("metric") == "mismatches" and row.get("value"):
+            failures.append(
+                f"{suite}: {row['value']} answer(s) disagree across the "
+                "dict, flat, and served paths on the "
+                f"{row.get('family', '?')} family"
+            )
     speedup = current.get("serving_speedup")
     if (
         speedup is not None

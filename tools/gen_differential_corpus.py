@@ -1,22 +1,36 @@
 #!/usr/bin/env python3
 """Regenerate the seed-pinned differential corpus (``tests/data/``).
 
-Each case is a small graph drawn from a pinned seed (sparse, tree,
-forest, weighted, and one hard-instance slice), its query pairs, and
-the ground-truth distances from exact BFS/Dijkstra with ``null``
+Each case is a small graph drawn from a pinned seed, its query pairs,
+and the ground-truth distances from exact BFS/Dijkstra with ``null``
 standing in for +inf.  ``tests/test_differential_backends.py`` replays
 every case through both oracle backends and asserts byte-identical
 answers -- the corpus makes a backend behavior change show up as a
 reviewable test diff even when property testing misses it.
 
+Version 2 organizes the corpus by graph *family*.  The original
+hand-picked cases (sparse, weighted, forest, degree3) keep their names;
+on top of them every zoo family from :mod:`repro.graphs.generators` --
+Barabasi-Albert (``ba``), power-law configuration (``powerlaw``),
+Watts-Strogatz small-world (``smallworld``), and road-network grids
+(``road``) -- contributes :data:`CASES_PER_ZOO_FAMILY` seed-swept cases,
+so each family's structural quirks (hubs, disconnection, rewired rings,
+deleted grid edges) are pinned against all three backends.
+
 The corpus is committed; rerun this script only when the case list
 itself is meant to change::
 
     python tools/gen_differential_corpus.py
+
+CI guards against drift (a hand-edited JSON or a generator change
+without regeneration) with::
+
+    python tools/gen_differential_corpus.py --check
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import math
 import os
@@ -35,6 +49,12 @@ OUT_PATH = os.path.join(
     "differential_corpus.json",
 )
 
+#: Seed-swept cases pinned for every zoo family.
+CASES_PER_ZOO_FAMILY = 30
+
+#: The zoo families added in corpus version 2.
+ZOO_FAMILIES = ("ba", "powerlaw", "smallworld", "road")
+
 
 def _sparse_case(name, n, extra_edges, seed, weighted=False):
     from repro.graphs import Graph
@@ -48,7 +68,8 @@ def _sparse_case(name, n, extra_edges, seed, weighted=False):
         u, v = rng.randrange(n), rng.randrange(n)
         if u != v:
             graph.add_edge(u, v, rng.randint(1, 9) if weighted else 1)
-    return name, seed, graph
+    family = "weighted" if weighted else "sparse"
+    return name, family, seed, graph
 
 
 def _forest_case(name, n, seed):
@@ -60,17 +81,45 @@ def _forest_case(name, n, seed):
     for v in range(1, n):
         if rng.random() < 2 / 3:
             graph.add_edge(rng.randrange(v), v)
-    return name, seed, graph
+    return name, "forest", seed, graph
 
 
 def _hard_case(name, b, ell, seed):
     from repro.lowerbound import build_degree3_instance
 
-    return name, seed, build_degree3_instance(b, ell).graph
+    return name, "degree3", seed, build_degree3_instance(b, ell).graph
+
+
+def _zoo_case(family, index):
+    """One seed-swept case of a zoo family; sizes cycle with ``index``."""
+    from repro.graphs import (
+        barabasi_albert,
+        powerlaw_configuration,
+        road_network,
+        watts_strogatz,
+    )
+
+    seed = 10_000 + 1000 * ZOO_FAMILIES.index(family) + index
+    if family == "ba":
+        n = 8 + (index % 9)  # 8..16
+        graph = barabasi_albert(n, 2, seed=seed)
+    elif family == "powerlaw":
+        n = 8 + (index % 9)
+        graph = powerlaw_configuration(n, seed=seed)
+    elif family == "smallworld":
+        n = 8 + (index % 9)
+        graph = watts_strogatz(n, 4, 0.2, seed=seed)
+    elif family == "road":
+        rows = 2 + (index % 3)  # 2..4
+        cols = 3 + (index % 3)  # 3..5
+        graph = road_network(rows, cols, seed=seed)
+        n = graph.num_vertices
+    else:  # pragma: no cover - guarded by ZOO_FAMILIES
+        raise ValueError(f"unknown family {family!r}")
+    return f"{family}-{n}-s{seed}", family, seed, graph
 
 
 def build_cases():
-    cases = []
     specs = [
         _sparse_case("sparse-12", 12, 6, seed=101),
         _sparse_case("sparse-20", 20, 12, seed=202),
@@ -80,9 +129,13 @@ def build_cases():
         _forest_case("forest-9", 9, seed=606),
         _hard_case("degree3-G11", 1, 1, seed=707),
     ]
+    for family in ZOO_FAMILIES:
+        for index in range(CASES_PER_ZOO_FAMILY):
+            specs.append(_zoo_case(family, index))
     from repro.graphs.traversal import shortest_path_distances
 
-    for name, seed, graph in specs:
+    cases = []
+    for name, family, seed, graph in specs:
         n = graph.num_vertices
         rng = random.Random(seed)
         if n <= 20:
@@ -107,6 +160,7 @@ def build_cases():
         cases.append(
             {
                 "name": name,
+                "family": family,
                 "seed": seed,
                 "n": n,
                 "edges": edges,
@@ -117,16 +171,48 @@ def build_cases():
     return cases
 
 
-def main() -> int:
-    corpus = {"version": 1, "cases": build_cases()}
+def render() -> str:
+    corpus = {"version": 2, "cases": build_cases()}
+    return json.dumps(corpus, indent=1) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regenerate in memory and fail if the committed corpus "
+        "differs (CI drift guard); writes nothing",
+    )
+    args = parser.parse_args(argv)
+    text = render()
+    if args.check:
+        try:
+            with open(OUT_PATH) as handle:
+                committed = handle.read()
+        except OSError:
+            print(f"drift check FAILED: {OUT_PATH} is missing")
+            return 1
+        if committed != text:
+            print(
+                f"drift check FAILED: {OUT_PATH} does not match its "
+                "generators; rerun python tools/gen_differential_corpus.py"
+            )
+            return 1
+        print(f"drift check OK: {OUT_PATH} matches its generators")
+        return 0
     os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
     with open(OUT_PATH, "w") as handle:
-        json.dump(corpus, handle, indent=1)
-        handle.write("\n")
+        handle.write(text)
+    corpus = json.loads(text)
     total_pairs = sum(len(case["pairs"]) for case in corpus["cases"])
+    families = {}
+    for case in corpus["cases"]:
+        families[case["family"]] = families.get(case["family"], 0) + 1
     print(
         f"wrote {OUT_PATH}: {len(corpus['cases'])} cases, "
-        f"{total_pairs} pinned pairs"
+        f"{total_pairs} pinned pairs, families "
+        + ", ".join(f"{k}={v}" for k, v in sorted(families.items()))
     )
     return 0
 
