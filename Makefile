@@ -1,7 +1,7 @@
 # Convenience targets.  The environment is offline: editable installs go
 # through setup.cfg (legacy path), never an isolated PEP-517 build.
 
-.PHONY: install test test-slow soak bench bench-full bench-tables build-bench serve-smoke experiments examples coverage chaos stats schema corpus-check zoo-bench clean
+.PHONY: install test test-slow soak bench bench-full bench-tables build-bench serve-smoke shm-bench experiments examples coverage chaos stats schema corpus-check zoo-bench clean
 
 install:
 	pip install -e .
@@ -46,6 +46,16 @@ build-bench:
 serve-smoke:
 	python -m repro serve --generator sparse:200 --clients 8 --requests 100
 	python -m repro loadgen --generator sparse:200 --clients 4 --requests 500 --validate
+
+# Sharded serving over the zero-copy shared-memory store: a validated
+# multi-process loadgen run, then the shm/sharded test files and a
+# /dev/shm leak check (the grep must find nothing).
+shm-bench:
+	python -m repro loadgen --generator sparse:300 --processes 2 --batch 64 --validate
+	pytest tests/test_shm.py tests/test_sharded.py
+	@if ls /dev/shm 2>/dev/null | grep -q '^repro_labels_'; then \
+		echo "leaked repro_labels_* segments in /dev/shm"; exit 1; \
+	else echo "/dev/shm clean"; fi
 
 bench-tables:
 	pytest benchmarks/ --benchmark-only

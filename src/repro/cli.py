@@ -80,6 +80,7 @@ from .core import (
 from .graphs import (
     Graph,
     barabasi_albert,
+    erdos_renyi,
     grid_2d,
     powerlaw_configuration,
     random_bounded_degree_graph,
@@ -115,6 +116,9 @@ def _load_graph(args) -> Graph:
         if kind == "road":
             side = max(2, int(round(n ** 0.5)))
             return road_network(side, side, seed=args.seed)
+        if kind == "erdos":
+            # Sparse regime G(n, c/n) with expected degree c = 3.
+            return erdos_renyi(n, min(1.0, 3.0 / n), seed=args.seed)
         raise SystemExit(f"unknown generator {kind!r}")
     if args.graph:
         with open(args.graph) as handle:
@@ -373,6 +377,24 @@ def _make_server(args, graph, flat):
     from .oracles.oracle import HubLabelOracle
     from .serve import QueryServer
 
+    processes = getattr(args, "processes", 0) or 0
+    if processes > 0:
+        if getattr(args, "resilient", False):
+            raise SystemExit(
+                "--processes serves the immutable flat store across "
+                "worker processes; it cannot host the stateful "
+                "--resilient runtime"
+            )
+        from .serve import ShardedQueryServer
+
+        return ShardedQueryServer(
+            HubLabelOracle(flat, backend="flat"),
+            processes=processes,
+            max_queue=args.max_queue,
+            max_batch=args.max_batch,
+            max_delay=args.max_delay,
+            cache_size=args.cache_size,
+        )
     if getattr(args, "resilient", False):
         oracle = ResilientOracle(
             graph,
@@ -416,11 +438,16 @@ def _cmd_serve(args) -> int:
     server = _make_server(args, graph, flat)
     print(f"graph:    {graph}")
     print(f"labeling: {flat}")
+    fanout = (
+        f"processes={server.processes}"
+        if hasattr(server, "processes")
+        else f"shards={server.shards}x{server.dispatchers}"
+    )
     print(
         f"server:   {type(server.oracle).__name__}, "
         f"queue<={args.max_queue}, batch<={args.max_batch}, "
         f"delay<={args.max_delay * 1e3:g}ms, cache={args.cache_size}, "
-        f"shards={server.shards}x{server.dispatchers}"
+        f"{fanout}"
     )
     with server:
         report = run_loadgen(
@@ -709,7 +736,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_label = sub.add_parser("label", help="build a hub labeling")
     p_label.add_argument("--graph", help="edge-list file (n m, then u v w)")
     p_label.add_argument(
-        "--generator", help="KIND:N with KIND in sparse|tree|grid|degree3|ba|powerlaw|smallworld|road"
+        "--generator", help="KIND:N with KIND in sparse|tree|grid|degree3|ba|powerlaw|smallworld|road|erdos"
     )
     p_label.add_argument(
         "--method",
@@ -728,7 +755,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_build.add_argument("--graph", help="edge-list file (n m, then u v w)")
     p_build.add_argument(
-        "--generator", help="KIND:N with KIND in sparse|tree|grid|degree3|ba|powerlaw|smallworld|road"
+        "--generator", help="KIND:N with KIND in sparse|tree|grid|degree3|ba|powerlaw|smallworld|road|erdos"
     )
     p_build.add_argument("--seed", type=int, default=0)
     p_build.add_argument(
@@ -910,6 +937,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--dispatchers", type=int, default=1,
             help="dispatcher threads partitioning the shards (default 1)",
+        )
+        p.add_argument(
+            "--processes", type=int, default=0, metavar="N",
+            help="serve through N worker processes sharing one "
+            "zero-copy label store (the sharded door); 0 keeps the "
+            "in-process server (default 0)",
         )
         p.add_argument(
             "--metrics-out",

@@ -81,6 +81,8 @@ __all__ = [
     "labeling_from_bytes",
     "flat_labeling_to_bytes",
     "flat_labeling_from_bytes",
+    "flat_labeling_view",
+    "verify_envelope_crc",
     "graph_to_edgelist",
     "graph_from_edgelist",
 ]
@@ -374,6 +376,131 @@ def _decode_v2_envelope(declared_n: int, payload: bytes) -> "FlatHubLabeling":
     dists = _le_array("d", payload[cut_hubs:])
     try:
         return FlatHubLabeling.from_arrays(offsets, hubs, dists)
+    except ValueError as exc:
+        raise ArtifactCorruptError(
+            f"flat payload failed structural validation ({exc})",
+            offset=_HEADER_SIZE + 8,
+        ) from None
+
+
+def _open_envelope_header(view: memoryview) -> Tuple[int, int, int, int]:
+    """Validate *only* the 25-byte header of an enveloped buffer.
+
+    Returns ``(version, declared_n, payload_len, checksum)`` without
+    touching the payload -- the cheap half of :func:`_open_envelope`,
+    for callers that defer the CRC (mapped artifacts must not page in
+    every byte just to open).  Raises :class:`ArtifactCorruptError` on
+    a bad magic, a truncated header, or a length mismatch.
+    """
+    if len(view) < _HEADER_SIZE:
+        raise ArtifactCorruptError(
+            f"envelope header truncated ({len(view)} of "
+            f"{_HEADER_SIZE} bytes)",
+            offset=len(view),
+        )
+    if bytes(view[:4]) != ARTIFACT_MAGIC:
+        raise ArtifactCorruptError(
+            "unrecognized artifact header (envelope magic missing)",
+            offset=0,
+        )
+    version = view[4]
+    declared_n = int.from_bytes(view[5:13], "big")
+    payload_len = int.from_bytes(view[13:21], "big")
+    checksum = int.from_bytes(view[21:25], "big")
+    actual = len(view) - _HEADER_SIZE
+    if actual != payload_len:
+        raise ArtifactCorruptError(
+            f"payload is {actual} bytes, header declares {payload_len}",
+            offset=_HEADER_SIZE + min(actual, payload_len),
+        )
+    return version, declared_n, payload_len, checksum
+
+
+def verify_envelope_crc(buffer) -> None:
+    """The deferred half of a lazy open: CRC32 the payload now.
+
+    ``buffer`` is any enveloped artifact (bytes, mmap, shared-memory
+    view).  This is the only part of a :func:`flat_labeling_view` open
+    that reads every payload byte, so callers schedule it off the cold
+    -start path -- a background check, a ``verify`` CLI flag, a test.
+    Raises :class:`ArtifactCorruptError` on a mismatch.
+    """
+    view = memoryview(buffer)
+    _, _, payload_len, checksum = _open_envelope_header(view)
+    payload = view[_HEADER_SIZE : _HEADER_SIZE + payload_len]
+    if (zlib.crc32(payload) & 0xFFFFFFFF) != checksum:
+        raise ArtifactCorruptError(
+            "payload CRC32 mismatch (artifact bytes were altered)",
+            offset=_HEADER_SIZE,
+        )
+
+
+def flat_labeling_view(
+    buffer, *, verify_crc: bool = False, validate: bool = False
+) -> "FlatHubLabeling":
+    """A zero-copy :class:`FlatHubLabeling` over an enveloped buffer.
+
+    The buffer must hold a version-2 (flat-array) envelope; the CSR
+    triple is exposed as read-only NumPy views straight into it --
+    nothing is deserialized, so opening a memory-mapped artifact costs
+    O(pages touched), not O(entries).  Validation is tiered to match:
+
+    * the **header** (magic, version, lengths) and the offsets-array
+      endpoints are always checked -- O(1);
+    * the payload **CRC32** runs only with ``verify_crc=True`` (or
+      later, via :func:`verify_envelope_crc` on the same buffer);
+    * the full **structural** walk (offsets monotone, hub ids in range
+      and ascending) runs only with ``validate=True``.
+
+    The returned store keeps ``buffer`` alive for as long as it is
+    queryable.  Requires NumPy (the whole point is array views).
+    """
+    import numpy as np
+
+    from ..perf.flat import FlatHubLabeling
+
+    view = memoryview(buffer)
+    version, declared_n, payload_len, _ = _open_envelope_header(view)
+    if version != FLAT_ARTIFACT_VERSION:
+        raise ArtifactCorruptError(
+            f"artifact version {version} cannot back a zero-copy view "
+            f"(need the flat version {FLAT_ARTIFACT_VERSION})",
+            offset=4,
+        )
+    if verify_crc:
+        verify_envelope_crc(view)
+    payload = view[_HEADER_SIZE : _HEADER_SIZE + payload_len]
+    if payload_len < 8:
+        raise ArtifactCorruptError(
+            "flat payload shorter than its 8-byte entry count",
+            offset=_HEADER_SIZE + payload_len,
+        )
+    total = int.from_bytes(payload[:8], "big")
+    expected = 8 + 8 * (declared_n + 1) + 16 * total
+    if payload_len != expected:
+        raise ArtifactCorruptError(
+            f"flat payload is {payload_len} bytes, {expected} expected "
+            f"for {declared_n} vertices and {total} entries",
+            offset=_HEADER_SIZE + min(payload_len, expected),
+        )
+    cut_offsets = 8 + 8 * (declared_n + 1)
+    cut_hubs = cut_offsets + 8 * total
+    offsets = np.frombuffer(payload, dtype="<i8", count=declared_n + 1,
+                            offset=8)
+    hubs = np.frombuffer(payload, dtype="<i8", count=total,
+                         offset=cut_offsets)
+    dists = np.frombuffer(payload, dtype="<f8", count=total,
+                          offset=cut_hubs)
+    if sys.byteorder == "big":  # pragma: no cover - exotic platforms
+        # No zero-copy view exists across a byte-order mismatch; one
+        # conversion copy beats serving byte-swapped garbage.
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        hubs = np.ascontiguousarray(hubs, dtype=np.int64)
+        dists = np.ascontiguousarray(dists, dtype=np.float64)
+    try:
+        return FlatHubLabeling.from_buffers(
+            offsets, hubs, dists, validate=validate
+        )
     except ValueError as exc:
         raise ArtifactCorruptError(
             f"flat payload failed structural validation ({exc})",

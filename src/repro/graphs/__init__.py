@@ -41,6 +41,7 @@ from .generators import (
     complete_graph,
     configuration_model,
     cycle_graph,
+    erdos_renyi,
     gnm_random_graph,
     grid_2d,
     hypercube_graph,
@@ -107,6 +108,7 @@ __all__ = [
     "complete_graph",
     "configuration_model",
     "cycle_graph",
+    "erdos_renyi",
     "gnm_random_graph",
     "grid_2d",
     "hypercube_graph",

@@ -37,6 +37,7 @@ __all__ = [
     "random_tree",
     "caterpillar",
     "gnm_random_graph",
+    "erdos_renyi",
     "random_sparse_graph",
     "random_bounded_degree_graph",
     "hypercube_graph",
@@ -206,6 +207,43 @@ def gnm_random_graph(n: int, m: int, *, seed: int = 0) -> Graph:
             continue
         chosen.add(edge)
         g.add_edge(*edge)
+    return g
+
+
+def erdos_renyi(n: int, p: float, *, seed: int = 0) -> Graph:
+    """The Erdos-Renyi ``G(n, p)`` model: each pair is an edge w.p. ``p``.
+
+    Uses geometric skipping (Batagelj-Brandes) over the ordered pairs,
+    so generation costs ``O(n + m)`` expected time instead of walking
+    all ``n * (n - 1) / 2`` candidates.  In the sparse regime the
+    benchmarks use (``p = c / n``), expected degree is ``c`` -- the
+    classic ``m = O(n)`` graph the paper's lower bound addresses.  All
+    randomness comes from ``random.Random(seed)``.
+    """
+    if not 0.0 <= p <= 1.0:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    g = Graph(n)
+    if p == 0.0 or n < 2:
+        return g
+    rng = random.Random(seed)
+    if p == 1.0:
+        for u in range(n):
+            for v in range(u + 1, n):
+                g.add_edge(u, v)
+        return g
+    from math import log
+
+    log_q = log(1.0 - p)
+    u, v = 0, 0
+    while u < n:
+        # Skip ahead by a geometric(p) gap in the flattened pair order.
+        v += 1 + int(log(1.0 - rng.random()) / log_q)
+        while v >= n and u < n:
+            excess = v - n
+            u += 1
+            v = u + 1 + excess
+        if u < n:
+            g.add_edge(u, v)
     return g
 
 

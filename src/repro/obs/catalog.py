@@ -62,6 +62,13 @@ SERVE_COALESCE_WIDTH = "serve.coalesce_width"
 SERVE_CACHE_HITS = "serve.cache_hits"
 SERVE_CACHE_MISSES = "serve.cache_misses"
 SERVE_OVERLOADS = "serve.overloads"
+SERVE_WORKER_BATCHES = "serve.worker_batches"
+SERVE_WORKER_RESTARTS = "serve.worker_restarts"
+SERVE_WORKERS_ALIVE = "serve.workers_alive"
+
+SHM_ATTACHES = "shm.attaches"
+SHM_BYTES_MAPPED = "shm.bytes_mapped"
+SHM_CRC_CHECKS = "shm.crc_checks"
 
 SPAN_DURATION_SECONDS = "span.duration_seconds"
 SPAN_COUNT = "span.count"
@@ -220,6 +227,35 @@ _SPECS = (
     MetricSpec(
         SERVE_OVERLOADS, "counter", (),
         "per request rejected with ServerOverloadError (queue full)",
+    ),
+    MetricSpec(
+        SERVE_WORKER_BATCHES, "counter", ("worker",),
+        "per pair-array frame a ShardedQueryServer round-tripped to "
+        "one worker process (worker = process slot index)",
+    ),
+    MetricSpec(
+        SERVE_WORKER_RESTARTS, "counter", (),
+        "per dead worker process respawned by ShardedQueryServer",
+    ),
+    MetricSpec(
+        SERVE_WORKERS_ALIVE, "gauge", (),
+        "live worker processes behind ShardedQueryServer, updated on "
+        "start, respawn, death, and stop",
+    ),
+    MetricSpec(
+        SHM_ATTACHES, "counter", ("source",),
+        "per zero-copy label store opened (source = shm for "
+        "shared-memory segments, mmap for mapped artifact files)",
+    ),
+    MetricSpec(
+        SHM_BYTES_MAPPED, "gauge", ("source",),
+        "bytes of label-artifact envelope behind the most recently "
+        "opened zero-copy store of each source",
+    ),
+    MetricSpec(
+        SHM_CRC_CHECKS, "counter", ("outcome",),
+        "per deferred envelope CRC verification over a shared or "
+        "mapped store (outcome = ok | corrupt)",
     ),
     MetricSpec(
         SPAN_DURATION_SECONDS, "histogram", ("span",),

@@ -27,6 +27,15 @@ Observability: every lookup increments ``build.cache_hits`` or
 construction, so the ``build.flat`` tracing span is absent from hit
 paths -- tests and the CI smoke step use exactly that to prove the warm
 run skipped the build.
+
+With ``LabelCache(directory, mmap=True)`` a hit does not even
+deserialize: the artifact is opened through
+:class:`~repro.perf.shm.MappedLabelStore`, so the returned labeling's
+CSR arrays are zero-copy views over the mapped file.  The envelope
+header is still validated eagerly (truncation and version skew
+invalidate as usual) but the CRC is deferred, making a warm start
+O(page-in) instead of O(deserialize); such hits additionally count
+``shm.attaches{source=mmap}``.
 """
 
 from __future__ import annotations
@@ -84,9 +93,12 @@ class LabelCache:
     otherwise build, persist, and return it.
     """
 
-    def __init__(self, directory: Union[str, Path]) -> None:
+    def __init__(
+        self, directory: Union[str, Path], *, mmap: bool = False
+    ) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.mmap = mmap
         registry = get_registry()
         if registry.enabled:
             # Create the counters at 0 up front so snapshots always
@@ -109,28 +121,21 @@ class LabelCache:
 
         Counts a hit or a miss; a corrupt artifact counts an
         invalidation, is deleted, and reports as a miss (the caller
-        rebuilds).
+        rebuilds).  With ``mmap=True`` the artifact is mapped instead
+        of deserialized (header validated now, CRC deferred) and the
+        labeling's arrays view the file directly.
         """
-        from ..core.io import flat_labeling_from_bytes
-
         path = self.path_for(cache_key(graph, order))
-        try:
-            blob = path.read_bytes()
-        except FileNotFoundError:
+        if not path.exists():
             if self._misses is not None:
                 self._misses.inc()
             return None
-        try:
-            flat = flat_labeling_from_bytes(blob)
-        except ArtifactCorruptError:
-            if self._invalidations is not None:
-                self._invalidations.inc()
-            path.unlink(missing_ok=True)
-            if self._misses is not None:
-                self._misses.inc()
-            return None
-        if flat.num_vertices != graph.num_vertices:
-            # A key collision this drastic means the entry is garbage.
+        flat = (
+            self._load_mapped(path) if self.mmap else self._load_bytes(path)
+        )
+        if flat is None or flat.num_vertices != graph.num_vertices:
+            # Corrupt envelope, or a key collision so drastic the
+            # entry is garbage either way: drop it and rebuild.
             if self._invalidations is not None:
                 self._invalidations.inc()
             path.unlink(missing_ok=True)
@@ -140,6 +145,27 @@ class LabelCache:
         if self._hits is not None:
             self._hits.inc()
         return flat
+
+    def _load_bytes(self, path: Path) -> Optional[FlatHubLabeling]:
+        """Fully deserialize ``path`` (CRC checked now), None if corrupt."""
+        from ..core.io import flat_labeling_from_bytes
+
+        try:
+            return flat_labeling_from_bytes(path.read_bytes())
+        except (ArtifactCorruptError, FileNotFoundError):
+            return None
+
+    def _load_mapped(self, path: Path) -> Optional[FlatHubLabeling]:
+        """Map ``path`` zero-copy (CRC deferred), None if the header lies."""
+        from .shm import MappedLabelStore
+
+        try:
+            store = MappedLabelStore(path)
+        except (ArtifactCorruptError, FileNotFoundError, ValueError,
+                OSError):
+            # ValueError covers mmap of an empty (zero-length) file.
+            return None
+        return store.flat
 
     def store(
         self, graph: Graph, order: List[int], flat: FlatHubLabeling

@@ -18,6 +18,14 @@ as id-sorted runs so that a query is a linear pointer merge.
 over the whole labeling.  The store is immutable; build with
 :meth:`from_labeling` and convert back with :meth:`to_labeling`.
 
+The backing triple does not have to be ``array.array``:
+:meth:`from_buffers` adopts NumPy views over *any* readable buffer --
+an ``mmap`` of the version-2 artifact envelope, a
+``multiprocessing.shared_memory`` segment (see :mod:`repro.perf.shm`)
+-- without copying a byte, which is what lets N worker processes serve
+one label store.  Every accessor narrows NumPy scalars back to Python
+``int`` / ``float`` so both backings answer byte-identically.
+
 ``query`` is an ascending two-pointer merge of the two runs.
 ``batch_query`` amortizes attribute lookups over a list of pairs and,
 when NumPy is importable and the labeling is integer-valued, dispatches
@@ -156,6 +164,54 @@ class FlatHubLabeling:
                     )
 
     @classmethod
+    def from_buffers(
+        cls,
+        offsets,
+        hubs,
+        dists,
+        *,
+        validate: bool = True,
+    ) -> "FlatHubLabeling":
+        """Adopt readable buffers as int64/float64 views -- zero copy.
+
+        Unlike :meth:`from_arrays` (one buffer copy into ``array``),
+        this wraps ``offsets`` / ``hubs`` / ``dists`` in read-only
+        NumPy views over whatever memory backs them -- a ``bytes``
+        payload, an ``mmap`` of the version-2 envelope, or a
+        ``multiprocessing.shared_memory`` buffer.  The store's lifetime
+        keeps the underlying buffer alive (NumPy holds the reference),
+        so a mapped file stays mapped exactly as long as someone can
+        still query it.
+
+        ``validate=False`` skips the structural walk so that opening a
+        mapped artifact touches only the pages it reads -- O(page-in),
+        not O(entries); producers that skip it are expected to have
+        header-checked the envelope (see
+        :func:`repro.core.io.flat_labeling_view`).  Requires NumPy.
+        """
+        import numpy as np
+
+        flat = cls.__new__(cls)
+        flat._offsets = _as_view(np, offsets, np.int64)
+        flat._hubs = _as_view(np, hubs, np.int64)
+        flat._dists = _as_view(np, dists, np.float64)
+        flat._accel = None
+        if validate:
+            flat._validate()
+        else:
+            offs = flat._offsets
+            if offs.size < 1 or int(offs[0]) != 0:
+                raise ValueError("offsets must start at 0")
+            if (
+                int(offs[-1]) != flat._hubs.size
+                or flat._hubs.size != flat._dists.size
+            ):
+                raise ValueError(
+                    "offsets/hubs/dists lengths are inconsistent"
+                )
+        return flat
+
+    @classmethod
     def from_labeling(cls, labeling: HubLabeling) -> "FlatHubLabeling":
         """Freeze a dict-based labeling into the flat layout.
 
@@ -188,7 +244,7 @@ class FlatHubLabeling:
         offsets, hubs, dists = self._offsets, self._hubs, self._dists
         for v in range(self.num_vertices):
             for i in range(offsets[v], offsets[v + 1]):
-                labeling.add_hub(v, hubs[i], _dedouble(dists[i]))
+                labeling.add_hub(v, int(hubs[i]), _dedouble(dists[i]))
         return labeling
 
     # ------------------------------------------------------------------
@@ -245,7 +301,7 @@ class FlatHubLabeling:
                 i += 1
             else:
                 j += 1
-        return best_hub
+        return None if best_hub is None else int(best_hub)
 
     def batch_query(self, pairs: Sequence[Tuple[int, int]]) -> List[float]:
         """Distances for many pairs at once.
@@ -363,14 +419,14 @@ class FlatHubLabeling:
         self._check_vertex(vertex)
         start, end = self._offsets[vertex], self._offsets[vertex + 1]
         return {
-            self._hubs[i]: _dedouble(self._dists[i])
+            int(self._hubs[i]): _dedouble(self._dists[i])
             for i in range(start, end)
         }
 
     def hub_set(self, vertex: int) -> List[int]:
         self._check_vertex(vertex)
         start, end = self._offsets[vertex], self._offsets[vertex + 1]
-        return list(self._hubs[start:end])
+        return self._hubs[start:end].tolist()
 
     def hub_distance(self, vertex: int, hub: int) -> Optional[float]:
         self._check_vertex(vertex)
@@ -402,7 +458,7 @@ class FlatHubLabeling:
         return len(self._offsets) - 1
 
     def label_size(self, vertex: int) -> int:
-        return self._offsets[vertex + 1] - self._offsets[vertex]
+        return int(self._offsets[vertex + 1] - self._offsets[vertex])
 
     def total_size(self) -> int:
         return len(self._hubs)
@@ -413,9 +469,14 @@ class FlatHubLabeling:
 
     def max_size(self) -> int:
         offsets = self._offsets
-        return max(
-            (offsets[v + 1] - offsets[v] for v in range(self.num_vertices)),
-            default=0,
+        return int(
+            max(
+                (
+                    offsets[v + 1] - offsets[v]
+                    for v in range(self.num_vertices)
+                ),
+                default=0,
+            )
         )
 
     def space_bytes(self) -> int:
@@ -459,6 +520,30 @@ def _as_array(typecode: str, values) -> array:
     return out
 
 
+def _as_view(np, values, dtype):
+    """A C-contiguous NumPy view of ``values`` in ``dtype``, no copy.
+
+    NumPy arrays of the right dtype pass through; anything else
+    exposing the buffer protocol is wrapped with ``np.frombuffer``
+    (read-only by construction).  A dtype mismatch is a hard error --
+    silently reinterpreting bytes would serve garbage distances.
+    """
+    if isinstance(values, np.ndarray):
+        if values.dtype != dtype or not values.flags["C_CONTIGUOUS"]:
+            raise ValueError(
+                f"expected a contiguous {np.dtype(dtype).name} array, "
+                f"got {values.dtype.name}"
+            )
+        return values
+    view = memoryview(values)
+    if view.nbytes % np.dtype(dtype).itemsize:
+        raise ValueError(
+            f"buffer of {view.nbytes} bytes is not a whole number of "
+            f"{np.dtype(dtype).name} items"
+        )
+    return np.frombuffer(view, dtype=dtype)
+
+
 def _dedouble(value: float) -> float:
     """Return integral doubles as Python ints, mirroring the dict store.
 
@@ -467,9 +552,11 @@ def _dedouble(value: float) -> float:
     the type.  The ``array('d')`` backing store widens everything to
     float; narrowing integral values back keeps the two backends'
     answers indistinguishable (``0`` vs ``0.0`` matters to ``repr`` and
-    to exact-equality golden files).
+    to exact-equality golden files).  NumPy-backed stores hand in
+    ``np.float64`` scalars; those are narrowed to plain ``float`` for
+    the same reason.
     """
     if value == INF:
         return INF
     as_int = int(value)
-    return as_int if as_int == value else value
+    return as_int if as_int == value else float(value)

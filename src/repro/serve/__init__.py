@@ -6,8 +6,12 @@ concurrent requests through a bounded queue, coalesces them into the
 micro-batches the flat backend is fast at, caches repeat answers in a
 generation-keyed LRU, and rejects overload loudly
 (:class:`~repro.runtime.errors.ServerOverloadError`) instead of
-degrading silently.  ``python -m repro serve`` runs a self-test server;
-``python -m repro loadgen`` drives one for throughput numbers.
+degrading silently.  :class:`~repro.serve.sharded.ShardedQueryServer`
+lifts the single-process ceiling: N worker processes run that same
+batch door over one zero-copy shared-memory (or mmap'ed) label store,
+speaking raw pair-array frames.  ``python -m repro serve`` runs a
+self-test server; ``python -m repro loadgen`` drives one for
+throughput numbers (``--processes N`` selects the sharded door).
 
 See ``docs/serving.md`` for the architecture walk-through.
 """
@@ -21,16 +25,20 @@ from .loadgen import (
     run_loadgen,
 )
 from .server import BatchTicket, QueryServer, ServerStats
+from .sharded import FleetHealth, ShardedQueryServer, ShardedTicket
 
 __all__ = [
     "MISS",
     "PAIR_DISTRIBUTIONS",
     "BatchTicket",
+    "FleetHealth",
     "LoadReport",
     "MicroBatcher",
     "QueryServer",
     "ResultCache",
     "ServerStats",
+    "ShardedQueryServer",
+    "ShardedTicket",
     "labeling_digest",
     "make_pair_sampler",
     "run_loadgen",

@@ -1,0 +1,731 @@
+"""``ShardedQueryServer``: N worker processes over one shared label store.
+
+:class:`~repro.serve.server.QueryServer` made one Python process fast;
+the GIL makes one process the ceiling.  This module lifts the ceiling
+the way the hub-labeling serving literature does -- the label store is
+immutable, so shard the *compute*, not the data:
+
+* the parent copies the flat store's artifact envelope into **one**
+  ``multiprocessing.shared_memory`` segment (or points workers at a
+  cached artifact file to ``mmap``), via :mod:`repro.perf.shm`;
+* each of ``processes`` forked workers attaches zero-copy and runs the
+  existing batch door -- a full in-process
+  :class:`~repro.serve.server.QueryServer` with its own
+  generation-keyed result cache -- over the shared pages;
+* the parent speaks a **pair-array IPC protocol** to the fleet: raw
+  length-prefixed numpy frames (int64 pairs out, float64 distances
+  back) over ``multiprocessing`` pipes.  No pickle anywhere on the hot
+  path, so a frame costs two ``memcpy``-class writes, not a
+  serializer.
+
+Answers keep the byte-identical contract: the float64 wire format is
+re-narrowed through the same ``_dedouble`` the flat store uses, so
+``int`` distances come back ``int`` and disconnection comes back as
+``INF`` -- indistinguishable from the dict store.
+
+Operationally the fleet degrades loudly, like the in-process server:
+admission is bounded (:class:`~repro.runtime.errors.ServerOverloadError`
+when ``max_queue`` pairs are in flight), a worker that dies is
+respawned transparently (the interrupted frame is retried once against
+the fresh worker) and surfaced through :meth:`ShardedQueryServer.health`
+-- a :class:`~repro.runtime.resilient.HealthReport`-style snapshot --
+and shutdown is drain-then-stop: in-flight frames finish, workers get
+an explicit shutdown handshake, stragglers are terminated, and the
+owned segment is unlinked (nothing left under ``/dev/shm``).
+
+Metrics: ``serve.worker_batches`` per frame (labelled by worker slot),
+``serve.worker_restarts`` per respawn, and the ``serve.workers_alive``
+gauge, all emitted parent-side (worker-process registries are invisible
+to the parent).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import struct
+import threading
+from concurrent.futures import Future
+from typing import List, Optional, Tuple
+
+try:  # pragma: no cover - exercised via both import paths in CI images
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+from ..obs.catalog import (
+    SERVE_COALESCE_WIDTH,
+    SERVE_WORKER_BATCHES,
+    SERVE_WORKER_RESTARTS,
+    SERVE_WORKERS_ALIVE,
+)
+from ..obs.registry import Histogram
+from ..obs.registry import get_registry as _get_registry
+from ..runtime.errors import DomainError, ServerOverloadError
+from .server import WIDTH_BUCKETS, ServerStats
+
+__all__ = ["ShardedQueryServer", "ShardedTicket", "FleetHealth"]
+
+# Wire protocol opcodes (first byte of every request frame).
+_OP_QUERY = 0
+_OP_SHUTDOWN = 1
+_OP_STATS = 2
+
+# Response status (first byte of every response frame).
+_ST_OK = 0
+_ST_ERROR = 1
+
+# Error kinds inside an error response (second byte).
+_ERR_GENERIC = 0
+_ERR_DOMAIN = 1
+
+#: Fields (and order) of the packed uint64 stats a worker reports.
+_STATS_FIELDS = (
+    "requests", "responses", "errors", "cache_hits", "overloads",
+    "batches", "coalesced",
+)
+_STATS_PACK = f">{len(_STATS_FIELDS)}Q"
+
+#: Patience for lifecycle handshakes (shutdown ack, worker join).
+_LIFECYCLE_TIMEOUT = 5.0
+
+
+def _encode_query(us, vs) -> bytes:
+    """One request frame: opcode, count, then raw int64 pair arrays."""
+    m = us.size
+    return b"".join((
+        bytes((_OP_QUERY,)),
+        m.to_bytes(8, "big"),
+        us.astype("<i8", copy=False).tobytes(),
+        vs.astype("<i8", copy=False).tobytes(),
+    ))
+
+
+def _encode_error(kind: int, message: str) -> bytes:
+    return bytes((_ST_ERROR, kind)) + message.encode("utf-8", "replace")
+
+
+def _worker_main(conn, source_kind: str, source_arg: str, options: dict):
+    """One worker process: attach the shared store, serve frames forever.
+
+    Runs the *existing* batch door -- a private
+    :class:`~repro.serve.server.QueryServer` whose oracle views the
+    shared pages -- so each worker keeps its own generation-keyed
+    result cache and micro-batching semantics for free.  Top-level (and
+    with picklable arguments) so the fleet also works under the
+    ``spawn`` start method.
+    """
+    from ..oracles.oracle import HubLabelOracle
+    from ..perf.shm import MappedLabelStore, SharedLabelStore
+    from .server import QueryServer
+
+    if source_kind == "shm":
+        store = SharedLabelStore.attach(source_arg)
+    else:
+        store = MappedLabelStore(source_arg)
+    server = QueryServer(
+        HubLabelOracle(store.flat, backend="flat"),
+        # The worker serves one frame at a time, so admission pressure
+        # is the parent's job; a generous bound keeps any frame width
+        # admissible here.
+        max_queue=max(int(options.get("max_queue", 1024)), 1 << 16),
+        max_batch=int(options.get("max_batch", 64)),
+        max_delay=float(options.get("max_delay", 0.002)),
+        cache_size=int(options.get("cache_size", 4096)),
+    )
+    server.start()
+    try:
+        while True:
+            try:
+                frame = conn.recv_bytes()
+            except (EOFError, OSError):
+                break  # parent went away; nothing left to serve
+            op = frame[0]
+            if op == _OP_SHUTDOWN:
+                try:
+                    conn.send_bytes(bytes((_OP_SHUTDOWN,)))
+                except (BrokenPipeError, OSError):
+                    pass
+                break
+            if op == _OP_STATS:
+                stats = server.stats()
+                packed = struct.pack(
+                    _STATS_PACK,
+                    *(getattr(stats, name) for name in _STATS_FIELDS),
+                )
+                conn.send_bytes(bytes((_OP_STATS,)) + packed)
+                continue
+            m = int.from_bytes(frame[1:9], "big")
+            us = np.frombuffer(frame, dtype="<i8", count=m, offset=9)
+            vs = np.frombuffer(frame, dtype="<i8", count=m, offset=9 + 8 * m)
+            try:
+                values = server.submit_batch(us, vs).result()
+                payload = np.asarray(values, dtype=np.float64)
+            except DomainError as exc:
+                conn.send_bytes(_encode_error(_ERR_DOMAIN, str(exc)))
+                continue
+            except Exception as exc:  # pragma: no cover - defensive
+                conn.send_bytes(_encode_error(_ERR_GENERIC, str(exc)))
+                continue
+            conn.send_bytes(
+                bytes((_ST_OK,))
+                + m.to_bytes(8, "big")
+                + payload.astype("<f8", copy=False).tobytes()
+            )
+    finally:
+        server.stop()
+        # The server's oracle holds the last views over the shared
+        # pages; release it first or close() cannot drop the mapping
+        # (and SharedMemory.__del__ would warn at interpreter exit).
+        del server
+        store.close()
+        conn.close()
+
+
+class ShardedTicket:
+    """A resolved batch ticket from the sharded door.
+
+    The pair-array roundtrip is synchronous in the submitting thread
+    (concurrency comes from many client threads fanning over many
+    workers), so by the time :meth:`ShardedQueryServer.submit_batch`
+    returns, the answers -- or the failure -- are already here.  The
+    interface still matches :class:`~repro.serve.server.BatchTicket`
+    so ``run_loadgen`` and callers are door-agnostic.
+    """
+
+    __slots__ = ("width", "_results", "_error")
+
+    def __init__(self, width, results=None, error=None):
+        self.width = width
+        self._results = results
+        self._error = error
+
+    def done(self) -> bool:
+        return True
+
+    def result(self, timeout: Optional[float] = None) -> List[object]:
+        if self._error is not None:
+            raise self._error
+        return self._results
+
+    def __repr__(self) -> str:
+        state = "failed" if self._error is not None else "done"
+        return f"ShardedTicket(width={self.width}, {state})"
+
+
+class FleetHealth:
+    """A point-in-time health snapshot of the worker fleet.
+
+    The multi-process sibling of
+    :class:`~repro.runtime.resilient.HealthReport`: ``ok`` is the one
+    bit monitoring alerts on, the counters say why.
+    """
+
+    __slots__ = ("processes", "alive", "restarts", "frames")
+
+    def __init__(
+        self,
+        processes: int,
+        alive: int,
+        restarts: int,
+        frames: Tuple[int, ...],
+    ) -> None:
+        self.processes = processes
+        self.alive = alive
+        self.restarts = restarts
+        self.frames = frames
+
+    @property
+    def ok(self) -> bool:
+        """True while every configured worker slot has a live process."""
+        return self.alive == self.processes
+
+    def __repr__(self) -> str:
+        status = "ok" if self.ok else "degraded"
+        return (
+            f"FleetHealth({status}, alive={self.alive}/{self.processes}, "
+            f"restarts={self.restarts}, frames={list(self.frames)})"
+        )
+
+
+class _Worker:
+    """One worker slot: process + pipe + the lock serializing its use."""
+
+    __slots__ = ("process", "conn", "lock", "frames")
+
+    def __init__(self, process, conn) -> None:
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()
+        self.frames = 0
+
+
+def _flat_store_of(source):
+    """The :class:`FlatHubLabeling` behind an oracle / labeling / store."""
+    from ..perf.flat import FlatHubLabeling
+
+    if isinstance(source, FlatHubLabeling):
+        return source
+    labeling = getattr(source, "labeling", None)
+    if labeling is not None:  # an oracle
+        if isinstance(labeling, FlatHubLabeling):
+            return labeling
+        return FlatHubLabeling.from_labeling(labeling)
+    return FlatHubLabeling.from_labeling(source)
+
+
+class ShardedQueryServer:
+    """N worker processes answering pair batches over one label store.
+
+    ``source`` is an oracle, a labeling, or a
+    :class:`~repro.perf.flat.FlatHubLabeling`; whatever it is, the flat
+    store is extracted once and shared with every worker zero-copy --
+    through a fresh shared-memory segment by default, or through an
+    ``mmap`` of ``artifact_path`` (a cached v2 envelope, e.g. from
+    :class:`~repro.perf.cache.LabelCache`) when given.
+
+    ``max_queue`` bounds in-flight pairs fleet-wide (admission mirrors
+    the in-process server: a batch is admitted whole into remaining
+    capacity, so one oversized batch cannot livelock).  The remaining
+    knobs configure each worker's in-process
+    :class:`~repro.serve.server.QueryServer`.
+    """
+
+    def __init__(
+        self,
+        source,
+        *,
+        processes: int = 4,
+        max_queue: int = 1024,
+        max_batch: int = 64,
+        max_delay: float = 0.002,
+        cache_size: int = 4096,
+        artifact_path=None,
+        mp_context=None,
+    ) -> None:
+        if np is None:  # pragma: no cover - numpy ships in CI images
+            raise RuntimeError(
+                "ShardedQueryServer requires numpy for pair-array frames"
+            )
+        if processes < 1:
+            raise ValueError("processes must be at least 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be at least 1")
+        self.processes = processes
+        self.max_queue = max_queue
+        self._options = {
+            "max_queue": max_queue,
+            "max_batch": max_batch,
+            "max_delay": max_delay,
+            "cache_size": cache_size,
+        }
+        self._flat = _flat_store_of(source)
+        self._oracle = (
+            source
+            if getattr(source, "labeling", None) is not None
+            else None
+        )
+        self._n = self._flat.num_vertices
+        self._artifact_path = artifact_path
+        if mp_context is None:
+            try:
+                mp_context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX
+                mp_context = multiprocessing.get_context()
+        self._ctx = mp_context
+        self._store = None  # owned SharedLabelStore (shm source only)
+        self._workers: List[_Worker] = []
+        self._running = False
+        self._lifecycle = threading.Lock()
+        self._admission = threading.Lock()
+        self._inflight = 0
+        self._spin = itertools.count()
+        self._stats_lock = threading.Lock()
+        self._stats = {
+            "requests": 0,
+            "responses": 0,
+            "errors": 0,
+            "overloads": 0,
+        }
+        self._restarts = 0
+        self._final_worker_stats = {name: 0 for name in _STATS_FIELDS}
+        self._width_hist = Histogram(
+            SERVE_COALESCE_WIDTH, (), WIDTH_BUCKETS
+        )
+        self._obs_registry = None
+        self._obs: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardedQueryServer":
+        with self._lifecycle:
+            if self._running:
+                return self
+            if self._artifact_path is not None:
+                source = ("mmap", str(self._artifact_path))
+            else:
+                from ..perf.shm import SharedLabelStore
+
+                self._store = SharedLabelStore.create(self._flat)
+                source = ("shm", self._store.name)
+            self._source = source
+            self._workers = [
+                self._spawn(source) for _ in range(self.processes)
+            ]
+            self._running = True
+            obs = self._bind_obs()
+            if obs is not None:
+                obs[1].inc(0)  # restarts visible at 0 from the start
+                obs[2].set(self.processes)
+        return self
+
+    def _spawn(self, source) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(child_conn, source[0], source[1], self._options),
+            name="repro-shard-worker",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process, parent_conn)
+
+    def stop(self, *, drain: bool = True) -> None:
+        """Shut the fleet down; ``drain`` (default) finishes in-flight
+        frames first.
+
+        Every worker gets a shutdown handshake (its in-process server
+        drains its own backlog before acking); a worker that does not
+        ack in time is terminated.  The owned shared-memory segment is
+        closed and unlinked last, so ``/dev/shm`` ends clean.
+        """
+        with self._lifecycle:
+            if not self._running:
+                return
+            self._running = False
+            for worker in self._workers:
+                if drain:
+                    # The slot lock serializes behind any in-flight
+                    # roundtrip: acquiring it *is* the drain.
+                    worker.lock.acquire()
+                try:
+                    # Final stats poll first, so stats() keeps working
+                    # (from this snapshot) after the fleet is gone.
+                    polled = self._poll_stats_locked(worker)
+                    if polled is not None:
+                        for name, value in polled.items():
+                            self._final_worker_stats[name] += value
+                    worker.conn.send_bytes(bytes((_OP_SHUTDOWN,)))
+                    if worker.conn.poll(_LIFECYCLE_TIMEOUT):
+                        worker.conn.recv_bytes()
+                except (BrokenPipeError, EOFError, OSError):
+                    pass  # already dead; join/terminate below
+                finally:
+                    if drain:
+                        worker.lock.release()
+            for worker in self._workers:
+                worker.process.join(_LIFECYCLE_TIMEOUT)
+                if worker.process.is_alive():  # pragma: no cover
+                    worker.process.terminate()
+                    worker.process.join(_LIFECYCLE_TIMEOUT)
+                worker.conn.close()
+            self._workers = []
+            if self._store is not None:
+                self._store.close()
+                self._store = None
+            obs = self._bind_obs()
+            if obs is not None:
+                obs[2].set(0)
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def __enter__(self) -> "ShardedQueryServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(self, u: int, v: int) -> Future:
+        """One pair through the sharded door; the future is already
+        resolved when it returns (the roundtrip is synchronous)."""
+        if not self._running:
+            raise RuntimeError(
+                "ShardedQueryServer is not running (call start())"
+            )
+        us = np.array([u], dtype=np.int64)
+        vs = np.array([v], dtype=np.int64)
+        future: Future = Future()
+        try:
+            values = self._submit_arrays(us, vs)
+        except ServerOverloadError:
+            # Contract-matching: overload raises at submit, like the
+            # in-process door...
+            raise
+        except Exception as exc:
+            # ...while per-pair failures (DomainError, a worker error)
+            # resolve through the future, where QueryServer puts them.
+            future.set_exception(exc)
+            return future
+        future.set_result(values[0])
+        return future
+
+    def submit_batch(self, us, vs) -> ShardedTicket:
+        """A whole pair batch through one worker roundtrip."""
+        us_arr = np.asarray(us, dtype=np.int64).reshape(-1)
+        vs_arr = np.asarray(vs, dtype=np.int64).reshape(-1)
+        if us_arr.shape != vs_arr.shape:
+            raise ValueError("us and vs must be the same length")
+        if us_arr.size == 0:
+            return ShardedTicket(0, results=[])
+        values = self._submit_arrays(us_arr, vs_arr)
+        return ShardedTicket(us_arr.size, results=values)
+
+    def query(self, u: int, v: int, timeout: Optional[float] = None):
+        """Blocking convenience: submit one pair, return its distance."""
+        return self.submit(u, v).result(timeout=timeout)
+
+    def _submit_arrays(self, us, vs) -> List[object]:
+        if not self._running:
+            raise RuntimeError(
+                "ShardedQueryServer is not running (call start())"
+            )
+        # Domain-check parent-side: a bad vertex must reject the batch
+        # before it costs a worker roundtrip (and DomainError from
+        # submit_batch matches the in-process door's contract).
+        if us.size and (
+            int(us.min()) < 0 or int(us.max()) >= self._n
+            or int(vs.min()) < 0 or int(vs.max()) >= self._n
+        ):
+            raise DomainError(
+                f"batch contains a vertex outside [0, {self._n})"
+            )
+        width = us.size
+        with self._admission:
+            # Mirror the in-process shards: admit while *any* capacity
+            # remains (an oversized batch still lands when the fleet is
+            # idle -- overshoot-by-one, never livelock).
+            if self._inflight >= self.max_queue:
+                with self._stats_lock:
+                    self._stats["overloads"] += 1
+                raise ServerOverloadError(
+                    f"sharded admission is full; batch of {width} "
+                    f"pair(s) rejected",
+                    capacity=self.max_queue,
+                )
+            self._inflight += width
+        try:
+            with self._stats_lock:
+                self._stats["requests"] += width
+            payload = _encode_query(us, vs)
+            slot, response = self._roundtrip(payload)
+            values = self._decode_response(response, width)
+        except Exception:
+            with self._stats_lock:
+                self._stats["errors"] += width
+            raise
+        finally:
+            with self._admission:
+                self._inflight -= width
+        self._width_hist.observe(float(width))
+        with self._stats_lock:
+            self._stats["responses"] += width
+        obs = self._bind_obs()
+        if obs is not None:
+            obs[0](slot).inc()
+        return values
+
+    def _decode_response(self, frame: bytes, width: int) -> List[object]:
+        from ..perf.flat import _dedouble
+
+        if frame[0] == _ST_ERROR:
+            message = frame[2:].decode("utf-8", "replace")
+            if frame[1] == _ERR_DOMAIN:
+                raise DomainError(message)
+            raise RuntimeError(f"worker failed a pair batch: {message}")
+        m = int.from_bytes(frame[1:9], "big")
+        if m != width:  # pragma: no cover - protocol invariant
+            raise RuntimeError(
+                f"worker answered {m} pair(s) for a {width}-pair frame"
+            )
+        dists = np.frombuffer(frame, dtype="<f8", count=m, offset=9)
+        # Same narrowing the flat store applies: integral distances come
+        # back as Python ints, disconnection as INF -- byte-identical to
+        # the dict store even across the float64 wire.
+        return [_dedouble(value) for value in dists.tolist()]
+
+    # ------------------------------------------------------------------
+    # Worker fan-out + respawn
+    # ------------------------------------------------------------------
+    def _roundtrip(self, payload: bytes) -> Tuple[int, bytes]:
+        """Send one frame to a free worker; respawn-and-retry once if
+        the chosen worker turns out to be dead."""
+        workers = self._workers
+        count = len(workers)
+        home = next(self._spin) % count
+        slot = None
+        for attempt in range(count):
+            candidate = (home + attempt) % count
+            if workers[candidate].lock.acquire(blocking=False):
+                slot = candidate
+                break
+        if slot is None:
+            slot = home
+            workers[slot].lock.acquire()
+        try:
+            worker = workers[slot]
+            try:
+                worker.conn.send_bytes(payload)
+                response = worker.conn.recv_bytes()
+            except (EOFError, BrokenPipeError, ConnectionResetError,
+                    OSError):
+                worker = self._respawn(slot)
+                worker.conn.send_bytes(payload)
+                response = worker.conn.recv_bytes()
+            worker.frames += 1
+            return slot, response
+        finally:
+            workers[slot].lock.release()
+
+    def _respawn(self, slot: int) -> _Worker:
+        """Replace the (dead) worker in ``slot``; caller holds its lock."""
+        old = self._workers[slot]
+        try:
+            old.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if old.process.is_alive():  # pragma: no cover - racing death
+            old.process.terminate()
+        old.process.join(_LIFECYCLE_TIMEOUT)
+        fresh = self._spawn(self._source)
+        fresh.lock = old.lock  # the caller already holds this slot's lock
+        fresh.frames = old.frames
+        self._workers[slot] = fresh
+        with self._stats_lock:
+            self._restarts += 1
+        obs = self._bind_obs()
+        if obs is not None:
+            obs[1].inc()
+            obs[2].set(self.workers_alive())
+        return fresh
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def oracle(self):
+        """A parent-side oracle over the same flat store (for display
+        and differential checks; queries go to the workers)."""
+        if self._oracle is None:
+            from ..oracles.oracle import HubLabelOracle
+
+            self._oracle = HubLabelOracle(self._flat, backend="flat")
+        return self._oracle
+
+    def workers_alive(self) -> int:
+        return sum(
+            1 for worker in self._workers if worker.process.is_alive()
+        )
+
+    def health(self) -> FleetHealth:
+        """Fleet liveness: slot count, live processes, respawns, frames."""
+        with self._stats_lock:
+            restarts = self._restarts
+        return FleetHealth(
+            self.processes,
+            self.workers_alive(),
+            restarts,
+            tuple(worker.frames for worker in self._workers),
+        )
+
+    def stats(self) -> ServerStats:
+        """Fleet-wide :class:`ServerStats`.
+
+        Pair tallies (requests / responses / errors / overloads) and
+        the width percentiles are the parent's own; cache hits, batch
+        counts, and coalesced pairs are polled from each live worker's
+        in-process server and summed (a respawned worker restarts its
+        share from zero).
+        """
+        with self._stats_lock:
+            snapshot = dict(self._stats)
+        cache_hits = self._final_worker_stats["cache_hits"]
+        batches = self._final_worker_stats["batches"]
+        coalesced = self._final_worker_stats["coalesced"]
+        for worker in self._workers:
+            polled = self._poll_stats(worker)
+            if polled is not None:
+                cache_hits += polled["cache_hits"]
+                batches += polled["batches"]
+                coalesced += polled["coalesced"]
+        hist = self._width_hist
+        return ServerStats(
+            cache_hits=cache_hits,
+            batches=batches,
+            coalesced=coalesced,
+            batch_width_p50=hist.percentile(0.50) or 0.0,
+            batch_width_p95=hist.percentile(0.95) or 0.0,
+            **snapshot,
+        )
+
+    def _poll_stats(self, worker: _Worker) -> Optional[dict]:
+        with worker.lock:
+            return self._poll_stats_locked(worker)
+
+    def _poll_stats_locked(self, worker: _Worker) -> Optional[dict]:
+        """Poll one worker's tallies; the caller holds its slot lock."""
+        try:
+            worker.conn.send_bytes(bytes((_OP_STATS,)))
+            if not worker.conn.poll(_LIFECYCLE_TIMEOUT):
+                return None  # pragma: no cover - wedged worker
+            frame = worker.conn.recv_bytes()
+        except (EOFError, BrokenPipeError, OSError):
+            return None  # dead worker; the next frame respawns it
+        unpacked = struct.unpack(_STATS_PACK, frame[1:])
+        return dict(zip(_STATS_FIELDS, unpacked))
+
+    def queue_depth(self) -> int:
+        """Pairs currently in flight across the fleet."""
+        with self._admission:
+            return self._inflight
+
+    def _bind_obs(self) -> Optional[tuple]:
+        registry = _get_registry()
+        if registry is not self._obs_registry:
+            if registry.enabled:
+                gauges = {}
+
+                def worker_counter(slot: int):
+                    counter = gauges.get(slot)
+                    if counter is None:
+                        counter = registry.counter(
+                            SERVE_WORKER_BATCHES, worker=str(slot)
+                        )
+                        gauges[slot] = counter
+                    return counter
+
+                obs = (
+                    worker_counter,
+                    registry.counter(SERVE_WORKER_RESTARTS),
+                    registry.gauge(SERVE_WORKERS_ALIVE),
+                )
+            else:
+                obs = None
+            self._obs = obs
+            self._obs_registry = registry
+            return obs
+        return self._obs
+
+    def __repr__(self) -> str:
+        state = "running" if self._running else "stopped"
+        return (
+            f"ShardedQueryServer({state}, processes={self.processes}, "
+            f"alive={self.workers_alive()}, "
+            f"inflight={self.queue_depth()}/{self.max_queue})"
+        )

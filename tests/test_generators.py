@@ -437,6 +437,7 @@ class TestSeedKwargConvention:
         assert {
             "random_tree",
             "gnm_random_graph",
+            "erdos_renyi",
             "random_sparse_graph",
             "random_bounded_degree_graph",
             "random_weighted_graph",
@@ -464,6 +465,8 @@ class TestSeedKwargConvention:
                 fn([2, 2, 2], seed=1)
             elif name == "gnm_random_graph":
                 fn(8, 10, seed=1)
+            elif name == "erdos_renyi":
+                fn(8, 0.3, seed=1)
             elif name == "random_bounded_degree_graph":
                 fn(8, 3, seed=1)
             elif name == "random_weighted_graph":

@@ -53,6 +53,8 @@ REQUIRED_SUITES = (
     "serving_batch_throughput",
     "serving_speedup",
     "serving_consistency",
+    "serving_throughput_sharded",
+    "sharded_consistency",
     "sssp_rows",
     "obs_overhead",
 )
@@ -118,6 +120,23 @@ class TestBenchSchema:
         assert results["cache_hit_latency"]["value"] > 0
         assert results["cache_hit_latency"]["hit"] == 1
 
+    def test_cache_hit_reports_both_doors(self, results):
+        # The entry value stays the deserialize time (what baselines
+        # compare), with the zero-copy mmap load reported alongside.
+        row = results["cache_hit_latency"]
+        assert row["deserialize_s"] == row["value"]
+        assert row["mmap_s"] > 0
+        assert row["mmap_hit"] == 1
+
+    def test_sharded_suites(self, results):
+        sharded = results["serving_throughput_sharded"]
+        assert sharded["value"] > 0
+        assert sharded["workers"] == 4
+        assert sharded["single_process_qps"] > 0
+        consistency = results["sharded_consistency"]
+        assert consistency["value"] == 0
+        assert consistency["pairs"] > 0
+
     def test_throughputs_positive(self, results):
         assert results["batch_throughput_dict"]["value"] > 0
         assert results["batch_throughput_flat"]["value"] > 0
@@ -181,6 +200,51 @@ class TestGateLogic:
 
     def test_build_consistency_zero_passes(self):
         current = {"build_consistency": _entry("mismatches", 0)}
+        assert bench_gate.self_check(current, 0.10) == []
+
+    def test_sharded_mismatch_fails(self):
+        current = {"sharded_consistency": _entry("mismatches", 1)}
+        failures = bench_gate.self_check(current, 0.10)
+        assert len(failures) == 1
+        assert "sharded_consistency" in failures[0]
+
+    def test_sharded_ratio_floor_on_full_instance(self):
+        current = {
+            "serving_throughput_sharded": _entry(
+                "throughput", 250.0, instance="G(2,2)"
+            ),
+            "serving_batch_throughput": _entry(
+                "throughput", 100.0, instance="G(2,2)"
+            ),
+        }
+        assert bench_gate.self_check(current, 0.10) == []
+        current["serving_throughput_sharded"]["value"] = 120.0
+        failures = bench_gate.self_check(current, 0.10)
+        assert len(failures) == 1
+        assert "serving_throughput_sharded" in failures[0]
+        assert "1.20x" in failures[0]
+
+    def test_sharded_ratio_core_starved_exempt(self, capsys):
+        # Fan-out cannot beat one process without cores to fan out
+        # onto; such runs record the honest rate but are not floored.
+        current = {
+            "serving_throughput_sharded": dict(
+                _entry("throughput", 50.0, instance="G(2,2)"),
+                workers=4,
+                cores=1,
+            ),
+            "serving_batch_throughput": _entry(
+                "throughput", 100.0, instance="G(2,2)"
+            ),
+        }
+        assert bench_gate.self_check(current, 0.10) == []
+        assert "core" in capsys.readouterr().out
+
+    def test_sharded_ratio_quick_instance_exempt(self):
+        current = {
+            "serving_throughput_sharded": _entry("throughput", 50.0),
+            "serving_batch_throughput": _entry("throughput", 100.0),
+        }
         assert bench_gate.self_check(current, 0.10) == []
 
     def test_overhead_within_budget_passes(self):

@@ -1,0 +1,221 @@
+"""The multi-process sharded serving door.
+
+:class:`~repro.serve.sharded.ShardedQueryServer` fans the existing
+batch door out over worker processes reading one shared-memory label
+store.  These tests hold it to the same contracts as the in-process
+server: byte-identical answers (value AND type, ``inf`` included),
+loud overload, loud domain errors, drain-then-stop shutdown with
+surviving statistics, and transparent worker respawn surfaced through
+the health report and the ``serve.worker_*`` metrics.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+from repro.core import pruned_landmark_labeling
+from repro.graphs import Graph, random_sparse_graph
+from repro.obs.catalog import (
+    SERVE_WORKER_BATCHES,
+    SERVE_WORKER_RESTARTS,
+    SERVE_WORKERS_ALIVE,
+)
+from repro.oracles.oracle import HubLabelOracle
+from repro.perf.flat import FlatHubLabeling
+from repro.runtime.errors import DomainError, ServerOverloadError
+from repro.serve import FleetHealth, ShardedQueryServer, run_loadgen
+
+INF = float("inf")
+
+
+def _disconnected_graph():
+    """Two components -- cross pairs must answer ``inf`` (a float)."""
+    g = Graph(10)
+    for u in range(4):
+        g.add_edge(u, u + 1)
+    for u in range(5, 9):
+        g.add_edge(u, u + 1)
+    return g
+
+
+@pytest.fixture(scope="module")
+def built():
+    graph = random_sparse_graph(48, seed=11)
+    labeling = pruned_landmark_labeling(graph)
+    return graph, labeling, FlatHubLabeling.from_labeling(labeling)
+
+
+@pytest.fixture
+def server(built):
+    _, _, flat = built
+    fleet = ShardedQueryServer(
+        HubLabelOracle(flat, backend="flat"), processes=2
+    )
+    fleet.start()
+    yield fleet
+    fleet.stop()
+
+
+class TestAnswers:
+    def test_differential_corpus_byte_identical(self, built, server):
+        graph, labeling, _ = built
+        n = graph.num_vertices
+        pairs = [(u, v) for u in range(n) for v in range(0, n, 3)]
+        us = [u for u, _ in pairs]
+        vs = [v for _, v in pairs]
+        got = server.submit_batch(us, vs).result()
+        assert len(got) == len(pairs)
+        for (u, v), answer in zip(pairs, got):
+            want = labeling.query(u, v)
+            assert answer == want, (u, v)
+            assert type(answer) is type(want), (u, v)
+
+    def test_disconnected_pairs_answer_inf(self):
+        graph = _disconnected_graph()
+        labeling = pruned_landmark_labeling(graph)
+        flat = FlatHubLabeling.from_labeling(labeling)
+        with ShardedQueryServer(
+            HubLabelOracle(flat, backend="flat"), processes=1
+        ) as fleet:
+            assert fleet.query(0, 7) == INF
+            assert isinstance(fleet.query(0, 7), float)
+            near = fleet.query(0, 3)
+            assert near == labeling.query(0, 3)
+            assert type(near) is int
+
+    def test_loadgen_validated_through_the_sharded_door(self, built,
+                                                        server):
+        graph, labeling, _ = built
+        report = run_loadgen(
+            server,
+            graph.num_vertices,
+            clients=3,
+            requests_per_client=120,
+            batch_size=16,
+            expected=labeling.query,
+            seed=3,
+        )
+        assert report.ok
+        assert report.wrong == 0
+        assert report.requests == 3 * 120
+
+    def test_empty_batch(self, server):
+        ticket = server.submit_batch([], [])
+        assert ticket.width == 0
+        assert ticket.result() == []
+
+
+class TestErrors:
+    def test_domain_error_on_submit(self, built, server):
+        # Per-pair failures resolve through the future, matching the
+        # in-process QueryServer's contract.
+        graph, _, _ = built
+        future = server.submit(graph.num_vertices, 0)
+        with pytest.raises(DomainError):
+            future.result()
+
+    def test_domain_error_on_batch(self, built, server):
+        graph, _, _ = built
+        with pytest.raises(DomainError):
+            server.submit_batch([0, -1], [1, 2])
+
+    def test_overload_is_loud(self, built):
+        _, _, flat = built
+        fleet = ShardedQueryServer(
+            HubLabelOracle(flat, backend="flat"),
+            processes=1,
+            max_queue=4,
+        )
+        fleet.start()
+        try:
+            # Soft admission admits while inflight < max_queue, so a
+            # second oversized batch must bounce deterministically.
+            fleet._inflight = fleet.max_queue
+            with pytest.raises(ServerOverloadError):
+                fleet.submit_batch([0, 1, 2], [1, 2, 3])
+            fleet._inflight = 0
+            assert fleet.stats().overloads == 1
+        finally:
+            fleet.stop()
+
+    def test_submit_before_start_raises(self, built):
+        _, _, flat = built
+        fleet = ShardedQueryServer(
+            HubLabelOracle(flat, backend="flat"), processes=1
+        )
+        with pytest.raises(RuntimeError):
+            fleet.submit(0, 1)
+
+
+class TestLifecycle:
+    def test_stats_survive_shutdown(self, built):
+        graph, _, flat = built
+        fleet = ShardedQueryServer(
+            HubLabelOracle(flat, backend="flat"), processes=2
+        )
+        fleet.start()
+        for u in range(6):
+            fleet.submit(u, (u + 2) % graph.num_vertices).result()
+        fleet.submit(0, 2).result()  # repeat -> worker cache hit
+        fleet.stop()
+        stats = fleet.stats()
+        assert stats.requests == 7
+        assert stats.responses == 7
+        assert stats.batches >= 1
+        assert stats.cache_hits >= 1
+
+    def test_stop_is_idempotent_and_restartable(self, built):
+        _, _, flat = built
+        fleet = ShardedQueryServer(
+            HubLabelOracle(flat, backend="flat"), processes=1
+        )
+        fleet.start()
+        assert fleet.workers_alive() == 1
+        fleet.stop()
+        fleet.stop()
+        assert fleet.workers_alive() == 0
+
+    def test_health_report(self, server):
+        health = server.health()
+        assert isinstance(health, FleetHealth)
+        assert health.processes == 2
+        assert health.alive == 2
+        assert health.restarts == 0
+        assert health.ok
+
+    def test_worker_death_respawns_and_is_counted(
+        self, built, server, metrics_registry
+    ):
+        graph, labeling, _ = built
+        victim = server._workers[1].process
+        os.kill(victim.pid, signal.SIGKILL)
+        victim.join(timeout=10)
+        # Every pair keeps answering correctly across the respawn.
+        for u in range(10):
+            v = (u + 3) % graph.num_vertices
+            assert server.submit(u, v).result() == labeling.query(u, v)
+        health = server.health()
+        assert health.alive == 2
+        assert health.restarts == 1
+        assert not FleetHealth(
+            processes=2, alive=1, restarts=1, frames=(0, 0)
+        ).ok
+        assert metrics_registry.get(SERVE_WORKER_RESTARTS).value == 1
+        assert metrics_registry.get(SERVE_WORKERS_ALIVE).value == 2
+
+    def test_worker_batches_metric_labelled_by_slot(
+        self, built, server, metrics_registry
+    ):
+        for u in range(8):
+            server.submit(u, u + 1).result()
+        total = 0
+        for slot in range(server.processes):
+            counter = metrics_registry.get(
+                SERVE_WORKER_BATCHES, worker=str(slot)
+            )
+            if counter is not None:
+                total += counter.value
+        assert total == 8

@@ -31,6 +31,20 @@ value, unit, instance, seed}``) and exits non-zero when:
   ``G(2,1)`` the kernel itself is only ~2.8x the dict loop, so the
   floor would be unsatisfiable; they stay gated by the baseline
   ratio), or
+* the ``sharded_consistency`` suite reports mismatches (answers that
+  crossed a worker-process boundary as raw float64 frames must stay
+  byte-identical to the dict store's), or
+* the ``serving_throughput_sharded`` suite measured on the full
+  ``G(2,2)`` instance falls below ``--min-sharded-ratio`` (default
+  2.0) times the same file's ``serving_batch_throughput``: four
+  worker processes over the shared-memory store must beat the
+  single-process batch door by that factor outright, or the
+  process fan-out is not paying for its IPC.  Two principled
+  exemptions mirror the serving floor's: quick-instance runs (on
+  ``G(2,1)`` the frames are too small to amortize the pipe round
+  trip) and machines whose ``cores`` field is below the worker
+  count (process fan-out cannot beat one process without cores to
+  fan out onto; the entry still records the honest rate), or
 * the ``obs_overhead`` suite reports an instrumented/uninstrumented
   ratio above ``1 + --max-overhead`` (default 10%): the observability
   layer must stay out of the dict-backend query path's way.
@@ -71,8 +85,16 @@ def load(path: str) -> dict:
 FLOOR_INSTANCE = "G(2,2)"
 
 
+#: ``serving_throughput_sharded`` must be at least this multiple of the
+#: same file's ``serving_batch_throughput`` on :data:`FLOOR_INSTANCE`.
+MIN_SHARDED_RATIO = 2.0
+
+
 def self_check(
-    current: dict, max_overhead: float, min_serving_speedup: float = 5.0
+    current: dict,
+    max_overhead: float,
+    min_serving_speedup: float = 5.0,
+    min_sharded_ratio: float = MIN_SHARDED_RATIO,
 ) -> list:
     """Checks needing only the current file (no baseline)."""
     failures = []
@@ -93,6 +115,12 @@ def self_check(
         failures.append(
             f"serving_consistency: {serving['value']} answer(s) served "
             "through QueryServer differ from the dict store"
+        )
+    sharded = current.get("sharded_consistency")
+    if sharded and sharded.get("value"):
+        failures.append(
+            f"sharded_consistency: {sharded['value']} answer(s) served "
+            "through ShardedQueryServer differ from the dict store"
         )
     for suite in sorted(current):
         if not suite.startswith("graph_zoo."):
@@ -118,6 +146,36 @@ def self_check(
                 "batch-native serving path must beat the dict scalar "
                 "loop outright)"
             )
+    sharded_rate = current.get("serving_throughput_sharded")
+    single_rate = current.get("serving_batch_throughput")
+    if (
+        sharded_rate is not None
+        and single_rate is not None
+        and sharded_rate.get("instance") == FLOOR_INSTANCE
+        and single_rate.get("instance") == FLOOR_INSTANCE
+        and min_sharded_ratio > 0
+    ):
+        workers = int(sharded_rate.get("workers") or 0)
+        cores = int(sharded_rate.get("cores") or 0)
+        if workers and cores and cores < workers:
+            print(
+                f"note: serving_throughput_sharded ran {workers} "
+                f"workers on {cores} core(s); ratio floor not "
+                "applicable without cores to fan out onto"
+            )
+        else:
+            sharded_qps = float(sharded_rate.get("value") or 0.0)
+            single_qps = float(single_rate.get("value") or 0.0)
+            if single_qps > 0:
+                ratio = sharded_qps / single_qps
+                if ratio < min_sharded_ratio:
+                    failures.append(
+                        f"serving_throughput_sharded: {sharded_qps:.1f} "
+                        f"q/s is only {ratio:.2f}x the single-process "
+                        f"batch door ({single_qps:.1f} q/s) on "
+                        f"{FLOOR_INSTANCE}; the floor is "
+                        f"{min_sharded_ratio:.1f}x"
+                    )
     overhead = current.get("obs_overhead")
     if overhead is not None:
         ratio = float(overhead.get("value") or 0.0)
@@ -189,12 +247,25 @@ def main(argv=None) -> int:
         help="hard serving_speedup floor on the full instance "
         f"({FLOOR_INSTANCE} only; 0 disables; default 5.0)",
     )
+    parser.add_argument(
+        "--min-sharded-ratio",
+        type=float,
+        default=MIN_SHARDED_RATIO,
+        help="hard serving_throughput_sharded / serving_batch_throughput "
+        f"floor ({FLOOR_INSTANCE} only; 0 disables; default "
+        f"{MIN_SHARDED_RATIO})",
+    )
     args = parser.parse_args(argv)
     if not os.path.exists(args.current):
         print(f"bench gate: no current results at {args.current}; skipping")
         return 0
     current = load(args.current)
-    failures = self_check(current, args.max_overhead, args.min_serving_speedup)
+    failures = self_check(
+        current,
+        args.max_overhead,
+        args.min_serving_speedup,
+        args.min_sharded_ratio,
+    )
     gated = 0
     if os.path.exists(args.baseline):
         baseline = load(args.baseline)

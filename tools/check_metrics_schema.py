@@ -143,6 +143,44 @@ def run_workload() -> set:
         # The batch-native door: one ticket -> serve.batch_submissions.
         server.submit_batch([0, 2], [2, 3]).result(timeout=10)
         server.stop()
+
+        # Zero-copy label stores: export the flat store into a shared
+        # memory segment, attach a second reader, and verify it
+        # (shm.attaches / shm.bytes_mapped / shm.crc_checks with
+        # source=shm), then mmap the same envelope from disk
+        # (source=mmap).
+        from repro.core.io import flat_labeling_to_bytes
+        from repro.perf.flat import FlatHubLabeling
+        from repro.perf.shm import MappedLabelStore, SharedLabelStore
+        from repro.serve import ShardedQueryServer
+
+        flat = FlatHubLabeling.from_labeling(labeling)
+        store = SharedLabelStore.create(flat)
+        try:
+            reader = SharedLabelStore.attach(store.name)
+            reader.verify()
+            reader.close()
+        finally:
+            store.close()
+        with tempfile.TemporaryDirectory() as tmp:
+            artifact = os.path.join(tmp, "labels.bin")
+            with open(artifact, "wb") as handle:
+                handle.write(flat_labeling_to_bytes(flat))
+            mapped = MappedLabelStore(artifact)
+            mapped.verify()
+            mapped.close()
+
+        # The sharded door: one batch through a one-worker fleet emits
+        # serve.worker_batches / serve.workers_alive in the parent
+        # (serve.worker_restarts is pre-created at zero on start).
+        sharded = ShardedQueryServer(
+            HubLabelOracle(flat, backend="flat"), processes=1
+        )
+        sharded.start()
+        try:
+            sharded.submit_batch([0, 2], [2, 3]).result(timeout=10)
+        finally:
+            sharded.stop()
     return {metric.name for metric in registry.metrics()}
 
 
