@@ -1,7 +1,7 @@
 # Convenience targets.  The environment is offline: editable installs go
 # through setup.cfg (legacy path), never an isolated PEP-517 build.
 
-.PHONY: install test test-slow soak bench bench-full bench-tables build-bench serve-smoke shm-bench experiments examples coverage chaos stats schema corpus-check zoo-bench clean
+.PHONY: install test test-slow soak bench bench-full bench-tables build-bench serve-smoke shm-bench churn-bench experiments examples coverage chaos stats schema corpus-check zoo-bench clean
 
 install:
 	pip install -e .
@@ -78,6 +78,15 @@ schema:
 # The committed differential corpus must match its generators exactly.
 corpus-check:
 	python tools/gen_differential_corpus.py --check
+	python tools/gen_mutation_corpus.py --check
+
+# Dynamic-labeling churn: incremental repair graded against a full
+# rebuild (offline and per-op), then mutations hot-swapped into a
+# sharded server under live load, then the dynamic test file.
+churn-bench:
+	python -m repro mutate --generator sparse:100 --ops 16 --verify-each
+	python -m repro loadgen --generator sparse:200 --clients 4 --requests 400 --churn 16 --processes 2
+	pytest tests/test_dynamic.py
 
 examples:
 	python examples/quickstart.py

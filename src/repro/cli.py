@@ -469,11 +469,70 @@ def _cmd_serve(args) -> int:
     return 0 if report.ok else 1
 
 
+def _make_churn(server, graph, *, mutations, seed):
+    """A one-mutation-per-call closure for ``run_loadgen(churn=...)``.
+
+    Each call applies the next edit of a seeded kept-connected
+    :class:`MutationScript` through incremental repair, hot-swaps the
+    repaired labeling into ``server`` via ``set_oracle``, then grades a
+    handful of post-swap probes against the repaired labeling -- the
+    generation-keyed result cache means a probe submitted after the
+    swap can never see the old oracle, so a probe mismatch is a stale
+    or wrong answer and fails the run loudly.
+    """
+    import random as random_module
+
+    from .dynamic import DynamicHubLabeling, mutation_script
+    from .oracles.oracle import HubLabelOracle
+    from .runtime.errors import ServerOverloadError
+
+    script = list(
+        mutation_script(graph, mutations, seed=seed, keep_connected=True)
+    )
+    dyn = DynamicHubLabeling(graph)
+    probe_rng = random_module.Random(seed ^ 0x5EED)
+    n = graph.num_vertices
+    cursor = iter(script)
+
+    def churn():
+        try:
+            op, u, v, w = next(cursor)
+        except StopIteration:
+            return False
+        if op == "insert":
+            dyn.insert_edge(u, v, w)
+        else:
+            dyn.delete_edge(u, v)
+        server.set_oracle(HubLabelOracle(dyn.flat(), backend="flat"))
+        for _ in range(8):
+            a, b = probe_rng.randrange(n), probe_rng.randrange(n)
+            try:
+                got = server.query(a, b)
+            except ServerOverloadError:
+                continue  # saturated; the next probe retries admission
+            want = dyn.query(a, b)
+            if got != want or type(got) is not type(want):
+                raise RuntimeError(
+                    f"stale or wrong answer after hot swap "
+                    f"{dyn.mutations}: dist({a},{b}) = {got!r}, "
+                    f"want {want!r}"
+                )
+        return True
+
+    return churn
+
+
 def _cmd_loadgen(args) -> int:
     """Throughput mode: grading is opt-in (``--validate``)."""
     from .oracles.oracle import HubLabelOracle
     from .serve import run_loadgen
 
+    if args.churn and args.validate:
+        raise SystemExit(
+            "--validate grades against the initial labeling, which "
+            "--churn mutates away; churn runs grade their own "
+            "post-swap probes instead"
+        )
     graph, flat = _serve_labels(args)
     expected = None
     if args.validate:
@@ -481,6 +540,11 @@ def _cmd_loadgen(args) -> int:
         expected = lambda u, v: ground.query(u, v).distance  # noqa: E731
     server = _make_server(args, graph, flat)
     print(f"graph:    {graph}")
+    churn = None
+    if args.churn:
+        churn = _make_churn(
+            server, graph, mutations=args.churn, seed=args.seed
+        )
     with server:
         report = run_loadgen(
             server,
@@ -495,10 +559,90 @@ def _cmd_loadgen(args) -> int:
             zipf_s=args.zipf_s,
             hot_pairs=args.hot_pairs,
             hot_fraction=args.hot_fraction,
+            churn=churn,
+            churn_interval=args.churn_interval,
         )
     _print_server_summary(server, report)
     _maybe_write_metrics(args)
     return 0 if report.ok else 1
+
+
+def _cmd_mutate(args) -> int:
+    """Churn a graph through incremental label repair, graded."""
+    import random as random_module
+
+    from .core.orders import degree_order
+    from .dynamic import DynamicHubLabeling, mutation_script
+    from .perf.build import build_flat_labels
+
+    graph = _load_graph(args)
+    order = degree_order(graph)
+    cache = None
+    if args.cache_dir:
+        from .perf.cache import LabelCache
+
+        cache = LabelCache(args.cache_dir)
+    try:
+        dyn = DynamicHubLabeling(
+            graph,
+            order=order,
+            cache=cache,
+            rebuild_fraction=args.rebuild_fraction,
+            staleness_budget=args.staleness_budget,
+        )
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    script = mutation_script(
+        graph,
+        args.ops,
+        seed=args.seed,
+        keep_connected=not args.allow_disconnect,
+    )
+    inserts, deletes = script.counts()
+    print(f"graph:  {graph}")
+    print(
+        f"script: {len(script)} ops ({inserts} inserts, {deletes} "
+        f"deletes), seed={args.seed}, "
+        f"{'kept-connected' if not args.allow_disconnect else 'may disconnect'}"
+    )
+
+    def grade() -> int:
+        """Repaired answers vs a from-scratch rebuild, value AND type."""
+        reference = build_flat_labels(dyn.graph, list(order))
+        rng = random_module.Random(args.seed ^ 0xD15C0)
+        n = dyn.graph.num_vertices
+        pairs = [
+            (rng.randrange(n), rng.randrange(n))
+            for _ in range(args.verify_sample)
+        ]
+        bad = 0
+        for u, v in pairs:
+            got, want = dyn.query(u, v), reference.query(u, v)
+            if got != want or type(got) is not type(want):
+                bad += 1
+                if bad <= 5:
+                    print(
+                        f"  MISMATCH dist({u},{v}) = {got!r}, "
+                        f"want {want!r}"
+                    )
+        return bad
+
+    mismatches = 0
+    for report in dyn.apply(script):
+        print(report.render())
+        if args.verify_each:
+            mismatches += grade()
+    if not args.verify_each:
+        mismatches += grade()
+    print(f"graph after churn: {dyn.graph}")
+    print(f"staleness: {dyn.staleness:.3f} (budget {args.staleness_budget})")
+    verdict = "OK" if mismatches == 0 else "FAILED"
+    print(
+        f"repair vs rebuild: {mismatches} mismatch(es) over "
+        f"{args.verify_sample} sampled pair(s) -- {verdict}"
+    )
+    _maybe_write_metrics(args)
+    return 0 if mismatches == 0 else 1
 
 
 def _cmd_instance(args) -> int:
@@ -979,7 +1123,71 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also grade every answer against dict-backend ground truth",
     )
+    p_loadgen.add_argument(
+        "--churn", type=int, default=0, metavar="N",
+        help="mutate the served graph N times during the run, "
+        "hot-swapping the incrementally repaired labeling into the "
+        "live server and grading post-swap probes (incompatible "
+        "with --validate)",
+    )
+    p_loadgen.add_argument(
+        "--churn-interval", type=float, default=0.01, metavar="SECONDS",
+        help="pause between churn mutations (default 0.01)",
+    )
     p_loadgen.set_defaults(func=_cmd_loadgen)
+
+    p_mutate = sub.add_parser(
+        "mutate",
+        help="churn a graph through incremental label repair, graded "
+        "against a from-scratch rebuild",
+    )
+    p_mutate.add_argument("--graph", help="edge-list file (n m, then u v w)")
+    p_mutate.add_argument(
+        "--generator",
+        default="sparse:100",
+        help="KIND:N graph source (default sparse:100)",
+    )
+    p_mutate.add_argument("--seed", type=int, default=0)
+    p_mutate.add_argument(
+        "--ops", type=int, default=16, metavar="N",
+        help="mutations to apply (default 16)",
+    )
+    p_mutate.add_argument(
+        "--allow-disconnect",
+        action="store_true",
+        help="let deletions disconnect the graph (INF answers are "
+        "then graded too)",
+    )
+    p_mutate.add_argument(
+        "--rebuild-fraction", type=float, default=0.5, metavar="F",
+        help="fall back to a full rebuild when one mutation affects "
+        "more than this fraction of roots (default 0.5)",
+    )
+    p_mutate.add_argument(
+        "--staleness-budget", type=float, default=4.0, metavar="B",
+        help="accumulated affected-root fraction that forces a full "
+        "rebuild (default 4.0)",
+    )
+    p_mutate.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="serve full rebuilds from this label cache",
+    )
+    p_mutate.add_argument(
+        "--verify-sample", type=int, default=400, metavar="N",
+        help="sampled pairs graded against the rebuild (default 400)",
+    )
+    p_mutate.add_argument(
+        "--verify-each",
+        action="store_true",
+        help="grade after every mutation instead of once at the end",
+    )
+    p_mutate.add_argument(
+        "--metrics-out",
+        metavar="FILE",
+        help="dump the final metrics registry snapshot as JSON",
+    )
+    p_mutate.set_defaults(func=_cmd_mutate)
 
     p_bench = sub.add_parser(
         "bench", help="run the pinned performance suites"

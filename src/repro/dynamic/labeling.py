@@ -1,0 +1,402 @@
+"""Incremental PLL label repair for edge inserts and deletes.
+
+The repair algorithm is the same for both mutation kinds:
+
+1. **Detect** the affected hub roots with label queries against the
+   *pre-mutation* labeling.  An edge ``{u, v}`` of weight ``w`` lies on
+   some shortest path from root ``r`` iff ``d(r,u) + w == d(r,v)`` or
+   ``d(r,v) + w == d(r,u)`` (deletion can only disturb such roots); an
+   insert improves some distance from ``r`` iff ``d(r,u) + w < d(r,v)``
+   or ``d(r,v) + w < d(r,u)``.  Roots outside the affected set keep
+   every distance unchanged, so their label entries stay exact.
+2. **Invalidate**: remove every label entry whose hub is affected --
+   this covers all entries whose witness paths could have used the
+   edge.
+3. **Re-sweep**: re-run the pruned traversal from each affected root in
+   pinned-order rank, pruning only against hubs of strictly higher
+   rank (exactly the label state a static PLL sweep would see).
+
+The resulting labeling is *answer-identical* to a from-scratch PLL
+rebuild under the pinned order: all surviving and re-added entries are
+exact distances, and for any pair the highest-ranked vertex on a
+shortest path is either unaffected (its old entries survive and the
+static cover argument applies verbatim -- a pruning witness would be a
+higher-ranked vertex on a still-shortest path) or affected (its
+re-sweep replays the static sweep against exact entries).  The hub
+*sets* may differ from the canonical rebuild; the answers may not.
+
+Once a single mutation touches more than ``rebuild_fraction`` of the
+roots, or the accumulated affected fraction crosses
+``staleness_budget``, repair is abandoned for a full rebuild served
+through the optional :class:`~repro.perf.cache.LabelCache`.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..core.hublabel import HubLabeling
+from ..core.orders import degree_order
+from ..core.pll import pruned_landmark_labeling
+from ..graphs.graph import Graph
+from ..graphs.traversal import INF
+from ..obs.catalog import (
+    DYNAMIC_AFFECTED_ROOTS,
+    DYNAMIC_DELETES,
+    DYNAMIC_INSERTS,
+    DYNAMIC_LABELS_REPAIRED,
+    DYNAMIC_REBUILDS,
+    DYNAMIC_REPAIR_LATENCY_SECONDS,
+)
+from ..obs.registry import get_registry
+from ..obs.spans import span
+
+__all__ = ["DynamicHubLabeling", "RepairReport"]
+
+
+@dataclass
+class RepairReport:
+    """What one ``insert_edge`` / ``delete_edge`` call did."""
+
+    op: str
+    u: int
+    v: int
+    weight: int
+    affected_roots: int
+    labels_removed: int
+    labels_added: int
+    rebuilt: bool
+    seconds: float
+
+    def render(self) -> str:
+        how = "full rebuild" if self.rebuilt else "incremental repair"
+        return (
+            f"{self.op} {{{self.u}, {self.v}}} w={self.weight}: "
+            f"{how}, {self.affected_roots} affected roots, "
+            f"-{self.labels_removed}/+{self.labels_added} labels, "
+            f"{self.seconds * 1e3:.2f} ms"
+        )
+
+
+class DynamicHubLabeling:
+    """A hub labeling that tracks edge inserts and deletes on its graph.
+
+    The wrapper owns the graph it is given and mutates it in place;
+    callers observe the evolving graph through the :attr:`graph`
+    property.  The vertex order is pinned at construction (mutations
+    never change the vertex set, so it stays a valid permutation),
+    which keeps every repaired labeling comparable to
+    ``build_flat_labels(graph, order)`` on the mutated graph.
+
+    ``cache`` is an optional :class:`~repro.perf.cache.LabelCache`;
+    when the work budget forces a full rebuild it is served (and
+    persisted) through the cache, so revisiting a graph state is a
+    cache hit.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        order: Optional[List[int]] = None,
+        cache=None,
+        rebuild_fraction: float = 0.5,
+        staleness_budget: float = 4.0,
+    ) -> None:
+        if not 0.0 < rebuild_fraction <= 1.0:
+            raise ValueError("rebuild_fraction must be in (0, 1]")
+        if staleness_budget <= 0.0:
+            raise ValueError("staleness_budget must be positive")
+        self._graph = graph
+        self._order = list(order) if order is not None else degree_order(graph)
+        if sorted(self._order) != list(graph.vertices()):
+            raise ValueError("order must be a permutation of the vertices")
+        self._rank = [0] * graph.num_vertices
+        for position, vertex in enumerate(self._order):
+            self._rank[vertex] = position
+        self._cache = cache
+        self._rebuild_fraction = rebuild_fraction
+        self._staleness_budget = staleness_budget
+        self._staleness = 0.0
+        self._mutations = 0
+        self._labeling = self._build()
+        registry = get_registry()
+        if registry.enabled:
+            # Pre-create the rebuild counter so a churn run that never
+            # exceeds its budget still exposes dynamic.rebuilds = 0.
+            registry.counter(DYNAMIC_REBUILDS)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The live (mutating) graph. Mutate it only through this class."""
+        return self._graph
+
+    @property
+    def labeling(self) -> HubLabeling:
+        """The current repaired labeling (do not mutate)."""
+        return self._labeling
+
+    @property
+    def order(self) -> List[int]:
+        """The pinned vertex order (a copy)."""
+        return list(self._order)
+
+    @property
+    def mutations(self) -> int:
+        """Edge edits applied so far."""
+        return self._mutations
+
+    @property
+    def staleness(self) -> float:
+        """Accumulated affected-root fraction since the last full build."""
+        return self._staleness
+
+    def query(self, u: int, v: int) -> float:
+        """Exact distance on the mutated graph (``INF`` if disconnected)."""
+        return self._labeling.query(u, v)
+
+    def flat(self):
+        """A :class:`FlatHubLabeling` snapshot of the current labeling.
+
+        This is the hot-swap currency: hand it to
+        ``QueryServer.set_oracle`` / ``ShardedQueryServer.set_oracle``
+        wrapped in a fresh oracle.
+        """
+        from ..perf.flat import FlatHubLabeling
+
+        return FlatHubLabeling.from_labeling(self._labeling)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert_edge(self, u: int, v: int, weight: int = 1) -> RepairReport:
+        """Add edge ``{u, v}`` and repair the labeling incrementally.
+
+        Raises ``ValueError`` if the edge is already present (parallel
+        edges are not stored, so a duplicate insert is almost always a
+        script bug) and propagates ``add_edge``'s validation errors.
+        """
+        if self._graph.has_edge(u, v):
+            raise ValueError(f"edge {{{u}, {v}}} already present")
+        started = time.perf_counter()
+        with span("dynamic.repair"):
+            affected = self._affected_roots_insert(u, v, weight)
+            self._graph.add_edge(u, v, weight)
+            removed, added, rebuilt = self._repair_or_rebuild(affected)
+        return self._report(
+            "insert", u, v, weight, affected, removed, added, rebuilt,
+            time.perf_counter() - started, DYNAMIC_INSERTS,
+        )
+
+    def delete_edge(self, u: int, v: int) -> RepairReport:
+        """Remove edge ``{u, v}`` and repair the labeling incrementally.
+
+        Raises ``KeyError`` if the edge is absent.
+        """
+        weight = self._graph.edge_weight(u, v)
+        if weight is None:
+            raise KeyError(f"edge {{{u}, {v}}} not present")
+        started = time.perf_counter()
+        with span("dynamic.repair"):
+            affected = self._affected_roots_delete(u, v, weight)
+            self._graph.remove_edge(u, v)
+            removed, added, rebuilt = self._repair_or_rebuild(affected)
+        return self._report(
+            "delete", u, v, weight, affected, removed, added, rebuilt,
+            time.perf_counter() - started, DYNAMIC_DELETES,
+        )
+
+    def apply(self, script) -> List[RepairReport]:
+        """Apply a :class:`~repro.dynamic.mutations.MutationScript`."""
+        reports = []
+        for op, u, v, weight in script:
+            if op == "insert":
+                reports.append(self.insert_edge(u, v, weight))
+            elif op == "delete":
+                reports.append(self.delete_edge(u, v))
+            else:
+                raise ValueError(f"unknown mutation op {op!r}")
+        return reports
+
+    # ------------------------------------------------------------------
+    # Repair internals
+    # ------------------------------------------------------------------
+    def _affected_roots_insert(self, u: int, v: int, weight: int) -> List[int]:
+        """Roots whose distances the new edge improves (pre-insert view)."""
+        affected = []
+        labeling = self._labeling
+        for r in self._graph.vertices():
+            du = labeling.query(r, u)
+            dv = labeling.query(r, v)
+            if du + weight < dv or dv + weight < du:
+                affected.append(r)
+        return affected
+
+    def _affected_roots_delete(self, u: int, v: int, weight: int) -> List[int]:
+        """Roots with some shortest path through ``{u, v}`` (pre-delete)."""
+        affected = []
+        labeling = self._labeling
+        for r in self._graph.vertices():
+            du = labeling.query(r, u)
+            if du == INF:
+                # The edge exists, so u and v share a component; a root
+                # that cannot reach u cannot route anything through it.
+                continue
+            dv = labeling.query(r, v)
+            if du + weight == dv or dv + weight == du:
+                affected.append(r)
+        return affected
+
+    def _repair_or_rebuild(self, affected: List[int]):
+        n = self._graph.num_vertices
+        fraction = len(affected) / n if n else 0.0
+        self._mutations += 1
+        self._staleness += fraction
+        if (
+            fraction > self._rebuild_fraction
+            or self._staleness >= self._staleness_budget
+        ):
+            before = self._labeling.total_size()
+            self._labeling = self._build()
+            self._staleness = 0.0
+            return before, self._labeling.total_size(), True
+        removed = self._invalidate(affected)
+        added = self._resweep(affected)
+        return removed, added, False
+
+    def _invalidate(self, affected: List[int]) -> int:
+        """Drop every entry whose hub is affected; return the count."""
+        labeling = self._labeling
+        affected_set = set(affected)
+        removed = 0
+        for x in self._graph.vertices():
+            hubs = labeling.hubs(x)
+            stale = [h for h in hubs if h in affected_set]
+            for h in stale:
+                labeling.discard_hub(x, h)
+            removed += len(stale)
+        return removed
+
+    def _resweep(self, affected: List[int]) -> int:
+        """Static-semantics pruned sweeps from the affected roots."""
+        labeling = self._labeling
+        rank = self._rank
+        sweep = (
+            _ranked_pruned_dijkstra
+            if self._graph.is_weighted
+            else _ranked_pruned_bfs
+        )
+        added = 0
+        for root in sorted(affected, key=rank.__getitem__):
+            added += sweep(self._graph, root, labeling, rank)
+        return added
+
+    def _build(self) -> HubLabeling:
+        if self._cache is not None:
+            return self._cache.load_or_build(
+                self._graph, list(self._order)
+            ).to_labeling()
+        return pruned_landmark_labeling(self._graph, list(self._order))
+
+    def _report(
+        self, op, u, v, weight, affected, removed, added, rebuilt,
+        seconds, op_metric,
+    ) -> RepairReport:
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter(op_metric).inc()
+            registry.gauge(DYNAMIC_AFFECTED_ROOTS).set(len(affected))
+            registry.counter(DYNAMIC_LABELS_REPAIRED).inc(removed + added)
+            registry.histogram(DYNAMIC_REPAIR_LATENCY_SECONDS).observe(seconds)
+            if rebuilt:
+                registry.counter(DYNAMIC_REBUILDS).inc()
+        return RepairReport(
+            op=op, u=u, v=v, weight=weight,
+            affected_roots=len(affected),
+            labels_removed=removed, labels_added=added,
+            rebuilt=rebuilt, seconds=seconds,
+        )
+
+
+def _ranked_pruned_bfs(
+    graph: Graph, root: int, labeling: HubLabeling, rank: List[int]
+) -> int:
+    """Pruned BFS from ``root``, pruning only on higher-ranked hubs.
+
+    Unlike the static sweep, the labeling already holds entries for
+    hubs of *lower* rank than ``root``; counting those in the pruning
+    test would break the cover property, so coverage is restricted to
+    hubs ``h`` with ``rank[h] < rank[root]`` -- exactly the label state
+    the static sweep would have seen.  Returns the number of entries
+    added.
+    """
+    limit = rank[root]
+    dist: List[float] = [INF] * graph.num_vertices
+    dist[root] = 0
+    queue = deque([root])
+    root_label = labeling.hubs(root)
+    added = 0
+    while queue:
+        u = queue.popleft()
+        d = dist[u]
+        if _covered_below_rank(root_label, labeling.hubs(u), d, rank, limit):
+            continue
+        labeling.add_hub(u, root, d)
+        added += 1
+        for v, _ in graph.neighbors(u):
+            if dist[v] == INF:
+                dist[v] = d + 1
+                queue.append(v)
+    return added
+
+
+def _ranked_pruned_dijkstra(
+    graph: Graph, root: int, labeling: HubLabeling, rank: List[int]
+) -> int:
+    """Weighted analogue of :func:`_ranked_pruned_bfs`."""
+    limit = rank[root]
+    dist: List[float] = [INF] * graph.num_vertices
+    dist[root] = 0
+    heap = [(0, root)]
+    root_label = labeling.hubs(root)
+    added = 0
+    while heap:
+        d, u = heapq.heappop(heap)
+        if d > dist[u]:
+            continue
+        if _covered_below_rank(root_label, labeling.hubs(u), d, rank, limit):
+            continue
+        labeling.add_hub(u, root, d)
+        added += 1
+        for v, w in graph.neighbors(u):
+            nd = d + w
+            if nd < dist[v]:
+                dist[v] = nd
+                heapq.heappush(heap, (nd, v))
+    return added
+
+
+def _covered_below_rank(
+    root_label: Dict[int, float],
+    u_label: Dict[int, float],
+    d: float,
+    rank: List[int],
+    limit: int,
+) -> bool:
+    """True if hubs ranked above ``limit`` already certify ``<= d``."""
+    if len(root_label) > len(u_label):
+        root_label, u_label = u_label, root_label
+    for hub, dr in root_label.items():
+        if rank[hub] >= limit:
+            continue
+        du = u_label.get(hub)
+        if du is not None and dr + du <= d:
+            return True
+    return False

@@ -1,0 +1,156 @@
+"""Seeded edge-mutation scripts for dynamic-graph harnesses.
+
+Scripts are the shared currency of the churn tooling: the differential
+mutation corpus, the hypothesis repair-vs-rebuild properties, the soak
+harness, and the ``mutate`` CLI verb all replay the same
+:class:`MutationScript` objects.
+
+The generator follows the same convention as
+:mod:`repro.graphs.generators`: ``seed`` is keyword-only with default
+``0``, all randomness comes from one ``random.Random(seed)`` instance,
+and the process-global RNG is never touched, so a ``(graph, seed)``
+pair pins an edit sequence forever.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Tuple
+
+from ..graphs.graph import Graph
+
+__all__ = ["MutationScript", "mutation_script", "apply_script"]
+
+#: One edit: ``(op, u, v, weight)`` with ``op`` in {"insert", "delete"}.
+#: ``weight`` records the deleted weight for deletes (for round-trips).
+Mutation = Tuple[str, int, int, int]
+
+
+@dataclass
+class MutationScript:
+    """A replayable edge-edit sequence for one starting graph."""
+
+    ops: Tuple[Mutation, ...]
+    seed: int = 0
+    keep_connected: bool = True
+    description: str = field(default="")
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __iter__(self) -> Iterator[Mutation]:
+        return iter(self.ops)
+
+    def counts(self) -> Tuple[int, int]:
+        """``(inserts, deletes)`` in the script."""
+        inserts = sum(1 for op, *_ in self.ops if op == "insert")
+        return inserts, len(self.ops) - inserts
+
+
+def mutation_script(
+    graph: Graph,
+    ops: int = 16,
+    *,
+    seed: int = 0,
+    keep_connected: bool = True,
+    insert_fraction: float = 0.5,
+) -> MutationScript:
+    """A seeded, valid insert/delete sequence against ``graph``.
+
+    The script is generated against a scratch copy, so every delete
+    names an edge that exists and every insert names a non-edge *at its
+    point in the sequence*.  With ``keep_connected=True`` a delete that
+    would split the component containing its endpoints is discarded and
+    redrawn (the "kept-connected" variant -- distances stay finite if
+    they started finite); with ``keep_connected=False`` any existing
+    edge may go, so scripts exercise the ``INF`` answer path too.
+
+    All randomness comes from a single ``random.Random(seed)``; the
+    global RNG is untouched.  Inserted weights are 1 on unweighted
+    graphs and uniform in ``1..8`` on weighted ones.
+    """
+    if ops < 0:
+        raise ValueError("ops must be non-negative")
+    if not 0.0 <= insert_fraction <= 1.0:
+        raise ValueError("insert_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+    scratch = graph.copy()
+    n = scratch.num_vertices
+    script: List[Mutation] = []
+    for _ in range(ops):
+        want_insert = rng.random() < insert_fraction
+        edit = None
+        if want_insert:
+            edit = _draw_insert(scratch, rng, n)
+            if edit is None:
+                edit = _draw_delete(scratch, rng, keep_connected)
+        else:
+            edit = _draw_delete(scratch, rng, keep_connected)
+            if edit is None:
+                edit = _draw_insert(scratch, rng, n)
+        if edit is None:
+            break  # graph is complete or edgeless and stuck
+        script.append(edit)
+    return MutationScript(
+        ops=tuple(script), seed=seed, keep_connected=keep_connected
+    )
+
+
+def apply_script(graph: Graph, script: MutationScript) -> Graph:
+    """Replay ``script`` onto ``graph`` in place (and return it)."""
+    for op, u, v, weight in script:
+        if op == "insert":
+            graph.add_edge(u, v, weight)
+        elif op == "delete":
+            graph.remove_edge(u, v)
+        else:
+            raise ValueError(f"unknown mutation op {op!r}")
+    return graph
+
+
+def _draw_insert(scratch: Graph, rng, n: int) -> "Mutation | None":
+    """A random non-edge, or None if the graph is (nearly) complete."""
+    if n < 2:
+        return None
+    for _ in range(64):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or scratch.has_edge(u, v):
+            continue
+        weight = rng.randint(1, 8) if scratch.is_weighted else 1
+        scratch.add_edge(u, v, weight)
+        return ("insert", min(u, v), max(u, v), weight)
+    return None
+
+
+def _draw_delete(scratch: Graph, rng, keep_connected: bool) -> "Mutation | None":
+    """A random deletable edge, or None if none qualifies."""
+    edges = list(scratch.edges())
+    rng.shuffle(edges)
+    for u, v, weight in edges[:64]:
+        scratch.remove_edge(u, v)
+        if keep_connected and not _still_reaches(scratch, u, v):
+            scratch.add_edge(u, v, weight)
+            continue
+        return ("delete", u, v, weight)
+    return None
+
+
+def _still_reaches(graph: Graph, u: int, v: int) -> bool:
+    """BFS reachability check after a tentative delete."""
+    if u == v:
+        return True
+    seen = {u}
+    frontier = [u]
+    while frontier:
+        nxt = []
+        for x in frontier:
+            for y, _ in graph.neighbors(x):
+                if y == v:
+                    return True
+                if y not in seen:
+                    seen.add(y)
+                    nxt.append(y)
+        frontier = nxt
+    return False

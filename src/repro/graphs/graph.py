@@ -85,6 +85,24 @@ class Graph:
         if weight != 1:
             self._weighted = True
 
+    def remove_edge(self, u: int, v: int) -> int:
+        """Remove the undirected edge ``{u, v}`` and return its weight.
+
+        Raises ``KeyError`` if the edge is absent.  ``is_weighted`` stays
+        conservatively ``True`` even if the last non-unit edge is removed
+        (it only gates which traversal is used, and Dijkstra remains
+        correct on unit weights).
+        """
+        self._check_vertex(u)
+        self._check_vertex(v)
+        weight = self.edge_weight(u, v)
+        if weight is None:
+            raise KeyError(f"edge {{{u}, {v}}} not present")
+        self._adj[u] = [pair for pair in self._adj[u] if pair[0] != v]
+        self._adj[v] = [pair for pair in self._adj[v] if pair[0] != u]
+        self._num_edges -= 1
+        return weight
+
     def _set_weight(self, u: int, v: int, weight: int) -> None:
         row = self._adj[u]
         for i, (w, _) in enumerate(row):

@@ -65,6 +65,14 @@ SERVE_OVERLOADS = "serve.overloads"
 SERVE_WORKER_BATCHES = "serve.worker_batches"
 SERVE_WORKER_RESTARTS = "serve.worker_restarts"
 SERVE_WORKERS_ALIVE = "serve.workers_alive"
+SERVE_GENERATION = "serve.generation"
+
+DYNAMIC_INSERTS = "dynamic.inserts"
+DYNAMIC_DELETES = "dynamic.deletes"
+DYNAMIC_REBUILDS = "dynamic.rebuilds"
+DYNAMIC_AFFECTED_ROOTS = "dynamic.affected_roots"
+DYNAMIC_LABELS_REPAIRED = "dynamic.labels_repaired"
+DYNAMIC_REPAIR_LATENCY_SECONDS = "dynamic.repair_latency_seconds"
 
 SHM_ATTACHES = "shm.attaches"
 SHM_BYTES_MAPPED = "shm.bytes_mapped"
@@ -241,6 +249,38 @@ _SPECS = (
         SERVE_WORKERS_ALIVE, "gauge", (),
         "live worker processes behind ShardedQueryServer, updated on "
         "start, respawn, death, and stop",
+    ),
+    MetricSpec(
+        SERVE_GENERATION, "gauge", (),
+        "monotone oracle-swap sequence number of a query server "
+        "(0 at start, +1 per set_oracle; hot-swap tests assert it "
+        "only ever grows)",
+    ),
+    MetricSpec(
+        DYNAMIC_INSERTS, "counter", (),
+        "per DynamicHubLabeling.insert_edge call",
+    ),
+    MetricSpec(
+        DYNAMIC_DELETES, "counter", (),
+        "per DynamicHubLabeling.delete_edge call",
+    ),
+    MetricSpec(
+        DYNAMIC_REBUILDS, "counter", (),
+        "per mutation escalated to a full rebuild by the staleness/"
+        "work budget (created at 0 at construction)",
+    ),
+    MetricSpec(
+        DYNAMIC_AFFECTED_ROOTS, "gauge", (),
+        "hub roots invalidated by the most recent mutation",
+    ),
+    MetricSpec(
+        DYNAMIC_LABELS_REPAIRED, "counter", (),
+        "label entries removed plus re-added across incremental repairs",
+    ),
+    MetricSpec(
+        DYNAMIC_REPAIR_LATENCY_SECONDS, "histogram", (),
+        "wall time of each mutation's repair (rebuild fallbacks "
+        "included)",
     ),
     MetricSpec(
         SHM_ATTACHES, "counter", ("source",),

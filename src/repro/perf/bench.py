@@ -68,7 +68,19 @@ instance, seed}``.  The suites:
   ratio of the dict-backend ``HubLabelOracle.query`` loop (the
   uninstrumented side runs under a disabled
   :class:`~repro.obs.registry.NullRegistry`); ``tools/bench_gate.py``
-  fails the gate above 1.10.
+  fails the gate above 1.10;
+* ``update_latency``         -- insert/delete round trips through
+  :class:`~repro.dynamic.DynamicHubLabeling`'s incremental repair on a
+  scratch copy of the instance (budgets opened wide, so the number is
+  pure repair, never the rebuild fallback);
+* ``qps_under_churn``        -- a concurrent loadgen round against a
+  ``QueryServer`` while a churn thread mutates the graph and hot-swaps
+  the repaired labeling in via ``set_oracle`` (the row carries the
+  mutation count that landed inside the timed window);
+* ``churn_consistency``      -- after the churn traffic, the
+  incrementally maintained labeling graded against a from-scratch
+  ``build_flat_labels`` rebuild over the full workload, value AND type
+  (must be 0; ``tools/bench_gate.py`` fails on any mismatch).
 
 The workload is source-rooted -- ``num_sources`` sampled roots paired
 with every vertex -- matching how verification and construction actually
@@ -661,6 +673,119 @@ def run_bench(
         "overhead", round(overhead, 4), "x", pairs=len(dict_pairs)
     )
 
+    # Dynamic label repair: an insert/delete round trip on a scratch
+    # copy of the pinned instance through DynamicHubLabeling.  The
+    # edge is a distance-2 shortcut (so the affected-root set is
+    # realistic, not the whole graph) and deleting it restores the
+    # original graph, which makes the round trip repeatable.  The
+    # budgets are opened wide so the suite times *incremental repair*,
+    # never the full-rebuild fallback.
+    from ..dynamic import DynamicHubLabeling
+    from ..serve import run_loadgen
+
+    dyn = DynamicHubLabeling(
+        graph.copy(),
+        order=order,
+        rebuild_fraction=1.0,
+        staleness_budget=float("inf"),
+    )
+    cu, cv = next(
+        (u, b)
+        for u in range(n)
+        for a, _ in graph.neighbors(u)
+        for b, _ in graph.neighbors(a)
+        if b != u and graph.edge_weight(u, b) is None
+    )
+
+    def update_round_trip():
+        dyn.insert_edge(cu, cv)
+        dyn.delete_edge(cu, cv)
+
+    update_time = _best_time(update_round_trip, repeats, suite="update_latency")
+    update_rate = 2.0 / update_time if update_time > 0 else 0.0
+    results["update_latency"] = entry(
+        "throughput",
+        round(update_rate, 1),
+        "updates/s",
+        ops=2,
+        edge=[cu, cv],
+    )
+
+    # Serving throughput while the graph churns underneath: a loadgen
+    # round against a QueryServer whose labeling is mutated and
+    # hot-swapped (set_oracle) by the churn thread -- admission,
+    # batching, generation-keyed cache rekeying, and the swap cost all
+    # land inside the timed region.
+    churn_state = {"present": False}
+    churn_holder: Dict[str, object] = {}
+
+    def serving_churn_round():
+        with QueryServer(
+            HubLabelOracle(dyn.flat(), backend="flat"),
+            max_queue=4 * serve_clients * serve_window,
+            max_batch=serve_window,
+            max_delay=0.001,
+            cache_size=0,
+        ) as churn_server:
+
+            def churn():
+                if churn_state["present"]:
+                    dyn.delete_edge(cu, cv)
+                else:
+                    dyn.insert_edge(cu, cv)
+                churn_state["present"] = not churn_state["present"]
+                churn_server.set_oracle(
+                    HubLabelOracle(dyn.flat(), backend="flat")
+                )
+                return True
+
+            churn_holder["report"] = run_loadgen(
+                churn_server,
+                n,
+                clients=serve_clients,
+                requests_per_client=max(1, len(dict_pairs) // serve_clients),
+                seed=seed,
+                batch_size=serve_window,
+                churn=churn,
+                churn_interval=0.0,
+            )
+
+    churn_time = _best_time(serving_churn_round, 1, suite="qps_under_churn")
+    churn_report = churn_holder["report"]
+    churn_qps = churn_report.requests / churn_time if churn_time > 0 else 0.0
+    results["qps_under_churn"] = entry(
+        "throughput",
+        round(churn_qps, 1),
+        "queries/s",
+        pairs=churn_report.requests,
+        clients=serve_clients,
+        mutations=churn_report.mutations,
+        dropped=churn_report.dropped,
+    )
+    if churn_state["present"]:  # leave the scratch graph at the original
+        dyn.delete_edge(cu, cv)
+
+    # Churn consistency: after all that repair traffic, the
+    # incrementally maintained labeling must still answer the full
+    # workload identically (value AND type) to a from-scratch rebuild
+    # on the same pinned order -- tools/bench_gate.py fails on any
+    # mismatch, exactly like the other consistency rows.
+    rebuilt = build_flat_labels(dyn.graph, list(order))
+    dyn_query = dyn.query
+    churn_wrong = sum(
+        1
+        for u, v in pairs
+        if dyn_query(u, v) != rebuilt.query(u, v)
+        or type(dyn_query(u, v)) is not type(rebuilt.query(u, v))
+    )
+    results["churn_consistency"] = entry(
+        "mismatches",
+        churn_wrong,
+        "pairs",
+        pairs=len(pairs),
+        mutations=dyn.mutations,
+    )
+
     # Mirror every timing that backs a JSON value into the registry --
     # same floats, so the two views cannot disagree.
     registry = get_registry()
@@ -678,6 +803,8 @@ def run_bench(
             "serving_throughput_sharded": sharded_time,
             "sssp_rows": rows_time,
             "obs_overhead": instrumented_time,
+            "update_latency": update_time,
+            "qps_under_churn": churn_time,
         }
         for suite_name, duration in durations.items():
             registry.gauge(

@@ -136,6 +136,7 @@ class LoadReport:
     dropped: int = 0           # requests rejected even after retries
     retries: int = 0           # overload retries that eventually succeeded
     errors: int = 0            # queries resolved with an exception
+    mutations: int = 0         # churn mutations applied during the run
     duration_s: float = 0.0
     mismatches: List[Tuple[int, int, object, object]] = field(
         default_factory=list
@@ -160,6 +161,7 @@ class LoadReport:
             f"retries:    {self.retries}",
             f"dropped:    {self.dropped}",
             f"errors:     {self.errors}",
+            f"mutations:  {self.mutations}",
             f"wrong:      {self.wrong}",
             f"verdict:    {'OK' if self.ok else 'FAILED'}",
         ]
@@ -185,6 +187,8 @@ def run_loadgen(
     zipf_s: float = 1.1,
     hot_pairs: int = 16,
     hot_fraction: float = 0.9,
+    churn: Optional[Callable[[], object]] = None,
+    churn_interval: float = 0.01,
 ) -> LoadReport:
     """Fire a concurrent random-pair workload at ``server``.
 
@@ -203,6 +207,20 @@ def run_loadgen(
     ``hot_fraction`` knobs) selects the pair stream via
     :func:`make_pair_sampler`; passing an explicit ``sampler`` callable
     overrides it entirely.
+
+    ``churn`` turns the run into a live-mutation harness: the callable
+    is invoked repeatedly (every ``churn_interval`` seconds) from one
+    dedicated mutator thread while the client threads fire.  Each call
+    is expected to perform one graph mutation and hot-swap the repaired
+    labeling into ``server`` via ``set_oracle``; returning ``False``
+    stops the churn early (such a call is treated as having mutated
+    nothing), any other return keeps it going until the clients
+    finish.  Mutating calls are tallied in
+    ``LoadReport.mutations``; an exception from the callable fails the
+    whole run loudly (it re-raises after the clients drain).  Note that
+    a static ``expected`` callable grades stale under churn -- grade
+    from inside the churn callable (probe after the swap) or hand in a
+    generation-aware one.
     """
     if num_vertices < 1:
         raise ValueError("num_vertices must be positive")
@@ -304,10 +322,38 @@ def run_loadgen(
         threading.Thread(target=client, args=(i,), name=f"loadgen-{i}")
         for i in range(clients)
     ]
+    stop_churn = threading.Event()
+    churn_failure: List[BaseException] = []
+
+    def mutator() -> None:
+        while not stop_churn.is_set():
+            try:
+                more = churn()
+            except BaseException as exc:  # re-raised after the drain
+                churn_failure.append(exc)
+                return
+            if more is False:  # "no more work": nothing mutated this call
+                return
+            with lock:
+                report.mutations += 1
+            stop_churn.wait(churn_interval)
+
+    mutator_thread = (
+        threading.Thread(target=mutator, name="loadgen-churn")
+        if churn is not None
+        else None
+    )
     start = time.perf_counter()
     for thread in threads:
         thread.start()
+    if mutator_thread is not None:
+        mutator_thread.start()
     for thread in threads:
         thread.join()
+    if mutator_thread is not None:
+        stop_churn.set()
+        mutator_thread.join()
     report.duration_s = time.perf_counter() - start
+    if churn_failure:
+        raise churn_failure[0]
     return report

@@ -79,6 +79,7 @@ from ..obs.catalog import (
     SERVE_CACHE_HITS,
     SERVE_CACHE_MISSES,
     SERVE_COALESCE_WIDTH,
+    SERVE_GENERATION,
     SERVE_OVERLOADS,
     SERVE_QUEUE_DEPTH,
     SERVE_REQUESTS,
@@ -313,6 +314,7 @@ class QueryServer:
         self._pairs_native = np is not None and bool(
             getattr(oracle, "accepts_pair_arrays", False)
         )
+        self._generation_seq = 0
         self._cache.rekey(self._generation)
         self._accepting = False
         self._stopping = False
@@ -353,6 +355,9 @@ class QueryServer:
             ]
             for thread in self._threads:
                 thread.start()
+            obs = self._bind_obs()
+            if obs is not None:
+                obs.generation.set(self._generation_seq)
         return self
 
     def stop(self, *, drain: bool = True) -> None:
@@ -647,6 +652,11 @@ class QueryServer:
         """The result cache's current generation token."""
         return self._generation
 
+    @property
+    def generation_seq(self) -> int:
+        """Monotone swap counter: 0 at construction, +1 per set_oracle."""
+        return self._generation_seq
+
     def set_oracle(self, oracle) -> bool:
         """Swap the serving oracle; True if the result cache was cleared.
 
@@ -655,6 +665,8 @@ class QueryServer:
         re-keys it, and answers still in flight from the old oracle are
         dropped by the generation guard rather than cached stale.  The
         generation token is computed here, once, outside the swap lock.
+        Every swap bumps the monotone ``serve.generation`` gauge (hot
+        swaps are observable and provably ordered).
         """
         generation = _generation_for(oracle, content=self._cache_on)
         key_base = _key_base_for(oracle)
@@ -666,7 +678,13 @@ class QueryServer:
             self._generation = generation
             self._key_base = key_base
             self._pairs_native = pairs_native
-            return self._cache.rekey(generation)
+            self._generation_seq += 1
+            seq = self._generation_seq
+            cleared = self._cache.rekey(generation)
+        obs = self._bind_obs()
+        if obs is not None:
+            obs.generation.set(seq)
+        return cleared
 
     # ------------------------------------------------------------------
     # Introspection
@@ -928,6 +946,7 @@ class _ServeInstruments:
         "cache_hits",
         "cache_misses",
         "overloads",
+        "generation",
         "_shard_gauges",
     )
 
@@ -945,6 +964,7 @@ class _ServeInstruments:
         self.cache_hits = registry.counter(SERVE_CACHE_HITS)
         self.cache_misses = registry.counter(SERVE_CACHE_MISSES)
         self.overloads = registry.counter(SERVE_OVERLOADS)
+        self.generation = registry.gauge(SERVE_GENERATION)
         self._shard_gauges = tuple(
             registry.gauge(SERVE_SHARD_DEPTH, shard=str(index))
             for index in range(num_shards)

@@ -55,6 +55,7 @@ except ImportError:  # pragma: no cover
 
 from ..obs.catalog import (
     SERVE_COALESCE_WIDTH,
+    SERVE_GENERATION,
     SERVE_WORKER_BATCHES,
     SERVE_WORKER_RESTARTS,
     SERVE_WORKERS_ALIVE,
@@ -348,6 +349,8 @@ class ShardedQueryServer:
             "overloads": 0,
         }
         self._restarts = 0
+        self._generation_seq = 0
+        self._source: Optional[Tuple[str, str]] = None
         self._final_worker_stats = {name: 0 for name in _STATS_FIELDS}
         self._width_hist = Histogram(
             SERVE_COALESCE_WIDTH, (), WIDTH_BUCKETS
@@ -378,6 +381,7 @@ class ShardedQueryServer:
             if obs is not None:
                 obs[1].inc(0)  # restarts visible at 0 from the start
                 obs[2].set(self.processes)
+                obs[3].set(self._generation_seq)
         return self
 
     def _spawn(self, source) -> _Worker:
@@ -438,6 +442,83 @@ class ShardedQueryServer:
             obs = self._bind_obs()
             if obs is not None:
                 obs[2].set(0)
+
+    def set_oracle(self, source) -> None:
+        """Hot-swap the fleet onto a new labeling without stale answers.
+
+        ``source`` is anything the constructor accepts (an oracle, a
+        labeling, or a flat store).  The new flat store is copied into
+        a **fresh** shared-memory segment, then each worker slot is
+        replaced one at a time: acquiring the slot lock drains any
+        frame in flight on it, the old worker gets the shutdown
+        handshake, and a new worker attaches the new segment (the
+        slot's lock object survives, so concurrent submitters simply
+        queue behind the swap).  The old segment is unlinked last.
+
+        Consistency matches the in-process door: a frame is answered
+        entirely by whichever labeling its worker held -- never a mix
+        -- and every call admitted after ``set_oracle`` returns is
+        answered by the new labeling (each worker's result cache is
+        generation-keyed off its store digest, so no cached answer
+        crosses the swap).  The monotone ``serve.generation`` gauge
+        bumps once per swap.
+
+        When the fleet is not running, the swap just replaces the
+        pending store; the next ``start()`` serves it.
+        """
+        flat = _flat_store_of(source)
+        with self._lifecycle:
+            self._flat = flat
+            self._oracle = (
+                source
+                if getattr(source, "labeling", None) is not None
+                else None
+            )
+            self._n = flat.num_vertices
+            # A swap always serves from a fresh segment; a stale
+            # artifact path must not win on a later start()/respawn.
+            self._artifact_path = None
+            self._generation_seq += 1
+            if not self._running:
+                return
+            from ..perf.shm import SharedLabelStore
+
+            old_store = self._store
+            self._store = SharedLabelStore.create(flat)
+            wire = ("shm", self._store.name)
+            self._source = wire
+            for slot in range(len(self._workers)):
+                worker = self._workers[slot]
+                with worker.lock:  # serializes behind in-flight frames
+                    polled = self._poll_stats_locked(worker)
+                    if polled is not None:
+                        for name, value in polled.items():
+                            self._final_worker_stats[name] += value
+                    try:
+                        worker.conn.send_bytes(bytes((_OP_SHUTDOWN,)))
+                        if worker.conn.poll(_LIFECYCLE_TIMEOUT):
+                            worker.conn.recv_bytes()
+                    except (BrokenPipeError, EOFError, OSError):
+                        pass  # already dead; join below
+                    worker.process.join(_LIFECYCLE_TIMEOUT)
+                    if worker.process.is_alive():  # pragma: no cover
+                        worker.process.terminate()
+                        worker.process.join(_LIFECYCLE_TIMEOUT)
+                    worker.conn.close()
+                    fresh = self._spawn(wire)
+                    fresh.lock = worker.lock  # held right now, on purpose
+                    fresh.frames = worker.frames
+                    self._workers[slot] = fresh
+            if old_store is not None:
+                old_store.close()
+            obs = self._bind_obs()
+            if obs is not None:
+                obs[3].set(self._generation_seq)
+
+    @property
+    def generation_seq(self) -> int:
+        """Monotone swap counter: 0 at construction, +1 per set_oracle."""
+        return self._generation_seq
 
     @property
     def running(self) -> bool:
@@ -714,6 +795,7 @@ class ShardedQueryServer:
                     worker_counter,
                     registry.counter(SERVE_WORKER_RESTARTS),
                     registry.gauge(SERVE_WORKERS_ALIVE),
+                    registry.gauge(SERVE_GENERATION),
                 )
             else:
                 obs = None

@@ -1,0 +1,788 @@
+"""Dynamic graphs: incremental PLL repair, hot-swap serving, churn.
+
+The contract under test is absolute: after any sequence of edge
+inserts and deletes, :class:`~repro.dynamic.DynamicHubLabeling` must
+answer every pair identically -- value AND type, ``inf`` included --
+to a from-scratch rebuild on the same pinned vertex order, and a
+serving fleet hot-swapped through ``set_oracle`` must never return a
+stale answer.  Three independent harnesses enforce it:
+
+* the committed mutation corpus (``tests/data/mutation_corpus.json``)
+  replays 40 seed-pinned scripts per zoo family against pinned
+  post-mutation distances;
+* hypothesis properties drive random edit sequences, weighted and
+  unweighted, kept-connected and disconnecting;
+* live hot-swap tests mutate under concurrent load through both the
+  in-process and the multi-process sharded door.
+"""
+
+import json
+import math
+import pathlib
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import pruned_landmark_labeling
+from repro.core.orders import degree_order
+from repro.dynamic import (
+    DynamicHubLabeling,
+    MutationScript,
+    RepairReport,
+    apply_script,
+    mutation_script,
+)
+from repro.graphs import Graph, random_sparse_graph
+from repro.graphs.generators import random_weighted_graph
+from repro.graphs.traversal import INF
+from repro.obs.catalog import (
+    DYNAMIC_INSERTS,
+    DYNAMIC_REBUILDS,
+    SERVE_GENERATION,
+)
+from repro.obs.registry import get_registry
+from repro.oracles.oracle import HubLabelOracle
+from repro.perf.build import build_flat_labels
+from repro.perf.cache import LabelCache
+from repro.serve import QueryServer, run_loadgen
+
+CORPUS_PATH = pathlib.Path(__file__).parent / "data" / "mutation_corpus.json"
+
+
+def _assert_answer_identical(dyn, tag=""):
+    """All-pairs value+type identity against a from-scratch rebuild."""
+    rebuilt = build_flat_labels(dyn.graph, dyn.order)
+    n = dyn.graph.num_vertices
+    for u in range(n):
+        for v in range(n):
+            got = dyn.query(u, v)
+            want = rebuilt.query(u, v)
+            assert got == want and type(got) is type(want), (
+                f"{tag} dist({u},{v}) = {got!r}, rebuild says {want!r}"
+            )
+
+
+class TestRemoveEdge:
+    def test_round_trip(self):
+        g = Graph(4)
+        g.add_edge(0, 1, 5)
+        g.add_edge(1, 2)
+        assert g.remove_edge(0, 1) == 5
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 1
+        g.add_edge(0, 1, 5)
+        assert g.has_edge(0, 1)
+
+    def test_missing_edge_raises(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        with pytest.raises(KeyError):
+            g.remove_edge(0, 2)
+
+    def test_endpoint_order_irrelevant(self):
+        g = Graph(3)
+        g.add_edge(1, 2, 7)
+        assert g.remove_edge(2, 1) == 7
+        assert g.num_edges == 0
+
+
+class TestConstruction:
+    def test_bad_budgets_rejected(self):
+        g = random_sparse_graph(8, seed=0)
+        with pytest.raises(ValueError):
+            DynamicHubLabeling(g, rebuild_fraction=0.0)
+        with pytest.raises(ValueError):
+            DynamicHubLabeling(g, rebuild_fraction=1.5)
+        with pytest.raises(ValueError):
+            DynamicHubLabeling(g, staleness_budget=0.0)
+
+    def test_bad_order_rejected(self):
+        g = random_sparse_graph(8, seed=0)
+        with pytest.raises(ValueError):
+            DynamicHubLabeling(g, order=[0, 1, 2])
+        with pytest.raises(ValueError):
+            DynamicHubLabeling(g, order=[0] * 8)
+
+    def test_initial_labeling_matches_static(self):
+        g = random_sparse_graph(20, seed=1)
+        dyn = DynamicHubLabeling(g)
+        _assert_answer_identical(dyn, "fresh")
+        assert dyn.mutations == 0
+        assert dyn.staleness == 0.0
+
+    def test_order_property_is_a_copy(self):
+        g = random_sparse_graph(8, seed=0)
+        dyn = DynamicHubLabeling(g)
+        dyn.order.reverse()
+        assert dyn.order == degree_order(g)
+
+
+class TestMutationErrors:
+    def test_duplicate_insert_raises(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        dyn = DynamicHubLabeling(g)
+        with pytest.raises(ValueError):
+            dyn.insert_edge(1, 0)
+
+    def test_missing_delete_raises(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        dyn = DynamicHubLabeling(g)
+        with pytest.raises(KeyError):
+            dyn.delete_edge(0, 2)
+
+    def test_unknown_op_rejected(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        dyn = DynamicHubLabeling(g)
+        with pytest.raises(ValueError):
+            dyn.apply(MutationScript(ops=(("frobnicate", 0, 1, 1),)))
+
+
+class TestRepairReports:
+    def test_insert_and_delete_reports(self):
+        g = random_sparse_graph(16, seed=2)
+        dyn = DynamicHubLabeling(g)
+        u, v = next(
+            (a, b)
+            for a in range(16)
+            for b in range(a + 1, 16)
+            if not g.has_edge(a, b)
+        )
+        rep = dyn.insert_edge(u, v)
+        assert isinstance(rep, RepairReport)
+        assert (rep.op, rep.u, rep.v, rep.weight) == ("insert", u, v, 1)
+        assert "insert" in rep.render()
+        rep = dyn.delete_edge(u, v)
+        assert rep.op == "delete"
+        assert rep.seconds >= 0
+        assert dyn.mutations == 2
+
+    def test_repair_metrics_emitted(self):
+        g = random_sparse_graph(12, seed=3)
+        dyn = DynamicHubLabeling(g)
+        u, v = next(
+            (a, b)
+            for a in range(12)
+            for b in range(a + 1, 12)
+            if not g.has_edge(a, b)
+        )
+        dyn.insert_edge(u, v)
+        registry = get_registry()
+        assert registry.get(DYNAMIC_INSERTS).value == 1
+        # Pre-created at zero even though no rebuild happened.
+        assert registry.get(DYNAMIC_REBUILDS).value == 0
+
+
+class TestBudgetFallback:
+    def test_tiny_fraction_forces_rebuild(self):
+        g = random_sparse_graph(16, seed=4)
+        dyn = DynamicHubLabeling(g, rebuild_fraction=0.01)
+        u, v = next(
+            (a, b)
+            for a in range(16)
+            for b in range(a + 1, 16)
+            if not g.has_edge(a, b)
+        )
+        rep = dyn.insert_edge(u, v)
+        assert rep.rebuilt
+        assert dyn.staleness == 0.0  # rebuild resets the accumulator
+        assert get_registry().get(DYNAMIC_REBUILDS).value == 1
+        _assert_answer_identical(dyn, "post-rebuild")
+
+    def test_staleness_accumulates_until_budget(self):
+        g = random_sparse_graph(16, seed=5)
+        dyn = DynamicHubLabeling(
+            g, rebuild_fraction=1.0, staleness_budget=0.75
+        )
+        script = mutation_script(g, 12, seed=5)
+        rebuilds = sum(1 for rep in dyn.apply(script) if rep.rebuilt)
+        # Every repair adds its affected fraction; a budget under 1.0
+        # must eventually trip (each trip resets the accumulator).
+        assert rebuilds >= 1
+        assert dyn.staleness < 0.75
+        _assert_answer_identical(dyn, "post-budget")
+
+    def test_rebuild_served_through_cache(self, tmp_path):
+        g = random_sparse_graph(14, seed=6)
+        cache = LabelCache(str(tmp_path))
+        dyn = DynamicHubLabeling(g, cache=cache, rebuild_fraction=0.01)
+        u, v = next(
+            (a, b)
+            for a in range(14)
+            for b in range(a + 1, 14)
+            if not g.has_edge(a, b)
+        )
+        assert dyn.insert_edge(u, v).rebuilt
+        # Both the initial build and the forced rebuild persisted.
+        assert len(list(tmp_path.iterdir())) >= 2
+        _assert_answer_identical(dyn, "cache-rebuild")
+
+
+class TestMutationScripts:
+    def test_scripts_are_seed_deterministic(self):
+        g = random_sparse_graph(20, seed=7)
+        a = mutation_script(g, 10, seed=3)
+        b = mutation_script(g, 10, seed=3)
+        assert a.ops == b.ops
+        assert a.ops != mutation_script(g, 10, seed=4).ops
+
+    def test_script_replays_cleanly(self):
+        g = random_sparse_graph(20, seed=8)
+        script = mutation_script(g, 10, seed=1, keep_connected=False)
+        assert len(script) == 10
+        inserts, deletes = script.counts()
+        assert inserts + deletes == 10
+        apply_script(g, script)  # every op names a legal edit
+
+    def test_generation_leaves_graph_untouched(self):
+        g = random_sparse_graph(20, seed=9)
+        before = sorted(g.edges())
+        mutation_script(g, 10, seed=2)
+        assert sorted(g.edges()) == before
+
+    def test_kept_connected_scripts_preserve_reachability(self):
+        g = random_sparse_graph(20, seed=10)
+        dyn = DynamicHubLabeling(g)
+        finite = {
+            (u, v)
+            for u in range(20)
+            for v in range(20)
+            if dyn.query(u, v) != INF
+        }
+        dyn.apply(mutation_script(g, 10, seed=3, keep_connected=True))
+        for u, v in finite:
+            assert dyn.query(u, v) != INF, (u, v)
+
+
+class TestRepairEqualsRebuild:
+    """The headline property, across structure, weights, and budgets."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        graph_seed=st.integers(0, 1000),
+        script_seed=st.integers(0, 1000),
+        keep_connected=st.booleans(),
+    )
+    def test_unweighted_random_edits(
+        self, graph_seed, script_seed, keep_connected
+    ):
+        g = random_sparse_graph(12, seed=graph_seed)
+        dyn = DynamicHubLabeling(g, rebuild_fraction=1.0)
+        script = mutation_script(
+            g, 5, seed=script_seed, keep_connected=keep_connected
+        )
+        for index, op in enumerate(script):
+            dyn.apply(MutationScript(ops=(op,)))
+            _assert_answer_identical(dyn, f"op {index} {op}")
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        graph_seed=st.integers(0, 1000),
+        script_seed=st.integers(0, 1000),
+    )
+    def test_weighted_random_edits(self, graph_seed, script_seed):
+        g = random_weighted_graph(10, 16, seed=graph_seed)
+        dyn = DynamicHubLabeling(g, rebuild_fraction=1.0)
+        script = mutation_script(
+            g, 4, seed=script_seed, keep_connected=False
+        )
+        for index, op in enumerate(script):
+            dyn.apply(MutationScript(ops=(op,)))
+            _assert_answer_identical(dyn, f"op {index} {op}")
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        script_seed=st.integers(0, 1000),
+        rebuild_fraction=st.sampled_from([0.05, 0.3, 1.0]),
+        staleness_budget=st.sampled_from([0.5, 4.0]),
+    )
+    def test_budget_fallbacks_stay_exact(
+        self, script_seed, rebuild_fraction, staleness_budget
+    ):
+        # Whether an edit repairs or trips a rebuild must be invisible
+        # in the answers.
+        g = random_sparse_graph(12, seed=script_seed)
+        dyn = DynamicHubLabeling(
+            g,
+            rebuild_fraction=rebuild_fraction,
+            staleness_budget=staleness_budget,
+        )
+        dyn.apply(mutation_script(g, 5, seed=script_seed))
+        _assert_answer_identical(dyn, "budget-mix")
+
+
+class TestMutationCorpus:
+    """Replay the committed corpus: pinned answers, then rebuild parity."""
+
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        with open(CORPUS_PATH) as handle:
+            return json.load(handle)
+
+    def test_corpus_shape(self, corpus):
+        assert corpus["version"] == 3
+        families = {case["family"] for case in corpus["cases"]}
+        assert families == {"ba", "powerlaw", "smallworld", "road"}
+        assert len(corpus["cases"]) == 40
+        connected = [c for c in corpus["cases"] if c["keep_connected"]]
+        assert connected and len(connected) < len(corpus["cases"])
+
+    def test_every_case_repairs_to_pinned_answers(self, corpus):
+        for case in corpus["cases"]:
+            graph = Graph(case["n"])
+            for u, v, w in case["edges"]:
+                graph.add_edge(u, v, w)
+            dyn = DynamicHubLabeling(graph)
+            dyn.apply(
+                MutationScript(
+                    ops=tuple(tuple(op) for op in case["ops"]),
+                    seed=case["seed"],
+                    keep_connected=case["keep_connected"],
+                )
+            )
+            for (u, v), want in zip(case["pairs"], case["expected"]):
+                got = dyn.query(u, v)
+                if want is None:
+                    assert got == INF, (case["name"], u, v, got)
+                else:
+                    assert got == want and type(got) is type(want), (
+                        case["name"], u, v, got, want,
+                    )
+            rebuilt = build_flat_labels(dyn.graph, dyn.order)
+            for (u, v), _ in zip(case["pairs"], case["expected"]):
+                got = dyn.query(u, v)
+                ref = rebuilt.query(u, v)
+                assert got == ref and type(got) is type(ref), (
+                    case["name"], u, v, got, ref,
+                )
+
+    def test_disconnecting_cases_pin_inf_answers(self, corpus):
+        assert any(
+            want is None
+            for case in corpus["cases"]
+            if not case["keep_connected"]
+            for want in case["expected"]
+        ), "no corpus case exercises the INF answer path"
+
+
+class TestHotSwapServing:
+    def _dyn_and_server(self, n=40, seed=11, **server_kwargs):
+        graph = random_sparse_graph(n, seed=seed)
+        dyn = DynamicHubLabeling(graph)
+        server = QueryServer(
+            HubLabelOracle(dyn.flat(), backend="flat"), **server_kwargs
+        )
+        return dyn, server
+
+    def test_swap_serves_new_answers_and_bumps_generation(self):
+        dyn, server = self._dyn_and_server()
+        n = dyn.graph.num_vertices
+        u, v = max(
+            (
+                (a, b)
+                for a in range(n)
+                for b in range(a + 1, n)
+                if not dyn.graph.has_edge(a, b)
+                and dyn.query(a, b) != INF
+            ),
+            key=lambda pair: dyn.query(*pair),
+        )
+        with server:
+            before = server.query(u, v)
+            assert before == dyn.query(u, v)
+            assert server.generation_seq == 0
+            dyn.insert_edge(u, v)
+            server.set_oracle(HubLabelOracle(dyn.flat(), backend="flat"))
+            assert server.generation_seq == 1
+            after = server.query(u, v)
+            assert after == 1
+            assert before > after
+            gauge = get_registry().get(SERVE_GENERATION)
+            assert gauge is not None and gauge.value == 1
+
+    def test_generation_gauge_is_monotone_across_swaps(self):
+        dyn, server = self._dyn_and_server(seed=12)
+        script = mutation_script(dyn.graph, 6, seed=12)
+        seen = []
+        with server:
+            registry = get_registry()
+            seen.append(registry.get(SERVE_GENERATION).value)
+            for op in script:
+                dyn.apply(MutationScript(ops=(op,)))
+                server.set_oracle(
+                    HubLabelOracle(dyn.flat(), backend="flat")
+                )
+                seen.append(registry.get(SERVE_GENERATION).value)
+        assert seen == sorted(seen)
+        assert seen[0] == 0 and seen[-1] == len(script)
+        assert server.generation_seq == len(script)
+
+    def test_post_swap_queries_never_stale_under_load(self):
+        # Clients hammer one pair while the main thread swaps back and
+        # forth between two labelings; every answer must belong to one
+        # of the two generations (no torn or cached-stale value), and
+        # probes issued after a swap must see the new value.
+        dyn, server = self._dyn_and_server(seed=13)
+        n = dyn.graph.num_vertices
+        u, v = max(
+            (
+                (a, b)
+                for a in range(n)
+                for b in range(a + 1, n)
+                if not dyn.graph.has_edge(a, b)
+                and dyn.query(a, b) != INF
+            ),
+            key=lambda pair: dyn.query(*pair),
+        )
+        old = dyn.query(u, v)
+        legal = {old, 1}
+        stop = threading.Event()
+        wrong = []
+
+        def hammer():
+            while not stop.is_set():
+                got = server.query(u, v)
+                if got not in legal:
+                    wrong.append(got)
+
+        with server:
+            threads = [
+                threading.Thread(target=hammer) for _ in range(3)
+            ]
+            for t in threads:
+                t.start()
+            present = False
+            for _ in range(8):
+                if present:
+                    dyn.delete_edge(u, v)
+                else:
+                    dyn.insert_edge(u, v)
+                present = not present
+                server.set_oracle(
+                    HubLabelOracle(dyn.flat(), backend="flat")
+                )
+                want = 1 if present else old
+                assert server.query(u, v) == want  # post-swap probe
+            stop.set()
+            for t in threads:
+                t.join()
+        assert wrong == []
+
+
+class TestShardedHotSwap:
+    """set_oracle across the multi-process door: fresh segment per
+    swap, no stale answers, no /dev/shm leaks."""
+
+    @staticmethod
+    def _shm_entries():
+        import os
+
+        from repro.perf.shm import SHM_NAME_PREFIX
+
+        try:
+            return {
+                name
+                for name in os.listdir("/dev/shm")
+                if name.startswith(SHM_NAME_PREFIX)
+            }
+        except OSError:  # pragma: no cover - no /dev/shm here
+            return set()
+
+    def test_swap_running_fleet_serves_new_answers(self):
+        from repro.serve import ShardedQueryServer
+
+        graph = random_sparse_graph(40, seed=17)
+        dyn = DynamicHubLabeling(graph)
+        n = graph.num_vertices
+        u, v = max(
+            (
+                (a, b)
+                for a in range(n)
+                for b in range(a + 1, n)
+                if not graph.has_edge(a, b) and dyn.query(a, b) != INF
+            ),
+            key=lambda pair: dyn.query(*pair),
+        )
+        before_entries = self._shm_entries()
+        server = ShardedQueryServer(
+            HubLabelOracle(dyn.flat(), backend="flat"), processes=2
+        )
+        with server:
+            old = server.query(u, v)
+            assert old == dyn.query(u, v) and old > 1
+            dyn.insert_edge(u, v)
+            server.set_oracle(HubLabelOracle(dyn.flat(), backend="flat"))
+            assert server.generation_seq == 1
+            assert server.query(u, v) == 1
+            # A batch through the swapped fleet, graded value AND type
+            # against a from-scratch rebuild of the mutated graph.
+            rebuilt = build_flat_labels(dyn.graph, dyn.order)
+            us = list(range(n))
+            vs = [(i * 7 + 3) % n for i in range(n)]
+            got = server.submit_batch(us, vs).result()
+            for a, b, answer in zip(us, vs, got):
+                want = rebuilt.query(a, b)
+                assert answer == want and type(answer) is type(want), (
+                    a, b, answer, want,
+                )
+            gauge = get_registry().get(SERVE_GENERATION)
+            assert gauge is not None and gauge.value == 1
+        assert self._shm_entries() == before_entries  # old segment gone
+
+    def test_swap_while_stopped_applies_on_next_start(self):
+        from repro.serve import ShardedQueryServer
+
+        graph = random_sparse_graph(30, seed=18)
+        dyn = DynamicHubLabeling(graph)
+        n = graph.num_vertices
+        u, v = next(
+            (a, b)
+            for a in range(n)
+            for b in range(a + 1, n)
+            if not graph.has_edge(a, b) and dyn.query(a, b) > 2
+        )
+        before_entries = self._shm_entries()
+        server = ShardedQueryServer(
+            HubLabelOracle(dyn.flat(), backend="flat"), processes=1
+        )
+        dyn.insert_edge(u, v)
+        server.set_oracle(HubLabelOracle(dyn.flat(), backend="flat"))
+        assert server.generation_seq == 1
+        with server:
+            assert server.query(u, v) == 1
+        assert self._shm_entries() == before_entries  # stop() cleaned up
+
+    def test_swaps_under_concurrent_batches(self):
+        from repro.serve import ShardedQueryServer
+
+        graph = random_sparse_graph(36, seed=19)
+        dyn = DynamicHubLabeling(graph)
+        n = graph.num_vertices
+        script = list(mutation_script(graph, 4, seed=19))
+        stop = threading.Event()
+        failures = []
+
+        def hammer():
+            us = list(range(n))
+            vs = [(i * 5 + 1) % n for i in range(n)]
+            while not stop.is_set():
+                try:
+                    answers = server.submit_batch(us, vs).result()
+                except Exception as exc:  # pragma: no cover - fails test
+                    failures.append(exc)
+                    return
+                if len(answers) != n:
+                    failures.append(("short batch", len(answers)))
+                    return
+
+        server = ShardedQueryServer(
+            HubLabelOracle(dyn.flat(), backend="flat"), processes=2
+        )
+        with server:
+            threads = [threading.Thread(target=hammer) for _ in range(2)]
+            for t in threads:
+                t.start()
+            for op in script:
+                dyn.apply(MutationScript(ops=(op,)))
+                server.set_oracle(
+                    HubLabelOracle(dyn.flat(), backend="flat")
+                )
+                # Post-swap probe: graded against the repaired labeling.
+                probe = server.query(0, n - 1)
+                want = dyn.query(0, n - 1)
+                assert probe == want and type(probe) is type(want)
+            stop.set()
+            for t in threads:
+                t.join()
+        assert failures == []
+        assert server.generation_seq == len(script)
+
+
+class TestLoadgenChurn:
+    def test_churn_callable_is_driven_and_counted(self):
+        graph = random_sparse_graph(60, seed=14)
+        dyn = DynamicHubLabeling(graph)
+        script = list(mutation_script(graph, 8, seed=14))
+        cursor = iter(script)
+
+        def churn():
+            try:
+                op, u, v, w = next(cursor)
+            except StopIteration:
+                return False
+            if op == "insert":
+                dyn.insert_edge(u, v, w)
+            else:
+                dyn.delete_edge(u, v)
+            server.set_oracle(HubLabelOracle(dyn.flat(), backend="flat"))
+            return True
+
+        with QueryServer(
+            HubLabelOracle(dyn.flat(), backend="flat")
+        ) as server:
+            report = run_loadgen(
+                server,
+                graph.num_vertices,
+                clients=2,
+                duration=0.4,
+                seed=14,
+                churn=churn,
+                churn_interval=0.005,
+            )
+        assert report.ok, report.render()
+        assert 1 <= report.mutations <= len(script)
+        assert "mutations" in report.render()
+        _assert_answer_identical(dyn, "post-loadgen")
+
+    def test_churn_exception_fails_the_run(self):
+        graph = random_sparse_graph(20, seed=15)
+
+        def churn():
+            raise RuntimeError("repair went sideways")
+
+        with QueryServer(HubLabelOracle(pruned_landmark_labeling(graph))) as server:
+            with pytest.raises(RuntimeError, match="sideways"):
+                run_loadgen(
+                    server,
+                    graph.num_vertices,
+                    clients=2,
+                    requests_per_client=50,
+                    seed=15,
+                    churn=churn,
+                )
+
+    def test_churn_false_stops_early(self):
+        graph = random_sparse_graph(20, seed=16)
+        calls = []
+
+        def churn():
+            calls.append(1)
+            return False
+
+        with QueryServer(HubLabelOracle(pruned_landmark_labeling(graph))) as server:
+            report = run_loadgen(
+                server,
+                graph.num_vertices,
+                clients=2,
+                duration=0.2,
+                seed=16,
+                churn=churn,
+                churn_interval=0.001,
+            )
+        assert report.ok
+        assert len(calls) == 1
+        assert report.mutations == 0  # a False return mutated nothing
+
+
+class TestCli:
+    def test_mutate_verb_grades_green(self, capsys):
+        from repro.cli import main
+
+        assert (
+            main(
+                [
+                    "mutate",
+                    "--generator",
+                    "sparse:30",
+                    "--ops",
+                    "8",
+                    "--seed",
+                    "3",
+                    "--verify-sample",
+                    "150",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "0 mismatch(es)" in out and "OK" in out
+
+    def test_mutate_verify_each(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "mutate",
+                "--generator",
+                "tree:16",
+                "--ops",
+                "4",
+                "--allow-disconnect",
+                "--verify-each",
+                "--verify-sample",
+                "60",
+            ]
+        )
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_loadgen_churn_runs_green(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "loadgen",
+                "--generator",
+                "sparse:50",
+                "--clients",
+                "2",
+                "--requests",
+                "200",
+                "--churn",
+                "4",
+                "--churn-interval",
+                "0.002",
+            ]
+        )
+        assert code == 0
+        assert "verdict:    OK" in capsys.readouterr().out
+
+    def test_loadgen_churn_rejects_validate(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "loadgen",
+                    "--generator",
+                    "sparse:20",
+                    "--validate",
+                    "--churn",
+                    "2",
+                ]
+            )
+
+    def test_corpus_drift_check_passes(self):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "gen_mutation_corpus",
+            pathlib.Path(__file__).parent.parent
+            / "tools"
+            / "gen_mutation_corpus.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert module.main(["--check"]) == 0
+        assert module.render().endswith("\n")
+
+
+def test_inf_answers_survive_repair():
+    # Disconnect a leaf, repair, and the INF must be float('inf') with
+    # float type -- the exact value the traversal module uses.
+    g = Graph(6)
+    for v in range(1, 6):
+        g.add_edge(v - 1, v)
+    dyn = DynamicHubLabeling(g)
+    dyn.delete_edge(4, 5)
+    got = dyn.query(0, 5)
+    assert got == INF and math.isinf(got)
+    assert dyn.query(5, 5) == 0
+    _assert_answer_identical(dyn, "leaf-cut")
+    dyn.insert_edge(4, 5)
+    assert dyn.query(0, 5) == 5
+    _assert_answer_identical(dyn, "leaf-heal")

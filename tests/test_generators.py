@@ -414,15 +414,20 @@ class TestSeedKwargConvention:
     def _seeded_generators(self):
         import inspect
 
+        from repro.dynamic import mutations as mutations_module
         from repro.graphs import generators as module
 
-        for name in module.__all__:
-            fn = getattr(module, name)
-            if not callable(fn):
-                continue
-            signature = inspect.signature(fn)
-            if "seed" in signature.parameters:
-                yield name, fn, signature.parameters["seed"]
+        for mod in (module, mutations_module):
+            for name in mod.__all__:
+                fn = getattr(mod, name)
+                # Classes (MutationScript) carry a ``seed`` dataclass
+                # field, not a generator seed; the convention is about
+                # the random *functions*.
+                if not callable(fn) or inspect.isclass(fn):
+                    continue
+                signature = inspect.signature(fn)
+                if "seed" in signature.parameters:
+                    yield name, fn, signature.parameters["seed"]
 
     def test_seed_is_keyword_only_with_default_zero(self):
         import inspect
@@ -448,6 +453,7 @@ class TestSeedKwargConvention:
             "powerlaw_configuration",
             "watts_strogatz",
             "road_network",
+            "mutation_script",
         } <= set(found)
 
     def test_every_seeded_generator_documents_its_rng(self):
@@ -458,10 +464,13 @@ class TestSeedKwargConvention:
         import random as random_module
 
         from repro.graphs import generators as module
+        from repro.graphs.generators import random_sparse_graph
 
         state = random_module.getstate()
         for name, fn, _ in self._seeded_generators():
-            if name == "configuration_model":
+            if name == "mutation_script":
+                fn(random_sparse_graph(10, seed=2), 6, seed=1)
+            elif name == "configuration_model":
                 fn([2, 2, 2], seed=1)
             elif name == "gnm_random_graph":
                 fn(8, 10, seed=1)

@@ -57,6 +57,9 @@ REQUIRED_SUITES = (
     "sharded_consistency",
     "sssp_rows",
     "obs_overhead",
+    "update_latency",
+    "qps_under_churn",
+    "churn_consistency",
 )
 
 #: Suites whose gauge records the duration behind a JSON value.
@@ -142,6 +145,20 @@ class TestBenchSchema:
         assert results["batch_throughput_flat"]["value"] > 0
         assert results["batch_speedup"]["value"] > 0
 
+    def test_dynamic_suites(self, results):
+        # The repair path must both move (positive rates, mutations
+        # actually landed inside the churn window) and stay exact
+        # (zero repair-vs-rebuild mismatches).
+        assert results["update_latency"]["value"] > 0
+        assert results["update_latency"]["ops"] == 2
+        churn = results["qps_under_churn"]
+        assert churn["value"] > 0
+        assert churn["mutations"] >= 1
+        consistency = results["churn_consistency"]
+        assert consistency["value"] == 0
+        assert consistency["pairs"] > 0
+        assert consistency["mutations"] >= 1
+
     def test_render_lists_every_suite(self, results):
         text = render_results(results)
         for suite in REQUIRED_SUITES:
@@ -207,6 +224,16 @@ class TestGateLogic:
         failures = bench_gate.self_check(current, 0.10)
         assert len(failures) == 1
         assert "sharded_consistency" in failures[0]
+
+    def test_churn_mismatch_fails(self):
+        current = {"churn_consistency": _entry("mismatches", 1)}
+        failures = bench_gate.self_check(current, 0.10)
+        assert len(failures) == 1
+        assert "churn_consistency" in failures[0]
+
+    def test_churn_consistency_zero_passes(self):
+        current = {"churn_consistency": _entry("mismatches", 0)}
+        assert bench_gate.self_check(current, 0.10) == []
 
     def test_sharded_ratio_floor_on_full_instance(self):
         current = {

@@ -34,6 +34,11 @@ value, unit, instance, seed}``) and exits non-zero when:
 * the ``sharded_consistency`` suite reports mismatches (answers that
   crossed a worker-process boundary as raw float64 frames must stay
   byte-identical to the dict store's), or
+* the ``churn_consistency`` suite reports mismatches (after the churn
+  round, the incrementally repaired labeling must answer the full
+  workload identically -- value and type -- to a from-scratch
+  rebuild; a fast repair that drifts is a wrong oracle, not a
+  performance win), or
 * the ``serving_throughput_sharded`` suite measured on the full
   ``G(2,2)`` instance falls below ``--min-sharded-ratio`` (default
   2.0) times the same file's ``serving_batch_throughput``: four
@@ -121,6 +126,13 @@ def self_check(
         failures.append(
             f"sharded_consistency: {sharded['value']} answer(s) served "
             "through ShardedQueryServer differ from the dict store"
+        )
+    churn = current.get("churn_consistency")
+    if churn and churn.get("value"):
+        failures.append(
+            f"churn_consistency: {churn['value']} answer(s) from the "
+            "incrementally repaired labeling differ from a from-scratch "
+            "rebuild after churn"
         )
     for suite in sorted(current):
         if not suite.startswith("graph_zoo."):

@@ -9,8 +9,9 @@ Three checks, any failure exits non-zero:
    CI fails);
 2. a workload touching every instrumented subsystem (labeling builds,
    both oracle backends, the resilient runtime, a chaos sweep, the
-   concurrent query server) emits only catalogued names -- stray
-   string literals cannot sneak in;
+   concurrent query server, dynamic label repair with a hot swap)
+   emits only catalogued names -- stray string literals cannot sneak
+   in;
 3. every catalogued name is actually emitted by that workload, except
    for an explicit allowlist of bench-only metrics -- the catalogue
    cannot grow dead entries.
@@ -142,6 +143,31 @@ def run_workload() -> set:
         server.query(0, 1)  # already cached -> serve.cache_hits
         # The batch-native door: one ticket -> serve.batch_submissions.
         server.submit_batch([0, 2], [2, 3]).result(timeout=10)
+
+        # Dynamic churn: one insert, one delete, and a forced full
+        # rebuild (rebuild_fraction=0) emit the dynamic.* family; the
+        # hot swap through set_oracle bumps serve.generation past the
+        # zero the server start emitted.
+        from repro.dynamic import DynamicHubLabeling
+
+        def non_edge(g):
+            return next(
+                (u, v)
+                for u in range(g.num_vertices)
+                for v in range(u + 1, g.num_vertices)
+                if g.edge_weight(u, v) is None
+            )
+
+        dyn = DynamicHubLabeling(random_sparse_graph(16, seed=5))
+        u, v = non_edge(dyn.graph)
+        dyn.insert_edge(u, v)
+        dyn.delete_edge(u, v)
+        forced = DynamicHubLabeling(
+            random_sparse_graph(16, seed=6), rebuild_fraction=0.01
+        )
+        forced.insert_edge(*non_edge(forced.graph))
+        server.set_oracle(HubLabelOracle(dyn.flat(), backend="flat"))
+        server.query(0, 9)
         server.stop()
 
         # Zero-copy label stores: export the flat store into a shared

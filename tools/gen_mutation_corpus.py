@@ -1,0 +1,181 @@
+#!/usr/bin/env python3
+"""Regenerate the seed-pinned mutation corpus (``tests/data/``).
+
+Corpus v3 extends the differential-corpus idea to *dynamic* graphs.
+Each case is a small zoo graph drawn from a pinned seed, a seeded
+insert/delete :class:`~repro.dynamic.mutations.MutationScript` against
+it, and the ground-truth *post-mutation* distances from exact
+BFS/Dijkstra with ``null`` standing in for +inf.
+``tests/test_dynamic.py`` replays every case through
+:class:`~repro.dynamic.DynamicHubLabeling`'s incremental repair and
+asserts the repaired labeling answers every pinned pair identically
+(value AND type) -- and, all-pairs, identically to a from-scratch
+rebuild on the same pinned order.  A repair-algorithm change shows up
+as a reviewable test diff even when property testing misses it.
+
+Every zoo family (``ba``, ``powerlaw``, ``smallworld``, ``road``)
+contributes :data:`SCRIPTS_PER_FAMILY` seed-swept scripts, alternating
+kept-connected and disconnecting variants, so both the finite-distance
+repair path and the ``INF`` answer path are pinned.
+
+The corpus is committed; rerun this script only when the case list
+itself is meant to change::
+
+    python tools/gen_mutation_corpus.py
+
+CI guards against drift (a hand-edited JSON or a generator change
+without regeneration) with::
+
+    python tools/gen_mutation_corpus.py --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+OUT_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)),
+    "..",
+    "tests",
+    "data",
+    "mutation_corpus.json",
+)
+
+#: Seed-swept mutation scripts pinned for every zoo family.
+SCRIPTS_PER_FAMILY = 10
+
+#: The zoo families the mutation corpus sweeps.
+ZOO_FAMILIES = ("ba", "powerlaw", "smallworld", "road")
+
+
+def _zoo_graph(family, index, seed):
+    """One small zoo graph; sizes cycle with ``index``."""
+    from repro.graphs import (
+        barabasi_albert,
+        powerlaw_configuration,
+        road_network,
+        watts_strogatz,
+    )
+
+    if family == "ba":
+        return barabasi_albert(8 + (index % 9), 2, seed=seed)
+    if family == "powerlaw":
+        return powerlaw_configuration(8 + (index % 9), seed=seed)
+    if family == "smallworld":
+        return watts_strogatz(8 + (index % 9), 4, 0.2, seed=seed)
+    if family == "road":
+        rows = 2 + (index % 3)  # 2..4
+        cols = 3 + (index % 3)  # 3..5
+        return road_network(rows, cols, seed=seed)
+    raise ValueError(f"unknown family {family!r}")
+
+
+def build_cases():
+    from repro.dynamic import apply_script, mutation_script
+    from repro.graphs.traversal import shortest_path_distances
+
+    cases = []
+    for family in ZOO_FAMILIES:
+        for index in range(SCRIPTS_PER_FAMILY):
+            seed = 30_000 + 1000 * ZOO_FAMILIES.index(family) + index
+            graph = _zoo_graph(family, index, seed)
+            n = graph.num_vertices
+            # Even indices keep every component intact; odd indices may
+            # disconnect, pinning the INF answer path too.
+            keep_connected = index % 2 == 0
+            script = mutation_script(
+                graph,
+                6 + (index % 5),  # 6..10 ops
+                seed=seed,
+                keep_connected=keep_connected,
+            )
+            mutated = graph.copy()
+            apply_script(mutated, script)
+            pairs = [(u, v) for u in range(n) for v in range(n)]
+            expected = []
+            rows = {}
+            for u, v in pairs:
+                if u not in rows:
+                    rows[u] = shortest_path_distances(mutated, u)[0]
+                d = rows[u][v]
+                expected.append(None if math.isinf(d) else d)
+            edges = sorted(
+                (u, v, w)
+                for u in range(n)
+                for v, w in graph.neighbors(u)
+                if u < v
+            )
+            cases.append(
+                {
+                    "name": f"{family}-{n}-s{seed}"
+                    + ("" if keep_connected else "-disc"),
+                    "family": family,
+                    "seed": seed,
+                    "n": n,
+                    "keep_connected": keep_connected,
+                    "edges": edges,
+                    "ops": [list(op) for op in script.ops],
+                    "pairs": [list(pair) for pair in pairs],
+                    "expected": expected,
+                }
+            )
+    return cases
+
+
+def render() -> str:
+    corpus = {"version": 3, "cases": build_cases()}
+    return json.dumps(corpus, indent=1) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="regenerate in memory and fail if the committed corpus "
+        "differs (CI drift guard); writes nothing",
+    )
+    args = parser.parse_args(argv)
+    text = render()
+    if args.check:
+        try:
+            with open(OUT_PATH) as handle:
+                committed = handle.read()
+        except OSError:
+            print(f"drift check FAILED: {OUT_PATH} is missing")
+            return 1
+        if committed != text:
+            print(
+                f"drift check FAILED: {OUT_PATH} does not match its "
+                "generators; rerun python tools/gen_mutation_corpus.py"
+            )
+            return 1
+        print(f"drift check OK: {OUT_PATH} matches its generators")
+        return 0
+    os.makedirs(os.path.dirname(OUT_PATH), exist_ok=True)
+    with open(OUT_PATH, "w") as handle:
+        handle.write(text)
+    corpus = json.loads(text)
+    total_ops = sum(len(case["ops"]) for case in corpus["cases"])
+    total_pairs = sum(len(case["pairs"]) for case in corpus["cases"])
+    families = {}
+    for case in corpus["cases"]:
+        families[case["family"]] = families.get(case["family"], 0) + 1
+    print(
+        f"wrote {OUT_PATH}: {len(corpus['cases'])} cases, "
+        f"{total_ops} mutations, {total_pairs} pinned pairs, families "
+        + ", ".join(f"{k}={v}" for k, v in sorted(families.items()))
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
